@@ -1,0 +1,61 @@
+"""FIG-1a/1b: multicore CPU scaling and oversubscription.
+
+Benchmarks the multicore engine over core counts (Figure 1a) and
+threads-per-core oversubscription (Figure 1b); the regenerated reports
+carry the paper's 1.5x/2.2x/2.6x speedups and the 135→125 s Figure 1b
+endpoints next to the model's paper-scale predictions.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig1a, fig1b
+from repro.engines.multicore import MulticoreEngine
+from repro.perfmodel.calibration import PAPER_MULTICORE_SPEEDUPS
+from repro.perfmodel.cpu import predict_multicore
+
+
+@pytest.mark.parametrize("n_cores", [1, 2, 4, 8])
+def test_fig1a_cores_sweep(benchmark, workload, spec, n_cores):
+    engine = MulticoreEngine(n_cores=n_cores)
+    result = benchmark(
+        engine.run, workload.yet, workload.portfolio, workload.catalog.n_events
+    )
+    model = predict_multicore(spec, n_cores=n_cores)
+    benchmark.extra_info["n_cores"] = n_cores
+    benchmark.extra_info["paper_speedup"] = PAPER_MULTICORE_SPEEDUPS.get(
+        n_cores
+    )
+    benchmark.extra_info["model_bench_seconds"] = model.total_seconds
+    assert result.ylt.n_trials == workload.yet.n_trials
+
+
+@pytest.mark.parametrize("threads_per_core", [1, 16, 256])
+def test_fig1b_oversubscription_sweep(
+    benchmark, workload, threads_per_core
+):
+    engine = MulticoreEngine(n_cores=8, threads_per_core=threads_per_core)
+    result = benchmark(
+        engine.run, workload.yet, workload.portfolio, workload.catalog.n_events
+    )
+    benchmark.extra_info["total_threads"] = 8 * threads_per_core
+    assert result.ylt.n_trials == workload.yet.n_trials
+
+
+def test_fig1a_report(benchmark, spec, print_report):
+    report = benchmark.pedantic(
+        lambda: fig1a(measured_spec=spec, measure=True), rounds=1, iterations=1
+    )
+    print_report(report)
+    # Shape: the model reproduces the paper's saturating speedups.
+    speedups = dict(zip(report.column("n_cores"), report.column("model_speedup")))
+    assert speedups[2] == pytest.approx(1.5, rel=0.1)
+    assert speedups[8] == pytest.approx(2.6, rel=0.1)
+
+
+def test_fig1b_report(benchmark, spec, print_report):
+    report = benchmark.pedantic(
+        lambda: fig1b(measured_spec=spec, measure=True), rounds=1, iterations=1
+    )
+    print_report(report)
+    times = report.column("model_paper_seconds")
+    assert all(a >= b for a, b in zip(times, times[1:]))  # monotone drop

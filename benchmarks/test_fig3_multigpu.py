@@ -1,0 +1,38 @@
+"""FIG-3: multi-GPU scaling (3a: time, 3b: efficiency).
+
+Benchmarks the multi-GPU engine at 1-4 simulated devices — the wall time
+includes the real host-thread fork-join the engine performs — with the
+paper-scale scaling curve attached.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig3
+from repro.data.presets import PAPER
+from repro.engines.multigpu import MultiGPUEngine
+from repro.perfmodel.multigpu import predict_multi_gpu
+
+
+@pytest.mark.parametrize("n_devices", [1, 2, 3, 4])
+def test_fig3_device_sweep(benchmark, workload, n_devices):
+    engine = MultiGPUEngine(n_devices=n_devices)
+    result = benchmark(
+        engine.run, workload.yet, workload.portfolio, workload.catalog.n_events
+    )
+    benchmark.extra_info["n_devices"] = n_devices
+    benchmark.extra_info["sim_modeled_seconds"] = result.modeled_seconds
+    benchmark.extra_info["model_paper_seconds"] = predict_multi_gpu(
+        PAPER, n_devices=n_devices
+    ).total_seconds
+    assert result.ylt.n_trials == workload.yet.n_trials
+
+
+def test_fig3_report(benchmark, spec, print_report):
+    report = benchmark.pedantic(
+        lambda: fig3(measured_spec=spec, measure=True), rounds=1, iterations=1
+    )
+    print_report(report)
+    rows = {r["n_gpus"]: r for r in report.rows}
+    # Paper: ~4x speedup on 4 GPUs at ~100% efficiency.
+    assert rows[4]["model_efficiency"] > 0.95
+    assert rows[4]["model_paper_seconds"] == pytest.approx(4.35, rel=0.15)

@@ -1,0 +1,53 @@
+"""FIG-4: four GPUs, threads-per-block sweep of the optimised kernel.
+
+The sweep covers the paper's 16-64 range; sizes beyond 64 are asserted
+infeasible (shared-memory overflow), which is why the paper's experiment
+stops there.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig4
+from repro.data.presets import PAPER
+from repro.engines.multigpu import MultiGPUEngine
+from repro.perfmodel.multigpu import predict_multi_gpu
+
+
+@pytest.mark.parametrize("tpb", [16, 32, 48, 64])
+def test_fig4_block_size_sweep(benchmark, workload, tpb):
+    engine = MultiGPUEngine(n_devices=4, threads_per_block=tpb)
+    result = benchmark(
+        engine.run, workload.yet, workload.portfolio, workload.catalog.n_events
+    )
+    benchmark.extra_info["threads_per_block"] = tpb
+    benchmark.extra_info["sim_modeled_seconds"] = result.modeled_seconds
+    benchmark.extra_info["model_paper_seconds"] = predict_multi_gpu(
+        PAPER, threads_per_block=tpb
+    ).total_seconds
+    assert result.modeled_seconds > 0
+
+
+def test_fig4_beyond_64_threads_is_infeasible(benchmark):
+    def check():
+        for tpb in (96, 128):
+            with pytest.raises(ValueError):
+                predict_multi_gpu(PAPER, threads_per_block=tpb)
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_fig4_report(benchmark, spec, print_report):
+    report = benchmark.pedantic(
+        lambda: fig4(measured_spec=spec, measure=True), rounds=1, iterations=1
+    )
+    print_report(report)
+    rows = {r["threads_per_block"]: r for r in report.rows}
+    # Paper shape: best at the warp size (32).
+    feasible_times = {
+        tpb: r["model_paper_seconds"]
+        for tpb, r in rows.items()
+        if r["feasible"]
+    }
+    assert min(feasible_times, key=feasible_times.get) == 32
+    assert rows[96]["feasible"] is False

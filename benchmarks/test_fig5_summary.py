@@ -1,0 +1,40 @@
+"""FIG-5: the headline bar chart — all five implementations.
+
+Benchmarks every engine on the same workload and regenerates the
+paper-vs-model-vs-measured summary with the 77x headline speedup check.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig5
+from repro.engines.registry import create_engine
+from repro.perfmodel.calibration import PAPER_FIG5_SECONDS
+
+ENGINES = ("sequential", "multicore", "gpu", "gpu-optimized", "multi-gpu")
+
+
+@pytest.mark.parametrize("engine_name", ENGINES)
+def test_fig5_engine(benchmark, workload, engine_name):
+    engine = create_engine(engine_name)
+    result = benchmark(
+        engine.run, workload.yet, workload.portfolio, workload.catalog.n_events
+    )
+    benchmark.extra_info["implementation"] = engine_name
+    benchmark.extra_info["paper_seconds"] = PAPER_FIG5_SECONDS[engine_name]
+    if result.modeled_seconds is not None:
+        benchmark.extra_info["sim_modeled_seconds"] = result.modeled_seconds
+    assert result.ylt.n_trials == workload.yet.n_trials
+
+
+def test_fig5_report(benchmark, spec, print_report):
+    report = benchmark.pedantic(
+        lambda: fig5(measured_spec=spec, measure=True), rounds=1, iterations=1
+    )
+    print_report(report)
+    rows = {r["implementation"]: r for r in report.rows}
+    # Paper ordering preserved end to end.
+    model_times = [rows[name]["model_paper_seconds"] for name in ENGINES]
+    assert model_times == sorted(model_times, reverse=True)
+    # Headline: ~77x multi-GPU over sequential (±15% band on the model).
+    speedup = rows["multi-gpu"]["model_speedup"]
+    assert speedup == pytest.approx(77.0, rel=0.15)

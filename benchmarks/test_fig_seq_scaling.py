@@ -1,0 +1,62 @@
+"""SEQ-SCALE: sequential runtime scaling (§IV.A).
+
+The paper observes runtime growing linearly in the number of events per
+trial, trials, ELTs per layer and layers.  Benchmarks time the sequential
+engine as each dimension doubles; the regenerated report adds the
+paper-scale model columns.
+"""
+
+import pytest
+
+from repro.bench.experiments import seq_scaling
+from repro.bench.runner import get_workload
+from repro.engines.sequential import SequentialEngine
+
+
+def run_sequential(workload):
+    return SequentialEngine().run(
+        workload.yet, workload.portfolio, workload.catalog.n_events
+    )
+
+
+@pytest.mark.parametrize("factor", [1, 2, 4])
+def test_seq_scaling_trials(benchmark, spec, factor):
+    scaled = spec.with_(n_trials=spec.n_trials * factor)
+    workload = get_workload(scaled)
+    result = benchmark(run_sequential, workload)
+    benchmark.extra_info["n_trials"] = scaled.n_trials
+    benchmark.extra_info["n_lookups"] = scaled.n_lookups
+    assert result.ylt.n_trials == scaled.n_trials
+
+
+@pytest.mark.parametrize("factor", [1, 2, 4])
+def test_seq_scaling_events(benchmark, spec, factor):
+    scaled = spec.with_(events_per_trial=spec.events_per_trial * factor)
+    workload = get_workload(scaled)
+    result = benchmark(run_sequential, workload)
+    benchmark.extra_info["events_per_trial"] = scaled.events_per_trial
+    assert result.ylt.n_trials == scaled.n_trials
+
+
+@pytest.mark.parametrize("factor", [1, 2, 4])
+def test_seq_scaling_elts(benchmark, spec, factor):
+    scaled = spec.with_(elts_per_layer=spec.elts_per_layer * factor)
+    workload = get_workload(scaled)
+    result = benchmark(run_sequential, workload)
+    benchmark.extra_info["elts_per_layer"] = scaled.elts_per_layer
+    assert result.ylt.n_trials == scaled.n_trials
+
+
+def test_seq_scaling_report(benchmark, spec, print_report):
+    """Regenerate the SEQ-SCALE table (measured + paper-scale model)."""
+    report = benchmark.pedantic(
+        lambda: seq_scaling(measured_spec=spec, measure=True),
+        rounds=1,
+        iterations=1,
+    )
+    print_report(report)
+    # Linearity of the model: factor-4 row ≈ 4x the factor-1 row per dim.
+    rows = [r for r in report.rows if r["dimension"] == "n_trials"]
+    assert rows[2]["model_seconds"] == pytest.approx(
+        4 * rows[0]["model_seconds"], rel=1e-6
+    )

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Real-time pricing: interactively quote reinsurance layers.
+
+The paper's motivating scenario — an underwriter adjusts eXcess-of-Loss
+terms and re-quotes against a million pre-simulated years in seconds.
+This example builds a session over a fixed YET/ELT pool, quotes three
+candidate layer structures, and shows the marginal tail impact of adding
+each to an existing book.
+
+Run:  python examples/portfolio_pricing.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.data.generator import generate_catalog, generate_elt, generate_yet
+from repro.pricing import PricingAssumptions, RealTimePricer
+
+
+def main() -> None:
+    # A shared event universe and trial database for the whole session.
+    catalog = generate_catalog(n_events=100_000, total_annual_rate=80.0)
+    yet = generate_yet(catalog, n_trials=25_000, events_per_trial=80, seed=7)
+    elts = [
+        generate_elt(catalog, elt_id=i, n_losses=1_500, seed=100 + i)
+        for i in range(10)
+    ]
+
+    # An existing book: one layer already on risk.
+    typical = float(elts[0].losses.mean())
+    book = repro.Portfolio()
+    for elt in elts[:4]:
+        book.add_elt(elt)
+    book.add_layer(
+        repro.Layer(
+            layer_id=0,
+            elt_ids=(0, 1, 2, 3),
+            terms=repro.LayerTerms(
+                occ_retention=2 * typical,
+                occ_limit=8 * typical,
+                agg_retention=0.0,
+                agg_limit=30 * typical,
+            ),
+        )
+    )
+
+    pricer = RealTimePricer(
+        yet=yet,
+        elts=elts,
+        catalog_size=catalog.n_events,
+        engine="multicore",
+        book=book,
+        assumptions=PricingAssumptions(
+            volatility_loading=0.25,
+            capital_confidence=0.99,
+            cost_of_capital=0.06,
+            expense_ratio=0.10,
+        ),
+    )
+
+    # Three candidate structures over the same exposures: a working
+    # layer, a mid excess layer and a high excess (cat) layer.
+    candidates = [
+        ("working layer", repro.LayerTerms(
+            occ_retention=0.5 * typical, occ_limit=2 * typical,
+            agg_retention=0.0, agg_limit=10 * typical)),
+        ("mid excess", repro.LayerTerms(
+            occ_retention=2 * typical, occ_limit=6 * typical,
+            agg_retention=0.0, agg_limit=18 * typical)),
+        ("high excess", repro.LayerTerms(
+            occ_retention=8 * typical, occ_limit=20 * typical,
+            agg_retention=0.0, agg_limit=40 * typical)),
+    ]
+
+    print(f"{'structure':14s} {'premium':>14s} {'RoL':>8s} "
+          f"{'E[loss]':>14s} {'marginal TVaR':>14s} {'quote secs':>10s}")
+    for name, terms in candidates:
+        record = pricer.quote(elt_ids=(4, 5, 6, 7, 8), terms=terms)
+        q = record.quote
+        print(
+            f"{name:14s} {q.premium:>14,.0f} {q.rate_on_line:>8.2%} "
+            f"{q.expected_loss:>14,.0f} "
+            f"{record.marginal_tvar:>14,.0f} "
+            f"{record.analysis_seconds:>10.2f}"
+        )
+
+    print(f"\nmean quote latency: {pricer.mean_quote_seconds:.2f} s over "
+          f"{len(pricer.history)} quotes on {yet.n_trials:,} trials")
+    print("(the paper's multi-GPU platform reaches 1M trials in ~4.35 s — "
+          "the latency that makes this workflow real-time at market scale)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Benchmark harness: regenerate every table and figure of the paper.
+
+Each experiment in :mod:`repro.bench.experiments` produces an
+:class:`~repro.bench.runner.ExperimentReport` combining
+
+* the paper's published numbers (from
+  :mod:`repro.perfmodel.calibration`),
+* the analytic model's paper-scale predictions, and
+* measured results from the real engines on a scaled-down workload,
+
+so EXPERIMENTS.md's paper-vs-reproduction tables can be regenerated from
+one command (``repro-bench``) or via ``pytest benchmarks/``.
+"""
+
+from repro.bench.runner import ExperimentReport, measure_engine, get_workload
+from repro.bench.report import format_report, format_table
+from repro.bench import experiments
+
+__all__ = [
+    "ExperimentReport",
+    "measure_engine",
+    "get_workload",
+    "format_report",
+    "format_table",
+    "experiments",
+]

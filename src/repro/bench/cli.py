@@ -1,0 +1,90 @@
+"""``repro-bench`` command line: regenerate paper experiments from a shell.
+
+Examples::
+
+    repro-bench --list
+    repro-bench FIG-5
+    repro-bench all --scale default --markdown > experiments_out.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.bench.report import format_report
+from repro.data.presets import BENCH_DEFAULT, BENCH_LARGE, BENCH_SMALL
+
+_SCALES = {
+    "small": BENCH_SMALL,
+    "default": BENCH_DEFAULT,
+    "large": BENCH_LARGE,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description=(
+            "Regenerate the tables/figures of 'Achieving Speedup in "
+            "Aggregate Risk Analysis using Multiple GPUs' (ICPP 2013)."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=["all"],
+        help="experiment ids (see --list) or 'all'",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit"
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="small",
+        help="measured-workload size (default: small)",
+    )
+    parser.add_argument(
+        "--model-only",
+        action="store_true",
+        help="skip measured runs; print only paper-scale model predictions",
+    )
+    parser.add_argument(
+        "--markdown", action="store_true", help="emit markdown tables"
+    )
+    return parser
+
+
+def main(argv: List[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for exp_id, fn in ALL_EXPERIMENTS.items():
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{exp_id:14s} {doc}")
+        return 0
+
+    wanted = args.experiments
+    if wanted == ["all"] or "all" in wanted:
+        wanted = list(ALL_EXPERIMENTS)
+    unknown = [e for e in wanted if e not in ALL_EXPERIMENTS]
+    if unknown:
+        print(
+            f"unknown experiment(s): {unknown}; use --list", file=sys.stderr
+        )
+        return 2
+
+    spec = _SCALES[args.scale]
+    for exp_id in wanted:
+        report = ALL_EXPERIMENTS[exp_id](
+            measured_spec=spec, measure=not args.model_only
+        )
+        print(format_report(report, markdown=args.markdown))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

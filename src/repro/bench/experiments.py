@@ -1,0 +1,558 @@
+"""One entry point per paper table/figure (the DESIGN.md experiment index).
+
+Every function returns an :class:`~repro.bench.runner.ExperimentReport`
+whose rows interleave three sources:
+
+* ``paper_*`` columns — the published numbers (Section IV/V, Figures 1–6);
+* ``model_*`` columns — the analytic model at full paper scale;
+* ``measured_*`` columns — the real engines on a scaled-down workload
+  (CPU engines: wall seconds; GPU engines: the gpusim-modeled seconds of
+  the actually-executed simulated kernels, with wall seconds as sanity).
+
+``measured_spec`` defaults keep each experiment inside a few seconds so
+the whole suite can run in CI; pass ``BENCH_DEFAULT``/``BENCH_LARGE`` for
+tighter measured statistics.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.bench.runner import ExperimentReport, get_workload, measure_engine
+from repro.data.presets import BENCH_SMALL, PAPER, WorkloadSpec
+from repro.engines.gpu_common import (
+    OptimizationFlags,
+    max_feasible_threads_per_block,
+)
+from repro.gpusim.device import TESLA_C2075, TESLA_M2090
+from repro.lookup.factory import LOOKUP_KINDS, build_lookup, memory_report
+from repro.perfmodel.activities import activity_breakdown_table, predict_all
+from repro.perfmodel.calibration import (
+    PAPER_FIG1B,
+    PAPER_FIG5_SECONDS,
+    PAPER_MULTICORE_SPEEDUPS,
+    PAPER_MULTIGPU,
+    PAPER_SEQ_BREAKDOWN,
+)
+from repro.perfmodel.cpu import (
+    predict_multicore,
+    predict_multicore_oversubscribed,
+    predict_sequential,
+)
+from repro.perfmodel.gpu import predict_gpu_basic, predict_gpu_optimized
+from repro.perfmodel.multigpu import predict_multi_gpu, scaling_curve
+from repro.utils.rng import default_rng
+from repro.utils.timer import ACTIVITIES
+
+#: default measured workload — small enough for CI, same shape as PAPER
+DEFAULT_MEASURED = BENCH_SMALL
+
+
+# ----------------------------------------------------------------------
+# SEQ-SCALE: linear scaling of the sequential implementation (§IV.A)
+# ----------------------------------------------------------------------
+def seq_scaling(
+    measured_spec: WorkloadSpec = DEFAULT_MEASURED, measure: bool = True
+) -> ExperimentReport:
+    """Runtime vs each workload dimension; the paper reports linearity."""
+    report = ExperimentReport(
+        exp_id="SEQ-SCALE",
+        title="Sequential runtime scaling in trials/events/ELTs/layers",
+    )
+    dimensions = {
+        "n_trials": lambda s, f: s.with_(n_trials=max(1, int(s.n_trials * f))),
+        "events_per_trial": lambda s, f: s.with_(
+            events_per_trial=max(1, int(s.events_per_trial * f))
+        ),
+        "elts_per_layer": lambda s, f: s.with_(
+            elts_per_layer=max(1, int(s.elts_per_layer * f))
+        ),
+        "n_layers": lambda s, f: s.with_(n_layers=max(1, int(s.n_layers * f))),
+    }
+    for dim, make in dimensions.items():
+        for factor in (1.0, 2.0, 4.0):
+            spec = make(measured_spec, factor) if factor != 1.0 else measured_spec
+            # n_layers scaling needs >1 layer to be visible.
+            if dim == "n_layers" and factor > 1.0:
+                spec = measured_spec.with_(n_layers=int(factor))
+            model = predict_sequential(spec)
+            row = {
+                "dimension": dim,
+                "factor": factor,
+                "model_seconds": model.total_seconds,
+            }
+            if measure:
+                result = measure_engine(spec, "sequential")
+                row["measured_seconds"] = result.wall_seconds
+            report.add(**row)
+    report.note(
+        "model_seconds scale exactly linearly per dimension (the paper's "
+        "§IV.A observation); measured_seconds track within benchmarking "
+        "noise and fixed overheads."
+    )
+    report.note(
+        f"paper sequential breakdown at full scale: "
+        f"{PAPER_SEQ_BREAKDOWN['total']} s total, "
+        f"{PAPER_SEQ_BREAKDOWN['loss_lookup']} s (66%) lookup, "
+        f"{PAPER_SEQ_BREAKDOWN['financial_and_layer']} s (31%) numeric."
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# FIG-1a: multicore cores sweep
+# ----------------------------------------------------------------------
+def fig1a(
+    measured_spec: WorkloadSpec = DEFAULT_MEASURED,
+    measure: bool = True,
+    core_counts: Sequence[int] = (1, 2, 4, 8),
+) -> ExperimentReport:
+    """Figure 1a: execution time vs number of CPU cores."""
+    report = ExperimentReport(
+        exp_id="FIG-1a", title="Multicore CPU: cores vs execution time"
+    )
+    seq_model = predict_sequential(PAPER).total_seconds
+    measured_base = None
+    for n in core_counts:
+        model = predict_multicore(PAPER, n_cores=n)
+        row = {
+            "n_cores": n,
+            "paper_speedup": PAPER_MULTICORE_SPEEDUPS.get(n),
+            "model_paper_seconds": model.total_seconds,
+            "model_speedup": seq_model / model.total_seconds,
+        }
+        if measure:
+            result = measure_engine(measured_spec, "multicore", n_cores=n)
+            if measured_base is None:
+                measured_base = result.wall_seconds
+            row["measured_seconds"] = result.wall_seconds
+            row["measured_speedup"] = measured_base / result.wall_seconds
+        report.add(**row)
+    report.note(
+        "shape: sub-linear speedup saturating by 8 cores (memory-bandwidth "
+        "bound random lookups) — paper: 1.5x/2.2x/2.6x at 2/4/8 cores."
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# FIG-1b: oversubscription sweep
+# ----------------------------------------------------------------------
+def fig1b(
+    measured_spec: WorkloadSpec = DEFAULT_MEASURED,
+    measure: bool = True,
+    threads_per_core: Sequence[int] = (1, 4, 16, 64, 256),
+    n_cores: int = 8,
+) -> ExperimentReport:
+    """Figure 1b: 8-core runtime vs threads per core."""
+    report = ExperimentReport(
+        exp_id="FIG-1b",
+        title="Multicore CPU: total threads vs execution time (8 cores)",
+    )
+    for t in threads_per_core:
+        model = predict_multicore_oversubscribed(
+            PAPER, threads_per_core=t, n_cores=n_cores
+        )
+        row = {
+            "threads_per_core": t,
+            "total_threads": n_cores * t,
+            "model_paper_seconds": model.total_seconds,
+        }
+        if measure:
+            result = measure_engine(
+                measured_spec, "multicore", n_cores=n_cores, threads_per_core=t
+            )
+            row["measured_seconds"] = result.wall_seconds
+        report.add(**row)
+    report.note(
+        f"paper endpoints: {PAPER_FIG1B['threads_per_core_1']} s at 1 "
+        f"thread/core -> {PAPER_FIG1B['threads_per_core_256']} s at 256 "
+        "(diminishing returns); the model reproduces the saturating drop."
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# FIG-2: GPU threads-per-block sweep (basic kernel)
+# ----------------------------------------------------------------------
+def fig2(
+    measured_spec: WorkloadSpec = DEFAULT_MEASURED,
+    measure: bool = True,
+    block_sizes: Sequence[int] = (128, 256, 384, 512, 640),
+) -> ExperimentReport:
+    """Figure 2: basic GPU kernel, threads per block vs time."""
+    report = ExperimentReport(
+        exp_id="FIG-2",
+        title="Basic GPU kernel: threads per block vs execution time",
+    )
+    for tpb in block_sizes:
+        model = predict_gpu_basic(PAPER, threads_per_block=tpb)
+        row = {
+            "threads_per_block": tpb,
+            "model_paper_seconds": model.total_seconds,
+            "occupancy": model.meta["occupancy"],
+        }
+        if measure:
+            result = measure_engine(
+                measured_spec, "gpu", threads_per_block=tpb
+            )
+            row["sim_modeled_seconds"] = result.modeled_seconds
+        report.add(**row)
+    report.note(
+        "shape: 128 threads/block measurably slower (under-occupied SMs); "
+        "best from 256 with flat/diminishing returns beyond — matches the "
+        "paper's reading of Figure 2."
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# FIG-3: multi-GPU scaling and efficiency
+# ----------------------------------------------------------------------
+def fig3(
+    measured_spec: WorkloadSpec = DEFAULT_MEASURED,
+    measure: bool = True,
+    device_counts: Sequence[int] = (1, 2, 3, 4),
+) -> ExperimentReport:
+    """Figures 3a/3b: execution time and efficiency vs number of GPUs."""
+    report = ExperimentReport(
+        exp_id="FIG-3", title="Multiple GPUs: time (3a) and efficiency (3b)"
+    )
+    curve = scaling_curve(PAPER, device_counts=list(device_counts))
+    measured_base = None
+    for row_model in curve:
+        n = int(row_model["n_gpus"])
+        row = {
+            "n_gpus": n,
+            "model_paper_seconds": row_model["seconds"],
+            "model_efficiency": row_model["efficiency"],
+        }
+        if measure:
+            result = measure_engine(measured_spec, "multi-gpu", n_devices=n)
+            if measured_base is None:
+                measured_base = result.modeled_seconds
+            row["sim_modeled_seconds"] = result.modeled_seconds
+            row["sim_efficiency"] = measured_base / (
+                n * result.modeled_seconds
+            )
+        report.add(**row)
+    report.note(
+        f"paper: 4.35 s on 4 GPUs, ~4x over one GPU, ~100% efficiency; "
+        f"model: {curve[-1]['seconds']:.2f} s, "
+        f"{curve[-1]['efficiency']*100:.1f}% efficiency."
+    )
+    report.note(
+        f"paper single-GPU (M2090) lookup time "
+        f"{PAPER_MULTIGPU['single_gpu_lookup_seconds']} s drops to "
+        f"{PAPER_MULTIGPU['lookup_seconds']} s on four."
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# FIG-4: multi-GPU threads-per-block sweep (optimised kernel)
+# ----------------------------------------------------------------------
+def fig4(
+    measured_spec: WorkloadSpec = DEFAULT_MEASURED,
+    measure: bool = True,
+    block_sizes: Sequence[int] = (16, 32, 48, 64, 96),
+) -> ExperimentReport:
+    """Figure 4: four GPUs, threads per block vs time (optimised kernel)."""
+    report = ExperimentReport(
+        exp_id="FIG-4",
+        title="Four GPUs, optimised kernel: threads per block vs time",
+    )
+    for tpb in block_sizes:
+        row = {"threads_per_block": tpb}
+        try:
+            model = predict_multi_gpu(PAPER, threads_per_block=tpb)
+            row["model_paper_seconds"] = model.total_seconds
+            row["blocks_per_sm"] = model.meta["blocks_per_sm"]
+            row["feasible"] = True
+        except ValueError:
+            row["model_paper_seconds"] = None
+            row["feasible"] = False
+        if measure and row["feasible"]:
+            result = measure_engine(
+                measured_spec, "multi-gpu", threads_per_block=tpb
+            )
+            row["sim_modeled_seconds"] = result.modeled_seconds
+        report.add(**row)
+    report.note(
+        "shape: best at 32 threads/block (the warp size: whole blocks swap "
+        "on latency stalls); 16 wastes warp lanes; >64 infeasible — shared "
+        "memory overflow, the paper's stated reason the sweep stops at 64."
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# FIG-5: the headline summary across all five implementations
+# ----------------------------------------------------------------------
+def fig5(
+    measured_spec: WorkloadSpec = DEFAULT_MEASURED, measure: bool = True
+) -> ExperimentReport:
+    """Figure 5: average total seconds for implementations (i)-(v)."""
+    report = ExperimentReport(
+        exp_id="FIG-5",
+        title="Total execution time of all five implementations",
+    )
+    predictions = predict_all(PAPER)
+    seq_paper = PAPER_FIG5_SECONDS["sequential"]
+    seq_model = predictions["sequential"].total_seconds
+    measured_wall_seq = None
+    for name, prediction in predictions.items():
+        row = {
+            "implementation": name,
+            "paper_seconds": PAPER_FIG5_SECONDS[name],
+            "paper_speedup": seq_paper / PAPER_FIG5_SECONDS[name],
+            "model_paper_seconds": prediction.total_seconds,
+            "model_speedup": seq_model / prediction.total_seconds,
+        }
+        if measure:
+            result = measure_engine(measured_spec, name)
+            if result.modeled_seconds is None:
+                # CPU engines: real wall seconds, comparable to each other.
+                row["measured_wall_seconds"] = result.wall_seconds
+                if name == "sequential":
+                    measured_wall_seq = result.wall_seconds
+                if measured_wall_seq:
+                    row["measured_wall_speedup"] = (
+                        measured_wall_seq / result.wall_seconds
+                    )
+            else:
+                # GPU engines: gpusim-modeled seconds of the executed
+                # simulated kernels (not comparable with wall seconds).
+                row["sim_modeled_seconds"] = result.modeled_seconds
+        report.add(**row)
+    report.note(
+        "paper headline: 77x multi-GPU over sequential CPU; model: "
+        f"{seq_model / predictions['multi-gpu'].total_seconds:.0f}x."
+    )
+    report.note(
+        "measured CPU rows are wall seconds in this container (thread "
+        "overheads dominate on tiny workloads — use --scale default/large "
+        "for representative multicore speedups); GPU rows report the "
+        "gpusim-modeled seconds of actually-executed simulated kernels."
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# FIG-6: per-activity breakdown
+# ----------------------------------------------------------------------
+def fig6(
+    measured_spec: WorkloadSpec = DEFAULT_MEASURED, measure: bool = True
+) -> ExperimentReport:
+    """Figure 6: percentage of time per activity per implementation."""
+    report = ExperimentReport(
+        exp_id="FIG-6",
+        title="Share of time per activity (fetch/lookup/financial/layer)",
+    )
+    for row_model in activity_breakdown_table(PAPER):
+        report.add(source="model-paper", **row_model)
+    if measure:
+        for name in ("sequential", "multicore", "gpu", "gpu-optimized", "multi-gpu"):
+            result = measure_engine(measured_spec, name)
+            fractions = result.profile.fractions()
+            row = {
+                "source": "measured",
+                "implementation": name,
+                "total": result.profile.total,
+            }
+            for activity in ACTIVITIES:
+                row[activity] = result.profile.seconds.get(activity, 0.0)
+                row[f"{activity}_pct"] = 100.0 * fractions.get(activity, 0.0)
+            report.add(**row)
+    report.note(
+        "paper landmarks: sequential lookup 222.61 s (~66%); multi-GPU "
+        f"lookup {PAPER_MULTIGPU['lookup_seconds']} s = "
+        f"{PAPER_MULTIGPU['lookup_fraction']*100:.2f}% of total; terms "
+        f"drop to {PAPER_MULTIGPU['terms_seconds']} s."
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# DS-TABLE: lookup data-structure trade-off (§III)
+# ----------------------------------------------------------------------
+def data_structures(
+    measured_spec: WorkloadSpec = DEFAULT_MEASURED,
+    measure: bool = True,
+    n_queries: int = 200_000,
+) -> ExperimentReport:
+    """Direct access table vs compact representations (memory & speed)."""
+    report = ExperimentReport(
+        exp_id="DS-TABLE",
+        title="ELT lookup structures: memory vs accesses vs throughput",
+    )
+    workload = get_workload(measured_spec)
+    layer = workload.portfolio.layers[0]
+    elts = workload.portfolio.elts_of(layer)
+    rng = default_rng(1234)
+    queries = rng.integers(
+        1, workload.catalog.n_events + 1, size=n_queries
+    ).astype(np.int64)
+
+    memory_rows = {
+        row["kind"]: row
+        for row in memory_report(elts, workload.catalog.n_events)
+    }
+    for kind in LOOKUP_KINDS:
+        row = {
+            "kind": kind,
+            "total_bytes": memory_rows[kind]["total_bytes"],
+            "accesses_per_lookup": memory_rows[kind]["accesses_per_lookup"],
+        }
+        if measure:
+            lookup = build_lookup(
+                elts[0], workload.catalog.n_events, kind=kind
+            )
+            started = time.perf_counter()
+            lookup.lookup(queries)
+            elapsed = time.perf_counter() - started
+            row["measured_ns_per_lookup"] = 1e9 * elapsed / n_queries
+        report.add(**row)
+    report.note(
+        "the paper's §III argument quantified: the direct table spends "
+        "the most memory and the fewest accesses; at paper scale its 15 "
+        "ELTs materialise 30M loss slots for 300K non-zero losses."
+    )
+    report.note(
+        "combined-table variant (the paper's second implementation) loses "
+        "because threads must stage row indices first — charged as shared-"
+        "memory coordination traffic in the GPU cost model."
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# OPT-ABLATE: the four GPU optimisations, cumulatively
+# ----------------------------------------------------------------------
+def opt_ablation(
+    measured_spec: WorkloadSpec = DEFAULT_MEASURED,
+    measure: bool = True,
+    chunk_events: int = 24,
+) -> ExperimentReport:
+    """Ablation of chunking / unrolling / float32 / registers."""
+    report = ExperimentReport(
+        exp_id="OPT-ABLATE",
+        title="GPU optimisation ablation (cumulative flags)",
+    )
+    stages = [
+        ("none", OptimizationFlags.none()),
+        ("chunking", OptimizationFlags(True, False, False, False)),
+        ("chunking+unroll", OptimizationFlags(True, True, False, False)),
+        ("chunking+unroll+float32", OptimizationFlags(True, True, True, False)),
+        ("all four", OptimizationFlags.all()),
+    ]
+    device = TESLA_C2075
+    for label, flags in stages:
+        word = 4 if flags.float32 else 8
+        if flags.chunking:
+            tpb = max_feasible_threads_per_block(
+                device.shared_mem_per_sm_bytes, chunk_events, word, flags
+            )
+        else:
+            tpb = 256
+        model = predict_gpu_optimized(
+            PAPER, threads_per_block=tpb, chunk_events=chunk_events, flags=flags
+        )
+        row = {
+            "flags": label,
+            "threads_per_block": tpb,
+            "model_paper_seconds": model.total_seconds,
+        }
+        if measure:
+            result = measure_engine(
+                measured_spec,
+                "gpu-optimized",
+                threads_per_block=tpb,
+                chunk_events=chunk_events,
+                flags=flags,
+            )
+            row["sim_modeled_seconds"] = result.modeled_seconds
+        report.add(**row)
+    basic = predict_gpu_basic(PAPER).total_seconds
+    all_on = report.rows[-1]["model_paper_seconds"]
+    report.note(
+        f"paper: optimisations take the GPU from 38.47 s to 20.63 s "
+        f"(~1.9x); model: {basic:.2f} s -> {all_on:.2f} s "
+        f"({basic / all_on:.2f}x), dominated by chunking — consistent with "
+        "the paper's remark that the GPU's numerical speed contributed "
+        "'surprisingly little'."
+    )
+    return report
+
+
+# ----------------------------------------------------------------------
+# EXT-SECONDARY: the future-work extension
+# ----------------------------------------------------------------------
+def ext_secondary(
+    measured_spec: WorkloadSpec = DEFAULT_MEASURED, measure: bool = True
+) -> ExperimentReport:
+    """Secondary uncertainty: distributional cost and statistical effect."""
+    from repro.core.secondary import SecondaryUncertainty, layer_trial_batch_secondary
+    from repro.core.vectorized import layer_trial_batch
+    from repro.lookup.factory import build_layer_lookups
+
+    report = ExperimentReport(
+        exp_id="EXT-SECONDARY",
+        title="Secondary uncertainty inside the kernel (paper future work)",
+    )
+    if measure:
+        workload = get_workload(measured_spec)
+        layer = workload.portfolio.layers[0]
+        lookups = build_layer_lookups(
+            workload.portfolio.elts_of(layer), workload.catalog.n_events
+        )
+        dense = workload.yet.to_dense()
+        started = time.perf_counter()
+        base = layer_trial_batch(dense, lookups, layer.terms)
+        base_seconds = time.perf_counter() - started
+        for cv_label, su in (
+            ("none", None),
+            ("beta(4,4)", SecondaryUncertainty(4.0, 4.0)),
+            ("beta(2,2)", SecondaryUncertainty(2.0, 2.0)),
+        ):
+            if su is None:
+                year = base
+                seconds = base_seconds
+            else:
+                started = time.perf_counter()
+                year = layer_trial_batch_secondary(
+                    dense, lookups, layer.terms, su, seed=42
+                )
+                seconds = time.perf_counter() - started
+            report.add(
+                uncertainty=cv_label,
+                multiplier_cv=0.0 if su is None else su.multiplier_cv,
+                measured_seconds=seconds,
+                mean_year_loss=float(np.mean(year)),
+                std_year_loss=float(np.std(year)),
+            )
+        report.note(
+            "per-(occurrence, ELT) damage-ratio sampling roughly doubles "
+            "kernel arithmetic; year-loss std shifts while the mean stays "
+            "within sampling error when layer terms are loose."
+        )
+    return report
+
+
+ALL_EXPERIMENTS = {
+    "SEQ-SCALE": seq_scaling,
+    "FIG-1a": fig1a,
+    "FIG-1b": fig1b,
+    "FIG-2": fig2,
+    "FIG-3": fig3,
+    "FIG-4": fig4,
+    "FIG-5": fig5,
+    "FIG-6": fig6,
+    "DS-TABLE": data_structures,
+    "OPT-ABLATE": opt_ablation,
+    "EXT-SECONDARY": ext_secondary,
+}
+"""Experiment id → generator function (the per-experiment index)."""

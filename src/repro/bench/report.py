@@ -1,0 +1,67 @@
+"""Plain-text rendering of experiment reports (terminal + EXPERIMENTS.md)."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from repro.bench.runner import ExperimentReport
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e6 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Dict[str, Any]], markdown: bool = False) -> str:
+    """Render dict-rows as an aligned text (or markdown) table."""
+    if not rows:
+        return "(no rows)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    rendered = [[_fmt(row.get(col)) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered))
+        for i, col in enumerate(columns)
+    ]
+    sep = " | " if markdown else "  "
+    lines = []
+    header = sep.join(col.ljust(w) for col, w in zip(columns, widths))
+    lines.append(f"| {header} |" if markdown else header)
+    if markdown:
+        lines.append(
+            "| " + " | ".join("-" * w for w in widths) + " |"
+        )
+    else:
+        lines.append("-" * len(header))
+    for row in rendered:
+        body = sep.join(cell.ljust(w) for cell, w in zip(row, widths))
+        lines.append(f"| {body} |" if markdown else body)
+    return "\n".join(lines)
+
+
+def format_report(report: ExperimentReport, markdown: bool = False) -> str:
+    """Render a full experiment report (title, table, notes)."""
+    heading = f"{report.exp_id}: {report.title}"
+    lines = [
+        f"## {heading}" if markdown else heading,
+        "" if markdown else "=" * len(heading),
+        format_table(report.rows, markdown=markdown),
+    ]
+    if report.notes:
+        lines.append("")
+        lines.extend(
+            f"> {note}" if markdown else f"note: {note}" for note in report.notes
+        )
+    return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""The paper's primary contribution: the aggregate risk analysis algorithm.
+
+* :mod:`repro.core.terms` — the financial/occurrence/aggregate term algebra
+  (steps 2–4 of Algorithm 1), scalar and vectorised.
+* :mod:`repro.core.algorithm` — a line-by-line scalar reference of
+  Algorithm 1, the correctness oracle for every engine.
+* :mod:`repro.core.vectorized` — the trial-batch kernel: the numerical
+  core all five implementations in :mod:`repro.engines` share.
+* :mod:`repro.core.analysis` — the high-level
+  :class:`~repro.core.analysis.AggregateRiskAnalysis` entry point.
+* :mod:`repro.core.secondary` — the paper's future-work extension:
+  secondary uncertainty (per-event loss distributions) inside the kernel.
+"""
+
+from repro.core.terms import (
+    apply_aggregate_terms_cumulative,
+    apply_occurrence_terms,
+    trial_loss_from_occurrence_losses,
+)
+from repro.core.algorithm import aggregate_risk_analysis_reference
+from repro.core.vectorized import (
+    layer_trial_batch,
+    run_vectorized,
+)
+from repro.core.analysis import AggregateRiskAnalysis, AnalysisResult
+from repro.core.secondary import SecondaryUncertainty, layer_trial_batch_secondary
+from repro.core.occurrence import max_occurrence_losses, occurrence_frequency
+
+__all__ = [
+    "max_occurrence_losses",
+    "occurrence_frequency",
+    "apply_aggregate_terms_cumulative",
+    "apply_occurrence_terms",
+    "trial_loss_from_occurrence_losses",
+    "aggregate_risk_analysis_reference",
+    "layer_trial_batch",
+    "run_vectorized",
+    "AggregateRiskAnalysis",
+    "AnalysisResult",
+    "SecondaryUncertainty",
+    "layer_trial_batch_secondary",
+]

@@ -1,0 +1,144 @@
+"""High-level public API: configure and run an aggregate risk analysis.
+
+Typical use::
+
+    from repro import AggregateRiskAnalysis, generate_workload, BENCH_SMALL
+
+    workload = generate_workload(BENCH_SMALL)
+    ara = AggregateRiskAnalysis(workload.portfolio, workload.catalog.n_events)
+    result = ara.run(workload.yet, engine="multicore")
+    result.ylt.expected_loss(layer_id=0)
+
+Engines are looked up by name in :mod:`repro.engines.registry`; the import
+is deferred so the core package has no import-time dependency on the
+engine implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.data.layer import Portfolio
+from repro.data.yet import YearEventTable
+from repro.data.ylt import YearLossTable
+from repro.utils.timer import ActivityProfile
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class AnalysisResult:
+    """Outcome of one analysis run.
+
+    Attributes
+    ----------
+    ylt:
+        The Year Loss Table (the simulation output).
+    profile:
+        Per-activity timing breakdown (Figure 6 categories).  For measured
+        engines these are wall-clock seconds; for simulated-GPU engines the
+        *modeled* device seconds.
+    engine:
+        Registry name of the engine that produced the result.
+    wall_seconds:
+        End-to-end host wall-clock time of the run.
+    modeled_seconds:
+        Device-time estimate from the GPU cost model (None for CPU
+        engines, whose time is measured directly).
+    meta:
+        Engine-specific details (thread counts, launch configuration,
+        occupancy, per-device splits, ...).
+    """
+
+    ylt: YearLossTable
+    profile: ActivityProfile
+    engine: str
+    wall_seconds: float
+    modeled_seconds: float | None = None
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def effective_seconds(self) -> float:
+        """Modeled seconds when available, else measured wall seconds.
+
+        This is the number comparable across the five implementations:
+        CPU engines are measured, simulated-GPU engines are modeled.
+        """
+        return (
+            self.modeled_seconds
+            if self.modeled_seconds is not None
+            else self.wall_seconds
+        )
+
+
+class AggregateRiskAnalysis:
+    """Configured analysis over one portfolio: the main entry point.
+
+    Parameters
+    ----------
+    portfolio:
+        Layers and their ELTs.
+    catalog_size:
+        Event-id address space (sizes the direct access tables).
+    lookup_kind:
+        ELT representation: ``"direct"`` (the paper's choice), ``"sorted"``,
+        ``"hash"`` or ``"cuckoo"``.
+    dtype:
+        Working precision; ``numpy.float32`` reproduces the paper's
+        reduced-precision optimisation.
+    """
+
+    def __init__(
+        self,
+        portfolio: Portfolio,
+        catalog_size: int,
+        lookup_kind: str = "direct",
+        dtype: np.dtype | type = np.float64,
+    ) -> None:
+        check_positive("catalog_size", catalog_size)
+        portfolio.validate()
+        self.portfolio = portfolio
+        self.catalog_size = int(catalog_size)
+        self.lookup_kind = lookup_kind
+        self.dtype = np.dtype(dtype)
+
+    def run(
+        self, yet: YearEventTable, engine: str = "sequential", **engine_options: Any
+    ) -> AnalysisResult:
+        """Run the analysis with the named engine.
+
+        ``engine`` is one of the registry names (see
+        :func:`repro.engines.registry.available_engines`):
+        ``"reference"``, ``"sequential"``, ``"multicore"``, ``"gpu"``,
+        ``"gpu-optimized"``, ``"multi-gpu"``.  Extra keyword arguments are
+        forwarded to the engine constructor (e.g. ``n_cores=8`` for
+        multicore, ``threads_per_block=256`` for GPU engines).
+        """
+        from repro.engines.registry import create_engine  # deferred import
+
+        engine_obj = create_engine(
+            engine,
+            lookup_kind=self.lookup_kind,
+            dtype=self.dtype,
+            **engine_options,
+        )
+        return engine_obj.run(yet, self.portfolio, self.catalog_size)
+
+    def run_all(
+        self, yet: YearEventTable, engines: tuple = (), **shared_options: Any
+    ) -> Dict[str, AnalysisResult]:
+        """Run several engines on the same inputs (Figure 5 style sweep)."""
+        from repro.engines.registry import available_engines
+
+        names = engines or tuple(
+            name for name in available_engines() if name != "reference"
+        )
+        return {name: self.run(yet, engine=name, **shared_options) for name in names}
+
+    def ylt_reference(self, yet: YearEventTable) -> YearLossTable:
+        """Oracle YLT from the line-by-line scalar reference (slow)."""
+        from repro.core.algorithm import aggregate_risk_analysis_reference
+
+        return aggregate_risk_analysis_reference(yet, self.portfolio)

@@ -1,0 +1,118 @@
+"""Per-occurrence statistics: the OEP companion to the YLT.
+
+The YLT answers *aggregate* questions (AEP curves, annual PML).  Per-risk
+pricing and occurrence-exceedance (OEP) curves instead need the largest
+single occurrence loss of each simulated year.  This module runs steps
+1–3 of Algorithm 1 (lookup, financial terms, occurrence terms — stopping
+before the aggregate accumulation) and reduces each trial with ``max``
+instead of the cumulative clamp.
+
+The result feeds :func:`repro.metrics.curves.oep_curve` directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core.terms import apply_occurrence_terms
+from repro.data.layer import Portfolio
+from repro.data.yet import YearEventTable
+from repro.data.ylt import YearLossTable
+from repro.lookup.factory import build_layer_lookups
+from repro.utils.timer import (
+    ACTIVITY_FETCH,
+    ACTIVITY_FINANCIAL,
+    ACTIVITY_LAYER,
+    ACTIVITY_LOOKUP,
+    ActivityProfile,
+)
+
+
+def max_occurrence_losses(
+    yet: YearEventTable,
+    portfolio: Portfolio,
+    catalog_size: int,
+    lookup_kind: str = "direct",
+    batch_trials: int | None = None,
+    profile: ActivityProfile | None = None,
+) -> YearLossTable:
+    """Largest occurrence-net event loss per (layer, trial).
+
+    Returns a :class:`~repro.data.ylt.YearLossTable`-shaped container
+    whose entries are *maximum single-occurrence* losses (net of
+    financial and occurrence terms) rather than aggregate year losses —
+    the input of an OEP curve.
+    """
+    profile = profile if profile is not None else ActivityProfile()
+    n_trials = yet.n_trials
+    batch = n_trials if batch_trials is None else max(1, int(batch_trials))
+
+    per_layer: Dict[int, np.ndarray] = {}
+    for layer in portfolio.layers:
+        with profile.track(ACTIVITY_FETCH):
+            lookups = build_layer_lookups(
+                portfolio.elts_of(layer),
+                catalog_size=catalog_size,
+                kind=lookup_kind,
+            )
+        out = np.empty(n_trials, dtype=np.float64)
+        for start in range(0, n_trials, batch):
+            stop = min(start + batch, n_trials)
+            chunk = yet.slice_trials(start, stop)
+            with profile.track(ACTIVITY_FETCH):
+                dense = chunk.to_dense()
+            combined = np.zeros(dense.shape, dtype=np.float64)
+            for lookup in lookups:
+                with profile.track(ACTIVITY_LOOKUP):
+                    gross = lookup.lookup(dense)
+                with profile.track(ACTIVITY_FINANCIAL):
+                    combined += lookup.terms.apply(gross)
+            with profile.track(ACTIVITY_LAYER):
+                occ = apply_occurrence_terms(
+                    combined, layer.terms, out=combined
+                )
+                # Empty trials (all padding) reduce to 0.0 — padding
+                # events carry zero loss, so a plain max is safe.
+                out[start:stop] = (
+                    occ.max(axis=1) if occ.shape[1] else 0.0
+                )
+        per_layer[layer.layer_id] = out
+    return YearLossTable.from_dict(per_layer)
+
+
+def occurrence_frequency(
+    yet: YearEventTable,
+    portfolio: Portfolio,
+    catalog_size: int,
+    threshold: float,
+    layer_id: int | None = None,
+    lookup_kind: str = "direct",
+) -> float:
+    """Expected occurrences per year with loss above ``threshold``.
+
+    The per-occurrence analogue of an exceedance probability: counts all
+    qualifying occurrences (not just the largest), divided by trials.
+    Used for reinstatement pricing, where the number of limit-consuming
+    events per year matters.
+    """
+    if threshold < 0:
+        raise ValueError(f"threshold must be non-negative, got {threshold}")
+    layers = (
+        portfolio.layers
+        if layer_id is None
+        else [portfolio.layer(layer_id)]
+    )
+    dense = yet.to_dense()
+    total = 0.0
+    for layer in layers:
+        lookups = build_layer_lookups(
+            portfolio.elts_of(layer), catalog_size=catalog_size, kind=lookup_kind
+        )
+        combined = np.zeros(dense.shape, dtype=np.float64)
+        for lookup in lookups:
+            combined += lookup.terms.apply(lookup.lookup(dense))
+        occ = apply_occurrence_terms(combined, layer.terms)
+        total += float((occ > threshold).sum())
+    return total / yet.n_trials

@@ -1,0 +1,122 @@
+"""Secondary uncertainty: the paper's future-work extension (Section VI).
+
+Primary uncertainty is *which* events occur (captured by the YET).
+Secondary uncertainty is the loss variability *given* an event: an ELT
+entry is then the mean of a distribution, not a point value.  The paper
+names incorporating it as future work; we implement the standard
+beta-distributed damage-ratio model used in catastrophe modelling:
+
+    actual loss = mean loss × B,   B ~ Beta(α, β) scaled to mean 1
+
+Each (event occurrence, ELT) pair draws an independent multiplier inside
+the kernel, which multiplies the lookup cost by a per-access RNG draw —
+exactly the "fine grain analysis" workload the paper anticipates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.terms import (
+    apply_aggregate_terms_cumulative,
+    apply_occurrence_terms,
+)
+from repro.data.layer import LayerTerms
+from repro.lookup.base import LossLookup
+from repro.utils.rng import SeedLike, default_rng
+from repro.utils.timer import (
+    ACTIVITY_FINANCIAL,
+    ACTIVITY_LAYER,
+    ACTIVITY_LOOKUP,
+    ActivityProfile,
+)
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class SecondaryUncertainty:
+    """Beta damage-ratio model of per-event loss variability.
+
+    The multiplier ``B`` is ``Beta(alpha, beta) * (alpha + beta) / alpha``,
+    i.e. a Beta variate rescaled to mean exactly 1 so expected losses are
+    unchanged (property-tested): only the *distribution* around the mean
+    widens.
+
+    Attributes
+    ----------
+    alpha, beta:
+        Beta shape parameters; larger values → tighter distribution.
+        ``alpha=beta → mean(raw Beta)=0.5``, rescaled to 1 with support
+        ``[0, 2]``.
+    """
+
+    alpha: float = 4.0
+    beta: float = 4.0
+
+    def __post_init__(self) -> None:
+        check_positive("alpha", self.alpha)
+        check_positive("beta", self.beta)
+
+    @property
+    def multiplier_mean(self) -> float:
+        """Mean of the rescaled multiplier (exactly 1 by construction)."""
+        return 1.0
+
+    @property
+    def multiplier_cv(self) -> float:
+        """Coefficient of variation of the rescaled multiplier."""
+        a, b = self.alpha, self.beta
+        raw_mean = a / (a + b)
+        raw_var = a * b / ((a + b) ** 2 * (a + b + 1))
+        return float(np.sqrt(raw_var) / raw_mean)
+
+    def sample_multipliers(
+        self, shape: tuple, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw multipliers of ``shape`` with mean 1."""
+        raw = rng.beta(self.alpha, self.beta, size=shape)
+        scale = (self.alpha + self.beta) / self.alpha
+        return raw * scale
+
+
+def layer_trial_batch_secondary(
+    event_matrix: np.ndarray,
+    lookups: Sequence[LossLookup],
+    layer_terms: LayerTerms,
+    uncertainty: SecondaryUncertainty,
+    seed: SeedLike = None,
+    profile: ActivityProfile | None = None,
+    dtype: np.dtype | type = np.float64,
+) -> np.ndarray:
+    """Steps 1–4 with per-(occurrence, ELT) secondary-uncertainty draws.
+
+    Identical to :func:`repro.core.vectorized.layer_trial_batch` except the
+    gross loss from each lookup is scaled by an independent damage-ratio
+    multiplier before financial terms apply.
+    """
+    profile = profile if profile is not None else ActivityProfile()
+    rng = default_rng(seed)
+    matrix = np.asarray(event_matrix)
+    if matrix.ndim != 2:
+        raise ValueError(f"event_matrix must be 2-D, got shape {matrix.shape}")
+    work_dtype = np.dtype(dtype)
+
+    combined = np.zeros(matrix.shape, dtype=work_dtype)
+    for lookup in lookups:
+        with profile.track(ACTIVITY_LOOKUP):
+            gross = lookup.lookup(matrix)
+        with profile.track(ACTIVITY_FINANCIAL):
+            multipliers = uncertainty.sample_multipliers(matrix.shape, rng)
+            # Null/padded events have zero gross loss, so scaling them is a
+            # no-op and no masking is needed.
+            net = lookup.terms.apply(gross * multipliers)
+            combined += net.astype(work_dtype, copy=False)
+
+    with profile.track(ACTIVITY_LAYER):
+        occ = apply_occurrence_terms(combined, layer_terms, out=combined)
+        totals = occ.sum(axis=1, dtype=np.float64)
+        year = apply_aggregate_terms_cumulative(totals, layer_terms)
+    return year

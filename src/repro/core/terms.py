@@ -1,0 +1,122 @@
+"""Term-application algebra: steps 2–4 of Algorithm 1.
+
+The paper's per-trial pipeline after losses are combined across ELTs:
+
+* **Occurrence terms** (lines 15–17): per event occurrence,
+  ``lox_d ← min(max(lox_d − T_OccR, 0), T_OccL)`` — each occurrence is
+  treated independently of every other.
+* **Cumulative sum** (lines 18–20): ``lox_d ← Σ_{i<=d} lox_i`` over the
+  trial's time-ordered events.
+* **Aggregate terms** (lines 21–23): the same retention/limit clamp
+  applied to the *cumulative* series.
+* **Backward difference and sum** (lines 24–29): ``lox_d ← lox_d −
+  lox_{d−1}`` then ``lr = Σ lox_d``.
+
+Lines 24–29 telescope: the sum of backward differences of a series is its
+final element, so the trial loss equals the clamped final cumulative sum.
+:func:`trial_loss_from_occurrence_losses` exploits that identity; the
+scalar reference executes the literal steps; property tests pin the two to
+each other.  (The per-event differenced series itself is still meaningful —
+it is the *incremental recovery* each occurrence adds once aggregate terms
+bind — and is exposed by :func:`aggregate_recovery_increments` because the
+paper's Algorithm 1 computes it explicitly.)
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.data.layer import LayerTerms
+
+
+def apply_occurrence_terms(
+    losses: np.ndarray, terms: LayerTerms, out: np.ndarray | None = None
+) -> np.ndarray:
+    """Lines 15–17: clamp each occurrence loss by retention/limit.
+
+    Works on any shape (engines pass ``(n_trials, n_events)`` blocks).
+    ``out`` enables in-place operation to avoid temporaries in hot loops.
+    """
+    arr = np.asarray(losses)
+    if out is None:
+        out = np.empty_like(arr)
+    np.subtract(arr, terms.occ_retention, out=out)
+    np.maximum(out, 0.0, out=out)
+    if math.isfinite(terms.occ_limit):
+        np.minimum(out, terms.occ_limit, out=out)
+    return out
+
+
+def apply_aggregate_terms_cumulative(
+    cumulative: np.ndarray, terms: LayerTerms, out: np.ndarray | None = None
+) -> np.ndarray:
+    """Lines 21–23: clamp a cumulative-loss series by aggregate terms."""
+    arr = np.asarray(cumulative)
+    if out is None:
+        out = np.empty_like(arr)
+    np.subtract(arr, terms.agg_retention, out=out)
+    np.maximum(out, 0.0, out=out)
+    if math.isfinite(terms.agg_limit):
+        np.minimum(out, terms.agg_limit, out=out)
+    return out
+
+
+def aggregate_recovery_increments(
+    occurrence_losses: np.ndarray, terms: LayerTerms
+) -> np.ndarray:
+    """Lines 18–26 on one trial: the per-event incremental recoveries.
+
+    Input is the trial's occurrence-net loss sequence (time order); output
+    is the differenced clamped cumulative series — how much each event adds
+    to the year loss after aggregate terms.  Non-negative, and sums to the
+    trial loss (the telescoping identity, property-tested).
+    """
+    seq = np.asarray(occurrence_losses, dtype=np.float64)
+    if seq.ndim != 1:
+        raise ValueError(f"expected one trial (1-D), got shape {seq.shape}")
+    cumulative = np.cumsum(seq)
+    clamped = apply_aggregate_terms_cumulative(cumulative, terms)
+    return np.diff(clamped, prepend=0.0)
+
+
+def trial_loss_from_occurrence_losses(
+    occurrence_losses: np.ndarray, terms: LayerTerms
+) -> np.ndarray:
+    """Steps 3+4 fused over a ``(n_trials, n_events)`` block.
+
+    Applies occurrence terms elementwise, then uses the telescoping
+    identity: the trial loss is the aggregate clamp of the trial's *total*
+    occurrence loss.  Returns a 1-D ``(n_trials,)`` year-loss vector.
+
+    The clamp is monotone, so the maximum of the clamped cumulative series
+    is attained at the final (total) value — no per-event cumulative sum is
+    needed, which is what makes the optimised engines' chunked running-sum
+    formulation (:mod:`repro.engines.gpu_optimized`) equivalent.
+    """
+    block = np.asarray(occurrence_losses)
+    if block.ndim == 1:
+        block = block.reshape(1, -1)
+    occ = apply_occurrence_terms(block, terms)
+    totals = occ.sum(axis=1)
+    return apply_aggregate_terms_cumulative(totals, terms)
+
+
+# ----------------------------------------------------------------------
+# Scalar versions used by the line-by-line reference implementation
+# ----------------------------------------------------------------------
+def occurrence_term_scalar(loss: float, terms: LayerTerms) -> float:
+    """Scalar line 16: ``min(max(l − T_OccR, 0), T_OccL)``."""
+    value = max(loss - terms.occ_retention, 0.0)
+    if math.isfinite(terms.occ_limit):
+        value = min(value, terms.occ_limit)
+    return value
+
+
+def aggregate_term_scalar(cumulative: float, terms: LayerTerms) -> float:
+    """Scalar line 22: ``min(max(c − T_AggR, 0), T_AggL)``."""
+    value = max(cumulative - terms.agg_retention, 0.0)
+    if math.isfinite(terms.agg_limit):
+        value = min(value, terms.agg_limit)
+    return value

@@ -1,0 +1,134 @@
+"""The vectorised trial-batch kernel — the shared numerical core.
+
+All five implementations in :mod:`repro.engines` perform the same four
+steps per (layer, trial); they differ in *where the data lives and how the
+work is scheduled*.  This module provides the step arithmetic on a dense
+``(n_trials, n_events)`` block so every engine computes identical numbers
+and only the orchestration (threading, chunking, simulated devices)
+differs — mirroring how the paper's C++/OpenMP/CUDA variants share one
+kernel body.
+
+Activities are charged to an :class:`~repro.utils.timer.ActivityProfile`
+with the paper's Figure 6 categories: event fetch, loss lookup, financial
+terms, layer terms.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.terms import (
+    apply_aggregate_terms_cumulative,
+    apply_occurrence_terms,
+)
+from repro.data.layer import LayerTerms, Portfolio
+from repro.data.yet import YearEventTable
+from repro.data.ylt import YearLossTable
+from repro.lookup.base import LossLookup
+from repro.lookup.factory import build_layer_lookups
+from repro.utils.timer import (
+    ACTIVITY_FETCH,
+    ACTIVITY_FINANCIAL,
+    ACTIVITY_LAYER,
+    ACTIVITY_LOOKUP,
+    ActivityProfile,
+)
+
+
+def layer_trial_batch(
+    event_matrix: np.ndarray,
+    lookups: Sequence[LossLookup],
+    layer_terms: LayerTerms,
+    profile: ActivityProfile | None = None,
+    dtype: np.dtype | type = np.float64,
+) -> np.ndarray:
+    """Steps 1–4 of Algorithm 1 over a dense trial block for one layer.
+
+    Parameters
+    ----------
+    event_matrix:
+        ``(n_trials, n_events)`` event-id block (0 = padding).
+    lookups:
+        One lookup structure per covered ELT; each carries its ELT's
+        financial terms.
+    layer_terms:
+        The layer's occurrence/aggregate XL terms.
+    profile:
+        Optional activity profile to charge wall-clock time against.
+    dtype:
+        Working precision of the accumulation (``float32`` reproduces the
+        paper's reduced-precision GPU optimisation).
+
+    Returns
+    -------
+    numpy.ndarray
+        1-D ``(n_trials,)`` year losses in ``float64``.
+    """
+    profile = profile if profile is not None else ActivityProfile()
+    matrix = np.asarray(event_matrix)
+    if matrix.ndim != 2:
+        raise ValueError(f"event_matrix must be 2-D, got shape {matrix.shape}")
+    work_dtype = np.dtype(dtype)
+
+    # Steps 1+2 (lines 4–14): per-occurrence losses, combined across ELTs.
+    combined = np.zeros(matrix.shape, dtype=work_dtype)
+    for lookup in lookups:
+        with profile.track(ACTIVITY_LOOKUP):
+            gross = lookup.lookup(matrix)
+        with profile.track(ACTIVITY_FINANCIAL):
+            net = lookup.terms.apply(gross)
+            combined += net.astype(work_dtype, copy=False)
+
+    # Steps 3+4 (lines 15–29): occurrence terms, cumulative aggregation.
+    with profile.track(ACTIVITY_LAYER):
+        occ = apply_occurrence_terms(combined, layer_terms, out=combined)
+        totals = occ.sum(axis=1, dtype=np.float64)
+        year = apply_aggregate_terms_cumulative(totals, layer_terms)
+    return year
+
+
+def run_vectorized(
+    yet: YearEventTable,
+    portfolio: Portfolio,
+    catalog_size: int,
+    lookup_kind: str = "direct",
+    dtype: np.dtype | type = np.float64,
+    batch_trials: int | None = None,
+    profile: ActivityProfile | None = None,
+) -> YearLossTable:
+    """Full analysis with the vectorised kernel, batched over trials.
+
+    ``batch_trials`` bounds peak memory: the dense event block and the
+    per-ELT gather results are ``batch x max_events`` arrays.  The default
+    (all trials in one batch) is fastest when it fits.
+    """
+    profile = profile if profile is not None else ActivityProfile()
+    n_trials = yet.n_trials
+    batch = n_trials if batch_trials is None else max(1, int(batch_trials))
+
+    per_layer: dict[int, np.ndarray] = {}
+    for layer in portfolio.layers:
+        with profile.track(ACTIVITY_FETCH):
+            lookups = build_layer_lookups(
+                portfolio.elts_of(layer),
+                catalog_size=catalog_size,
+                kind=lookup_kind,
+                dtype=dtype,
+            )
+        out = np.empty(n_trials, dtype=np.float64)
+        for start in range(0, n_trials, batch):
+            stop = min(start + batch, n_trials)
+            chunk = yet.slice_trials(start, stop)
+            with profile.track(ACTIVITY_FETCH):
+                dense = chunk.to_dense()
+            out[start:stop] = layer_trial_batch(
+                dense,
+                lookups,
+                layer.terms,
+                profile=profile,
+                dtype=dtype,
+            )
+        per_layer[layer.layer_id] = out
+    return YearLossTable.from_dict(per_layer)

@@ -1,0 +1,68 @@
+"""Data model for aggregate risk analysis.
+
+This subpackage implements the three inputs of the paper's Algorithm 1 and
+its output:
+
+* :class:`~repro.data.catalog.EventCatalog` — the global catalogue of
+  stochastic catastrophe events (the paper's examples use 2,000,000 events
+  across multiple perils).
+* :class:`~repro.data.yet.YearEventTable` (YET) — pre-simulated trials;
+  each trial is a time-ordered sequence of ``(event_id, timestamp)`` pairs.
+* :class:`~repro.data.elt.EventLossTable` (ELT) — losses per event for one
+  exposure set, with per-ELT financial terms.
+* :class:`~repro.data.layer.Layer` / :class:`~repro.data.layer.Portfolio` —
+  reinsurance contracts covering sets of ELTs under occurrence/aggregate
+  layer terms.
+* :class:`~repro.data.ylt.YearLossTable` (YLT) — one aggregate annual loss
+  per (layer, trial), the simulation output.
+
+Synthetic workload generators (:mod:`repro.data.generator`) build
+statistically plausible instances of all of the above at any scale,
+including the paper-scale preset in :mod:`repro.data.presets`.
+"""
+
+from repro.data.catalog import EventCatalog, PerilRegion
+from repro.data.elt import ELTFinancialTerms, EventLossTable
+from repro.data.layer import Layer, LayerTerms, Portfolio
+from repro.data.yet import YearEventTable
+from repro.data.ylt import YearLossTable
+from repro.data.generator import (
+    generate_catalog,
+    generate_elt,
+    generate_layer,
+    generate_portfolio,
+    generate_workload,
+    generate_yet,
+)
+from repro.data.presets import (
+    WorkloadSpec,
+    BENCH_SMALL,
+    BENCH_DEFAULT,
+    BENCH_LARGE,
+    PAPER,
+    scaled_paper_spec,
+)
+
+__all__ = [
+    "EventCatalog",
+    "PerilRegion",
+    "ELTFinancialTerms",
+    "EventLossTable",
+    "Layer",
+    "LayerTerms",
+    "Portfolio",
+    "YearEventTable",
+    "YearLossTable",
+    "generate_catalog",
+    "generate_elt",
+    "generate_layer",
+    "generate_portfolio",
+    "generate_workload",
+    "generate_yet",
+    "WorkloadSpec",
+    "BENCH_SMALL",
+    "BENCH_DEFAULT",
+    "BENCH_LARGE",
+    "PAPER",
+    "scaled_paper_spec",
+]

@@ -1,0 +1,190 @@
+"""Event catalogue: the universe of stochastic catastrophe events.
+
+The paper's direct-access-table argument hinges on the catalogue size: an
+ELT with ~20,000 non-zero losses is stored as a dense array over the whole
+2,000,000-event catalogue so a loss lookup costs exactly one memory access.
+The catalogue therefore defines the event-id address space shared by the
+YET and every ELT.
+
+Event ids are 1-based; id ``0`` is reserved as the "null event" used to pad
+rectangular YET views, and is guaranteed to have zero loss in every lookup
+structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+NULL_EVENT_ID = 0
+"""Reserved event id used for padding; always maps to zero loss."""
+
+
+@dataclass(frozen=True)
+class PerilRegion:
+    """A contiguous block of the catalogue belonging to one peril/region.
+
+    A real global catalogue mixes perils (hurricane, earthquake, flood...)
+    over regions; events of different perils have different occurrence
+    frequencies and loss severities.  The synthetic generators use these
+    blocks to give the YET and ELTs realistic non-uniform structure.
+
+    Attributes
+    ----------
+    name:
+        Human-readable peril/region label, e.g. ``"NA-hurricane"``.
+    first_event_id, last_event_id:
+        Inclusive 1-based id range ``[first_event_id, last_event_id]``.
+    annual_rate:
+        Expected number of occurrences of events from this block per trial
+        year (drives Poisson sampling in the YET generator).
+    severity_mu, severity_sigma:
+        Lognormal parameters of ground-up loss severity for this peril.
+    """
+
+    name: str
+    first_event_id: int
+    last_event_id: int
+    annual_rate: float
+    severity_mu: float = 15.0
+    severity_sigma: float = 1.8
+
+    def __post_init__(self) -> None:
+        if self.first_event_id < 1:
+            raise ValueError(
+                f"first_event_id must be >= 1 (0 is the null event), got "
+                f"{self.first_event_id}"
+            )
+        if self.last_event_id < self.first_event_id:
+            raise ValueError(
+                f"empty peril block: [{self.first_event_id}, {self.last_event_id}]"
+            )
+        check_positive("annual_rate", self.annual_rate)
+        check_positive("severity_sigma", self.severity_sigma)
+
+    @property
+    def n_events(self) -> int:
+        return self.last_event_id - self.first_event_id + 1
+
+    def contains(self, event_id: int) -> bool:
+        return self.first_event_id <= event_id <= self.last_event_id
+
+
+@dataclass(frozen=True)
+class EventCatalog:
+    """The global event catalogue: id space plus peril structure.
+
+    Attributes
+    ----------
+    n_events:
+        Catalogue size.  Valid event ids are ``1..n_events``; the dense
+        direct-access representation of an ELT allocates ``n_events + 1``
+        slots (slot 0 is the null event).
+    perils:
+        Disjoint :class:`PerilRegion` blocks covering ``1..n_events``.
+    """
+
+    n_events: int
+    perils: Tuple[PerilRegion, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        check_positive("n_events", self.n_events)
+        cursor = 1
+        for peril in self.perils:
+            if peril.first_event_id != cursor:
+                raise ValueError(
+                    f"peril blocks must tile 1..n_events contiguously; "
+                    f"expected block starting at {cursor}, got "
+                    f"{peril.name} starting at {peril.first_event_id}"
+                )
+            cursor = peril.last_event_id + 1
+        if self.perils and cursor != self.n_events + 1:
+            raise ValueError(
+                f"peril blocks cover 1..{cursor - 1} but catalogue has "
+                f"{self.n_events} events"
+            )
+
+    @classmethod
+    def uniform(cls, n_events: int, name: str = "all-perils",
+                annual_rate: float = 1000.0) -> "EventCatalog":
+        """A single-peril catalogue covering the whole id space."""
+        return cls(
+            n_events=n_events,
+            perils=(
+                PerilRegion(
+                    name=name,
+                    first_event_id=1,
+                    last_event_id=n_events,
+                    annual_rate=annual_rate,
+                ),
+            ),
+        )
+
+    @classmethod
+    def with_perils(
+        cls,
+        blocks: Sequence[Tuple[str, int, float]],
+        severity: Sequence[Tuple[float, float]] | None = None,
+    ) -> "EventCatalog":
+        """Build a catalogue from ``(name, n_events, annual_rate)`` blocks.
+
+        ``severity`` optionally supplies ``(mu, sigma)`` lognormal severity
+        parameters per block.
+        """
+        perils: List[PerilRegion] = []
+        cursor = 1
+        for i, (name, n_events, rate) in enumerate(blocks):
+            mu, sigma = (15.0, 1.8) if severity is None else severity[i]
+            perils.append(
+                PerilRegion(
+                    name=name,
+                    first_event_id=cursor,
+                    last_event_id=cursor + n_events - 1,
+                    annual_rate=rate,
+                    severity_mu=mu,
+                    severity_sigma=sigma,
+                )
+            )
+            cursor += n_events
+        return cls(n_events=cursor - 1, perils=tuple(perils))
+
+    @property
+    def total_annual_rate(self) -> float:
+        """Expected total event occurrences per trial year."""
+        return sum(p.annual_rate for p in self.perils)
+
+    @property
+    def n_perils(self) -> int:
+        return len(self.perils)
+
+    def peril_of(self, event_id: int) -> PerilRegion:
+        """Return the peril block containing ``event_id`` (binary search)."""
+        if not 1 <= event_id <= self.n_events:
+            raise KeyError(f"event id {event_id} outside catalogue 1..{self.n_events}")
+        if not self.perils:
+            raise KeyError("catalogue has no peril structure")
+        starts = [p.first_event_id for p in self.perils]
+        idx = int(np.searchsorted(starts, event_id, side="right")) - 1
+        return self.perils[idx]
+
+    def peril_weights(self) -> Dict[str, float]:
+        """Fraction of the total annual rate contributed by each peril."""
+        total = self.total_annual_rate
+        if total <= 0:
+            return {p.name: 0.0 for p in self.perils}
+        return {p.name: p.annual_rate / total for p in self.perils}
+
+    def validate_event_ids(self, event_ids: np.ndarray,
+                           allow_null: bool = False) -> None:
+        """Raise if any id falls outside the catalogue address space."""
+        ids = np.asarray(event_ids)
+        low = 0 if allow_null else 1
+        if ids.size and (ids.min() < low or ids.max() > self.n_events):
+            raise ValueError(
+                f"event ids must lie in [{low}, {self.n_events}]; got range "
+                f"[{ids.min()}, {ids.max()}]"
+            )

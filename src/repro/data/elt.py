@@ -1,0 +1,205 @@
+"""Event Loss Table (ELT) and its financial terms.
+
+An ELT maps event ids to ground-up losses for one exposure set.  The same
+event can appear in several ELTs with different losses (different exposure
+sets).  Each ELT carries metadata — currency exchange rate and financial
+terms applied *per event loss* before losses are accumulated across the
+ELTs of a layer (step two of Algorithm 1).
+
+The paper leaves the exact financial-term algebra abstract
+(``I = (I1, I2, ...)``).  We instantiate the standard per-risk terms used
+for loss sets in catastrophe reinsurance:
+
+``net = share * min(max(gross * fx - retention, 0), limit)``
+
+i.e. currency conversion, a per-event deductible (retention), a per-event
+cover (limit) and a participation share.  Setting
+``retention=0, limit=inf, share=1, fx=1`` makes the terms the identity,
+which tests rely on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+import numpy as np
+
+from repro.utils.validation import check_nonnegative, check_positive
+
+LOSS_DTYPE = np.float64
+
+
+@dataclass(frozen=True)
+class ELTFinancialTerms:
+    """Per-event-loss financial terms attached to one ELT.
+
+    Attributes
+    ----------
+    retention:
+        Deductible subtracted from each (currency-converted) event loss.
+    limit:
+        Maximum payout per event loss after retention (``inf`` = unlimited).
+    share:
+        Participation fraction applied after retention/limit, in ``(0, 1]``.
+    currency_rate:
+        Multiplicative exchange rate applied to the gross loss first.
+    """
+
+    retention: float = 0.0
+    limit: float = math.inf
+    share: float = 1.0
+    currency_rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_nonnegative("retention", self.retention)
+        check_nonnegative("limit", self.limit)
+        check_positive("share", self.share)
+        if self.share > 1.0:
+            raise ValueError(f"share must be in (0, 1], got {self.share}")
+        check_positive("currency_rate", self.currency_rate)
+
+    @property
+    def is_identity(self) -> bool:
+        """True if applying these terms never changes a loss."""
+        return (
+            self.retention == 0.0
+            and math.isinf(self.limit)
+            and self.share == 1.0
+            and self.currency_rate == 1.0
+        )
+
+    def apply(self, losses: np.ndarray) -> np.ndarray:
+        """Vectorised application: ``share*min(max(l*fx - ret, 0), lim)``."""
+        converted = np.asarray(losses, dtype=LOSS_DTYPE) * self.currency_rate
+        excess = np.maximum(converted - self.retention, 0.0)
+        if math.isfinite(self.limit):
+            excess = np.minimum(excess, self.limit)
+        return excess * self.share
+
+    def apply_scalar(self, loss: float) -> float:
+        """Scalar application, used by the line-by-line reference engine."""
+        converted = loss * self.currency_rate
+        excess = max(converted - self.retention, 0.0)
+        if math.isfinite(self.limit):
+            excess = min(excess, self.limit)
+        return excess * self.share
+
+    def as_tuple(self) -> tuple:
+        """The paper's ``I = (I1, I2, ...)`` tuple view of the terms."""
+        return (self.retention, self.limit, self.share, self.currency_rate)
+
+
+@dataclass
+class EventLossTable:
+    """Sparse event → loss mapping for one exposure set.
+
+    Attributes
+    ----------
+    elt_id:
+        Identifier unique within a portfolio.
+    event_ids:
+        1-D ``int32`` array of event ids with non-zero loss, strictly
+        increasing (sorted unique).
+    losses:
+        1-D ``float64`` array of ground-up losses, ``> 0``, aligned with
+        ``event_ids``.
+    terms:
+        Financial terms applied per event loss (step two of Algorithm 1).
+    """
+
+    elt_id: int
+    event_ids: np.ndarray
+    losses: np.ndarray
+    terms: ELTFinancialTerms = ELTFinancialTerms()
+
+    def __post_init__(self) -> None:
+        self.event_ids = np.ascontiguousarray(self.event_ids, dtype=np.int32)
+        self.losses = np.ascontiguousarray(self.losses, dtype=LOSS_DTYPE)
+        if self.event_ids.ndim != 1 or self.losses.ndim != 1:
+            raise ValueError("event_ids and losses must be 1-D")
+        if self.event_ids.shape != self.losses.shape:
+            raise ValueError(
+                f"event_ids/losses length mismatch: "
+                f"{self.event_ids.size} vs {self.losses.size}"
+            )
+        if self.event_ids.size:
+            if self.event_ids.min() < 1:
+                raise ValueError(
+                    "event ids must be >= 1 (0 is the reserved null event)"
+                )
+            if np.any(np.diff(self.event_ids) <= 0):
+                raise ValueError("event_ids must be strictly increasing")
+            if not np.all(np.isfinite(self.losses)):
+                raise ValueError("losses must be finite (no NaN/inf)")
+            if np.any(self.losses < 0):
+                raise ValueError("losses must be non-negative")
+
+    @classmethod
+    def from_dict(
+        cls,
+        elt_id: int,
+        mapping: Mapping[int, float],
+        terms: ELTFinancialTerms | None = None,
+    ) -> "EventLossTable":
+        """Build from an ``{event_id: loss}`` mapping (test convenience)."""
+        if mapping:
+            ids = np.array(sorted(mapping), dtype=np.int32)
+            losses = np.array([mapping[int(i)] for i in ids], dtype=LOSS_DTYPE)
+        else:
+            ids = np.empty(0, dtype=np.int32)
+            losses = np.empty(0, dtype=LOSS_DTYPE)
+        return cls(
+            elt_id=elt_id,
+            event_ids=ids,
+            losses=losses,
+            terms=terms or ELTFinancialTerms(),
+        )
+
+    @property
+    def n_losses(self) -> int:
+        """Number of events with a recorded (non-zero) loss."""
+        return int(self.event_ids.size)
+
+    @property
+    def max_event_id(self) -> int:
+        return int(self.event_ids[-1]) if self.n_losses else 0
+
+    def to_dict(self) -> Dict[int, float]:
+        """Plain-dict oracle view used by lookup-structure tests."""
+        return {
+            int(event_id): float(loss)
+            for event_id, loss in zip(self.event_ids, self.losses)
+        }
+
+    def loss_of(self, event_id: int) -> float:
+        """Ground-up loss for ``event_id`` (0.0 if absent), via bisection."""
+        idx = int(np.searchsorted(self.event_ids, event_id))
+        if idx < self.n_losses and int(self.event_ids[idx]) == int(event_id):
+            return float(self.losses[idx])
+        return 0.0
+
+    def net_losses(self) -> np.ndarray:
+        """All recorded losses with financial terms applied."""
+        return self.terms.apply(self.losses)
+
+    def density(self, catalog_size: int) -> float:
+        """Fraction of the catalogue with non-zero loss in this ELT.
+
+        The paper's example: 20,000 losses over a 2,000,000-event catalogue
+        → density 0.01, i.e. a direct access table is 99% zeros.
+        """
+        check_positive("catalog_size", catalog_size)
+        return self.n_losses / catalog_size
+
+    @property
+    def nbytes_sparse(self) -> int:
+        """Memory of the compact (sorted-pairs) representation in bytes."""
+        return int(self.event_ids.nbytes + self.losses.nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EventLossTable(elt_id={self.elt_id}, n_losses={self.n_losses}, "
+            f"terms={self.terms.as_tuple()})"
+        )

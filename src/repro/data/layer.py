@@ -1,0 +1,218 @@
+"""Layers (reinsurance contracts) and portfolios.
+
+A Layer is the unit of contract pricing in the paper: it covers a set of
+3–30 ELTs under *layer terms* ``T = (T_OccR, T_OccL, T_AggR, T_AggL)``:
+
+* **Occurrence retention / limit** apply independently to each combined
+  event loss in a trial (step three of Algorithm 1):
+  ``l ← min(max(l − T_OccR, 0), T_OccL)``.
+* **Aggregate retention / limit** apply to the running cumulative sum of
+  occurrence losses within the trial (step four), so the result depends on
+  the order of prior events — this is what makes the trial a sequence
+  rather than a bag of events.
+
+A Portfolio is a set of layers plus the shared pool of ELTs they cover.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.data.elt import EventLossTable
+from repro.utils.validation import check_nonnegative
+
+
+@dataclass(frozen=True)
+class LayerTerms:
+    """Occurrence and aggregate eXcess-of-Loss terms of one layer.
+
+    Attributes
+    ----------
+    occ_retention:
+        ``T_OccR`` — insured's deductible per individual event occurrence.
+    occ_limit:
+        ``T_OccL`` — insurer's maximum payout per occurrence in excess of
+        the retention (``inf`` = unlimited).
+    agg_retention:
+        ``T_AggR`` — deductible on the annual cumulative loss.
+    agg_limit:
+        ``T_AggL`` — maximum annual payout in excess of the aggregate
+        retention (``inf`` = unlimited).
+    """
+
+    occ_retention: float = 0.0
+    occ_limit: float = math.inf
+    agg_retention: float = 0.0
+    agg_limit: float = math.inf
+
+    def __post_init__(self) -> None:
+        check_nonnegative("occ_retention", self.occ_retention)
+        check_nonnegative("occ_limit", self.occ_limit)
+        check_nonnegative("agg_retention", self.agg_retention)
+        check_nonnegative("agg_limit", self.agg_limit)
+
+    @property
+    def is_identity(self) -> bool:
+        """True if the terms never change any loss sequence."""
+        return (
+            self.occ_retention == 0.0
+            and math.isinf(self.occ_limit)
+            and self.agg_retention == 0.0
+            and math.isinf(self.agg_limit)
+        )
+
+    def as_tuple(self) -> Tuple[float, float, float, float]:
+        """The paper's ``(T_OccR, T_OccL, T_AggR, T_AggL)`` tuple."""
+        return (
+            self.occ_retention,
+            self.occ_limit,
+            self.agg_retention,
+            self.agg_limit,
+        )
+
+    def max_annual_payout(self) -> float:
+        """Upper bound on the trial loss implied by the aggregate limit."""
+        return self.agg_limit
+
+
+@dataclass
+class Layer:
+    """One reinsurance contract: covered ELTs plus layer terms.
+
+    Attributes
+    ----------
+    layer_id:
+        Identifier unique within a portfolio.
+    elt_ids:
+        Ids of the covered ELTs (resolved against the portfolio's pool).
+        A typical layer covers 3–30 ELTs; the paper's benchmark uses 15.
+    terms:
+        The layer's occurrence/aggregate XL terms.
+    """
+
+    layer_id: int
+    elt_ids: Tuple[int, ...]
+    terms: LayerTerms = LayerTerms()
+
+    def __post_init__(self) -> None:
+        self.elt_ids = tuple(int(e) for e in self.elt_ids)
+        if len(self.elt_ids) == 0:
+            raise ValueError(f"layer {self.layer_id} must cover at least one ELT")
+        if len(set(self.elt_ids)) != len(self.elt_ids):
+            raise ValueError(
+                f"layer {self.layer_id} lists duplicate ELT ids: {self.elt_ids}"
+            )
+
+    @property
+    def n_elts(self) -> int:
+        return len(self.elt_ids)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Layer(layer_id={self.layer_id}, n_elts={self.n_elts}, "
+            f"terms={self.terms.as_tuple()})"
+        )
+
+
+@dataclass
+class Portfolio:
+    """A book of layers and the pool of ELTs they reference.
+
+    The portfolio owns the ELT objects; layers reference them by id so the
+    same ELT shared by several layers is stored (and, on a device, staged)
+    once.
+    """
+
+    elts: Dict[int, EventLossTable] = field(default_factory=dict)
+    layers: List[Layer] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_elt(self, elt: EventLossTable) -> None:
+        if elt.elt_id in self.elts:
+            raise ValueError(f"duplicate ELT id {elt.elt_id}")
+        self.elts[elt.elt_id] = elt
+
+    def add_layer(self, layer: Layer) -> None:
+        for elt_id in layer.elt_ids:
+            if elt_id not in self.elts:
+                raise KeyError(
+                    f"layer {layer.layer_id} references unknown ELT {elt_id}"
+                )
+        if any(existing.layer_id == layer.layer_id for existing in self.layers):
+            raise ValueError(f"duplicate layer id {layer.layer_id}")
+        self.layers.append(layer)
+
+    @classmethod
+    def single_layer(
+        cls, elts: Sequence[EventLossTable], terms: LayerTerms | None = None
+    ) -> "Portfolio":
+        """Portfolio with one layer covering all given ELTs.
+
+        This is the paper's benchmark configuration (1 layer, 15 ELTs).
+        """
+        portfolio = cls()
+        for elt in elts:
+            portfolio.add_elt(elt)
+        portfolio.add_layer(
+            Layer(
+                layer_id=0,
+                elt_ids=tuple(elt.elt_id for elt in elts),
+                terms=terms or LayerTerms(),
+            )
+        )
+        return portfolio
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def n_layers(self) -> int:
+        return len(self.layers)
+
+    @property
+    def n_elts(self) -> int:
+        return len(self.elts)
+
+    def layer(self, layer_id: int) -> Layer:
+        for layer in self.layers:
+            if layer.layer_id == layer_id:
+                return layer
+        raise KeyError(f"no layer with id {layer_id}")
+
+    def elts_of(self, layer: Layer) -> List[EventLossTable]:
+        """The ELT objects covered by ``layer``, in declaration order."""
+        return [self.elts[elt_id] for elt_id in layer.elt_ids]
+
+    def total_event_losses(self) -> int:
+        """Total non-zero loss records across the ELT pool."""
+        return sum(elt.n_losses for elt in self.elts.values())
+
+    def avg_elts_per_layer(self) -> float:
+        if not self.layers:
+            return 0.0
+        return sum(layer.n_elts for layer in self.layers) / len(self.layers)
+
+    def validate(self) -> None:
+        """Check referential integrity of layers against the ELT pool."""
+        for layer in self.layers:
+            for elt_id in layer.elt_ids:
+                if elt_id not in self.elts:
+                    raise KeyError(
+                        f"layer {layer.layer_id} references unknown ELT {elt_id}"
+                    )
+        seen_ids = [layer.layer_id for layer in self.layers]
+        if len(set(seen_ids)) != len(seen_ids):
+            raise ValueError(f"duplicate layer ids: {seen_ids}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Portfolio(n_layers={self.n_layers}, n_elts={self.n_elts}, "
+            f"total_event_losses={self.total_event_losses()})"
+        )

@@ -1,0 +1,163 @@
+"""Workload presets: the paper-scale problem and runnable scaled versions.
+
+``PAPER`` mirrors the benchmark of Section IV exactly in *shape*:
+1 layer covering 15 ELTs of 20,000 losses each over a 2,000,000-event
+catalogue, and a YET of 1,000,000 trials × 1,000 events — 15 billion ELT
+lookups.  That instance is generated lazily only by explicit request (its
+YET alone is ~8 GB); the analytic performance model consumes the *spec*,
+not the data.
+
+``BENCH_*`` presets keep the same shape ratios but shrink the trial count,
+events per trial and catalogue so the real engines run in milliseconds to
+seconds inside CI, as the Scientific-Python optimisation guide recommends
+(profiling runs of ~seconds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of one aggregate-risk-analysis problem instance.
+
+    Attributes mirror the paper's workload knobs (Section IV varies each
+    of: number of events in a trial, number of trials, average number of
+    ELTs per layer, number of layers).
+    """
+
+    name: str
+    catalog_size: int
+    n_trials: int
+    events_per_trial: int
+    n_elts: int  # informational: pool size implied by layers below
+    elts_per_layer: int
+    losses_per_elt: int
+    n_layers: int = 1
+    n_perils: int | None = None
+    fixed_event_count: bool = True
+    shared_elt_pool: bool = False
+    identity_terms: bool = False
+    seed: int = 20130812  # arXiv submission date of the paper
+
+    def __post_init__(self) -> None:
+        check_positive("catalog_size", self.catalog_size)
+        check_positive("n_trials", self.n_trials)
+        check_positive("events_per_trial", self.events_per_trial)
+        check_positive("elts_per_layer", self.elts_per_layer)
+        check_positive("losses_per_elt", self.losses_per_elt)
+        check_positive("n_layers", self.n_layers)
+        if self.losses_per_elt > self.catalog_size:
+            raise ValueError(
+                f"losses_per_elt ({self.losses_per_elt}) cannot exceed "
+                f"catalog_size ({self.catalog_size})"
+            )
+
+    @property
+    def n_occurrences(self) -> int:
+        """Expected total event occurrences in the YET."""
+        return self.n_trials * self.events_per_trial
+
+    @property
+    def n_lookups(self) -> int:
+        """Expected total ELT lookups per full analysis."""
+        return self.n_occurrences * self.elts_per_layer * self.n_layers
+
+    @property
+    def elt_density(self) -> float:
+        """Non-zero fraction of a direct access table for one ELT."""
+        return self.losses_per_elt / self.catalog_size
+
+    def with_(self, **changes) -> "WorkloadSpec":
+        """Return a modified copy (sweep helper for benchmarks)."""
+        return replace(self, **changes)
+
+    def direct_table_bytes(self, dtype_bytes: int = 8) -> int:
+        """Memory of the direct-access tables for one layer's ELTs.
+
+        The paper's example: 15 ELTs × 2,000,000 slots = 30,000,000
+        event-loss pairs in memory.
+        """
+        return (self.catalog_size + 1) * dtype_bytes * self.elts_per_layer
+
+
+# ----------------------------------------------------------------------
+# The paper's benchmark instance (Section IV): generate only on purpose.
+# ----------------------------------------------------------------------
+PAPER = WorkloadSpec(
+    name="paper",
+    catalog_size=2_000_000,
+    n_trials=1_000_000,
+    events_per_trial=1_000,
+    n_elts=15,
+    elts_per_layer=15,
+    losses_per_elt=20_000,
+    n_layers=1,
+)
+
+# Scaled presets preserving the paper's shape ratios.  BENCH_DEFAULT is the
+# measured-benchmark workhorse: ~30M lookups, seconds of Python runtime.
+BENCH_SMALL = WorkloadSpec(
+    name="bench-small",
+    catalog_size=20_000,
+    n_trials=2_000,
+    events_per_trial=50,
+    n_elts=5,
+    elts_per_layer=5,
+    losses_per_elt=500,
+    n_layers=1,
+)
+
+BENCH_DEFAULT = WorkloadSpec(
+    name="bench-default",
+    catalog_size=200_000,
+    n_trials=20_000,
+    events_per_trial=100,
+    n_elts=15,
+    elts_per_layer=15,
+    losses_per_elt=2_000,
+    n_layers=1,
+)
+
+BENCH_LARGE = WorkloadSpec(
+    name="bench-large",
+    catalog_size=500_000,
+    n_trials=100_000,
+    events_per_trial=200,
+    n_elts=15,
+    elts_per_layer=15,
+    losses_per_elt=5_000,
+    n_layers=1,
+)
+
+
+def scaled_paper_spec(
+    trial_fraction: float = 0.02,
+    event_fraction: float = 0.1,
+    catalog_fraction: float = 0.1,
+    name: str | None = None,
+) -> WorkloadSpec:
+    """A paper-shaped spec scaled down by the given fractions.
+
+    Keeps 15 ELTs per layer and ELT density (1%) fixed so that lookup
+    behaviour per occurrence matches the paper; only the volume shrinks.
+    """
+    if not 0 < trial_fraction <= 1:
+        raise ValueError(f"trial_fraction must be in (0, 1], got {trial_fraction}")
+    if not 0 < event_fraction <= 1:
+        raise ValueError(f"event_fraction must be in (0, 1], got {event_fraction}")
+    if not 0 < catalog_fraction <= 1:
+        raise ValueError(
+            f"catalog_fraction must be in (0, 1], got {catalog_fraction}"
+        )
+    catalog_size = max(1000, int(PAPER.catalog_size * catalog_fraction))
+    return PAPER.with_(
+        name=name or f"paper-scaled-{trial_fraction:g}",
+        n_trials=max(1, int(PAPER.n_trials * trial_fraction)),
+        events_per_trial=max(1, int(PAPER.events_per_trial * event_fraction)),
+        catalog_size=catalog_size,
+        losses_per_elt=max(1, int(catalog_size * PAPER.elt_density)),
+    )

@@ -1,0 +1,150 @@
+"""Year Loss Table (YLT): the output of aggregate risk analysis.
+
+One aggregate annual loss per (layer, trial).  All risk metrics in
+:mod:`repro.metrics` (PML/VaR, TVaR, exceedance curves) and the pricing
+workflows in :mod:`repro.pricing` are derived from YLTs, as in the paper's
+Section I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+LOSS_DTYPE = np.float64
+
+
+@dataclass
+class YearLossTable:
+    """Per-trial aggregate losses for each layer of a portfolio.
+
+    Attributes
+    ----------
+    layer_ids:
+        Tuple of layer ids, one per row of ``losses``.
+    losses:
+        2-D ``float64`` array of shape ``(n_layers, n_trials)``;
+        ``losses[i, t]`` is the year loss of layer ``layer_ids[i]`` in
+        trial ``t``.
+    """
+
+    layer_ids: tuple
+    losses: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.layer_ids = tuple(int(i) for i in self.layer_ids)
+        self.losses = np.ascontiguousarray(self.losses, dtype=LOSS_DTYPE)
+        if self.losses.ndim != 2:
+            raise ValueError(f"losses must be 2-D, got shape {self.losses.shape}")
+        if len(self.layer_ids) != self.losses.shape[0]:
+            raise ValueError(
+                f"{len(self.layer_ids)} layer ids but "
+                f"{self.losses.shape[0]} loss rows"
+            )
+        if len(set(self.layer_ids)) != len(self.layer_ids):
+            raise ValueError(f"duplicate layer ids: {self.layer_ids}")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def single_layer(
+        cls, trial_losses: np.ndarray, layer_id: int = 0
+    ) -> "YearLossTable":
+        """Wrap a 1-D per-trial loss vector as a one-layer YLT."""
+        arr = np.ascontiguousarray(trial_losses, dtype=LOSS_DTYPE)
+        if arr.ndim != 1:
+            raise ValueError(f"trial_losses must be 1-D, got shape {arr.shape}")
+        return cls(layer_ids=(layer_id,), losses=arr.reshape(1, -1))
+
+    @classmethod
+    def from_dict(cls, per_layer: Dict[int, np.ndarray]) -> "YearLossTable":
+        """Build from ``{layer_id: 1-D trial losses}`` (all same length)."""
+        if not per_layer:
+            raise ValueError("per_layer mapping must not be empty")
+        layer_ids = tuple(sorted(per_layer))
+        rows = [np.asarray(per_layer[i], dtype=LOSS_DTYPE) for i in layer_ids]
+        lengths = {row.size for row in rows}
+        if len(lengths) != 1:
+            raise ValueError(f"trial-count mismatch across layers: {lengths}")
+        return cls(layer_ids=layer_ids, losses=np.vstack(rows))
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def n_layers(self) -> int:
+        return self.losses.shape[0]
+
+    @property
+    def n_trials(self) -> int:
+        return self.losses.shape[1]
+
+    def layer_losses(self, layer_id: int) -> np.ndarray:
+        """1-D per-trial loss vector of one layer."""
+        try:
+            row = self.layer_ids.index(int(layer_id))
+        except ValueError:
+            raise KeyError(f"no layer {layer_id} in YLT {self.layer_ids}") from None
+        return self.losses[row]
+
+    def portfolio_losses(self) -> np.ndarray:
+        """Per-trial losses summed across layers (the portfolio view)."""
+        return self.losses.sum(axis=0)
+
+    def expected_loss(self, layer_id: int | None = None) -> float:
+        """Mean annual loss of one layer (or of the whole portfolio)."""
+        series = (
+            self.portfolio_losses()
+            if layer_id is None
+            else self.layer_losses(layer_id)
+        )
+        return float(series.mean()) if series.size else 0.0
+
+    def slice_trials(self, start: int, stop: int) -> "YearLossTable":
+        """YLT restricted to trials ``start:stop`` (for chunked engines)."""
+        if not 0 <= start <= stop <= self.n_trials:
+            raise IndexError(
+                f"invalid trial slice [{start}, {stop}) of {self.n_trials}"
+            )
+        return YearLossTable(
+            layer_ids=self.layer_ids, losses=self.losses[:, start:stop].copy()
+        )
+
+    @staticmethod
+    def concatenate(parts: Sequence["YearLossTable"]) -> "YearLossTable":
+        """Stitch trial-partitioned YLTs back together, in order.
+
+        Used by the multicore and multi-GPU engines to combine per-chunk
+        (per-device) results; all parts must agree on layer ids.
+        """
+        if not parts:
+            raise ValueError("cannot concatenate zero YLT parts")
+        layer_ids = parts[0].layer_ids
+        for part in parts[1:]:
+            if part.layer_ids != layer_ids:
+                raise ValueError(
+                    f"layer-id mismatch: {part.layer_ids} vs {layer_ids}"
+                )
+        return YearLossTable(
+            layer_ids=layer_ids,
+            losses=np.concatenate([part.losses for part in parts], axis=1),
+        )
+
+    def allclose(self, other: "YearLossTable", rtol: float = 1e-9,
+                 atol: float = 1e-9) -> bool:
+        """Elementwise comparison used by cross-engine equivalence tests."""
+        return (
+            self.layer_ids == other.layer_ids
+            and self.losses.shape == other.losses.shape
+            and bool(
+                np.allclose(self.losses, other.losses, rtol=rtol, atol=atol)
+            )
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"YearLossTable(n_layers={self.n_layers}, n_trials={self.n_trials})"
+        )

@@ -1,0 +1,87 @@
+"""Engine abstract base class and shared plumbing."""
+
+from __future__ import annotations
+
+import abc
+import time
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.core.analysis import AnalysisResult
+from repro.data.layer import Portfolio
+from repro.data.yet import YearEventTable
+from repro.data.ylt import YearLossTable
+from repro.utils.timer import ActivityProfile
+from repro.utils.validation import check_positive
+
+
+class Engine(abc.ABC):
+    """One implementation of aggregate risk analysis.
+
+    Subclasses implement :meth:`_execute`; :meth:`run` wraps it with input
+    validation and end-to-end wall timing, so every engine returns a
+    uniformly shaped :class:`~repro.core.analysis.AnalysisResult`.
+
+    Parameters
+    ----------
+    lookup_kind:
+        ELT representation (``"direct"`` is the paper's choice and the
+        default everywhere).
+    dtype:
+        Working precision of the loss accumulation.  The optimised GPU
+        engines override the default to ``float32`` (the paper's
+        reduced-precision optimisation) unless told otherwise.
+    """
+
+    #: registry name, overridden by subclasses
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        lookup_kind: str = "direct",
+        dtype: np.dtype | type = np.float64,
+    ) -> None:
+        self.lookup_kind = lookup_kind
+        self.dtype = np.dtype(dtype)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        yet: YearEventTable,
+        portfolio: Portfolio,
+        catalog_size: int,
+    ) -> AnalysisResult:
+        """Validate inputs, execute, and time the full run."""
+        check_positive("catalog_size", catalog_size)
+        portfolio.validate()
+        if yet.n_trials == 0:
+            raise ValueError("YET has no trials")
+        started = time.perf_counter()
+        ylt, profile, modeled_seconds, meta = self._execute(
+            yet, portfolio, int(catalog_size)
+        )
+        wall = time.perf_counter() - started
+        return AnalysisResult(
+            ylt=ylt,
+            profile=profile,
+            engine=self.name,
+            wall_seconds=wall,
+            modeled_seconds=modeled_seconds,
+            meta=meta,
+        )
+
+    @abc.abstractmethod
+    def _execute(
+        self,
+        yet: YearEventTable,
+        portfolio: Portfolio,
+        catalog_size: int,
+    ) -> tuple[YearLossTable, ActivityProfile, float | None, Dict[str, Any]]:
+        """Produce (ylt, activity profile, modeled seconds or None, meta)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(lookup_kind={self.lookup_kind!r}, "
+            f"dtype={self.dtype})"
+        )

@@ -1,0 +1,397 @@
+"""ARA kernels for the simulated GPU, shared by engines (iii)–(v).
+
+Two kernels mirror the paper's CUDA implementations:
+
+* :class:`ARABasicKernel` — implementation (iii): all intermediates
+  (per-event ``lx``/``lox`` arrays) live in global/local memory, so every
+  step of Algorithm 1 re-reads and re-writes them ("the basic parallel
+  implementation on the GPU requires high memory transactions").
+* :class:`ARAOptimizedKernel` — implementation (iv): the four
+  optimisations of Section III, individually toggleable for ablation:
+
+  - **chunking** — events are staged through shared memory in fixed-size
+    chunks and the term computations run on the staged chunk, removing
+    the intermediate global traffic and giving each thread ``chunk``
+    independent loads in flight (the ``mlp`` the cost model rewards);
+  - **loop unrolling** — fewer dynamic instructions per (event, ELT);
+  - **reduced precision** — ``float32`` tables and arithmetic;
+  - **registers** — per-thread accumulators move from shared memory into
+    the register file.
+
+Both kernels compute through the same NumPy step functions as the CPU
+engines, so their YLTs are exact (basic) or float32-accurate (optimised
+with reduced precision) relative to the scalar reference.
+
+Traffic accounting per (event, ELT) pair, basic kernel:
+one RANDOM lookup + four STRIDED intermediate accesses (write/read ``lx``,
+read/write ``lox``); plus nine STRIDED accesses per event for the
+occurrence/cumulative/aggregate steps; plus coalesced YET reads and YLT
+writes.  The optimised kernel keeps only the RANDOM lookups and coalesced
+streams, moving everything else on-chip — which is exactly why the paper
+measures it ~2x faster (38.47 s → 20.63 s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.core.terms import (
+    apply_aggregate_terms_cumulative,
+    apply_occurrence_terms,
+)
+from repro.data.layer import LayerTerms
+from repro.data.yet import YearEventTable
+from repro.gpusim.kernel import SimKernel
+from repro.gpusim.memory import DeviceCounters
+from repro.lookup.base import LossLookup
+from repro.utils.timer import (
+    ACTIVITY_FETCH,
+    ACTIVITY_FINANCIAL,
+    ACTIVITY_LAYER,
+    ACTIVITY_LOOKUP,
+    ACTIVITY_OTHER,
+    ActivityProfile,
+)
+
+# Dynamic instructions per (event, ELT) iteration of the inner loop.
+INSTR_PER_ITER_ROLLED = 8.0
+INSTR_PER_ITER_UNROLLED = 3.0
+
+# Register footprints (occupancy inputs) of the two kernels.
+BASIC_REGISTERS_PER_THREAD = 20
+OPTIMIZED_REGISTERS_PER_THREAD = 32
+
+# Floating-point ops per event for each phase (fx, sub, max, min, share;
+# accumulate; clamp pipelines).
+FLOPS_FINANCIAL_PER_LOOKUP = 5.0
+FLOPS_ACCUM_PER_LOOKUP = 1.0
+FLOPS_LAYER_PER_EVENT = 9.0
+
+
+@dataclass(frozen=True)
+class OptimizationFlags:
+    """Which of the paper's four GPU optimisations are active."""
+
+    chunking: bool = True
+    unroll: bool = True
+    float32: bool = True
+    registers: bool = True
+
+    @classmethod
+    def none(cls) -> "OptimizationFlags":
+        return cls(chunking=False, unroll=False, float32=False, registers=False)
+
+    @classmethod
+    def all(cls) -> "OptimizationFlags":
+        return cls()
+
+    def describe(self) -> str:
+        on = [
+            name
+            for name in ("chunking", "unroll", "float32", "registers")
+            if getattr(self, name)
+        ]
+        return "+".join(on) if on else "none"
+
+
+def optimized_shared_bytes_per_block(
+    threads_per_block: int,
+    chunk_events: int,
+    word_bytes: int,
+    flags: OptimizationFlags,
+) -> int:
+    """Shared-memory request of the optimised kernel per block.
+
+    Two staging buffers per thread (current chunk + prefetched next),
+    plus the accumulators when the register optimisation is off.  Shared
+    by the kernel class and the analytic performance model.
+    """
+    if not flags.chunking:
+        return 0
+    per_thread = chunk_events * word_bytes * 2
+    if not flags.registers:
+        per_thread += chunk_events * word_bytes
+    return threads_per_block * per_thread
+
+
+def optimized_mlp(flags: OptimizationFlags, chunk_events: int) -> float:
+    """Memory-level parallelism of the optimised kernel per thread."""
+    return float(chunk_events) if flags.chunking else 1.0
+
+
+def optimized_barrier_intensity(flags: OptimizationFlags) -> float:
+    """Barrier stall exposure (chunk staging synchronises per chunk)."""
+    return 0.12 if flags.chunking else 0.0
+
+
+def max_feasible_threads_per_block(
+    shared_mem_per_sm_bytes: int,
+    chunk_events: int,
+    word_bytes: int,
+    flags: OptimizationFlags,
+    warp_size: int = 32,
+    cap: int = 256,
+) -> int:
+    """Largest warp-multiple block size whose shared request fits one SM.
+
+    Used by ablation sweeps: configurations with bigger per-thread shared
+    footprints (float64, no register optimisation) must shrink the block
+    to stay launchable, exactly as a CUDA programmer would.
+    """
+    if cap < warp_size:
+        raise ValueError(f"cap {cap} below warp size {warp_size}")
+    best = 0
+    tpb = warp_size
+    while tpb <= cap:
+        if (
+            optimized_shared_bytes_per_block(tpb, chunk_events, word_bytes, flags)
+            <= shared_mem_per_sm_bytes
+        ):
+            best = tpb
+        tpb += warp_size
+    if best == 0:
+        raise ValueError(
+            f"no feasible block size: even {warp_size} threads need "
+            f"{optimized_shared_bytes_per_block(warp_size, chunk_events, word_bytes, flags)} "
+            f"B of shared memory (> {shared_mem_per_sm_bytes} B); reduce "
+            f"chunk_events"
+        )
+    return best
+
+
+def record_basic_traffic(
+    counters: DeviceCounters,
+    n_occ: float,
+    n_trials: float,
+    n_elts: int,
+    word: int,
+) -> None:
+    """Ledger entries of the basic kernel for ``n_occ`` occurrences.
+
+    Shared by :class:`ARABasicKernel` (per executed range) and the
+    analytic performance model (once, with workload totals), so the two
+    can never disagree about what the kernel does.
+    """
+    per_pair = float(n_occ) * n_elts
+    # Trial events streamed from the YET (4-byte ids, coalesced).
+    counters.global_coalesced(n_occ * 4, activity=ACTIVITY_FETCH)
+    # One direct-access-table read per (event, ELT): random, uncoalesced.
+    counters.global_random(per_pair, word, activity=ACTIVITY_LOOKUP)
+    # lx written then re-read; lox read-modify-written (lines 8-13), all
+    # in global/local memory in the basic implementation.
+    counters.global_strided(4.0 * per_pair, word, activity=ACTIVITY_FINANCIAL)
+    counters.flops(
+        (FLOPS_FINANCIAL_PER_LOOKUP + FLOPS_ACCUM_PER_LOOKUP) * per_pair,
+        word,
+        activity=ACTIVITY_FINANCIAL,
+    )
+    # Occurrence clamp, cumulative sum, aggregate clamp, difference and
+    # final sum (lines 15-29): ~9 strided accesses + 9 flops per event.
+    counters.global_strided(9.0 * n_occ, word, activity=ACTIVITY_LAYER)
+    counters.flops(FLOPS_LAYER_PER_EVENT * n_occ, word, activity=ACTIVITY_LAYER)
+    # Year loss written back, coalesced (one float64 per trial/thread).
+    counters.global_coalesced(n_trials * 8, activity=ACTIVITY_OTHER)
+    counters.instruction_count(INSTR_PER_ITER_ROLLED * per_pair)
+
+
+def record_optimized_traffic(
+    counters: DeviceCounters,
+    n_occ: float,
+    n_trials: float,
+    n_elts: int,
+    word: int,
+    flags: OptimizationFlags,
+    chunk_events: int,
+) -> None:
+    """Ledger entries of the optimised kernel (flag-dependent).
+
+    Shared by :class:`ARAOptimizedKernel` and the performance model.
+    """
+    per_pair = float(n_occ) * n_elts
+    counters.global_coalesced(n_occ * 4, activity=ACTIVITY_FETCH)
+    counters.global_random(per_pair, word, activity=ACTIVITY_LOOKUP)
+
+    if flags.chunking:
+        # Events staged into shared memory (1 write + n_elts reads per
+        # occurrence); term computations run on-chip.
+        counters.shared(n_occ * (1.0 + n_elts))
+        if not flags.registers:
+            # Accumulators in shared memory: read-modify-write per pair.
+            counters.shared(2.0 * per_pair)
+        # Financial and layer term constants come from constant memory
+        # (one broadcast read per chunk per term set).
+        n_chunks = max(1.0, n_occ / chunk_events)
+        counters.constant(n_chunks * (n_elts + 1))
+    else:
+        # Without chunking the intermediates stay in global memory,
+        # exactly like the basic kernel.
+        counters.global_strided(
+            4.0 * per_pair, word, activity=ACTIVITY_FINANCIAL
+        )
+        counters.global_strided(9.0 * n_occ, word, activity=ACTIVITY_LAYER)
+
+    counters.flops(
+        (FLOPS_FINANCIAL_PER_LOOKUP + FLOPS_ACCUM_PER_LOOKUP) * per_pair,
+        word,
+        activity=ACTIVITY_FINANCIAL,
+    )
+    counters.flops(FLOPS_LAYER_PER_EVENT * n_occ, word, activity=ACTIVITY_LAYER)
+    counters.global_coalesced(n_trials * 8, activity=ACTIVITY_OTHER)
+
+    instr = INSTR_PER_ITER_UNROLLED if flags.unroll else INSTR_PER_ITER_ROLLED
+    counters.instruction_count(instr * per_pair)
+
+
+class _ARAKernelBase(SimKernel):
+    """Shared functional body of both ARA kernels (one thread per trial)."""
+
+    def __init__(
+        self,
+        yet: YearEventTable,
+        lookups: Sequence[LossLookup],
+        layer_terms: LayerTerms,
+        out: np.ndarray,
+        dtype: np.dtype,
+    ) -> None:
+        if out.shape != (yet.n_trials,):
+            raise ValueError(
+                f"output array shape {out.shape} != ({yet.n_trials},)"
+            )
+        self.yet = yet
+        self.lookups = list(lookups)
+        self.layer_terms = layer_terms
+        self.out = out
+        self.dtype = np.dtype(dtype)
+
+    @property
+    def word_bytes(self) -> int:
+        return self.dtype.itemsize
+
+    def _compute_range(self, start: int, stop: int) -> tuple[np.ndarray, int]:
+        """Functional work for trials [start, stop): returns (year, n_occ)."""
+        chunk = self.yet.slice_trials(start, stop)
+        dense = chunk.to_dense()
+        combined = np.zeros(dense.shape, dtype=self.dtype)
+        for lookup in self.lookups:
+            gross = lookup.lookup(dense)
+            net = lookup.terms.apply(gross)
+            combined += net.astype(self.dtype, copy=False)
+        occ = apply_occurrence_terms(combined, self.layer_terms, out=combined)
+        totals = occ.sum(axis=1, dtype=np.float64)
+        year = apply_aggregate_terms_cumulative(totals, self.layer_terms)
+        self.out[start:stop] = year
+        return year, chunk.n_occurrences
+
+
+class ARABasicKernel(_ARAKernelBase):
+    """Implementation (iii): intermediates in global/local memory."""
+
+    name = "ara-basic"
+    registers_per_thread = BASIC_REGISTERS_PER_THREAD
+    mlp = 1.0
+    barrier_intensity = 0.0
+
+    def run_range(self, start: int, stop: int, counters: DeviceCounters) -> None:
+        _, n_occ = self._compute_range(start, stop)
+        record_basic_traffic(
+            counters,
+            n_occ=n_occ,
+            n_trials=stop - start,
+            n_elts=len(self.lookups),
+            word=self.word_bytes,
+        )
+
+
+class ARAOptimizedKernel(_ARAKernelBase):
+    """Implementation (iv): chunking + unrolling + float32 + registers."""
+
+    name = "ara-optimized"
+    registers_per_thread = OPTIMIZED_REGISTERS_PER_THREAD
+
+    def __init__(
+        self,
+        yet: YearEventTable,
+        lookups: Sequence[LossLookup],
+        layer_terms: LayerTerms,
+        out: np.ndarray,
+        dtype: np.dtype,
+        flags: OptimizationFlags,
+        chunk_events: int = 24,
+    ) -> None:
+        super().__init__(yet, lookups, layer_terms, out, dtype)
+        if chunk_events < 1:
+            raise ValueError(f"chunk_events must be >= 1, got {chunk_events}")
+        self.flags = flags
+        self.chunk_events = int(chunk_events)
+
+    # -- resource footprint ------------------------------------------------
+    @property
+    def mlp(self) -> float:  # type: ignore[override]
+        # Chunked prefetch keeps a whole chunk of independent loads in
+        # flight per thread; without chunking loads serialise behind the
+        # global intermediate updates.
+        return optimized_mlp(self.flags, self.chunk_events)
+
+    @property
+    def barrier_intensity(self) -> float:  # type: ignore[override]
+        # Chunk staging requires block-wide synchronisation per chunk.
+        return optimized_barrier_intensity(self.flags)
+
+    def shared_bytes_per_block(self, threads_per_block: int) -> int:
+        return optimized_shared_bytes_per_block(
+            threads_per_block, self.chunk_events, self.word_bytes, self.flags
+        )
+
+    # -- execution ----------------------------------------------------------
+    def run_range(self, start: int, stop: int, counters: DeviceCounters) -> None:
+        _, n_occ = self._compute_range(start, stop)
+        record_optimized_traffic(
+            counters,
+            n_occ=n_occ,
+            n_trials=stop - start,
+            n_elts=len(self.lookups),
+            word=self.word_bytes,
+            flags=self.flags,
+            chunk_events=self.chunk_events,
+        )
+
+
+def modeled_activity_profile(
+    counters: DeviceCounters, bandwidth_s: float, compute_s: float
+) -> ActivityProfile:
+    """Distribute modeled kernel seconds over the Figure 6 activities.
+
+    Bandwidth-bound seconds are split proportionally to each activity's
+    bytes moved; compute seconds proportionally to its flops.  This is the
+    modeled analogue of the measured per-activity wall profile.
+    """
+    profile = ActivityProfile()
+    total_bytes = sum(counters.activity_bytes.values())
+    if total_bytes > 0:
+        for activity, nbytes in counters.activity_bytes.items():
+            profile.charge(activity, bandwidth_s * nbytes / total_bytes)
+    total_flops = sum(counters.activity_flops.values())
+    if total_flops > 0:
+        for activity, flops in counters.activity_flops.items():
+            profile.charge(activity, compute_s * flops / total_flops)
+    return profile
+
+
+def merge_meta_occupancy(meta: Dict, result) -> Dict:
+    """Copy launch/occupancy details of a KernelResult into engine meta."""
+    occ = result.cost.occupancy
+    meta.update(
+        {
+            "threads_per_block": result.launch.threads_per_block,
+            "n_blocks": result.launch.n_blocks,
+            "blocks_per_sm": occ.blocks_per_sm,
+            "occupancy": occ.occupancy,
+            "limiting_resource": occ.limiting_resource,
+            "concurrency_factor": result.cost.concurrency_factor,
+            "memory_bound": result.cost.memory_bound,
+        }
+    )
+    return meta

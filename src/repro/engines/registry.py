@@ -1,0 +1,60 @@
+"""Engine registry: name → class, with keyword filtering.
+
+Engines accept different keyword options (``n_cores`` only makes sense
+for multicore, ``threads_per_block`` only for GPU engines...).  The
+registry filters the caller's keyword arguments down to each engine's
+constructor signature so high-level sweeps can pass a superset.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Dict, Tuple, Type
+
+from repro.engines.base import Engine
+from repro.engines.gpu_basic import GPUBasicEngine
+from repro.engines.gpu_optimized import GPUOptimizedEngine
+from repro.engines.multicore import MulticoreEngine
+from repro.engines.multigpu import MultiGPUEngine
+from repro.engines.sequential import ReferenceEngine, SequentialEngine
+
+_REGISTRY: Dict[str, Type[Engine]] = {
+    ReferenceEngine.name: ReferenceEngine,
+    SequentialEngine.name: SequentialEngine,
+    MulticoreEngine.name: MulticoreEngine,
+    GPUBasicEngine.name: GPUBasicEngine,
+    GPUOptimizedEngine.name: GPUOptimizedEngine,
+    MultiGPUEngine.name: MultiGPUEngine,
+}
+
+
+def available_engines() -> Tuple[str, ...]:
+    """Registry names in the paper's presentation order."""
+    return tuple(_REGISTRY)
+
+
+def engine_class(name: str) -> Type[Engine]:
+    """The engine class registered under ``name``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {name!r}; available: {available_engines()}"
+        ) from None
+
+
+def create_engine(name: str, **options: Any) -> Engine:
+    """Instantiate engine ``name``, keeping only options it understands.
+
+    Unknown names raise; options not in the engine's constructor are
+    silently dropped (so sweep code can pass one option superset to all
+    engines).
+    """
+    cls = engine_class(name)
+    signature = inspect.signature(cls.__init__)
+    accepted = {
+        key: value
+        for key, value in options.items()
+        if key in signature.parameters
+    }
+    return cls(**accepted)

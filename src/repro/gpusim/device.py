@@ -1,0 +1,144 @@
+"""Device specifications for the simulated GPUs.
+
+Numbers are taken from the paper's Section III hardware description and
+the public NVIDIA datasheets for the Fermi-generation Tesla C2075 and
+M2090.  (The paper describes the M2090 as "512 processor cores organised
+as 14 streaming multi-processors each with 32 symmetric multi-processors";
+512 cores at 32 cores/SM is 16 SMs — we follow the core count, which is
+what the datasheet confirms.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of one simulated GPU.
+
+    Attributes (Fermi-era semantics)
+    --------------------------------
+    name:
+        Marketing name, e.g. ``"Tesla C2075"``.
+    n_sms:
+        Number of streaming multiprocessors.
+    cores_per_sm:
+        CUDA cores per SM (32 on Fermi).
+    clock_ghz:
+        Core clock in GHz.
+    global_mem_bytes:
+        Usable global memory (the paper reports 5.375 GB with ECC on).
+    mem_bandwidth_gbs:
+        Peak global-memory bandwidth in GB/s.
+    shared_mem_per_sm_bytes:
+        Shared memory per SM (48 KB in the Fermi 48/16 configuration).
+    constant_mem_bytes:
+        Constant memory size (64 KB).
+    registers_per_sm:
+        32-bit registers per SM (32768 on Fermi).
+    max_threads_per_sm / max_blocks_per_sm / max_threads_per_block:
+        Occupancy limits (1536 / 8 / 1024 on Fermi).
+    warp_size:
+        Threads per warp (32).
+    peak_sp_gflops / peak_dp_gflops:
+        Peak single/double precision throughput in GFLOP/s.
+    global_latency_cycles / shared_latency_cycles / constant_latency_cycles:
+        Unloaded access latencies used by the latency-bound term of the
+        cost model.
+    pcie_bandwidth_gbs:
+        Host↔device transfer bandwidth (PCIe 2.0 x16 ≈ 6 GB/s effective).
+    transaction_bytes:
+        Global-memory transaction granularity (128-byte cache lines).
+    """
+
+    name: str
+    n_sms: int
+    cores_per_sm: int
+    clock_ghz: float
+    global_mem_bytes: int
+    mem_bandwidth_gbs: float
+    shared_mem_per_sm_bytes: int = 48 * 1024
+    constant_mem_bytes: int = 64 * 1024
+    registers_per_sm: int = 32768
+    max_threads_per_sm: int = 1536
+    max_blocks_per_sm: int = 8
+    max_threads_per_block: int = 1024
+    warp_size: int = 32
+    peak_sp_gflops: float = 1030.0
+    peak_dp_gflops: float = 515.0
+    global_latency_cycles: int = 600
+    shared_latency_cycles: int = 30
+    constant_latency_cycles: int = 8
+    pcie_bandwidth_gbs: float = 6.0
+    transaction_bytes: int = 128
+
+    def __post_init__(self) -> None:
+        check_positive("n_sms", self.n_sms)
+        check_positive("cores_per_sm", self.cores_per_sm)
+        check_positive("clock_ghz", self.clock_ghz)
+        check_positive("mem_bandwidth_gbs", self.mem_bandwidth_gbs)
+        check_positive("warp_size", self.warp_size)
+        if self.max_threads_per_block % self.warp_size != 0:
+            raise ValueError(
+                "max_threads_per_block must be a warp multiple, got "
+                f"{self.max_threads_per_block}"
+            )
+
+    @property
+    def n_cores(self) -> int:
+        return self.n_sms * self.cores_per_sm
+
+    @property
+    def max_warps_per_sm(self) -> int:
+        return self.max_threads_per_sm // self.warp_size
+
+    @property
+    def mem_bandwidth_bytes(self) -> float:
+        """Peak bandwidth in bytes/second."""
+        return self.mem_bandwidth_gbs * 1e9
+
+    @property
+    def pcie_bandwidth_bytes(self) -> float:
+        return self.pcie_bandwidth_gbs * 1e9
+
+    def peak_flops(self, dtype_bytes: int) -> float:
+        """Peak FLOP/s for the working precision (4 → SP, 8 → DP)."""
+        gflops = self.peak_sp_gflops if dtype_bytes <= 4 else self.peak_dp_gflops
+        return gflops * 1e9
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.name}: {self.n_cores} cores / {self.n_sms} SMs @ "
+            f"{self.clock_ghz} GHz, {self.mem_bandwidth_gbs} GB/s"
+        )
+
+
+# ----------------------------------------------------------------------
+# Presets used in the paper's experiments
+# ----------------------------------------------------------------------
+TESLA_C2075 = DeviceSpec(
+    name="Tesla C2075",
+    n_sms=14,
+    cores_per_sm=32,
+    clock_ghz=1.15,
+    global_mem_bytes=int(5.375 * 2**30),
+    mem_bandwidth_gbs=144.0,
+    peak_sp_gflops=1030.0,
+    peak_dp_gflops=515.0,
+)
+"""The paper's single-GPU platform (448 cores, 14 SMs, 144 GB/s)."""
+
+TESLA_M2090 = DeviceSpec(
+    name="Tesla M2090",
+    n_sms=16,
+    cores_per_sm=32,
+    clock_ghz=1.30,
+    global_mem_bytes=int(5.375 * 2**30),
+    mem_bandwidth_gbs=177.0,
+    peak_sp_gflops=1331.0,
+    peak_dp_gflops=665.0,
+)
+"""One GPU of the paper's four-GPU platform (512 cores, 177 GB/s)."""

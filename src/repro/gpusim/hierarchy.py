@@ -1,0 +1,99 @@
+"""Execution hierarchy: kernel launch configuration and block geometry.
+
+Mirrors the CUDA abstractions the paper works with: a kernel launch is a
+1-D grid of thread blocks; blocks are scheduled onto SMs; threads within a
+block are grouped into warps of 32 that issue in lockstep.  The paper's
+design point — one thread per trial — means grid geometry follows directly
+from the trial count and the threads-per-block choice (its worked example:
+1,000,000 trials / 256 threads ≈ 3906 blocks over 14 SMs ≈ 279 blocks per
+SM).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.gpusim.device import DeviceSpec
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class KernelLaunch:
+    """A validated 1-D kernel launch configuration.
+
+    Attributes
+    ----------
+    n_threads_total:
+        Logical threads requested (= trials to process; the paper uses one
+        thread per trial).
+    threads_per_block:
+        Block size.  Must not exceed the device maximum; values that are
+        not warp multiples are allowed (CUDA allows them) but waste lanes,
+        which the cost model charges for.
+    shared_bytes_per_block:
+        Dynamic shared memory requested per block.  A launch requesting
+        more than the per-SM shared memory fails, exactly like CUDA — this
+        is what truncates the paper's Figure 4 sweep beyond 64
+        threads/block.
+    registers_per_thread:
+        Register footprint of the kernel (affects occupancy).
+    """
+
+    n_threads_total: int
+    threads_per_block: int
+    shared_bytes_per_block: int = 0
+    registers_per_thread: int = 24
+
+    def __post_init__(self) -> None:
+        check_positive("n_threads_total", self.n_threads_total)
+        check_positive("threads_per_block", self.threads_per_block)
+        if self.shared_bytes_per_block < 0:
+            raise ValueError("shared_bytes_per_block must be non-negative")
+        check_positive("registers_per_thread", self.registers_per_thread)
+
+    @property
+    def n_blocks(self) -> int:
+        """Grid size: ceil(total threads / block size)."""
+        return math.ceil(self.n_threads_total / self.threads_per_block)
+
+    def warps_per_block(self, warp_size: int = 32) -> int:
+        """Warps per block (partial warps round up, as in hardware)."""
+        return math.ceil(self.threads_per_block / warp_size)
+
+    def lane_utilization(self, warp_size: int = 32) -> float:
+        """Fraction of warp lanes doing useful work.
+
+        A 16-thread block still occupies a full 32-lane warp, so half the
+        lanes idle — the reason the paper's Figure 4 finds 32 (the warp
+        size) optimal and 16 clearly worse.
+        """
+        warps = self.warps_per_block(warp_size)
+        return self.threads_per_block / (warps * warp_size)
+
+    def validate_against(self, device: DeviceSpec) -> None:
+        """Raise ``ValueError`` if this launch cannot start on ``device``.
+
+        Checks the same limits the CUDA runtime enforces at launch time:
+        block size and per-block shared memory.
+        """
+        if self.threads_per_block > device.max_threads_per_block:
+            raise ValueError(
+                f"threads_per_block {self.threads_per_block} exceeds device "
+                f"limit {device.max_threads_per_block}"
+            )
+        if self.shared_bytes_per_block > device.shared_mem_per_sm_bytes:
+            raise ValueError(
+                f"shared memory request {self.shared_bytes_per_block} B/block "
+                f"exceeds the SM's {device.shared_mem_per_sm_bytes} B "
+                f"(shared memory overflow)"
+            )
+
+    def blocks_per_sm_estimate(self, device: DeviceSpec) -> int:
+        """Average resident-block pressure per SM for the whole grid.
+
+        The paper's own worked example (3906 blocks / 14 SMs ≈ 279): how
+        many blocks each SM must execute over the kernel's lifetime, not
+        how many are resident at once (that is occupancy's job).
+        """
+        return math.ceil(self.n_blocks / device.n_sms)

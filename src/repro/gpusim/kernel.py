@@ -1,0 +1,198 @@
+"""Simulated GPU device: memory ledger, kernel launch and execution.
+
+A :class:`GPUDevice` owns a global-memory allocation ledger (so exceeding
+the Tesla's 5.375 GB fails — which is why engines stage the YET in chunks,
+like the real implementation must) and executes :class:`SimKernel` objects.
+
+Execution model
+---------------
+Kernels are written against logical *thread ranges*: the paper's design
+assigns one thread per trial, so a kernel processes trials
+``[start, stop)`` vectorised with NumPy while recording its memory traffic
+into a :class:`~repro.gpusim.memory.DeviceCounters` ledger.  Functional
+results are independent of the block geometry; the geometry (threads per
+block, shared memory per block, registers) feeds the occupancy and cost
+model, which turns the ledger into modeled device seconds.  This is the
+standard trade made by architecture simulators operating at transaction
+granularity: exact numerics, statistical timing.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.gpusim.costmodel import CostBreakdown, estimate_kernel_seconds
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.hierarchy import KernelLaunch
+from repro.gpusim.memory import DeviceCounters
+from repro.gpusim.occupancy import compute_occupancy
+from repro.gpusim.transfer import TransferModel
+
+
+class SimKernel(abc.ABC):
+    """A kernel runnable on :class:`GPUDevice`.
+
+    Subclasses implement :meth:`run_range` — the kernel body over a
+    contiguous range of logical threads — and declare the resource
+    footprint the cost model needs.
+    """
+
+    #: human-readable kernel name (reports / logs)
+    name: str = "kernel"
+
+    #: register footprint per thread (occupancy input)
+    registers_per_thread: int = 24
+
+    #: memory-level parallelism per thread: independent global loads in
+    #: flight (1 for naive loops, chunk length for prefetching kernels)
+    mlp: float = 1.0
+
+    #: block-barrier stall exposure (chunk-staging kernels synchronise
+    #: per chunk; 0 for barrier-free kernels) — see the cost model
+    barrier_intensity: float = 0.0
+
+    def shared_bytes_per_block(self, threads_per_block: int) -> int:
+        """Dynamic shared memory the kernel requests per block."""
+        return 0
+
+    @abc.abstractmethod
+    def run_range(
+        self, start: int, stop: int, counters: DeviceCounters
+    ) -> None:
+        """Execute logical threads ``[start, stop)``, recording traffic."""
+
+
+@dataclass
+class KernelResult:
+    """Everything one launch produced (besides the kernel's own outputs)."""
+
+    launch: KernelLaunch
+    counters: DeviceCounters
+    cost: CostBreakdown
+    functional_seconds: float
+
+    @property
+    def modeled_seconds(self) -> float:
+        """Modeled device time of the launch."""
+        return self.cost.total
+
+
+class GPUDevice:
+    """One simulated GPU: allocation ledger + kernel execution.
+
+    Parameters
+    ----------
+    spec:
+        Hardware description (see :mod:`repro.gpusim.device` presets).
+    device_id:
+        Ordinal used in logs and by :class:`~repro.gpusim.multi.MultiGPU`.
+    """
+
+    def __init__(self, spec: DeviceSpec, device_id: int = 0) -> None:
+        self.spec = spec
+        self.device_id = int(device_id)
+        self._allocations: Dict[str, int] = {}
+        self.transfers = TransferModel(device=spec)
+
+    # ------------------------------------------------------------------
+    # Global-memory ledger
+    # ------------------------------------------------------------------
+    @property
+    def mem_used(self) -> int:
+        return sum(self._allocations.values())
+
+    @property
+    def mem_free(self) -> int:
+        return self.spec.global_mem_bytes - self.mem_used
+
+    def alloc(self, name: str, nbytes: int) -> None:
+        """Reserve device global memory; raises ``MemoryError`` on OOM.
+
+        The paper-scale YET (1M trials × 1000 events × 8 B with
+        timestamps) does not fit a 5.375 GB Tesla — engines must stage
+        event ids only, or chunk trials; this ledger is what enforces it.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative allocation: {nbytes}")
+        if name in self._allocations:
+            raise ValueError(f"allocation {name!r} already exists")
+        if nbytes > self.mem_free:
+            raise MemoryError(
+                f"device {self.device_id} ({self.spec.name}): cannot allocate "
+                f"{nbytes / 2**30:.2f} GiB ({name!r}); "
+                f"{self.mem_free / 2**30:.2f} GiB free of "
+                f"{self.spec.global_mem_bytes / 2**30:.2f} GiB"
+            )
+        self._allocations[name] = int(nbytes)
+
+    def free(self, name: str) -> None:
+        if name not in self._allocations:
+            raise KeyError(f"no allocation named {name!r}")
+        del self._allocations[name]
+
+    def free_all(self) -> None:
+        self._allocations.clear()
+
+    # ------------------------------------------------------------------
+    # Launch
+    # ------------------------------------------------------------------
+    def launch(
+        self,
+        kernel: SimKernel,
+        n_threads_total: int,
+        threads_per_block: int,
+        batch_blocks: int = 256,
+    ) -> KernelResult:
+        """Validate, execute and price one kernel launch.
+
+        ``batch_blocks`` only controls how many blocks are handed to the
+        kernel per :meth:`SimKernel.run_range` call (functional batching
+        for NumPy efficiency); it does not affect results or modeled time.
+        """
+        launch = KernelLaunch(
+            n_threads_total=n_threads_total,
+            threads_per_block=threads_per_block,
+            shared_bytes_per_block=kernel.shared_bytes_per_block(
+                threads_per_block
+            ),
+            registers_per_thread=kernel.registers_per_thread,
+        )
+        launch.validate_against(self.spec)
+        occupancy = compute_occupancy(self.spec, launch)
+        if not occupancy.launchable:
+            raise ValueError(
+                f"kernel {kernel.name!r} with {threads_per_block} threads/"
+                f"block cannot become resident on {self.spec.name} "
+                f"(limited by {occupancy.limiting_resource})"
+            )
+
+        counters = DeviceCounters(device=self.spec)
+        threads_per_batch = threads_per_block * max(1, batch_blocks)
+        started = time.perf_counter()
+        for start in range(0, n_threads_total, threads_per_batch):
+            stop = min(start + threads_per_batch, n_threads_total)
+            kernel.run_range(start, stop, counters)
+        functional_seconds = time.perf_counter() - started
+
+        cost = estimate_kernel_seconds(
+            self.spec,
+            launch,
+            counters,
+            mlp=kernel.mlp,
+            barrier_intensity=kernel.barrier_intensity,
+        )
+        return KernelResult(
+            launch=launch,
+            counters=counters,
+            cost=cost,
+            functional_seconds=functional_seconds,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GPUDevice(id={self.device_id}, spec={self.spec.name!r}, "
+            f"mem_used={self.mem_used / 2**20:.1f} MiB)"
+        )

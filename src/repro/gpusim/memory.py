@@ -1,0 +1,182 @@
+"""Memory-traffic accounting for simulated kernels.
+
+Kernels running on :class:`~repro.gpusim.kernel.GPUDevice` record every
+class of memory access they perform into a :class:`DeviceCounters` ledger.
+The counters are *symbolic* — counts and bytes, not addresses — because the
+ARA kernels' access patterns are statically known per block (one random
+global read per (event, ELT) lookup, coalesced YET streams, shared-memory
+staging of chunks, ...).  The cost model then prices the ledger.
+
+Traffic classes
+---------------
+``RANDOM``
+    Uncoalesced global accesses: each lane's access lands in its own
+    128-byte transaction (the direct-access-table lookups — the paper's
+    dominant cost).
+``STRIDED``
+    Global accesses with partial locality (per-thread rows of intermediate
+    arrays in the *basic* kernel): charged an effective 32 bytes per
+    access, modelling L1/L2 reuse of the 128-byte line by neighbouring
+    accesses.
+``COALESCED``
+    Fully coalesced streams (reading the YET, writing the YLT): charged
+    exact bytes rounded up to whole transactions.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.gpusim.device import DeviceSpec
+
+
+class TrafficClass(enum.Enum):
+    """Coalescing classes of global-memory traffic."""
+
+    RANDOM = "random"
+    STRIDED = "strided"
+    COALESCED = "coalesced"
+
+
+#: Effective bytes moved per access for STRIDED traffic (128-byte line
+#: amortised over ~4 neighbouring accesses that hit it in cache).
+STRIDED_EFFECTIVE_BYTES = 32
+
+
+@dataclass
+class DeviceCounters:
+    """Ledger of everything a kernel did, priced later by the cost model.
+
+    All mutators are cheap arithmetic — recording is O(1) per *batch* of
+    accesses, so counting does not distort the functional timing.
+    """
+
+    device: DeviceSpec
+    #: bytes that actually cross the global-memory bus, per traffic class
+    global_bytes_moved: Dict[str, float] = field(
+        default_factory=lambda: {cls.value: 0.0 for cls in TrafficClass}
+    )
+    #: bytes the kernel asked for (useful payload)
+    global_bytes_useful: float = 0.0
+    #: number of global transactions (for the latency-bound term)
+    global_transactions: float = 0.0
+    #: shared-memory accesses (bank-conflict-weighted)
+    shared_accesses: float = 0.0
+    #: constant-memory reads (broadcast reads count once per warp)
+    constant_accesses: float = 0.0
+    #: single/double precision floating point operations
+    flops_sp: float = 0.0
+    flops_dp: float = 0.0
+    #: dynamic instruction count (loop overhead; unrolling reduces it)
+    instructions: float = 0.0
+    #: per-activity attribution of the bytes moved (Figure 6 support)
+    activity_bytes: Dict[str, float] = field(default_factory=dict)
+    #: per-activity attribution of flops
+    activity_flops: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Global memory
+    # ------------------------------------------------------------------
+    def global_random(
+        self, n_accesses: float, word_bytes: int, activity: str | None = None
+    ) -> None:
+        """Uncoalesced reads/writes: one full transaction per access."""
+        moved = n_accesses * self.device.transaction_bytes
+        self.global_bytes_moved[TrafficClass.RANDOM.value] += moved
+        self.global_bytes_useful += n_accesses * word_bytes
+        self.global_transactions += n_accesses
+        if activity:
+            self._charge_activity_bytes(activity, moved)
+
+    def global_strided(
+        self, n_accesses: float, word_bytes: int, activity: str | None = None
+    ) -> None:
+        """Partially local accesses: effective 32 bytes per access."""
+        moved = n_accesses * max(STRIDED_EFFECTIVE_BYTES, word_bytes)
+        self.global_bytes_moved[TrafficClass.STRIDED.value] += moved
+        self.global_bytes_useful += n_accesses * word_bytes
+        self.global_transactions += moved / self.device.transaction_bytes
+        if activity:
+            self._charge_activity_bytes(activity, moved)
+
+    def global_coalesced(self, total_bytes: float, activity: str | None = None) -> None:
+        """Fully coalesced streams: exact bytes, whole transactions."""
+        transactions = math.ceil(total_bytes / self.device.transaction_bytes)
+        moved = transactions * self.device.transaction_bytes
+        self.global_bytes_moved[TrafficClass.COALESCED.value] += moved
+        self.global_bytes_useful += total_bytes
+        self.global_transactions += transactions
+        if activity:
+            self._charge_activity_bytes(activity, moved)
+
+    # ------------------------------------------------------------------
+    # On-chip memories and compute
+    # ------------------------------------------------------------------
+    def shared(self, n_accesses: float, conflict_factor: float = 1.0) -> None:
+        """Shared-memory accesses, scaled by a bank-conflict factor >= 1."""
+        if conflict_factor < 1.0:
+            raise ValueError(f"conflict_factor must be >= 1, got {conflict_factor}")
+        self.shared_accesses += n_accesses * conflict_factor
+
+    def constant(self, n_warp_reads: float) -> None:
+        """Constant-memory reads (already warp-broadcast-collapsed)."""
+        self.constant_accesses += n_warp_reads
+
+    def flops(
+        self, n: float, dtype_bytes: int, activity: str | None = None
+    ) -> None:
+        """Floating-point operations in the working precision."""
+        if dtype_bytes <= 4:
+            self.flops_sp += n
+        else:
+            self.flops_dp += n
+        if activity:
+            self.activity_flops[activity] = (
+                self.activity_flops.get(activity, 0.0) + n
+            )
+
+    def instruction_count(self, n: float) -> None:
+        """Dynamic instructions (integer/control; unrolling reduces this)."""
+        self.instructions += n
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def _charge_activity_bytes(self, activity: str, moved: float) -> None:
+        self.activity_bytes[activity] = (
+            self.activity_bytes.get(activity, 0.0) + moved
+        )
+
+    @property
+    def total_global_bytes_moved(self) -> float:
+        return sum(self.global_bytes_moved.values())
+
+    @property
+    def bus_efficiency(self) -> float:
+        """Useful bytes over moved bytes (1.0 = perfectly coalesced)."""
+        moved = self.total_global_bytes_moved
+        return self.global_bytes_useful / moved if moved > 0 else 1.0
+
+    def merge(self, other: "DeviceCounters") -> None:
+        """Accumulate another ledger (per-block or per-launch merging)."""
+        if other.device.name != self.device.name:
+            raise ValueError(
+                f"cannot merge counters from {other.device.name} into "
+                f"{self.device.name}"
+            )
+        for key, value in other.global_bytes_moved.items():
+            self.global_bytes_moved[key] += value
+        self.global_bytes_useful += other.global_bytes_useful
+        self.global_transactions += other.global_transactions
+        self.shared_accesses += other.shared_accesses
+        self.constant_accesses += other.constant_accesses
+        self.flops_sp += other.flops_sp
+        self.flops_dp += other.flops_dp
+        self.instructions += other.instructions
+        for key, value in other.activity_bytes.items():
+            self.activity_bytes[key] = self.activity_bytes.get(key, 0.0) + value
+        for key, value in other.activity_flops.items():
+            self.activity_flops[key] = self.activity_flops.get(key, 0.0) + value

@@ -1,0 +1,87 @@
+"""Occupancy calculator: resident warps per SM under resource limits.
+
+Implements the standard CUDA occupancy computation for Fermi-class
+devices: the number of blocks resident on one SM is limited by
+
+* the hardware block slots (8 per SM),
+* the thread budget (1536 threads per SM),
+* the shared-memory budget (48 KB per SM), and
+* the register file (32768 registers per SM).
+
+Occupancy — resident warps over the 48-warp maximum — is the knob behind
+the paper's Figure 2 (threads/block sweep on one GPU) and Figure 4
+(threads/block sweep of the shared-memory-hungry optimised kernel, where
+the shared budget collapses residency and blocks beyond 64 threads cannot
+launch at all).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.hierarchy import KernelLaunch
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Outcome of the occupancy computation for one launch.
+
+    Attributes
+    ----------
+    blocks_per_sm:
+        Blocks resident simultaneously on one SM.
+    active_warps_per_sm:
+        Resident warps per SM (blocks × warps/block).
+    occupancy:
+        ``active_warps_per_sm / device.max_warps_per_sm`` in [0, 1].
+    limiting_resource:
+        Which limit bound residency: ``"blocks"``, ``"threads"``,
+        ``"shared"`` or ``"registers"``.
+    """
+
+    blocks_per_sm: int
+    active_warps_per_sm: int
+    occupancy: float
+    limiting_resource: str
+
+    @property
+    def launchable(self) -> bool:
+        """False when not even one block fits on an SM."""
+        return self.blocks_per_sm >= 1
+
+
+def compute_occupancy(device: DeviceSpec, launch: KernelLaunch) -> OccupancyResult:
+    """Resident blocks/warps per SM for ``launch`` on ``device``.
+
+    Returns a result with ``blocks_per_sm == 0`` (not an exception) when
+    the block cannot fit, so sweeps can report "infeasible" points; use
+    :meth:`KernelLaunch.validate_against` for launch-time errors.
+    """
+    warps_per_block = launch.warps_per_block(device.warp_size)
+    # Threads are allocated warp-granular on Fermi.
+    threads_per_block_hw = warps_per_block * device.warp_size
+
+    limits = {
+        "blocks": device.max_blocks_per_sm,
+        "threads": device.max_threads_per_sm // threads_per_block_hw
+        if threads_per_block_hw
+        else 0,
+    }
+    if launch.shared_bytes_per_block > 0:
+        limits["shared"] = (
+            device.shared_mem_per_sm_bytes // launch.shared_bytes_per_block
+        )
+    regs_per_block = launch.registers_per_thread * threads_per_block_hw
+    if regs_per_block > 0:
+        limits["registers"] = device.registers_per_sm // regs_per_block
+
+    limiting = min(limits, key=lambda k: limits[k])
+    blocks = max(0, int(limits[limiting]))
+    warps = blocks * warps_per_block
+    return OccupancyResult(
+        blocks_per_sm=blocks,
+        active_warps_per_sm=warps,
+        occupancy=warps / device.max_warps_per_sm,
+        limiting_resource=limiting,
+    )

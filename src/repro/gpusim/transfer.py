@@ -1,0 +1,57 @@
+"""Host ↔ device transfer model (PCIe staging).
+
+The engines stage the direct access tables and YET chunks to the device
+and copy the YLT back; the paper's multi-GPU implementation passes "all
+the inputs required by the kernel and the pre-allocated arrays for storing
+the outputs" to each GPU's managing CPU thread.  Transfers are priced as
+``latency + bytes / bandwidth`` per operation, the standard PCIe model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpusim.device import DeviceSpec
+
+#: Fixed software+DMA setup latency per transfer, seconds.
+TRANSFER_LATENCY_S = 15e-6
+
+
+@dataclass
+class TransferModel:
+    """Accumulates host↔device transfer time for one device context."""
+
+    device: DeviceSpec
+    h2d_bytes: float = 0.0
+    d2h_bytes: float = 0.0
+    n_transfers: int = 0
+    log: list = field(default_factory=list)
+
+    def h2d(self, nbytes: float, label: str = "") -> float:
+        """Record a host→device copy; returns its modeled seconds."""
+        seconds = self._price(nbytes)
+        self.h2d_bytes += nbytes
+        self.n_transfers += 1
+        self.log.append(("h2d", label, nbytes, seconds))
+        return seconds
+
+    def d2h(self, nbytes: float, label: str = "") -> float:
+        """Record a device→host copy; returns its modeled seconds."""
+        seconds = self._price(nbytes)
+        self.d2h_bytes += nbytes
+        self.n_transfers += 1
+        self.log.append(("d2h", label, nbytes, seconds))
+        return seconds
+
+    def _price(self, nbytes: float) -> float:
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        return TRANSFER_LATENCY_S + nbytes / self.device.pcie_bandwidth_bytes
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(entry[3] for entry in self.log)
+
+    @property
+    def total_bytes(self) -> float:
+        return self.h2d_bytes + self.d2h_bytes

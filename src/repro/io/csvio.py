@@ -1,0 +1,79 @@
+"""CSV import/export — the interchange format of actuarial tooling.
+
+ELT CSVs use the two-column ``event_id,loss`` layout cat-model vendors
+export; YLT CSVs are ``trial,<layer columns>`` for spreadsheet analysis.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.data.elt import ELTFinancialTerms, EventLossTable
+from repro.data.ylt import YearLossTable
+
+PathLike = Union[str, Path]
+
+
+def elt_to_csv(elt: EventLossTable, path: PathLike) -> None:
+    """Write ``event_id,loss`` rows (header included)."""
+    with open(Path(path), "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["event_id", "loss"])
+        for event_id, loss in zip(elt.event_ids, elt.losses):
+            writer.writerow([int(event_id), repr(float(loss))])
+
+
+def elt_from_csv(
+    path: PathLike,
+    elt_id: int,
+    terms: ELTFinancialTerms | None = None,
+) -> EventLossTable:
+    """Read an ``event_id,loss`` CSV into an ELT.
+
+    Rows are sorted and validated by the ELT constructor; duplicate event
+    ids raise there.
+    """
+    ids = []
+    losses = []
+    with open(Path(path), newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or [h.strip().lower() for h in header[:2]] != [
+            "event_id",
+            "loss",
+        ]:
+            raise ValueError(
+                f"{path}: expected header 'event_id,loss', got {header}"
+            )
+        for lineno, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            try:
+                ids.append(int(row[0]))
+                losses.append(float(row[1]))
+            except (IndexError, ValueError) as exc:
+                raise ValueError(f"{path}:{lineno}: bad row {row!r}") from exc
+    order = np.argsort(np.asarray(ids))
+    return EventLossTable(
+        elt_id=elt_id,
+        event_ids=np.asarray(ids, dtype=np.int32)[order],
+        losses=np.asarray(losses, dtype=np.float64)[order],
+        terms=terms or ELTFinancialTerms(),
+    )
+
+
+def ylt_to_csv(ylt: YearLossTable, path: PathLike) -> None:
+    """Write ``trial,layer_<id>...`` rows for spreadsheet consumption."""
+    with open(Path(path), "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["trial"] + [f"layer_{layer_id}" for layer_id in ylt.layer_ids]
+        )
+        for trial in range(ylt.n_trials):
+            writer.writerow(
+                [trial] + [repr(float(x)) for x in ylt.losses[:, trial]]
+            )

@@ -1,0 +1,71 @@
+"""Memory-footprint estimation for analysis inputs.
+
+Quantifies the Section III trade-off before anything is allocated: a
+direct access table costs ``(catalogue + 1) x word`` bytes *per ELT*
+regardless of how sparse the ELT is (the paper's example: 15 ELTs over a
+2M-event catalogue materialise 30M loss slots), while compact forms cost
+``~12-24 bytes x n_losses``.  Used by examples and the capacity checks in
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.presets import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class MemoryEstimate:
+    """Bytes required by each component of a workload."""
+
+    yet_bytes: int
+    direct_tables_bytes: int
+    compact_tables_bytes: int
+    ylt_bytes: int
+
+    @property
+    def total_direct(self) -> int:
+        """Total with direct access tables (the paper's configuration)."""
+        return self.yet_bytes + self.direct_tables_bytes + self.ylt_bytes
+
+    @property
+    def total_compact(self) -> int:
+        """Total with compact (sorted-pairs) ELT representations."""
+        return self.yet_bytes + self.compact_tables_bytes + self.ylt_bytes
+
+    @property
+    def direct_overhead_factor(self) -> float:
+        """How much more memory direct tables use than compact ones."""
+        if self.compact_tables_bytes == 0:
+            return float("inf")
+        return self.direct_tables_bytes / self.compact_tables_bytes
+
+    def fits(self, budget_bytes: int, direct: bool = True) -> bool:
+        """Whether the workload fits a memory budget (e.g. GPU global)."""
+        total = self.total_direct if direct else self.total_compact
+        return total <= budget_bytes
+
+
+def estimate_workload_memory(
+    spec: WorkloadSpec,
+    loss_word_bytes: int = 8,
+    include_timestamps: bool = False,
+) -> MemoryEstimate:
+    """Estimate component memory for a workload spec.
+
+    ``include_timestamps=False`` matches what engines stage to a device
+    (event order suffices once trials are sorted); pass True for the
+    host-side footprint.
+    """
+    per_event = 4 + (4 if include_timestamps else 0)
+    yet_bytes = spec.n_occurrences * per_event + (spec.n_trials + 1) * 8
+    direct = (spec.catalog_size + 1) * loss_word_bytes * spec.elts_per_layer
+    compact = (4 + loss_word_bytes) * spec.losses_per_elt * spec.elts_per_layer
+    ylt = spec.n_trials * 8 * spec.n_layers
+    return MemoryEstimate(
+        yet_bytes=int(yet_bytes),
+        direct_tables_bytes=int(direct * spec.n_layers),
+        compact_tables_bytes=int(compact * spec.n_layers),
+        ylt_bytes=int(ylt),
+    )

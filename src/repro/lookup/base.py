@@ -1,0 +1,81 @@
+"""Abstract interface of an ELT lookup structure."""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+import numpy as np
+
+from repro.data.elt import EventLossTable
+
+
+class LossLookup(abc.ABC):
+    """Event id → loss mapping supporting vectorised random lookup.
+
+    Contract (relied on by every engine and property-tested):
+
+    * ``lookup(ids)`` returns ``float64`` losses, elementwise;
+    * absent ids — including the reserved null id 0 used for YET padding —
+      yield exactly ``0.0``;
+    * ``lookup`` never mutates its input and is safe to call concurrently
+      from multiple threads (structures are frozen after construction);
+    * ``mean_accesses_per_lookup(ids)`` reports how many memory reads the
+      structure performs per query, the quantity the paper's direct-access
+      argument and our GPU cost model are built on.
+    """
+
+    #: short registry name, set by subclasses (e.g. ``"direct"``).
+    kind: str = "abstract"
+
+    def __init__(self, elt: EventLossTable) -> None:
+        self.elt_id = elt.elt_id
+        self.n_losses = elt.n_losses
+        self.terms = elt.terms
+
+    # ------------------------------------------------------------------
+    # Core mapping
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def lookup(self, event_ids: np.ndarray) -> np.ndarray:
+        """Vectorised loss lookup; absent ids map to 0.0."""
+
+    def lookup_scalar(self, event_id: int) -> float:
+        """Scalar convenience wrapper over :meth:`lookup`."""
+        return float(self.lookup(np.asarray([event_id], dtype=np.int64))[0])
+
+    # ------------------------------------------------------------------
+    # Cost accounting
+    # ------------------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def nbytes(self) -> int:
+        """Memory footprint of the structure's arrays in bytes."""
+
+    @abc.abstractmethod
+    def mean_accesses_per_lookup(self, event_ids: np.ndarray | None = None) -> float:
+        """Expected memory reads per query.
+
+        If ``event_ids`` is given, the answer is exact for that query batch
+        (e.g. actual probe counts); otherwise it is the structure's
+        expected value.
+        """
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def describe(self) -> dict[str, Any]:
+        """Summary row used by memory/benchmark reports."""
+        return {
+            "kind": self.kind,
+            "elt_id": self.elt_id,
+            "n_losses": self.n_losses,
+            "nbytes": self.nbytes,
+            "accesses_per_lookup": self.mean_accesses_per_lookup(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(elt_id={self.elt_id}, "
+            f"n_losses={self.n_losses}, nbytes={self.nbytes})"
+        )

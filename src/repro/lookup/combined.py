@@ -1,0 +1,100 @@
+"""Combined direct-access table over all ELTs of a layer.
+
+The paper's second data-structure variant (Section III): instead of 15
+independent direct access tables, one table whose *row* for event ``e``
+holds that event's loss in every ELT, so a whole row can be staged into
+GPU shared memory in one cooperative load.  The paper measured this
+*slower* than independent tables because threads must first communicate
+which rows to fetch; our GPU cost model charges exactly that shared-memory
+write traffic, reproducing the paper's finding.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.elt import EventLossTable
+
+
+class CombinedDirectTable:
+    """Dense ``(catalog_size + 1, n_elts)`` loss matrix for one layer.
+
+    Row ``e`` holds event ``e``'s loss in each covered ELT (0.0 where the
+    event is absent).  Row-major layout so one row — the unit the paper's
+    variant stages into shared memory — is contiguous.
+
+    This class deliberately does *not* subclass
+    :class:`~repro.lookup.base.LossLookup`: its queries return a matrix
+    (one loss per ELT), not a vector.
+    """
+
+    kind = "combined"
+
+    def __init__(
+        self,
+        elts: Sequence[EventLossTable],
+        catalog_size: int,
+        dtype: np.dtype | type = np.float64,
+    ) -> None:
+        if not elts:
+            raise ValueError("combined table needs at least one ELT")
+        max_id = max(elt.max_event_id for elt in elts)
+        if catalog_size < max_id:
+            raise ValueError(
+                f"catalog_size {catalog_size} smaller than max event id {max_id}"
+            )
+        self.catalog_size = int(catalog_size)
+        self.elt_ids = tuple(elt.elt_id for elt in elts)
+        if len(set(self.elt_ids)) != len(self.elt_ids):
+            raise ValueError(f"duplicate ELT ids: {self.elt_ids}")
+        self._table = np.zeros(
+            (self.catalog_size + 1, len(elts)), dtype=dtype, order="C"
+        )
+        for col, elt in enumerate(elts):
+            self._table[elt.event_ids, col] = elt.losses.astype(dtype)
+
+    @property
+    def n_elts(self) -> int:
+        return self._table.shape[1]
+
+    def lookup_rows(self, event_ids: np.ndarray) -> np.ndarray:
+        """Fetch whole rows: shape ``ids.shape + (n_elts,)`` of losses."""
+        ids = np.asarray(event_ids)
+        return self._table[ids].astype(np.float64, copy=False)
+
+    def lookup_elt(self, event_ids: np.ndarray, elt_id: int) -> np.ndarray:
+        """Single-ELT column view of the same row fetch."""
+        try:
+            col = self.elt_ids.index(int(elt_id))
+        except ValueError:
+            raise KeyError(f"ELT {elt_id} not in combined table") from None
+        ids = np.asarray(event_ids)
+        return self._table[ids, col].astype(np.float64, copy=False)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self._table.nbytes)
+
+    @property
+    def row_nbytes(self) -> int:
+        """Bytes fetched per row load (what shared memory must hold)."""
+        return int(self._table.shape[1] * self._table.itemsize)
+
+    def mean_accesses_per_lookup(self) -> float:
+        """Memory reads per (event, ELT) query.
+
+        A row fetch services all ``n_elts`` per-ELT lookups of one event in
+        one contiguous read of ``n_elts`` words, so per (event, ELT) pair
+        the read cost is 1 — but the *coordination* cost (threads writing
+        the needed event ids to shared memory first) is charged separately
+        by the GPU cost model, which is what makes this variant lose.
+        """
+        return 1.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CombinedDirectTable(n_elts={self.n_elts}, "
+            f"catalog_size={self.catalog_size}, nbytes={self.nbytes})"
+        )

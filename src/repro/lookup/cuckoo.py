@@ -1,0 +1,165 @@
+"""Cuckoo hashing: the constant-worst-case scheme the paper cites.
+
+Pagh & Rodler's cuckoo hashing [15 in the paper] guarantees a key lives in
+one of exactly two slots, so a lookup is *at most two* memory accesses —
+the best worst case of any compact representation.  The paper still rejects
+it for "considerable implementation and run-time performance complexity" on
+GPUs; having a real implementation lets the data-structure benchmark put a
+number on that trade-off.
+
+Two tables of equal size are used, with independent multiplicative hash
+functions; insertion evicts residents back and forth (the "cuckoo" walk)
+and rebuilds with fresh hash multipliers if a walk exceeds the bound.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.data.elt import EventLossTable
+from repro.lookup.base import LossLookup
+
+_EMPTY = np.int64(-1)
+# Pool of odd 64-bit multipliers; rebuilds walk down this list.
+_MULTIPLIERS: Tuple[int, ...] = (
+    0x9E3779B97F4A7C15,
+    0xC2B2AE3D27D4EB4F,
+    0x165667B19E3779F9,
+    0x27D4EB2F165667C5,
+    0x2545F4914F6CDD1D,
+    0x9E6C63D0876A9F4D,
+    0xBF58476D1CE4E5B9,
+    0x94D049BB133111EB,
+)
+
+
+def _hash_with(ids: np.ndarray, mult: int, mask: int) -> np.ndarray:
+    with np.errstate(over="ignore"):
+        h = ids.astype(np.uint64) * np.uint64(mult)
+    return ((h >> np.uint64(29)) & np.uint64(mask)).astype(np.int64)
+
+
+class CuckooTable(LossLookup):
+    """Two-table cuckoo hash with at most two probes per lookup.
+
+    Parameters
+    ----------
+    elt:
+        Source event loss table.
+    load_factor:
+        Combined fill target across both tables; cuckoo hashing is
+        reliable below ~0.5, the default.
+    """
+
+    kind = "cuckoo"
+
+    #: eviction-walk bound before declaring a cycle and rehashing
+    MAX_KICKS = 500
+
+    def __init__(self, elt: EventLossTable, load_factor: float = 0.45) -> None:
+        super().__init__(elt)
+        if not 0.0 < load_factor <= 0.5:
+            raise ValueError(
+                f"cuckoo load_factor must be in (0, 0.5], got {load_factor}"
+            )
+        self.load_factor = float(load_factor)
+        half = 8
+        while elt.n_losses / (2 * half) > load_factor:
+            half *= 2
+        self._half = half
+        self._mask = half - 1
+        self.n_rebuilds = 0
+        self._build(elt.event_ids.astype(np.int64), elt.losses)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self, ids: np.ndarray, losses: np.ndarray) -> None:
+        for attempt in range(len(_MULTIPLIERS) - 1):
+            self._mult1 = _MULTIPLIERS[attempt]
+            self._mult2 = _MULTIPLIERS[attempt + 1]
+            self._keys = np.full(2 * self._half, _EMPTY, dtype=np.int64)
+            self._values = np.zeros(2 * self._half, dtype=np.float64)
+            if self._try_insert_all(ids, losses):
+                return
+            # Cycle detected: grow, advance multipliers and retry.
+            self.n_rebuilds += 1
+            self._half *= 2
+            self._mask = self._half - 1
+        raise RuntimeError(
+            f"cuckoo build failed after {self.n_rebuilds} rebuilds"
+        )
+
+    def _slot1(self, key: int) -> int:
+        return int(_hash_with(np.asarray([key]), self._mult1, self._mask)[0])
+
+    def _slot2(self, key: int) -> int:
+        # Second table occupies indices [half, 2*half).
+        return self._half + int(
+            _hash_with(np.asarray([key]), self._mult2, self._mask)[0]
+        )
+
+    def _try_insert_all(self, ids: np.ndarray, losses: np.ndarray) -> bool:
+        for key, value in zip(ids, losses):
+            key = int(key)
+            value = float(value)
+            # Standard cuckoo walk: place in table 1; if occupied evict the
+            # resident into its alternate slot, and so on.
+            slot = self._slot1(key)
+            for _ in range(self.MAX_KICKS):
+                if self._keys[slot] == _EMPTY:
+                    self._keys[slot] = key
+                    self._values[slot] = value
+                    break
+                key, self._keys[slot] = int(self._keys[slot]), key
+                value, self._values[slot] = float(self._values[slot]), value
+                # The evicted key goes to its *other* slot.
+                s1, s2 = self._slot1(key), self._slot2(key)
+                slot = s2 if slot == s1 else s1
+            else:
+                return False  # walk exceeded bound → cycle
+        return True
+
+    # ------------------------------------------------------------------
+    # Lookup: always exactly two (vectorised) probes
+    # ------------------------------------------------------------------
+    def lookup(self, event_ids: np.ndarray) -> np.ndarray:
+        ids = np.asarray(event_ids, dtype=np.int64)
+        flat = ids.ravel()
+        out = np.zeros(flat.shape, dtype=np.float64)
+        slot1 = _hash_with(flat, self._mult1, self._mask)
+        hit1 = self._keys[slot1] == flat
+        out[hit1] = self._values[slot1[hit1]]
+        slot2 = self._half + _hash_with(flat, self._mult2, self._mask)
+        hit2 = (~hit1) & (self._keys[slot2] == flat)
+        out[hit2] = self._values[slot2[hit2]]
+        return out.reshape(ids.shape)
+
+    # ------------------------------------------------------------------
+    # Cost accounting
+    # ------------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        return int(self._keys.nbytes + self._values.nbytes)
+
+    @property
+    def size(self) -> int:
+        return int(self._keys.size)
+
+    @property
+    def fill(self) -> float:
+        return self.n_losses / self.size
+
+    def mean_accesses_per_lookup(self, event_ids: np.ndarray | None = None) -> float:
+        if event_ids is not None:
+            ids = np.asarray(event_ids, dtype=np.int64).ravel()
+            if ids.size == 0:
+                return 0.0
+            slot1 = _hash_with(ids, self._mult1, self._mask)
+            hit1 = self._keys[slot1] == ids
+            # One probe if found in table 1, two otherwise (hit2 or miss).
+            return float(np.where(hit1, 1.0, 2.0).mean())
+        # Sparse-ELT lookups are mostly misses → both slots checked.
+        return 2.0

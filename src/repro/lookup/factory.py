@@ -1,0 +1,87 @@
+"""Factory and memory accounting for lookup structures."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.data.elt import EventLossTable
+from repro.lookup.base import LossLookup
+from repro.lookup.compressed import CompressedBlockTable
+from repro.lookup.cuckoo import CuckooTable
+from repro.lookup.direct import DirectAccessTable
+from repro.lookup.hashtable import OpenAddressingTable
+from repro.lookup.sorted_table import SortedLookupTable
+
+LOOKUP_KINDS = ("direct", "sorted", "hash", "cuckoo", "compressed")
+"""Registry names accepted by :func:`build_lookup`."""
+
+
+def build_lookup(
+    elt: EventLossTable,
+    catalog_size: int,
+    kind: str = "direct",
+    dtype: np.dtype | type = np.float64,
+) -> LossLookup:
+    """Build the lookup structure named ``kind`` for one ELT.
+
+    ``dtype`` affects the direct table's slot precision and the
+    compressed table's stored losses; the other compact structures keep
+    float64 losses (their memory is key-dominated anyway).
+    """
+    if kind == "direct":
+        return DirectAccessTable(elt, catalog_size=catalog_size, dtype=dtype)
+    if kind == "sorted":
+        return SortedLookupTable(elt)
+    if kind == "hash":
+        return OpenAddressingTable(elt)
+    if kind == "cuckoo":
+        return CuckooTable(elt)
+    if kind == "compressed":
+        # Loss precision follows the engine's working dtype so that the
+        # compressed structure is drop-in exact for float64 engines.
+        return CompressedBlockTable(elt, loss_dtype=dtype)
+    raise ValueError(f"unknown lookup kind {kind!r}; expected one of {LOOKUP_KINDS}")
+
+
+def build_layer_lookups(
+    elts: Sequence[EventLossTable],
+    catalog_size: int,
+    kind: str = "direct",
+    dtype: np.dtype | type = np.float64,
+) -> List[LossLookup]:
+    """Build one lookup structure per ELT of a layer."""
+    return [
+        build_lookup(elt, catalog_size=catalog_size, kind=kind, dtype=dtype)
+        for elt in elts
+    ]
+
+
+def memory_report(
+    elts: Sequence[EventLossTable], catalog_size: int
+) -> List[Dict[str, float]]:
+    """Memory/access trade-off rows for every structure kind.
+
+    One row per kind with total bytes across the given ELTs and expected
+    memory accesses per lookup — the quantified version of the paper's
+    Section III argument (direct access: most memory, fewest accesses).
+    """
+    rows: List[Dict[str, float]] = []
+    for kind in LOOKUP_KINDS:
+        lookups = build_layer_lookups(elts, catalog_size, kind=kind)
+        total_bytes = sum(lk.nbytes for lk in lookups)
+        accesses = (
+            sum(lk.mean_accesses_per_lookup() for lk in lookups) / len(lookups)
+            if lookups
+            else 0.0
+        )
+        rows.append(
+            {
+                "kind": kind,
+                "total_bytes": float(total_bytes),
+                "bytes_per_elt": float(total_bytes / max(len(lookups), 1)),
+                "accesses_per_lookup": float(accesses),
+            }
+        )
+    return rows

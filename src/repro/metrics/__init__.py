@@ -1,0 +1,33 @@
+"""Portfolio risk metrics derived from Year Loss Tables.
+
+The paper motivates aggregate risk analysis by the metrics an insurer
+derives from the YLT (Section I): the Probable Maximum Loss (PML) and the
+Tail Value-at-Risk (TVaR), used for internal risk management and
+regulatory/rating-agency reporting.  This subpackage implements those and
+the standard exceedance-probability curves they come from.
+"""
+
+from repro.metrics.curves import ExceedanceCurve, aep_curve, oep_curve
+from repro.metrics.pml import pml, pml_table, value_at_risk
+from repro.metrics.tvar import tail_value_at_risk, tvar_table
+from repro.metrics.stats import ylt_summary
+from repro.metrics.convergence import (
+    convergence_table,
+    pml_confidence_interval,
+    pml_relative_error,
+)
+
+__all__ = [
+    "ExceedanceCurve",
+    "aep_curve",
+    "oep_curve",
+    "pml",
+    "pml_table",
+    "value_at_risk",
+    "tail_value_at_risk",
+    "tvar_table",
+    "ylt_summary",
+    "convergence_table",
+    "pml_confidence_interval",
+    "pml_relative_error",
+]

@@ -1,0 +1,129 @@
+"""Exceedance-probability curves (EP curves) from trial losses.
+
+An EP curve gives, for each loss threshold, the annual probability that
+losses exceed it.  Two standard variants:
+
+* **AEP** (aggregate exceedance probability) — thresholds against the
+  *total annual* loss per trial: exactly what a YLT row contains.
+* **OEP** (occurrence exceedance probability) — thresholds against the
+  *largest single occurrence* loss per trial; computed from per-trial
+  maxima which :func:`oep_curve` accepts.
+
+Both are empirical survival functions over trials; with a million
+pre-simulated trials (the paper's scale) the curves are smooth deep into
+the tail, which is precisely why the YET methodology pre-simulates so
+many years.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_in_range
+
+
+@dataclass(frozen=True)
+class ExceedanceCurve:
+    """An empirical exceedance curve.
+
+    Attributes
+    ----------
+    losses:
+        Loss thresholds, strictly increasing (the sorted distinct trial
+        losses).
+    probabilities:
+        ``P(annual loss > losses[i])``, non-increasing in ``i``.
+    """
+
+    losses: np.ndarray
+    probabilities: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.losses.shape != self.probabilities.shape:
+            raise ValueError("losses and probabilities must align")
+        if self.losses.ndim != 1:
+            raise ValueError("curve arrays must be 1-D")
+
+    def probability_of_exceeding(self, threshold: float) -> float:
+        """P(loss > threshold), stepwise from the empirical curve."""
+        if self.losses.size == 0:
+            return 0.0
+        idx = int(np.searchsorted(self.losses, threshold, side="right")) - 1
+        if idx < 0:
+            # Threshold strictly below the smallest recorded loss: every
+            # trial exceeds it.
+            return 1.0
+        return float(self.probabilities[idx])
+
+    def loss_at_return_period(self, years: float) -> float:
+        """Loss with annual exceedance probability ``1/years``.
+
+        The "1-in-N-years" loss, the standard presentation of PML.
+        """
+        if years <= 1.0:
+            raise ValueError(f"return period must exceed 1 year, got {years}")
+        target = 1.0 / years
+        # probabilities are non-increasing; find the smallest loss whose
+        # exceedance probability is at or below the target ("the 1-in-N
+        # loss is exceeded with probability 1/N").
+        idx = np.searchsorted(self.probabilities[::-1], target, side="right")
+        pos = self.probabilities.size - int(idx)
+        if pos >= self.losses.size:
+            return float(self.losses[-1])
+        return float(self.losses[pos])
+
+    @property
+    def max_loss(self) -> float:
+        return float(self.losses[-1]) if self.losses.size else 0.0
+
+
+def _empirical_curve(per_trial_values: np.ndarray) -> ExceedanceCurve:
+    values = np.asarray(per_trial_values, dtype=np.float64)
+    if values.ndim != 1:
+        raise ValueError(f"expected 1-D per-trial values, got {values.shape}")
+    n = values.size
+    if n == 0:
+        return ExceedanceCurve(
+            losses=np.empty(0), probabilities=np.empty(0)
+        )
+    sorted_losses, counts = np.unique(values, return_counts=True)
+    # Trials strictly above each distinct loss value.
+    above = n - np.cumsum(counts)
+    return ExceedanceCurve(
+        losses=sorted_losses, probabilities=above / n
+    )
+
+
+def aep_curve(annual_losses: np.ndarray) -> ExceedanceCurve:
+    """Aggregate EP curve from a YLT loss row (per-trial annual losses)."""
+    return _empirical_curve(annual_losses)
+
+
+def oep_curve(max_occurrence_losses: np.ndarray) -> ExceedanceCurve:
+    """Occurrence EP curve from per-trial maximum occurrence losses."""
+    return _empirical_curve(max_occurrence_losses)
+
+
+def exceedance_probability(
+    annual_losses: np.ndarray, threshold: float
+) -> float:
+    """Direct P(annual loss > threshold) without building a curve."""
+    losses = np.asarray(annual_losses, dtype=np.float64)
+    if losses.size == 0:
+        return 0.0
+    return float((losses > threshold).mean())
+
+
+def quantile(annual_losses: np.ndarray, q: float) -> float:
+    """Empirical ``q``-quantile of annual losses (higher interpolation).
+
+    The "higher" rule makes the quantile an actually attained trial loss,
+    the convention used for regulatory VaR.
+    """
+    check_in_range("q", q, 0.0, 1.0)
+    losses = np.asarray(annual_losses, dtype=np.float64)
+    if losses.size == 0:
+        raise ValueError("cannot take a quantile of zero trials")
+    return float(np.quantile(losses, q, method="higher"))

@@ -1,0 +1,68 @@
+"""Probable Maximum Loss (PML) — quantiles of the annual loss.
+
+PML at a return period of N years is the loss exceeded with annual
+probability 1/N, i.e. the (1 − 1/N)-quantile of the YLT's per-trial
+losses.  It is the headline metric the paper names as a YLT product
+(Section I, citing Woo and Wilkinson).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.data.ylt import YearLossTable
+from repro.metrics.curves import quantile
+from repro.utils.validation import check_in_range, check_positive
+
+#: Return periods (years) conventionally quoted in cat-risk reporting.
+STANDARD_RETURN_PERIODS = (10, 25, 50, 100, 250, 500, 1000)
+
+
+def value_at_risk(annual_losses: np.ndarray, confidence: float) -> float:
+    """VaR at ``confidence`` — the confidence-quantile of annual losses.
+
+    ``value_at_risk(losses, 0.99)`` is the loss exceeded in only 1% of
+    simulated years.
+    """
+    check_in_range("confidence", confidence, 0.0, 1.0)
+    return quantile(annual_losses, confidence)
+
+
+def pml(annual_losses: np.ndarray, return_period_years: float) -> float:
+    """PML at a return period: VaR at confidence ``1 − 1/rp``.
+
+    >>> import numpy as np
+    >>> losses = np.arange(1.0, 101.0)  # 100 equally likely years
+    >>> pml(losses, 100.0)
+    100.0
+    """
+    check_positive("return_period_years", return_period_years)
+    if return_period_years <= 1.0:
+        raise ValueError(
+            f"return period must exceed 1 year, got {return_period_years}"
+        )
+    return value_at_risk(annual_losses, 1.0 - 1.0 / return_period_years)
+
+
+def pml_table(
+    ylt: YearLossTable,
+    layer_id: int | None = None,
+    return_periods: Sequence[float] = STANDARD_RETURN_PERIODS,
+) -> Dict[float, float]:
+    """PML at each return period for one layer (or the whole portfolio).
+
+    Return periods beyond the simulated trial count are reported against
+    the maximum simulated loss (the empirical curve cannot resolve
+    deeper) — callers wanting strictness should request periods within
+    ``ylt.n_trials``.
+    """
+    series = (
+        ylt.portfolio_losses() if layer_id is None else ylt.layer_losses(layer_id)
+    )
+    return {
+        float(rp): pml(series, float(rp))
+        for rp in return_periods
+        if rp > 1.0
+    }

@@ -1,0 +1,42 @@
+"""Summary statistics of a Year Loss Table."""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.data.ylt import YearLossTable
+from repro.metrics.pml import pml
+from repro.metrics.tvar import tail_value_at_risk
+
+
+def ylt_summary(
+    ylt: YearLossTable, layer_id: int | None = None
+) -> Dict[str, Any]:
+    """One-row summary of a YLT series for reports and examples.
+
+    Includes the moments used for pricing (mean = pure premium, standard
+    deviation for loading) plus tail landmarks (99% VaR/TVaR, 1-in-250
+    PML) and the fraction of loss-free years.
+    """
+    series = (
+        ylt.portfolio_losses() if layer_id is None else ylt.layer_losses(layer_id)
+    )
+    if series.size == 0:
+        raise ValueError("empty YLT series")
+    mean = float(series.mean())
+    std = float(series.std(ddof=1)) if series.size > 1 else 0.0
+    return {
+        "n_trials": int(series.size),
+        "mean": mean,
+        "std": std,
+        "cv": std / mean if mean > 0 else float("inf"),
+        "min": float(series.min()),
+        "max": float(series.max()),
+        "median": float(np.median(series)),
+        "zero_fraction": float((series == 0.0).mean()),
+        "var_99": pml(series, 100.0),
+        "tvar_99": tail_value_at_risk(series, 0.99),
+        "pml_250": pml(series, 250.0) if series.size >= 250 else float(series.max()),
+    }

@@ -1,0 +1,47 @@
+"""Analytic performance model: paper-scale time predictions.
+
+The real engines run scaled-down workloads in this container; the paper's
+1M-trial benchmark on its 2013 testbed is predicted analytically instead:
+
+* CPU predictions (:mod:`repro.perfmodel.cpu`) use per-operation costs
+  *calibrated once* from the paper's published sequential breakdown
+  (337.47 s = 222.61 s lookup + 104.67 s numeric + 10.19 s fetch) and a
+  per-activity Amdahl saturation model fitted to the multicore figures.
+* GPU predictions (:mod:`repro.perfmodel.gpu`,
+  :mod:`repro.perfmodel.multigpu`) are *not* fitted to the paper's GPU
+  numbers: they reuse the exact traffic recorders the simulated kernels
+  execute (:mod:`repro.engines.gpu_common`) and the gpusim cost model
+  with datasheet constants.  That the predictions land near the paper's
+  38.47 / 20.63 / 4.35 seconds is a result, not an input — and the shape
+  claims (block-size optima, scaling efficiency, activity shares) follow
+  from the model mechanics.
+"""
+
+from repro.perfmodel.result import PerfPrediction
+from repro.perfmodel.calibration import (
+    PAPER_FIG5_SECONDS,
+    PAPER_MULTICORE_SPEEDUPS,
+    PAPER_SEQ_BREAKDOWN,
+)
+from repro.perfmodel.cpu import (
+    predict_multicore,
+    predict_multicore_oversubscribed,
+    predict_sequential,
+)
+from repro.perfmodel.gpu import predict_gpu_basic, predict_gpu_optimized
+from repro.perfmodel.multigpu import predict_multi_gpu
+from repro.perfmodel.activities import activity_breakdown_table
+
+__all__ = [
+    "PerfPrediction",
+    "PAPER_FIG5_SECONDS",
+    "PAPER_MULTICORE_SPEEDUPS",
+    "PAPER_SEQ_BREAKDOWN",
+    "predict_sequential",
+    "predict_multicore",
+    "predict_multicore_oversubscribed",
+    "predict_gpu_basic",
+    "predict_gpu_optimized",
+    "predict_multi_gpu",
+    "activity_breakdown_table",
+]

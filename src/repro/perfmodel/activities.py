@@ -1,0 +1,64 @@
+"""Figure 6 support: per-activity time breakdown across implementations.
+
+The paper's Figure 6 plots, for each of the five implementations, the
+time (and percentage) spent (a) fetching events, (b) looking up loss
+sets in the direct access table, (c) computing financial terms,
+(d) computing layer terms.  This module assembles that table from the
+per-implementation predictions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.data.presets import WorkloadSpec
+from repro.perfmodel.cpu import predict_multicore, predict_sequential
+from repro.perfmodel.gpu import predict_gpu_basic, predict_gpu_optimized
+from repro.perfmodel.multigpu import predict_multi_gpu
+from repro.perfmodel.result import PerfPrediction
+from repro.utils.timer import (
+    ACTIVITY_FETCH,
+    ACTIVITY_FINANCIAL,
+    ACTIVITY_LAYER,
+    ACTIVITY_LOOKUP,
+    ACTIVITY_OTHER,
+)
+
+REPORT_ACTIVITIES = (
+    ACTIVITY_FETCH,
+    ACTIVITY_LOOKUP,
+    ACTIVITY_FINANCIAL,
+    ACTIVITY_LAYER,
+    ACTIVITY_OTHER,
+)
+
+
+def predict_all(spec: WorkloadSpec) -> Dict[str, PerfPrediction]:
+    """All five implementation predictions for one workload (Figure 5)."""
+    return {
+        "sequential": predict_sequential(spec),
+        "multicore": predict_multicore(spec, n_cores=8),
+        "gpu": predict_gpu_basic(spec),
+        "gpu-optimized": predict_gpu_optimized(spec),
+        "multi-gpu": predict_multi_gpu(spec),
+    }
+
+
+def activity_breakdown_table(spec: WorkloadSpec) -> List[Dict[str, float]]:
+    """One row per implementation: seconds and share per activity.
+
+    Row keys: ``implementation``, ``total``, ``<activity>`` (seconds) and
+    ``<activity>_pct`` (percentage of total).
+    """
+    rows: List[Dict[str, float]] = []
+    for name, prediction in predict_all(spec).items():
+        fractions = prediction.profile.fractions()
+        row: Dict[str, float] = {
+            "implementation": name,  # type: ignore[dict-item]
+            "total": prediction.total_seconds,
+        }
+        for activity in REPORT_ACTIVITIES:
+            row[activity] = prediction.profile.seconds.get(activity, 0.0)
+            row[f"{activity}_pct"] = 100.0 * fractions.get(activity, 0.0)
+        rows.append(row)
+    return rows

@@ -1,0 +1,156 @@
+"""CPU performance models: sequential baseline and multicore saturation.
+
+See :mod:`repro.perfmodel.calibration` for where every constant comes
+from.  Predictions work for *any* :class:`~repro.data.presets.WorkloadSpec`
+— time is linear in lookups/flops/fetches (the paper's own Section IV.A
+observation: runtime grows linearly in events, trials, ELTs and layers),
+so the model extrapolates cleanly from the paper workload it was
+calibrated on.
+"""
+
+from __future__ import annotations
+
+from repro.data.presets import WorkloadSpec
+from repro.engines.gpu_common import (
+    FLOPS_ACCUM_PER_LOOKUP,
+    FLOPS_FINANCIAL_PER_LOOKUP,
+    FLOPS_LAYER_PER_EVENT,
+)
+from repro.perfmodel.calibration import (
+    MULTICORE_FETCH_SERIAL_FRACTION,
+    MULTICORE_LOOKUP_SERIAL_FRACTION,
+    OVERSUB_EXPONENT,
+    OVERSUB_T1,
+    OVERSUB_TINF,
+    SEQ_FETCH_SECONDS,
+    SEQ_FLOP_SECONDS,
+    SEQ_LOOKUP_SECONDS,
+)
+from repro.perfmodel.result import PerfPrediction
+from repro.utils.timer import (
+    ACTIVITY_FETCH,
+    ACTIVITY_FINANCIAL,
+    ACTIVITY_LAYER,
+    ACTIVITY_LOOKUP,
+    ActivityProfile,
+)
+from repro.utils.validation import check_positive
+
+
+def _workload_operations(spec: WorkloadSpec) -> tuple[float, float, float, float]:
+    """(lookups, financial flops, layer flops, fetches) for a workload."""
+    lookups = float(spec.n_lookups)
+    financial_flops = (
+        FLOPS_FINANCIAL_PER_LOOKUP + FLOPS_ACCUM_PER_LOOKUP
+    ) * lookups
+    layer_flops = FLOPS_LAYER_PER_EVENT * spec.n_occurrences * spec.n_layers
+    fetches = float(spec.n_occurrences) * spec.n_layers
+    return lookups, financial_flops, layer_flops, fetches
+
+
+def predict_sequential(spec: WorkloadSpec) -> PerfPrediction:
+    """Modeled single-core CPU time for ``spec``.
+
+    On the paper workload this reproduces the published breakdown by
+    construction (the constants were derived from it); on other workloads
+    it extrapolates linearly.
+    """
+    lookups, financial_flops, layer_flops, fetches = _workload_operations(spec)
+    profile = ActivityProfile()
+    profile.charge(ACTIVITY_LOOKUP, lookups * SEQ_LOOKUP_SECONDS)
+    profile.charge(ACTIVITY_FINANCIAL, financial_flops * SEQ_FLOP_SECONDS)
+    profile.charge(ACTIVITY_LAYER, layer_flops * SEQ_FLOP_SECONDS)
+    profile.charge(ACTIVITY_FETCH, fetches * SEQ_FETCH_SECONDS)
+    return PerfPrediction(
+        implementation="sequential",
+        total_seconds=profile.total,
+        profile=profile,
+        meta={"n_cores": 1},
+    )
+
+
+def _amdahl(seconds: float, n: int, serial_fraction: float) -> float:
+    """Time after scaling to ``n`` workers with a serialised share."""
+    return seconds * ((1.0 - serial_fraction) / n + serial_fraction)
+
+
+def predict_multicore(spec: WorkloadSpec, n_cores: int = 8) -> PerfPrediction:
+    """Modeled multicore CPU time (Figure 1a's axis).
+
+    Numeric term work scales with cores; lookups and fetches saturate
+    against the shared memory system (no cache locality to exploit — the
+    paper's stated reason for the limited speedup).
+    """
+    check_positive("n_cores", n_cores)
+    base = predict_sequential(spec)
+    profile = ActivityProfile()
+    profile.charge(
+        ACTIVITY_LOOKUP,
+        _amdahl(
+            base.profile.seconds[ACTIVITY_LOOKUP],
+            n_cores,
+            MULTICORE_LOOKUP_SERIAL_FRACTION,
+        ),
+    )
+    profile.charge(
+        ACTIVITY_FINANCIAL, base.profile.seconds[ACTIVITY_FINANCIAL] / n_cores
+    )
+    profile.charge(
+        ACTIVITY_LAYER, base.profile.seconds[ACTIVITY_LAYER] / n_cores
+    )
+    profile.charge(
+        ACTIVITY_FETCH,
+        _amdahl(
+            base.profile.seconds[ACTIVITY_FETCH],
+            n_cores,
+            MULTICORE_FETCH_SERIAL_FRACTION,
+        ),
+    )
+    return PerfPrediction(
+        implementation="multicore",
+        total_seconds=profile.total,
+        profile=profile,
+        meta={
+            "n_cores": n_cores,
+            "lookup_serial_fraction": MULTICORE_LOOKUP_SERIAL_FRACTION,
+            "fetch_serial_fraction": MULTICORE_FETCH_SERIAL_FRACTION,
+        },
+    )
+
+
+def predict_multicore_oversubscribed(
+    spec: WorkloadSpec, threads_per_core: int, n_cores: int = 8
+) -> PerfPrediction:
+    """Modeled 8-core time vs threads per core (Figure 1b's axis).
+
+    Oversubscription overlaps memory latency: each extra thread per core
+    gives another outstanding miss, with strongly diminishing returns —
+    modeled as ``T(t) = T_inf + (T_1 − T_inf) · t^(−0.6)``, calibrated to
+    the paper's quoted endpoints (135 s at 1 thread/core, ~125 s at 256).
+    The paper-workload curve is rescaled linearly for other workloads.
+    """
+    check_positive("threads_per_core", threads_per_core)
+    base = predict_multicore(spec, n_cores=n_cores)
+    paper_curve = OVERSUB_TINF + (OVERSUB_T1 - OVERSUB_TINF) * (
+        float(threads_per_core) ** -OVERSUB_EXPONENT
+    )
+    scale = paper_curve / OVERSUB_T1
+    # Oversubscription only helps the latency-bound activities; numeric
+    # work is already core-bound.  Apply the gain to lookup+fetch.
+    profile = ActivityProfile()
+    for activity, seconds in base.profile.seconds.items():
+        if activity in (ACTIVITY_LOOKUP, ACTIVITY_FETCH):
+            profile.charge(activity, seconds * scale)
+        else:
+            profile.charge(activity, seconds)
+    return PerfPrediction(
+        implementation="multicore",
+        total_seconds=profile.total,
+        profile=profile,
+        meta={
+            "n_cores": n_cores,
+            "threads_per_core": threads_per_core,
+            "total_threads": n_cores * threads_per_core,
+            "oversubscription_scale": scale,
+        },
+    )

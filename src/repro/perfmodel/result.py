@@ -1,0 +1,42 @@
+"""Common result type of the analytic performance model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from repro.utils.timer import ActivityProfile
+
+
+@dataclass
+class PerfPrediction:
+    """Modeled end-to-end time of one implementation on one workload.
+
+    Attributes
+    ----------
+    implementation:
+        Engine registry name the prediction corresponds to.
+    total_seconds:
+        Modeled wall-clock seconds of the full analysis.
+    profile:
+        Modeled per-activity breakdown (Figure 6 categories); activity
+        seconds sum to ``total_seconds``.
+    meta:
+        Model internals worth reporting (occupancy, transfer seconds,
+        per-device splits, Amdahl factors, ...).
+    """
+
+    implementation: str
+    total_seconds: float
+    profile: ActivityProfile
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def speedup_over(self, baseline: "PerfPrediction") -> float:
+        """Baseline time over this prediction's time (>1 = faster)."""
+        if self.total_seconds <= 0:
+            raise ValueError("cannot compute speedup of a zero-time prediction")
+        return baseline.total_seconds / self.total_seconds
+
+    def fraction(self, activity: str) -> float:
+        """Share of total time spent in one activity (0 if unknown)."""
+        return self.profile.fractions().get(activity, 0.0)

@@ -1,0 +1,122 @@
+"""Layer pricing from simulated year losses.
+
+Standard property-cat pricing: the technical premium is the expected
+annual loss (pure premium) plus a volatility loading proportional to the
+standard deviation plus a cost-of-capital charge on the tail capital the
+contract consumes — all three read directly off the YLT the analysis
+produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.layer import Layer
+from repro.metrics.pml import value_at_risk
+from repro.metrics.tvar import tail_value_at_risk
+from repro.utils.validation import check_in_range, check_nonnegative
+
+
+@dataclass(frozen=True)
+class PricingAssumptions:
+    """Loadings applied on top of the pure premium.
+
+    Attributes
+    ----------
+    volatility_loading:
+        Multiplier on the annual-loss standard deviation.
+    capital_confidence:
+        Confidence at which tail capital is measured (TVaR level).
+    cost_of_capital:
+        Annual charge per unit of tail capital allocated.
+    expense_ratio:
+        Share of the final premium consumed by expenses/brokerage; the
+        technical premium is grossed up by ``1 / (1 - expense_ratio)``.
+    """
+
+    volatility_loading: float = 0.25
+    capital_confidence: float = 0.99
+    cost_of_capital: float = 0.06
+    expense_ratio: float = 0.10
+
+    def __post_init__(self) -> None:
+        check_nonnegative("volatility_loading", self.volatility_loading)
+        check_in_range("capital_confidence", self.capital_confidence, 0.0, 1.0)
+        check_nonnegative("cost_of_capital", self.cost_of_capital)
+        check_in_range("expense_ratio", self.expense_ratio, 0.0, 0.99)
+
+
+@dataclass(frozen=True)
+class LayerQuote:
+    """A priced layer.
+
+    ``rate_on_line`` is premium over occurrence limit — the market's
+    standard normalised price of an XL layer (when the limit is finite).
+    """
+
+    layer_id: int
+    expected_loss: float
+    loss_std: float
+    tail_capital: float
+    technical_premium: float
+    premium: float
+    rate_on_line: float
+
+    @property
+    def loss_ratio(self) -> float:
+        """Expected losses over premium (underwriting margin view)."""
+        return self.expected_loss / self.premium if self.premium > 0 else 0.0
+
+
+def price_layer(
+    layer: Layer,
+    annual_losses: np.ndarray,
+    assumptions: PricingAssumptions | None = None,
+) -> LayerQuote:
+    """Price one layer from its simulated per-trial annual losses.
+
+    Parameters
+    ----------
+    layer:
+        The contract (used for its id and occurrence limit).
+    annual_losses:
+        The layer's YLT row (``ylt.layer_losses(layer.layer_id)``).
+    assumptions:
+        Loading parameters; defaults are market-plausible.
+    """
+    a = assumptions or PricingAssumptions()
+    losses = np.asarray(annual_losses, dtype=np.float64)
+    if losses.size == 0:
+        raise ValueError("cannot price a layer with zero simulated trials")
+
+    expected = float(losses.mean())
+    std = float(losses.std(ddof=1)) if losses.size > 1 else 0.0
+    tvar = tail_value_at_risk(losses, a.capital_confidence)
+    # Capital consumed: tail expectation beyond the expected loss.
+    tail_capital = max(tvar - expected, 0.0)
+
+    technical = (
+        expected
+        + a.volatility_loading * std
+        + a.cost_of_capital * tail_capital
+    )
+    premium = technical / (1.0 - a.expense_ratio)
+
+    occ_limit = layer.terms.occ_limit
+    rate_on_line = (
+        premium / occ_limit
+        if np.isfinite(occ_limit) and occ_limit > 0
+        else float("nan")
+    )
+
+    return LayerQuote(
+        layer_id=layer.layer_id,
+        expected_loss=expected,
+        loss_std=std,
+        tail_capital=tail_capital,
+        technical_premium=technical,
+        premium=premium,
+        rate_on_line=rate_on_line,
+    )

@@ -1,0 +1,32 @@
+"""Shared utilities: timing, RNG, validation and parallel helpers."""
+
+from repro.utils.timer import ActivityProfile, Stopwatch, timed
+from repro.utils.rng import default_rng, spawn_rngs
+from repro.utils.validation import (
+    check_dtype,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    check_same_length,
+)
+from repro.utils.parallel import (
+    available_cpu_count,
+    chunk_ranges,
+    run_threaded,
+)
+
+__all__ = [
+    "ActivityProfile",
+    "Stopwatch",
+    "timed",
+    "default_rng",
+    "spawn_rngs",
+    "check_dtype",
+    "check_in_range",
+    "check_nonnegative",
+    "check_positive",
+    "check_same_length",
+    "available_cpu_count",
+    "chunk_ranges",
+    "run_threaded",
+]

@@ -1,0 +1,156 @@
+"""Timing utilities used across engines and benchmarks.
+
+The paper (Section V, Figure 6) reports a per-activity breakdown of the
+aggregate analysis run: fetching events from memory, loss lookup in the
+direct access table, financial-term computations and layer-term
+computations.  :class:`ActivityProfile` is the container every engine in
+:mod:`repro.engines` fills in so that Figure 6 can be regenerated from any
+implementation.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+# Canonical activity names, in presentation order used by the paper's
+# Figure 6.  "fetch" is reading events of a trial from the YET, "lookup" is
+# the random access into the ELT loss tables, "financial" and "layer" are
+# the two numerical term-application phases.
+ACTIVITY_FETCH = "fetch_events"
+ACTIVITY_LOOKUP = "loss_lookup"
+ACTIVITY_FINANCIAL = "financial_terms"
+ACTIVITY_LAYER = "layer_terms"
+ACTIVITY_OTHER = "other"
+
+ACTIVITIES = (
+    ACTIVITY_FETCH,
+    ACTIVITY_LOOKUP,
+    ACTIVITY_FINANCIAL,
+    ACTIVITY_LAYER,
+    ACTIVITY_OTHER,
+)
+
+
+class Stopwatch:
+    """A simple monotonic stopwatch.
+
+    >>> sw = Stopwatch()
+    >>> sw.start()
+    >>> _ = sum(range(100))
+    >>> elapsed = sw.stop()
+    >>> elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._started: float | None = None
+        self.elapsed: float = 0.0
+
+    def start(self) -> "Stopwatch":
+        self._started = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._started is None:
+            raise RuntimeError("Stopwatch.stop() called before start()")
+        self.elapsed += time.perf_counter() - self._started
+        self._started = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        self._started = None
+        self.elapsed = 0.0
+
+    @property
+    def running(self) -> bool:
+        return self._started is not None
+
+
+@contextmanager
+def timed() -> Iterator[Stopwatch]:
+    """Context manager yielding a running :class:`Stopwatch`.
+
+    >>> with timed() as sw:
+    ...     _ = [i * i for i in range(10)]
+    >>> sw.elapsed > 0
+    True
+    """
+
+    sw = Stopwatch().start()
+    try:
+        yield sw
+    finally:
+        if sw.running:
+            sw.stop()
+
+
+@dataclass
+class ActivityProfile:
+    """Accumulates wall-clock (or modeled) seconds per activity.
+
+    Engines charge time against the canonical activities while running so
+    that the Figure 6 breakdown can be reported for any implementation.
+    Both measured engines (real seconds) and the analytic performance model
+    (modeled seconds) produce this same structure.
+    """
+
+    seconds: Dict[str, float] = field(
+        default_factory=lambda: {name: 0.0 for name in ACTIVITIES}
+    )
+
+    def charge(self, activity: str, seconds: float) -> None:
+        """Add ``seconds`` against ``activity`` (creating it if unknown)."""
+        if seconds < 0:
+            raise ValueError(f"cannot charge negative time: {seconds!r}")
+        self.seconds[activity] = self.seconds.get(activity, 0.0) + seconds
+
+    @contextmanager
+    def track(self, activity: str) -> Iterator[None]:
+        """Context manager charging elapsed wall-clock time to ``activity``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.charge(activity, time.perf_counter() - start)
+
+    @property
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def fractions(self) -> Dict[str, float]:
+        """Fraction of total time per activity (empty profile → all zeros)."""
+        total = self.total
+        if total <= 0.0:
+            return {name: 0.0 for name in self.seconds}
+        return {name: secs / total for name, secs in self.seconds.items()}
+
+    def merged(self, other: "ActivityProfile") -> "ActivityProfile":
+        """Return a new profile summing ``self`` and ``other``."""
+        out = ActivityProfile()
+        for name, secs in self.seconds.items():
+            out.charge(name, secs)
+        for name, secs in other.seconds.items():
+            out.charge(name, secs)
+        return out
+
+    def scaled(self, factor: float) -> "ActivityProfile":
+        """Return a new profile with every activity scaled by ``factor``.
+
+        Used to extrapolate a measured profile on a scaled-down workload to
+        a larger trial count (time is linear in trials for this algorithm).
+        """
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        out = ActivityProfile()
+        for name, secs in self.seconds.items():
+            out.seconds[name] = secs * factor
+        return out
+
+    def as_row(self) -> Dict[str, float]:
+        """Flat dict (activity → seconds) plus ``total``, for reporting."""
+        row = dict(self.seconds)
+        row["total"] = self.total
+        return row

@@ -1,0 +1,75 @@
+"""Input-validation helpers shared by the data model and engines.
+
+These raise early with actionable messages rather than letting bad shapes
+propagate into vectorised kernels where the failure mode is an opaque
+broadcast error three modules away.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_nonnegative(name: str, value: float) -> float:
+    """Require ``value >= 0`` (layer retentions/limits, times, counts)."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def check_in_range(
+    name: str, value: float, low: float, high: float, *, inclusive: bool = True
+) -> float:
+    """Require ``low <= value <= high`` (or strict if ``inclusive=False``)."""
+    ok = low <= value <= high if inclusive else low < value < high
+    if not ok:
+        bracket = "[]" if inclusive else "()"
+        raise ValueError(
+            f"{name} must be in {bracket[0]}{low}, {high}{bracket[1]}, got {value!r}"
+        )
+    return value
+
+
+def check_same_length(**named_sequences: Sequence[Any]) -> int:
+    """Require all keyword sequences share one length; return it."""
+    lengths = {name: len(seq) for name, seq in named_sequences.items()}
+    unique = set(lengths.values())
+    if len(unique) > 1:
+        raise ValueError(f"length mismatch: {lengths}")
+    return unique.pop() if unique else 0
+
+
+def check_dtype(name: str, array: np.ndarray, dtype: Any) -> np.ndarray:
+    """Require ``array.dtype == dtype`` exactly (no silent casts in kernels)."""
+    expected = np.dtype(dtype)
+    if array.dtype != expected:
+        raise TypeError(f"{name} must have dtype {expected}, got {array.dtype}")
+    return array
+
+
+def check_sorted(name: str, array: np.ndarray) -> np.ndarray:
+    """Require a 1-D array be sorted in non-decreasing order."""
+    arr = np.asarray(array)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {arr.shape}")
+    if arr.size > 1 and np.any(arr[1:] < arr[:-1]):
+        raise ValueError(f"{name} must be sorted in non-decreasing order")
+    return array
+
+
+def check_unique(name: str, values: Iterable[Any]) -> None:
+    """Require all values be distinct (e.g. event ids within an ELT)."""
+    seen = set()
+    for value in values:
+        if value in seen:
+            raise ValueError(f"{name} contains duplicate value {value!r}")
+        seen.add(value)

@@ -1,0 +1,149 @@
+"""Cross-engine validation: the deployment-time correctness harness.
+
+A downstream user switching engines (say multicore → multi-GPU for
+production pricing) needs evidence the numbers are identical.  This
+module runs any set of engines on one workload, compares every YLT
+against the scalar Algorithm 1 reference, and produces a structured
+report — the same check the test suite applies, packaged as a public
+API.
+
+Float64 engines must match the reference to tight tolerance; engines
+using the reduced-precision optimisation (float32 tables/accumulation)
+get a scale-aware band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.algorithm import aggregate_risk_analysis_reference
+from repro.data.generator import Workload
+from repro.data.ylt import YearLossTable
+from repro.engines.registry import available_engines, create_engine
+
+#: engines whose results are exact in float64
+EXACT_ENGINES = ("sequential", "multicore", "gpu")
+#: engines using the paper's reduced-precision optimisation by default
+FLOAT32_ENGINES = ("gpu-optimized", "multi-gpu")
+
+
+@dataclass
+class EngineCheck:
+    """Comparison of one engine's YLT against the reference."""
+
+    engine: str
+    passed: bool
+    max_abs_error: float
+    max_rel_error: float
+    tolerance_rel: float
+    wall_seconds: float
+
+    def summary(self) -> str:
+        status = "OK " if self.passed else "FAIL"
+        return (
+            f"[{status}] {self.engine:14s} max_abs={self.max_abs_error:.3e} "
+            f"max_rel={self.max_rel_error:.3e} "
+            f"(tol {self.tolerance_rel:g}) in {self.wall_seconds:.2f}s"
+        )
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of a cross-engine validation run."""
+
+    n_trials: int
+    n_layers: int
+    checks: List[EngineCheck] = field(default_factory=list)
+
+    @property
+    def all_passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    @property
+    def failures(self) -> List[str]:
+        return [c.engine for c in self.checks if not c.passed]
+
+    def summary(self) -> str:
+        lines = [
+            f"validated {len(self.checks)} engine(s) on "
+            f"{self.n_trials} trials x {self.n_layers} layer(s):"
+        ]
+        lines.extend(check.summary() for check in self.checks)
+        return "\n".join(lines)
+
+
+def _errors(reference: YearLossTable, ylt: YearLossTable) -> tuple[float, float]:
+    diff = np.abs(reference.losses - ylt.losses)
+    max_abs = float(diff.max()) if diff.size else 0.0
+    scale = np.maximum(np.abs(reference.losses), 1.0)
+    max_rel = float((diff / scale).max()) if diff.size else 0.0
+    return max_abs, max_rel
+
+
+def verify_engines(
+    workload: Workload,
+    engines: Sequence[str] | None = None,
+    exact_rtol: float = 1e-9,
+    float32_rtol: float = 1e-4,
+    engine_options: Dict[str, object] | None = None,
+) -> ValidationReport:
+    """Run engines on ``workload`` and compare against the reference.
+
+    Parameters
+    ----------
+    workload:
+        The problem instance (keep it small: the scalar reference is
+        pure Python).
+    engines:
+        Engine names to validate; defaults to all non-reference engines.
+    exact_rtol / float32_rtol:
+        Relative tolerance bands for float64 and reduced-precision
+        engines respectively.
+    engine_options:
+        Extra keyword options forwarded to every engine constructor.
+    """
+    names = tuple(engines) if engines else tuple(
+        name for name in available_engines() if name != "reference"
+    )
+    options = dict(engine_options or {})
+    reference = aggregate_risk_analysis_reference(
+        workload.yet, workload.portfolio
+    )
+    report = ValidationReport(
+        n_trials=workload.yet.n_trials,
+        n_layers=workload.portfolio.n_layers,
+    )
+    for name in names:
+        engine = create_engine(name, **options)
+        result = engine.run(
+            workload.yet, workload.portfolio, workload.catalog.n_events
+        )
+        max_abs, max_rel = _errors(reference, result.ylt)
+        tolerance = exact_rtol if name in EXACT_ENGINES else float32_rtol
+        report.checks.append(
+            EngineCheck(
+                engine=name,
+                passed=max_rel <= tolerance,
+                max_abs_error=max_abs,
+                max_rel_error=max_rel,
+                tolerance_rel=tolerance,
+                wall_seconds=result.wall_seconds,
+            )
+        )
+    return report
+
+
+def assert_engines_agree(
+    workload: Workload, engines: Sequence[str] | None = None, **kwargs
+) -> ValidationReport:
+    """:func:`verify_engines` that raises ``AssertionError`` on failure."""
+    report = verify_engines(workload, engines=engines, **kwargs)
+    if not report.all_passed:
+        raise AssertionError(
+            f"engine validation failed for {report.failures}:\n"
+            f"{report.summary()}"
+        )
+    return report

@@ -1,0 +1,75 @@
+"""Shared fixtures: canned workloads at test-friendly sizes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.generator import generate_workload
+from repro.data.presets import BENCH_SMALL
+
+# A workload small enough for the scalar reference engine (pure Python
+# loops) to stay fast, but structured enough to exercise every path:
+# multiple perils, multiple ELTs, non-trivial terms.
+TINY_SPEC = BENCH_SMALL.with_(
+    name="tiny",
+    n_trials=60,
+    events_per_trial=12,
+    catalog_size=800,
+    losses_per_elt=80,
+    elts_per_layer=4,
+)
+
+# Same shape but with identity financial/layer terms: the expected YLT is
+# just the sum of raw losses, computable independently.
+TINY_IDENTITY_SPEC = TINY_SPEC.with_(name="tiny-identity", identity_terms=True)
+
+# A mid-size workload for engines that need enough trials to exercise
+# batching/chunking/multi-device splits.
+SMALL_SPEC = BENCH_SMALL.with_(
+    name="small",
+    n_trials=600,
+    events_per_trial=25,
+    catalog_size=5_000,
+    losses_per_elt=400,
+    elts_per_layer=5,
+)
+
+MULTILAYER_SPEC = SMALL_SPEC.with_(
+    name="small-multilayer", n_layers=3, shared_elt_pool=True
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_workload():
+    return generate_workload(TINY_SPEC)
+
+
+@pytest.fixture(scope="session")
+def tiny_identity_workload():
+    return generate_workload(TINY_IDENTITY_SPEC)
+
+
+@pytest.fixture(scope="session")
+def small_workload():
+    return generate_workload(SMALL_SPEC)
+
+
+@pytest.fixture(scope="session")
+def multilayer_workload():
+    return generate_workload(MULTILAYER_SPEC)
+
+
+@pytest.fixture(scope="session")
+def reference_ylt(tiny_workload):
+    """Oracle YLT of the tiny workload (computed once per session)."""
+    from repro.core.algorithm import aggregate_risk_analysis_reference
+
+    return aggregate_risk_analysis_reference(
+        tiny_workload.yet, tiny_workload.portfolio
+    )
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(20130812)

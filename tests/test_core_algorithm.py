@@ -1,0 +1,152 @@
+"""Tests for the line-by-line scalar reference of Algorithm 1."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm import aggregate_risk_analysis_reference
+from repro.data.elt import ELTFinancialTerms, EventLossTable
+from repro.data.layer import Layer, LayerTerms, Portfolio
+from repro.data.yet import YearEventTable
+
+
+def single_layer_portfolio(elts, terms=None):
+    return Portfolio.single_layer(elts, terms=terms)
+
+
+class TestHandComputedCases:
+    def test_one_trial_one_elt_identity_terms(self):
+        # Trial has events 1, 2; ELT maps 1→10, 2→20; no terms anywhere.
+        yet = YearEventTable.from_trials([[(1, 0.1), (2, 0.2)]])
+        portfolio = single_layer_portfolio(
+            [EventLossTable.from_dict(0, {1: 10.0, 2: 20.0})]
+        )
+        ylt = aggregate_risk_analysis_reference(yet, portfolio)
+        assert ylt.layer_losses(0)[0] == pytest.approx(30.0)
+
+    def test_event_missing_from_elt_contributes_zero(self):
+        yet = YearEventTable.from_trials([[(1, 0.1), (99, 0.2)]])
+        portfolio = single_layer_portfolio(
+            [EventLossTable.from_dict(0, {1: 10.0})]
+        )
+        ylt = aggregate_risk_analysis_reference(yet, portfolio)
+        assert ylt.layer_losses(0)[0] == pytest.approx(10.0)
+
+    def test_losses_accumulate_across_elts(self):
+        # Same event in two ELTs → losses add (lines 11-13).
+        yet = YearEventTable.from_trials([[(1, 0.1)]])
+        portfolio = single_layer_portfolio(
+            [
+                EventLossTable.from_dict(0, {1: 10.0}),
+                EventLossTable.from_dict(1, {1: 7.0}),
+            ]
+        )
+        ylt = aggregate_risk_analysis_reference(yet, portfolio)
+        assert ylt.layer_losses(0)[0] == pytest.approx(17.0)
+
+    def test_financial_terms_apply_per_elt_before_accumulation(self):
+        yet = YearEventTable.from_trials([[(1, 0.1)]])
+        portfolio = single_layer_portfolio(
+            [
+                EventLossTable.from_dict(
+                    0, {1: 10.0}, terms=ELTFinancialTerms(share=0.5)
+                ),
+                EventLossTable.from_dict(
+                    1, {1: 10.0}, terms=ELTFinancialTerms(retention=4.0)
+                ),
+            ]
+        )
+        ylt = aggregate_risk_analysis_reference(yet, portfolio)
+        # 10*0.5 + (10-4) = 11
+        assert ylt.layer_losses(0)[0] == pytest.approx(11.0)
+
+    def test_occurrence_terms_per_event(self):
+        yet = YearEventTable.from_trials([[(1, 0.1), (2, 0.2)]])
+        portfolio = single_layer_portfolio(
+            [EventLossTable.from_dict(0, {1: 100.0, 2: 100.0})],
+            terms=LayerTerms(occ_retention=30.0, occ_limit=50.0),
+        )
+        ylt = aggregate_risk_analysis_reference(yet, portfolio)
+        # each event: min(max(100-30,0),50) = 50; total 100
+        assert ylt.layer_losses(0)[0] == pytest.approx(100.0)
+
+    def test_aggregate_terms_on_cumulative(self):
+        yet = YearEventTable.from_trials([[(1, 0.1), (2, 0.2), (3, 0.3)]])
+        portfolio = single_layer_portfolio(
+            [EventLossTable.from_dict(0, {1: 10.0, 2: 10.0, 3: 10.0})],
+            terms=LayerTerms(agg_retention=5.0, agg_limit=12.0),
+        )
+        ylt = aggregate_risk_analysis_reference(yet, portfolio)
+        # cumulative 10,20,30 → net of AggR/AggL: 5,12,12 → year loss 12
+        assert ylt.layer_losses(0)[0] == pytest.approx(12.0)
+
+    def test_empty_trial_zero_loss(self):
+        yet = YearEventTable.from_trials([[], [(1, 0.5)]])
+        portfolio = single_layer_portfolio(
+            [EventLossTable.from_dict(0, {1: 5.0})]
+        )
+        ylt = aggregate_risk_analysis_reference(yet, portfolio)
+        assert ylt.layer_losses(0)[0] == 0.0
+        assert ylt.layer_losses(0)[1] == 5.0
+
+    def test_multiple_layers_independent(self):
+        yet = YearEventTable.from_trials([[(1, 0.1)]])
+        portfolio = Portfolio()
+        portfolio.add_elt(EventLossTable.from_dict(0, {1: 10.0}))
+        portfolio.add_elt(EventLossTable.from_dict(1, {1: 100.0}))
+        portfolio.add_layer(Layer(layer_id=0, elt_ids=(0,)))
+        portfolio.add_layer(Layer(layer_id=1, elt_ids=(1,)))
+        ylt = aggregate_risk_analysis_reference(yet, portfolio)
+        assert ylt.layer_losses(0)[0] == pytest.approx(10.0)
+        assert ylt.layer_losses(1)[0] == pytest.approx(100.0)
+
+    def test_repeated_event_in_trial_counts_twice(self):
+        # The same catastrophe id occurring twice in a year is two
+        # occurrences, each looked up and term-processed independently.
+        yet = YearEventTable.from_trials([[(1, 0.1), (1, 0.6)]])
+        portfolio = single_layer_portfolio(
+            [EventLossTable.from_dict(0, {1: 10.0})]
+        )
+        ylt = aggregate_risk_analysis_reference(yet, portfolio)
+        assert ylt.layer_losses(0)[0] == pytest.approx(20.0)
+
+
+class TestAgainstIdentityWorkload:
+    def test_identity_terms_equal_raw_loss_sum(self, tiny_identity_workload):
+        """With all terms identity, the year loss is the plain sum of
+        looked-up losses — computable independently of the algorithm."""
+        w = tiny_identity_workload
+        ylt = aggregate_risk_analysis_reference(w.yet, w.portfolio)
+        layer = w.portfolio.layers[0]
+        elt_dicts = [e.to_dict() for e in w.portfolio.elts_of(layer)]
+        for t in range(min(10, w.yet.n_trials)):
+            ids, _ = w.yet.trial(t)
+            expected = sum(
+                d.get(int(e), 0.0) for e in ids for d in elt_dicts
+            )
+            assert ylt.layer_losses(layer.layer_id)[t] == pytest.approx(
+                expected
+            )
+
+    def test_output_shape(self, tiny_workload):
+        ylt = aggregate_risk_analysis_reference(
+            tiny_workload.yet, tiny_workload.portfolio
+        )
+        assert ylt.n_trials == tiny_workload.yet.n_trials
+        assert ylt.n_layers == tiny_workload.portfolio.n_layers
+
+    def test_losses_respect_aggregate_limit(self, tiny_workload):
+        ylt = aggregate_risk_analysis_reference(
+            tiny_workload.yet, tiny_workload.portfolio
+        )
+        for layer in tiny_workload.portfolio.layers:
+            limit = layer.terms.agg_limit
+            if math.isfinite(limit):
+                assert np.all(ylt.layer_losses(layer.layer_id) <= limit + 1e-9)
+
+    def test_losses_nonnegative(self, tiny_workload):
+        ylt = aggregate_risk_analysis_reference(
+            tiny_workload.yet, tiny_workload.portfolio
+        )
+        assert np.all(ylt.losses >= 0.0)

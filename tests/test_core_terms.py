@@ -1,0 +1,154 @@
+"""Tests for repro.core.terms — the Algorithm 1 step algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.terms import (
+    aggregate_recovery_increments,
+    aggregate_term_scalar,
+    apply_aggregate_terms_cumulative,
+    apply_occurrence_terms,
+    occurrence_term_scalar,
+    trial_loss_from_occurrence_losses,
+)
+from repro.data.layer import LayerTerms
+
+
+class TestOccurrenceTerms:
+    def test_identity_terms_change_nothing(self):
+        losses = np.array([[0.0, 5.0, 1e9]])
+        out = apply_occurrence_terms(losses, LayerTerms())
+        assert np.array_equal(out, losses)
+
+    def test_retention_and_limit(self):
+        terms = LayerTerms(occ_retention=10.0, occ_limit=20.0)
+        losses = np.array([[5.0, 10.0, 25.0, 100.0]])
+        out = apply_occurrence_terms(losses, terms)
+        assert list(out[0]) == [0.0, 0.0, 15.0, 20.0]
+
+    def test_in_place_via_out(self):
+        losses = np.array([[30.0]])
+        result = apply_occurrence_terms(
+            losses, LayerTerms(occ_retention=10.0), out=losses
+        )
+        assert result is losses
+        assert losses[0, 0] == 20.0
+
+    def test_scalar_matches_vector(self):
+        terms = LayerTerms(occ_retention=3.0, occ_limit=7.0)
+        values = np.linspace(0, 20, 41)
+        vector = apply_occurrence_terms(values, terms)
+        scalars = [occurrence_term_scalar(v, terms) for v in values]
+        assert np.allclose(vector, scalars)
+
+
+class TestAggregateTerms:
+    def test_clamps_cumulative_series(self):
+        terms = LayerTerms(agg_retention=5.0, agg_limit=10.0)
+        cumulative = np.array([2.0, 6.0, 14.0, 30.0])
+        out = apply_aggregate_terms_cumulative(cumulative, terms)
+        assert list(out) == [0.0, 1.0, 9.0, 10.0]
+
+    def test_scalar_matches_vector(self):
+        terms = LayerTerms(agg_retention=2.5, agg_limit=9.0)
+        values = np.linspace(0, 15, 31)
+        vector = apply_aggregate_terms_cumulative(values, terms)
+        scalars = [aggregate_term_scalar(v, terms) for v in values]
+        assert np.allclose(vector, scalars)
+
+
+class TestTelescopingIdentity:
+    """Lines 24-29 telescope: Σ diffs == final clamped cumulative value."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        losses=st.lists(st.floats(0, 1e6), min_size=1, max_size=40),
+        occ_r=st.floats(0, 1e5),
+        occ_l=st.floats(1e-2, 1e6),
+        agg_r=st.floats(0, 1e6),
+        agg_l=st.floats(1e-2, 1e7),
+    )
+    def test_fused_equals_stepwise(self, losses, occ_r, occ_l, agg_r, agg_l):
+        terms = LayerTerms(occ_r, occ_l, agg_r, agg_l)
+        seq = np.asarray(losses)
+        # Step-faithful: occurrence terms, then incremental recoveries.
+        occ = apply_occurrence_terms(seq, terms)
+        increments = aggregate_recovery_increments(occ, terms)
+        stepwise = increments.sum()
+        # Fused shortcut used by the vectorised engines.
+        fused = trial_loss_from_occurrence_losses(seq.reshape(1, -1), terms)[0]
+        assert np.isclose(stepwise, fused, rtol=1e-9, atol=1e-6)
+
+    @settings(max_examples=60, deadline=None)
+    @given(losses=st.lists(st.floats(0, 1e6), min_size=1, max_size=30))
+    def test_increments_nonnegative_and_bounded(self, losses):
+        terms = LayerTerms(agg_retention=100.0, agg_limit=5000.0)
+        increments = aggregate_recovery_increments(np.asarray(losses), terms)
+        assert np.all(increments >= -1e-9)
+        assert increments.sum() <= 5000.0 + 1e-6
+
+
+class TestTrialLoss:
+    def test_identity_terms_give_plain_sum(self):
+        block = np.array([[1.0, 2.0, 3.0], [4.0, 0.0, 1.0]])
+        out = trial_loss_from_occurrence_losses(block, LayerTerms())
+        assert list(out) == [6.0, 5.0]
+
+    def test_1d_input_treated_as_single_trial(self):
+        out = trial_loss_from_occurrence_losses(
+            np.array([1.0, 2.0]), LayerTerms()
+        )
+        assert out.shape == (1,)
+        assert out[0] == 3.0
+
+    def test_aggregate_limit_caps_year_loss(self):
+        terms = LayerTerms(agg_limit=5.0)
+        out = trial_loss_from_occurrence_losses(
+            np.array([[10.0, 10.0]]), terms
+        )
+        assert out[0] == 5.0
+
+    def test_aggregate_retention_deducts(self):
+        terms = LayerTerms(agg_retention=3.0)
+        out = trial_loss_from_occurrence_losses(np.array([[2.0, 2.0]]), terms)
+        assert out[0] == 1.0
+
+    def test_occurrence_limit_applies_per_event(self):
+        terms = LayerTerms(occ_limit=1.0)
+        out = trial_loss_from_occurrence_losses(
+            np.array([[10.0, 10.0, 10.0]]), terms
+        )
+        assert out[0] == 3.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        losses=st.lists(st.floats(0, 1e6), min_size=1, max_size=30),
+        agg_l=st.floats(0, 1e6),
+    )
+    def test_year_loss_bounded_by_aggregate_limit(self, losses, agg_l):
+        terms = LayerTerms(agg_limit=agg_l)
+        out = trial_loss_from_occurrence_losses(
+            np.asarray(losses).reshape(1, -1), terms
+        )
+        assert out[0] <= agg_l + 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(losses=st.lists(st.floats(0, 1e6), min_size=1, max_size=30))
+    def test_order_invariance_of_year_loss(self, losses):
+        """The fused trial loss depends only on the multiset of losses.
+
+        Although Algorithm 1 computes an order-dependent cumulative
+        series, the final year loss is the clamp of the *total* — so
+        permuting events must not change it (the within-trial ordering
+        matters for per-event attribution, not the trial loss).
+        """
+        terms = LayerTerms(
+            occ_retention=10.0, occ_limit=1e5, agg_retention=50.0, agg_limit=1e6
+        )
+        seq = np.asarray(losses)
+        forward = trial_loss_from_occurrence_losses(seq.reshape(1, -1), terms)
+        backward = trial_loss_from_occurrence_losses(
+            seq[::-1].reshape(1, -1), terms
+        )
+        assert np.isclose(forward[0], backward[0], rtol=1e-9, atol=1e-6)

@@ -1,0 +1,99 @@
+"""Tests for the vectorised trial-batch kernel."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm import aggregate_risk_analysis_reference
+from repro.core.vectorized import layer_trial_batch, run_vectorized
+from repro.data.layer import LayerTerms
+from repro.lookup.factory import build_layer_lookups
+from repro.utils.timer import (
+    ACTIVITY_FINANCIAL,
+    ACTIVITY_LAYER,
+    ACTIVITY_LOOKUP,
+    ActivityProfile,
+)
+
+
+class TestLayerTrialBatch:
+    def test_matches_reference(self, tiny_workload, reference_ylt):
+        w = tiny_workload
+        layer = w.portfolio.layers[0]
+        lookups = build_layer_lookups(
+            w.portfolio.elts_of(layer), w.catalog.n_events
+        )
+        year = layer_trial_batch(w.yet.to_dense(), lookups, layer.terms)
+        assert np.allclose(
+            year, reference_ylt.layer_losses(layer.layer_id), rtol=1e-9
+        )
+
+    def test_rejects_1d_matrix(self, tiny_workload):
+        w = tiny_workload
+        layer = w.portfolio.layers[0]
+        lookups = build_layer_lookups(
+            w.portfolio.elts_of(layer), w.catalog.n_events
+        )
+        with pytest.raises(ValueError):
+            layer_trial_batch(np.array([1, 2, 3]), lookups, layer.terms)
+
+    def test_profile_charges_every_phase(self, tiny_workload):
+        w = tiny_workload
+        layer = w.portfolio.layers[0]
+        lookups = build_layer_lookups(
+            w.portfolio.elts_of(layer), w.catalog.n_events
+        )
+        profile = ActivityProfile()
+        layer_trial_batch(
+            w.yet.to_dense(), lookups, layer.terms, profile=profile
+        )
+        assert profile.seconds[ACTIVITY_LOOKUP] > 0
+        assert profile.seconds[ACTIVITY_FINANCIAL] > 0
+        assert profile.seconds[ACTIVITY_LAYER] > 0
+
+    def test_float32_close_to_float64(self, tiny_workload):
+        w = tiny_workload
+        layer = w.portfolio.layers[0]
+        lookups64 = build_layer_lookups(
+            w.portfolio.elts_of(layer), w.catalog.n_events
+        )
+        lookups32 = build_layer_lookups(
+            w.portfolio.elts_of(layer), w.catalog.n_events, dtype=np.float32
+        )
+        dense = w.yet.to_dense()
+        y64 = layer_trial_batch(dense, lookups64, layer.terms)
+        y32 = layer_trial_batch(
+            dense, lookups32, layer.terms, dtype=np.float32
+        )
+        assert np.allclose(y64, y32, rtol=1e-4)
+
+    def test_empty_lookup_list_gives_zero_losses(self, tiny_workload):
+        year = layer_trial_batch(
+            tiny_workload.yet.to_dense(), [], LayerTerms()
+        )
+        assert np.all(year == 0.0)
+
+
+class TestRunVectorized:
+    def test_matches_reference_all_kinds(self, tiny_workload, reference_ylt):
+        w = tiny_workload
+        for kind in ("direct", "sorted", "hash", "cuckoo", "compressed"):
+            ylt = run_vectorized(
+                w.yet, w.portfolio, w.catalog.n_events, lookup_kind=kind
+            )
+            assert reference_ylt.allclose(ylt), kind
+
+    def test_batching_does_not_change_results(self, tiny_workload):
+        w = tiny_workload
+        full = run_vectorized(w.yet, w.portfolio, w.catalog.n_events)
+        for batch in (1, 7, 16, 1000):
+            batched = run_vectorized(
+                w.yet, w.portfolio, w.catalog.n_events, batch_trials=batch
+            )
+            assert full.allclose(batched), f"batch={batch}"
+
+    def test_multilayer(self, multilayer_workload):
+        w = multilayer_workload
+        ylt = run_vectorized(w.yet, w.portfolio, w.catalog.n_events)
+        assert ylt.n_layers == 3
+        reference = aggregate_risk_analysis_reference(w.yet, w.portfolio)
+        assert reference.allclose(ylt)

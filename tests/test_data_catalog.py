@@ -1,0 +1,99 @@
+"""Tests for repro.data.catalog."""
+
+import numpy as np
+import pytest
+
+from repro.data.catalog import NULL_EVENT_ID, EventCatalog, PerilRegion
+
+
+class TestPerilRegion:
+    def test_basic_properties(self):
+        peril = PerilRegion("hurricane", 1, 100, annual_rate=5.0)
+        assert peril.n_events == 100
+        assert peril.contains(1) and peril.contains(100)
+        assert not peril.contains(101)
+
+    def test_zero_first_id_rejected(self):
+        with pytest.raises(ValueError, match="null event"):
+            PerilRegion("x", 0, 10, annual_rate=1.0)
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(ValueError):
+            PerilRegion("x", 10, 9, annual_rate=1.0)
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(ValueError):
+            PerilRegion("x", 1, 10, annual_rate=0.0)
+
+
+class TestEventCatalog:
+    def test_uniform_covers_whole_space(self):
+        catalog = EventCatalog.uniform(1000)
+        assert catalog.n_events == 1000
+        assert catalog.n_perils == 1
+        assert catalog.perils[0].n_events == 1000
+
+    def test_with_perils_tiles_contiguously(self):
+        catalog = EventCatalog.with_perils(
+            [("a", 100, 1.0), ("b", 200, 2.0), ("c", 50, 0.5)]
+        )
+        assert catalog.n_events == 350
+        assert [p.first_event_id for p in catalog.perils] == [1, 101, 301]
+
+    def test_noncontiguous_blocks_rejected(self):
+        with pytest.raises(ValueError, match="contiguous"):
+            EventCatalog(
+                n_events=20,
+                perils=(PerilRegion("a", 2, 10, 1.0),),
+            )
+
+    def test_incomplete_cover_rejected(self):
+        with pytest.raises(ValueError):
+            EventCatalog(
+                n_events=20,
+                perils=(PerilRegion("a", 1, 10, 1.0),),
+            )
+
+    def test_total_annual_rate(self):
+        catalog = EventCatalog.with_perils([("a", 10, 3.0), ("b", 10, 7.0)])
+        assert catalog.total_annual_rate == pytest.approx(10.0)
+
+    def test_peril_of_finds_correct_block(self):
+        catalog = EventCatalog.with_perils([("a", 100, 1.0), ("b", 100, 1.0)])
+        assert catalog.peril_of(50).name == "a"
+        assert catalog.peril_of(100).name == "a"
+        assert catalog.peril_of(101).name == "b"
+        assert catalog.peril_of(200).name == "b"
+
+    def test_peril_of_out_of_range(self):
+        catalog = EventCatalog.uniform(10)
+        with pytest.raises(KeyError):
+            catalog.peril_of(0)
+        with pytest.raises(KeyError):
+            catalog.peril_of(11)
+
+    def test_peril_weights_sum_to_one(self):
+        catalog = EventCatalog.with_perils([("a", 10, 3.0), ("b", 10, 1.0)])
+        weights = catalog.peril_weights()
+        assert sum(weights.values()) == pytest.approx(1.0)
+        assert weights["a"] == pytest.approx(0.75)
+
+    def test_validate_event_ids_accepts_valid(self):
+        catalog = EventCatalog.uniform(100)
+        catalog.validate_event_ids(np.array([1, 50, 100]))
+
+    def test_validate_event_ids_rejects_null_by_default(self):
+        catalog = EventCatalog.uniform(100)
+        with pytest.raises(ValueError):
+            catalog.validate_event_ids(np.array([NULL_EVENT_ID, 5]))
+
+    def test_validate_event_ids_null_allowed_when_asked(self):
+        catalog = EventCatalog.uniform(100)
+        catalog.validate_event_ids(
+            np.array([NULL_EVENT_ID, 5]), allow_null=True
+        )
+
+    def test_validate_event_ids_rejects_overflow(self):
+        catalog = EventCatalog.uniform(100)
+        with pytest.raises(ValueError):
+            catalog.validate_event_ids(np.array([101]))

@@ -1,0 +1,157 @@
+"""Tests for repro.data.elt (Event Loss Table + financial terms)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.data.elt import ELTFinancialTerms, EventLossTable
+
+
+class TestELTFinancialTerms:
+    def test_identity_terms(self):
+        terms = ELTFinancialTerms()
+        assert terms.is_identity
+        losses = np.array([0.0, 10.0, 1e9])
+        assert np.array_equal(terms.apply(losses), losses)
+
+    def test_retention_subtracts(self):
+        terms = ELTFinancialTerms(retention=5.0)
+        out = terms.apply(np.array([3.0, 5.0, 8.0]))
+        assert list(out) == [0.0, 0.0, 3.0]
+
+    def test_limit_caps(self):
+        terms = ELTFinancialTerms(limit=10.0)
+        out = terms.apply(np.array([5.0, 10.0, 50.0]))
+        assert list(out) == [5.0, 10.0, 10.0]
+
+    def test_share_scales(self):
+        terms = ELTFinancialTerms(share=0.5)
+        assert terms.apply_scalar(10.0) == 5.0
+
+    def test_currency_applies_before_retention(self):
+        terms = ELTFinancialTerms(retention=10.0, currency_rate=2.0)
+        # 6 * 2 = 12, minus retention 10 → 2
+        assert terms.apply_scalar(6.0) == pytest.approx(2.0)
+
+    def test_full_pipeline_order(self):
+        terms = ELTFinancialTerms(
+            retention=5.0, limit=10.0, share=0.5, currency_rate=2.0
+        )
+        # 20*2=40 → -5=35 → cap 10 → share 0.5 → 5
+        assert terms.apply_scalar(20.0) == pytest.approx(5.0)
+
+    def test_scalar_matches_vector(self):
+        terms = ELTFinancialTerms(retention=3.0, limit=8.0, share=0.7)
+        losses = np.linspace(0, 20, 25)
+        vector = terms.apply(losses)
+        scalars = [terms.apply_scalar(x) for x in losses]
+        assert np.allclose(vector, scalars)
+
+    def test_invalid_share_rejected(self):
+        with pytest.raises(ValueError):
+            ELTFinancialTerms(share=1.5)
+        with pytest.raises(ValueError):
+            ELTFinancialTerms(share=0.0)
+
+    def test_negative_retention_rejected(self):
+        with pytest.raises(ValueError):
+            ELTFinancialTerms(retention=-1.0)
+
+    def test_as_tuple(self):
+        terms = ELTFinancialTerms(1.0, 2.0, 0.5, 1.1)
+        assert terms.as_tuple() == (1.0, 2.0, 0.5, 1.1)
+
+    @given(
+        loss=st.floats(0, 1e12),
+        retention=st.floats(0, 1e6),
+        limit=st.floats(1e-3, 1e9),
+        share=st.floats(0.01, 1.0),
+    )
+    def test_output_bounded_by_share_times_limit(
+        self, loss, retention, limit, share
+    ):
+        terms = ELTFinancialTerms(retention=retention, limit=limit, share=share)
+        out = terms.apply_scalar(loss)
+        assert 0.0 <= out <= share * limit + 1e-9
+
+    @given(
+        a=st.floats(0, 1e9),
+        b=st.floats(0, 1e9),
+        retention=st.floats(0, 1e6),
+    )
+    def test_monotone_in_loss(self, a, b, retention):
+        terms = ELTFinancialTerms(retention=retention, limit=1e7)
+        lo, hi = min(a, b), max(a, b)
+        assert terms.apply_scalar(lo) <= terms.apply_scalar(hi) + 1e-9
+
+
+class TestEventLossTable:
+    def test_from_dict_sorts_ids(self):
+        elt = EventLossTable.from_dict(0, {5: 2.0, 1: 1.0, 9: 3.0})
+        assert list(elt.event_ids) == [1, 5, 9]
+        assert list(elt.losses) == [1.0, 2.0, 3.0]
+
+    def test_empty_elt_allowed(self):
+        elt = EventLossTable.from_dict(0, {})
+        assert elt.n_losses == 0
+        assert elt.max_event_id == 0
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            EventLossTable(
+                elt_id=0,
+                event_ids=np.array([1, 1], dtype=np.int32),
+                losses=np.array([1.0, 2.0]),
+            )
+
+    def test_unsorted_ids_rejected(self):
+        with pytest.raises(ValueError):
+            EventLossTable(
+                elt_id=0,
+                event_ids=np.array([2, 1], dtype=np.int32),
+                losses=np.array([1.0, 2.0]),
+            )
+
+    def test_zero_id_rejected(self):
+        with pytest.raises(ValueError, match="null"):
+            EventLossTable.from_dict(0, {0: 1.0})
+
+    def test_negative_loss_rejected(self):
+        with pytest.raises(ValueError):
+            EventLossTable.from_dict(0, {1: -5.0})
+
+    def test_loss_of_hit_and_miss(self):
+        elt = EventLossTable.from_dict(0, {2: 7.0, 8: 9.0})
+        assert elt.loss_of(2) == 7.0
+        assert elt.loss_of(8) == 9.0
+        assert elt.loss_of(5) == 0.0
+        assert elt.loss_of(100) == 0.0
+
+    def test_to_dict_roundtrip(self):
+        mapping = {2: 7.0, 8: 9.0, 100: 0.5}
+        elt = EventLossTable.from_dict(0, mapping)
+        assert elt.to_dict() == mapping
+
+    def test_net_losses_applies_terms(self):
+        elt = EventLossTable.from_dict(
+            0, {1: 10.0}, terms=ELTFinancialTerms(share=0.5)
+        )
+        assert list(elt.net_losses()) == [5.0]
+
+    def test_density(self):
+        elt = EventLossTable.from_dict(0, {1: 1.0, 2: 1.0})
+        assert elt.density(200) == pytest.approx(0.01)
+
+    def test_nbytes_sparse(self):
+        elt = EventLossTable.from_dict(0, {i: 1.0 for i in range(1, 11)})
+        assert elt.nbytes_sparse == 10 * (4 + 8)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            EventLossTable(
+                elt_id=0,
+                event_ids=np.array([1, 2], dtype=np.int32),
+                losses=np.array([1.0]),
+            )

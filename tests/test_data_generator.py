@@ -1,0 +1,162 @@
+"""Tests for repro.data.generator (synthetic workload generation)."""
+
+import numpy as np
+import pytest
+
+from repro.data.catalog import EventCatalog
+from repro.data.generator import (
+    generate_catalog,
+    generate_elt,
+    generate_portfolio,
+    generate_workload,
+    generate_yet,
+)
+from repro.data.presets import BENCH_SMALL
+
+
+class TestGenerateCatalog:
+    def test_covers_requested_size(self):
+        catalog = generate_catalog(10_000)
+        assert catalog.n_events == 10_000
+        total = sum(p.n_events for p in catalog.perils)
+        assert total == 10_000
+
+    def test_total_rate_matches(self):
+        catalog = generate_catalog(10_000, total_annual_rate=500.0)
+        assert catalog.total_annual_rate == pytest.approx(500.0)
+
+    def test_n_perils_truncation(self):
+        catalog = generate_catalog(10_000, n_perils=2)
+        assert catalog.n_perils == 2
+
+    def test_many_perils(self):
+        catalog = generate_catalog(10_000, n_perils=8)
+        assert catalog.n_perils == 8
+
+
+class TestGenerateYet:
+    def test_fixed_event_count(self):
+        catalog = generate_catalog(1000)
+        yet = generate_yet(catalog, n_trials=50, events_per_trial=20, seed=1)
+        assert yet.n_trials == 50
+        assert np.all(yet.events_per_trial == 20)
+
+    def test_poisson_event_count_varies(self):
+        catalog = generate_catalog(1000)
+        yet = generate_yet(
+            catalog, 200, events_per_trial=30, fixed_event_count=False, seed=2
+        )
+        counts = yet.events_per_trial
+        assert counts.mean() == pytest.approx(30, rel=0.15)
+        assert counts.std() > 0
+
+    def test_event_ids_within_catalog(self):
+        catalog = generate_catalog(500)
+        yet = generate_yet(catalog, 50, events_per_trial=10, seed=3)
+        assert yet.event_ids.min() >= 1
+        assert yet.event_ids.max() <= 500
+
+    def test_timestamps_sorted_within_trials(self):
+        catalog = generate_catalog(500)
+        yet = generate_yet(catalog, 100, events_per_trial=15, seed=4)
+        assert yet.validate_sorted_timestamps()
+
+    def test_reproducible(self):
+        catalog = generate_catalog(500)
+        a = generate_yet(catalog, 20, events_per_trial=5, seed=7)
+        b = generate_yet(catalog, 20, events_per_trial=5, seed=7)
+        assert np.array_equal(a.event_ids, b.event_ids)
+
+    def test_peril_mix_reflected_in_frequencies(self):
+        # One peril 9x the rate of the other → ~90% of occurrences.
+        catalog = EventCatalog.with_perils(
+            [("common", 100, 9.0), ("rare", 100, 1.0)]
+        )
+        yet = generate_yet(catalog, 500, events_per_trial=20, seed=5)
+        common = (yet.event_ids <= 100).mean()
+        assert 0.85 <= common <= 0.95
+
+
+class TestGenerateElt:
+    def test_requested_loss_count(self):
+        catalog = generate_catalog(10_000)
+        elt = generate_elt(catalog, elt_id=3, n_losses=500, seed=1)
+        assert elt.elt_id == 3
+        assert elt.n_losses == 500
+
+    def test_distinct_sorted_ids(self):
+        catalog = generate_catalog(2_000)
+        elt = generate_elt(catalog, 0, n_losses=800, seed=2)
+        assert np.all(np.diff(elt.event_ids) > 0)
+
+    def test_dense_request_near_catalog_size(self):
+        catalog = generate_catalog(100)
+        elt = generate_elt(catalog, 0, n_losses=90, seed=3)
+        assert elt.n_losses == 90
+
+    def test_request_exceeding_catalog_rejected(self):
+        catalog = generate_catalog(100)
+        with pytest.raises(ValueError):
+            generate_elt(catalog, 0, n_losses=101)
+
+    def test_losses_positive(self):
+        catalog = generate_catalog(1000)
+        elt = generate_elt(catalog, 0, n_losses=100, seed=4)
+        assert np.all(elt.losses > 0)
+
+
+class TestGeneratePortfolio:
+    def test_private_pools(self):
+        catalog = generate_catalog(5_000)
+        portfolio = generate_portfolio(
+            catalog, n_layers=3, elts_per_layer=4, losses_per_elt=50,
+            shared_elt_pool=False, seed=1,
+        )
+        assert portfolio.n_layers == 3
+        assert portfolio.n_elts == 12
+        all_ids = [i for layer in portfolio.layers for i in layer.elt_ids]
+        assert len(set(all_ids)) == 12  # no sharing
+
+    def test_shared_pool_reuses_elts(self):
+        catalog = generate_catalog(5_000)
+        portfolio = generate_portfolio(
+            catalog, n_layers=4, elts_per_layer=4, losses_per_elt=50,
+            shared_elt_pool=True, seed=2,
+        )
+        assert portfolio.n_elts < 16
+
+    def test_identity_terms(self):
+        catalog = generate_catalog(5_000)
+        portfolio = generate_portfolio(
+            catalog, 1, 3, 50, identity_terms=True, seed=3
+        )
+        for elt in portfolio.elts.values():
+            assert elt.terms.is_identity
+        assert portfolio.layers[0].terms.is_identity
+
+    def test_portfolio_is_valid(self):
+        catalog = generate_catalog(5_000)
+        portfolio = generate_portfolio(catalog, 2, 3, 50, seed=4)
+        portfolio.validate()
+
+
+class TestGenerateWorkload:
+    def test_matches_spec_shape(self):
+        workload = generate_workload(BENCH_SMALL.with_(n_trials=100))
+        assert workload.yet.n_trials == 100
+        assert workload.portfolio.n_layers == BENCH_SMALL.n_layers
+        assert workload.catalog.n_events == BENCH_SMALL.catalog_size
+
+    def test_n_lookups(self):
+        spec = BENCH_SMALL.with_(n_trials=10, events_per_trial=5)
+        workload = generate_workload(spec)
+        expected = 10 * 5 * spec.elts_per_layer
+        assert workload.n_lookups == expected
+
+    def test_rejects_non_spec(self):
+        with pytest.raises(TypeError):
+            generate_workload("not-a-spec")
+
+    def test_summary_mentions_name(self):
+        workload = generate_workload(BENCH_SMALL.with_(n_trials=10))
+        assert "bench-small" in workload.summary()

@@ -1,0 +1,106 @@
+"""Tests for repro.data.layer (LayerTerms, Layer, Portfolio)."""
+
+import math
+
+import pytest
+
+from repro.data.elt import EventLossTable
+from repro.data.layer import Layer, LayerTerms, Portfolio
+
+
+def make_elt(elt_id, mapping=None):
+    return EventLossTable.from_dict(elt_id, mapping or {1: 1.0})
+
+
+class TestLayerTerms:
+    def test_defaults_are_identity(self):
+        assert LayerTerms().is_identity
+
+    def test_finite_terms_not_identity(self):
+        assert not LayerTerms(occ_retention=1.0).is_identity
+        assert not LayerTerms(occ_limit=10.0).is_identity
+        assert not LayerTerms(agg_retention=1.0).is_identity
+        assert not LayerTerms(agg_limit=10.0).is_identity
+
+    def test_as_tuple_order_matches_paper(self):
+        terms = LayerTerms(1.0, 2.0, 3.0, 4.0)
+        assert terms.as_tuple() == (1.0, 2.0, 3.0, 4.0)
+
+    def test_negative_terms_rejected(self):
+        with pytest.raises(ValueError):
+            LayerTerms(occ_retention=-1.0)
+
+    def test_max_annual_payout(self):
+        assert LayerTerms(agg_limit=5.0).max_annual_payout() == 5.0
+        assert math.isinf(LayerTerms().max_annual_payout())
+
+
+class TestLayer:
+    def test_basic(self):
+        layer = Layer(layer_id=1, elt_ids=(3, 1, 2))
+        assert layer.n_elts == 3
+
+    def test_empty_elts_rejected(self):
+        with pytest.raises(ValueError):
+            Layer(layer_id=1, elt_ids=())
+
+    def test_duplicate_elts_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Layer(layer_id=1, elt_ids=(1, 1))
+
+
+class TestPortfolio:
+    def test_add_and_resolve(self):
+        portfolio = Portfolio()
+        portfolio.add_elt(make_elt(0))
+        portfolio.add_elt(make_elt(1))
+        portfolio.add_layer(Layer(layer_id=0, elt_ids=(0, 1)))
+        layer = portfolio.layer(0)
+        elts = portfolio.elts_of(layer)
+        assert [e.elt_id for e in elts] == [0, 1]
+
+    def test_duplicate_elt_id_rejected(self):
+        portfolio = Portfolio()
+        portfolio.add_elt(make_elt(0))
+        with pytest.raises(ValueError):
+            portfolio.add_elt(make_elt(0))
+
+    def test_layer_with_unknown_elt_rejected(self):
+        portfolio = Portfolio()
+        with pytest.raises(KeyError):
+            portfolio.add_layer(Layer(layer_id=0, elt_ids=(42,)))
+
+    def test_duplicate_layer_id_rejected(self):
+        portfolio = Portfolio()
+        portfolio.add_elt(make_elt(0))
+        portfolio.add_layer(Layer(layer_id=0, elt_ids=(0,)))
+        with pytest.raises(ValueError):
+            portfolio.add_layer(Layer(layer_id=0, elt_ids=(0,)))
+
+    def test_unknown_layer_lookup(self):
+        with pytest.raises(KeyError):
+            Portfolio().layer(5)
+
+    def test_single_layer_factory_matches_paper_shape(self):
+        elts = [make_elt(i) for i in range(15)]
+        portfolio = Portfolio.single_layer(elts)
+        assert portfolio.n_layers == 1
+        assert portfolio.layers[0].n_elts == 15
+        assert portfolio.avg_elts_per_layer() == 15.0
+
+    def test_total_event_losses(self):
+        portfolio = Portfolio.single_layer(
+            [make_elt(0, {1: 1.0, 2: 2.0}), make_elt(1, {3: 1.0})]
+        )
+        assert portfolio.total_event_losses() == 3
+
+    def test_avg_elts_empty(self):
+        assert Portfolio().avg_elts_per_layer() == 0.0
+
+    def test_validate_catches_dangling_reference(self):
+        portfolio = Portfolio()
+        portfolio.add_elt(make_elt(0))
+        portfolio.add_layer(Layer(layer_id=0, elt_ids=(0,)))
+        del portfolio.elts[0]
+        with pytest.raises(KeyError):
+            portfolio.validate()

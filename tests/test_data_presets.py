@@ -1,0 +1,88 @@
+"""Tests for repro.data.presets (workload specifications)."""
+
+import pytest
+
+from repro.data.presets import (
+    BENCH_DEFAULT,
+    BENCH_LARGE,
+    BENCH_SMALL,
+    PAPER,
+    WorkloadSpec,
+    scaled_paper_spec,
+)
+
+
+class TestPaperSpec:
+    def test_matches_section_iv_workload(self):
+        # 1 layer, 15 ELTs, 1M trials x 1000 events, 2M-event catalogue.
+        assert PAPER.n_layers == 1
+        assert PAPER.elts_per_layer == 15
+        assert PAPER.n_trials == 1_000_000
+        assert PAPER.events_per_trial == 1_000
+        assert PAPER.catalog_size == 2_000_000
+        assert PAPER.losses_per_elt == 20_000
+
+    def test_fifteen_billion_lookups(self):
+        # The paper's §III arithmetic: 1000 x 1e6 x 15 = 15e9 lookups.
+        assert PAPER.n_lookups == 15_000_000_000
+
+    def test_thirty_million_direct_slots(self):
+        # "15 x 2,000,000 = 30,000,000 event-loss pairs" (§III).
+        slots = (PAPER.catalog_size + 1) * PAPER.elts_per_layer
+        assert slots == 30_000_015
+
+    def test_elt_density_one_percent(self):
+        assert PAPER.elt_density == pytest.approx(0.01)
+
+
+class TestBenchSpecs:
+    @pytest.mark.parametrize("spec", [BENCH_SMALL, BENCH_DEFAULT, BENCH_LARGE])
+    def test_valid_and_ordered(self, spec):
+        assert spec.n_lookups > 0
+        assert spec.losses_per_elt <= spec.catalog_size
+
+    def test_sizes_increase(self):
+        assert BENCH_SMALL.n_lookups < BENCH_DEFAULT.n_lookups
+        assert BENCH_DEFAULT.n_lookups < BENCH_LARGE.n_lookups
+
+
+class TestWorkloadSpec:
+    def test_with_returns_modified_copy(self):
+        spec = BENCH_SMALL.with_(n_trials=7)
+        assert spec.n_trials == 7
+        assert BENCH_SMALL.n_trials != 7
+        assert spec.catalog_size == BENCH_SMALL.catalog_size
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(
+                name="bad",
+                catalog_size=10,
+                n_trials=1,
+                events_per_trial=1,
+                n_elts=1,
+                elts_per_layer=1,
+                losses_per_elt=100,  # > catalog_size
+            )
+
+    def test_direct_table_bytes(self):
+        spec = BENCH_SMALL
+        expected = (spec.catalog_size + 1) * 8 * spec.elts_per_layer
+        assert spec.direct_table_bytes() == expected
+
+
+class TestScaledPaperSpec:
+    def test_preserves_density_and_elts(self):
+        spec = scaled_paper_spec(0.01, 0.1, 0.1)
+        assert spec.elts_per_layer == PAPER.elts_per_layer
+        assert spec.elt_density == pytest.approx(PAPER.elt_density, rel=0.05)
+
+    def test_scales_trials(self):
+        spec = scaled_paper_spec(trial_fraction=0.5)
+        assert spec.n_trials == PAPER.n_trials // 2
+
+    def test_invalid_fractions_rejected(self):
+        with pytest.raises(ValueError):
+            scaled_paper_spec(trial_fraction=0.0)
+        with pytest.raises(ValueError):
+            scaled_paper_spec(event_fraction=2.0)

@@ -1,0 +1,172 @@
+"""Tests for repro.data.yet (Year Event Table)."""
+
+import numpy as np
+import pytest
+
+from repro.data.yet import (
+    EVENT_ID_DTYPE,
+    OFFSET_DTYPE,
+    TIMESTAMP_DTYPE,
+    YearEventTable,
+)
+
+
+def make_yet(trials):
+    return YearEventTable.from_trials(trials)
+
+
+class TestConstruction:
+    def test_from_trials_sorts_by_timestamp(self):
+        yet = make_yet([[(5, 0.9), (3, 0.1), (7, 0.5)]])
+        ids, times = yet.trial(0)
+        assert list(ids) == [3, 7, 5]
+        assert list(times) == pytest.approx([0.1, 0.5, 0.9], abs=1e-6)
+
+    def test_ragged_trials_supported(self):
+        yet = make_yet([[(1, 0.1)], [(2, 0.2), (3, 0.3)], []])
+        assert yet.n_trials == 3
+        assert list(yet.events_per_trial) == [1, 2, 0]
+
+    def test_dtype_enforcement(self):
+        with pytest.raises(TypeError):
+            YearEventTable(
+                event_ids=np.array([1], dtype=np.int64),  # wrong dtype
+                timestamps=np.array([0.1], dtype=TIMESTAMP_DTYPE),
+                offsets=np.array([0, 1], dtype=OFFSET_DTYPE),
+            )
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            YearEventTable(
+                event_ids=np.array([1, 2], dtype=EVENT_ID_DTYPE),
+                timestamps=np.array([0.1], dtype=TIMESTAMP_DTYPE),
+                offsets=np.array([0, 2], dtype=OFFSET_DTYPE),
+            )
+
+    def test_bad_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            YearEventTable(
+                event_ids=np.array([1], dtype=EVENT_ID_DTYPE),
+                timestamps=np.array([0.1], dtype=TIMESTAMP_DTYPE),
+                offsets=np.array([1, 1], dtype=OFFSET_DTYPE),  # not 0-based
+            )
+
+    def test_decreasing_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            YearEventTable(
+                event_ids=np.array([1, 2], dtype=EVENT_ID_DTYPE),
+                timestamps=np.array([0.1, 0.2], dtype=TIMESTAMP_DTYPE),
+                offsets=np.array([0, 2, 1, 2], dtype=OFFSET_DTYPE),
+            )
+
+
+class TestAccess:
+    def test_trial_views(self):
+        yet = make_yet([[(1, 0.1), (2, 0.2)], [(3, 0.3)]])
+        ids0, _ = yet.trial(0)
+        ids1, _ = yet.trial(1)
+        assert list(ids0) == [1, 2]
+        assert list(ids1) == [3]
+
+    def test_trial_out_of_range(self):
+        yet = make_yet([[(1, 0.1)]])
+        with pytest.raises(IndexError):
+            yet.trial(1)
+
+    def test_iter_trials(self):
+        yet = make_yet([[(1, 0.1)], [(2, 0.2)]])
+        collected = [list(ids) for ids, _ in yet.iter_trials()]
+        assert collected == [[1], [2]]
+
+    def test_counts(self):
+        yet = make_yet([[(1, 0.1), (2, 0.2)], [(3, 0.3)]])
+        assert yet.n_trials == 2
+        assert yet.n_occurrences == 3
+        assert yet.max_events_per_trial == 2
+
+    def test_nbytes_positive(self):
+        yet = make_yet([[(1, 0.1)]])
+        assert yet.nbytes > 0
+
+
+class TestSliceTrials:
+    def test_slice_preserves_content(self):
+        yet = make_yet([[(1, 0.1)], [(2, 0.2), (3, 0.3)], [(4, 0.4)]])
+        sub = yet.slice_trials(1, 3)
+        assert sub.n_trials == 2
+        assert list(sub.trial(0)[0]) == [2, 3]
+        assert list(sub.trial(1)[0]) == [4]
+
+    def test_slice_offsets_rebased(self):
+        yet = make_yet([[(1, 0.1)], [(2, 0.2)]])
+        sub = yet.slice_trials(1, 2)
+        assert sub.offsets[0] == 0
+
+    def test_full_slice_roundtrip(self):
+        yet = make_yet([[(1, 0.1)], [(2, 0.2)]])
+        sub = yet.slice_trials(0, 2)
+        assert np.array_equal(sub.event_ids, yet.event_ids)
+
+    def test_invalid_slice(self):
+        yet = make_yet([[(1, 0.1)]])
+        with pytest.raises(IndexError):
+            yet.slice_trials(0, 2)
+        with pytest.raises(IndexError):
+            yet.slice_trials(-1, 1)
+
+
+class TestDense:
+    def test_to_dense_pads_with_null(self):
+        yet = make_yet([[(1, 0.1), (2, 0.2)], [(3, 0.3)]])
+        dense = yet.to_dense()
+        assert dense.shape == (2, 2)
+        assert dense[1, 1] == 0  # padding
+        assert dense[0, 0] == 1
+
+    def test_to_dense_wider_than_needed(self):
+        yet = make_yet([[(1, 0.1)]])
+        dense = yet.to_dense(width=4)
+        assert dense.shape == (1, 4)
+        assert list(dense[0]) == [1, 0, 0, 0]
+
+    def test_to_dense_too_narrow_rejected(self):
+        yet = make_yet([[(1, 0.1), (2, 0.2)]])
+        with pytest.raises(ValueError):
+            yet.to_dense(width=1)
+
+    def test_from_dense_roundtrip(self):
+        yet = make_yet([[(1, 0.1), (2, 0.5)], [(3, 0.3)]])
+        rebuilt = YearEventTable.from_dense(yet.to_dense())
+        assert rebuilt.n_trials == yet.n_trials
+        assert np.array_equal(rebuilt.event_ids, yet.event_ids)
+
+    def test_from_dense_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            YearEventTable.from_dense(np.zeros(3, dtype=np.int32))
+
+    def test_from_dense_with_timestamps_shape_check(self):
+        matrix = np.array([[1, 2]], dtype=np.int32)
+        with pytest.raises(ValueError):
+            YearEventTable.from_dense(matrix, timestamps=np.zeros((2, 2)))
+
+
+class TestValidation:
+    def test_sorted_timestamps_detected(self, tiny_workload):
+        assert tiny_workload.yet.validate_sorted_timestamps()
+
+    def test_unsorted_timestamps_detected(self):
+        yet = YearEventTable(
+            event_ids=np.array([1, 2], dtype=EVENT_ID_DTYPE),
+            timestamps=np.array([0.9, 0.1], dtype=TIMESTAMP_DTYPE),
+            offsets=np.array([0, 2], dtype=OFFSET_DTYPE),
+        )
+        assert not yet.validate_sorted_timestamps()
+
+    def test_boundary_decrease_is_allowed(self):
+        # Timestamps may reset between trials.
+        yet = YearEventTable(
+            event_ids=np.array([1, 2], dtype=EVENT_ID_DTYPE),
+            timestamps=np.array([0.9, 0.1], dtype=TIMESTAMP_DTYPE),
+            offsets=np.array([0, 1, 2], dtype=OFFSET_DTYPE),
+        )
+        assert yet.validate_sorted_timestamps()

@@ -1,0 +1,106 @@
+"""Tests for repro.data.ylt (Year Loss Table)."""
+
+import numpy as np
+import pytest
+
+from repro.data.ylt import YearLossTable
+
+
+class TestConstruction:
+    def test_single_layer(self):
+        ylt = YearLossTable.single_layer(np.array([1.0, 2.0, 3.0]), layer_id=7)
+        assert ylt.n_layers == 1
+        assert ylt.n_trials == 3
+        assert ylt.layer_ids == (7,)
+
+    def test_from_dict(self):
+        ylt = YearLossTable.from_dict(
+            {0: np.array([1.0, 2.0]), 1: np.array([3.0, 4.0])}
+        )
+        assert ylt.n_layers == 2
+        assert list(ylt.layer_losses(1)) == [3.0, 4.0]
+
+    def test_from_dict_empty_rejected(self):
+        with pytest.raises(ValueError):
+            YearLossTable.from_dict({})
+
+    def test_from_dict_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            YearLossTable.from_dict(
+                {0: np.array([1.0]), 1: np.array([1.0, 2.0])}
+            )
+
+    def test_duplicate_layer_ids_rejected(self):
+        with pytest.raises(ValueError):
+            YearLossTable(layer_ids=(0, 0), losses=np.zeros((2, 3)))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            YearLossTable(layer_ids=(0,), losses=np.zeros(3))
+        with pytest.raises(ValueError):
+            YearLossTable(layer_ids=(0, 1), losses=np.zeros((1, 3)))
+
+
+class TestAccess:
+    def test_layer_losses_unknown_id(self):
+        ylt = YearLossTable.single_layer(np.array([1.0]))
+        with pytest.raises(KeyError):
+            ylt.layer_losses(99)
+
+    def test_portfolio_losses_sums_layers(self):
+        ylt = YearLossTable.from_dict(
+            {0: np.array([1.0, 2.0]), 1: np.array([10.0, 20.0])}
+        )
+        assert list(ylt.portfolio_losses()) == [11.0, 22.0]
+
+    def test_expected_loss_per_layer_and_portfolio(self):
+        ylt = YearLossTable.from_dict(
+            {0: np.array([1.0, 3.0]), 1: np.array([2.0, 2.0])}
+        )
+        assert ylt.expected_loss(0) == 2.0
+        assert ylt.expected_loss() == 4.0
+
+
+class TestCombination:
+    def test_slice_trials(self):
+        ylt = YearLossTable.single_layer(np.arange(10.0))
+        sub = ylt.slice_trials(2, 5)
+        assert list(sub.layer_losses(0)) == [2.0, 3.0, 4.0]
+
+    def test_slice_invalid(self):
+        ylt = YearLossTable.single_layer(np.arange(3.0))
+        with pytest.raises(IndexError):
+            ylt.slice_trials(0, 4)
+
+    def test_concatenate_restores_split(self):
+        ylt = YearLossTable.single_layer(np.arange(10.0))
+        parts = [ylt.slice_trials(0, 4), ylt.slice_trials(4, 10)]
+        rebuilt = YearLossTable.concatenate(parts)
+        assert rebuilt.allclose(ylt)
+
+    def test_concatenate_layer_mismatch_rejected(self):
+        a = YearLossTable.single_layer(np.array([1.0]), layer_id=0)
+        b = YearLossTable.single_layer(np.array([1.0]), layer_id=1)
+        with pytest.raises(ValueError):
+            YearLossTable.concatenate([a, b])
+
+    def test_concatenate_empty_rejected(self):
+        with pytest.raises(ValueError):
+            YearLossTable.concatenate([])
+
+
+class TestComparison:
+    def test_allclose_tolerance(self):
+        a = YearLossTable.single_layer(np.array([1.0, 2.0]))
+        b = YearLossTable.single_layer(np.array([1.0 + 1e-12, 2.0]))
+        assert a.allclose(b)
+
+    def test_allclose_detects_difference(self):
+        a = YearLossTable.single_layer(np.array([1.0]))
+        b = YearLossTable.single_layer(np.array([2.0]))
+        assert not a.allclose(b)
+
+    def test_allclose_different_shapes(self):
+        a = YearLossTable.single_layer(np.array([1.0]))
+        b = YearLossTable.single_layer(np.array([1.0, 2.0]))
+        assert not a.allclose(b)

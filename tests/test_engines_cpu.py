@@ -1,0 +1,141 @@
+"""Tests for the CPU engines: reference, sequential, multicore."""
+
+import numpy as np
+import pytest
+
+from repro.engines.multicore import MulticoreEngine
+from repro.engines.sequential import ReferenceEngine, SequentialEngine
+from repro.utils.timer import ACTIVITY_LOOKUP
+
+
+class TestSequentialEngine:
+    def test_matches_reference(self, tiny_workload, reference_ylt):
+        result = SequentialEngine().run(
+            tiny_workload.yet,
+            tiny_workload.portfolio,
+            tiny_workload.catalog.n_events,
+        )
+        assert reference_ylt.allclose(result.ylt)
+
+    def test_batch_size_irrelevant_to_results(self, tiny_workload):
+        runs = [
+            SequentialEngine(batch_trials=b)
+            .run(
+                tiny_workload.yet,
+                tiny_workload.portfolio,
+                tiny_workload.catalog.n_events,
+            )
+            .ylt
+            for b in (1, 13, 10_000)
+        ]
+        assert runs[0].allclose(runs[1])
+        assert runs[1].allclose(runs[2])
+
+    def test_profile_populated(self, tiny_workload):
+        result = SequentialEngine().run(
+            tiny_workload.yet,
+            tiny_workload.portfolio,
+            tiny_workload.catalog.n_events,
+        )
+        assert result.profile.seconds[ACTIVITY_LOOKUP] > 0
+        assert result.modeled_seconds is None
+
+    def test_invalid_batch_trials(self):
+        with pytest.raises(ValueError):
+            SequentialEngine(batch_trials=0)
+
+    def test_empty_yet_rejected(self, tiny_workload):
+        import numpy as np
+
+        from repro.data.yet import YearEventTable
+
+        empty = YearEventTable(
+            event_ids=np.empty(0, dtype=np.int32),
+            timestamps=np.empty(0, dtype=np.float32),
+            offsets=np.zeros(1, dtype=np.int64),
+        )
+        with pytest.raises(ValueError, match="no trials"):
+            SequentialEngine().run(
+                empty,
+                tiny_workload.portfolio,
+                tiny_workload.catalog.n_events,
+            )
+
+
+class TestReferenceEngine:
+    def test_agrees_with_direct_call(self, tiny_workload, reference_ylt):
+        result = ReferenceEngine().run(
+            tiny_workload.yet,
+            tiny_workload.portfolio,
+            tiny_workload.catalog.n_events,
+        )
+        assert reference_ylt.allclose(result.ylt, rtol=0, atol=0)
+
+
+class TestMulticoreEngine:
+    def test_matches_reference(self, tiny_workload, reference_ylt):
+        result = MulticoreEngine(n_cores=4).run(
+            tiny_workload.yet,
+            tiny_workload.portfolio,
+            tiny_workload.catalog.n_events,
+        )
+        assert reference_ylt.allclose(result.ylt)
+
+    def test_single_core_degenerate_case(self, tiny_workload, reference_ylt):
+        result = MulticoreEngine(n_cores=1).run(
+            tiny_workload.yet,
+            tiny_workload.portfolio,
+            tiny_workload.catalog.n_events,
+        )
+        assert reference_ylt.allclose(result.ylt)
+
+    def test_oversubscription_does_not_change_results(self, small_workload):
+        base = MulticoreEngine(n_cores=2, threads_per_core=1).run(
+            small_workload.yet,
+            small_workload.portfolio,
+            small_workload.catalog.n_events,
+        )
+        over = MulticoreEngine(n_cores=2, threads_per_core=16).run(
+            small_workload.yet,
+            small_workload.portfolio,
+            small_workload.catalog.n_events,
+        )
+        assert base.ylt.allclose(over.ylt)
+        assert over.meta["n_logical_threads"] == 32
+
+    def test_more_threads_than_trials(self, tiny_workload, reference_ylt):
+        result = MulticoreEngine(n_cores=8, threads_per_core=32).run(
+            tiny_workload.yet,
+            tiny_workload.portfolio,
+            tiny_workload.catalog.n_events,
+        )
+        assert reference_ylt.allclose(result.ylt)
+
+    def test_meta_reports_geometry(self, tiny_workload):
+        result = MulticoreEngine(n_cores=3, threads_per_core=5).run(
+            tiny_workload.yet,
+            tiny_workload.portfolio,
+            tiny_workload.catalog.n_events,
+        )
+        assert result.meta["n_cores"] == 3
+        assert result.meta["threads_per_core"] == 5
+        assert result.meta["n_logical_threads"] == 15
+
+    def test_invalid_core_counts(self):
+        with pytest.raises(ValueError):
+            MulticoreEngine(n_cores=-1)
+        with pytest.raises(ValueError):
+            MulticoreEngine(threads_per_core=0)
+
+    def test_multilayer(self, multilayer_workload):
+        from repro.core.algorithm import aggregate_risk_analysis_reference
+
+        result = MulticoreEngine(n_cores=4).run(
+            multilayer_workload.yet,
+            multilayer_workload.portfolio,
+            multilayer_workload.catalog.n_events,
+        )
+        reference = aggregate_risk_analysis_reference(
+            multilayer_workload.yet, multilayer_workload.portfolio
+        )
+        assert reference.allclose(result.ylt)

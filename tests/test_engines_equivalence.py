@@ -1,0 +1,140 @@
+"""Cross-engine equivalence: the central correctness claim.
+
+Every implementation of Algorithm 1 must produce the same YLT on the same
+inputs — exactly (float64 engines) or within float32 tolerance (reduced-
+precision engines).  This is checked on fixtures and, with hypothesis, on
+randomly generated portfolios/YETs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.algorithm import aggregate_risk_analysis_reference
+from repro.data.elt import ELTFinancialTerms, EventLossTable
+from repro.data.layer import Layer, LayerTerms, Portfolio
+from repro.data.yet import YearEventTable
+from repro.engines.registry import available_engines, create_engine
+
+EXACT_ENGINES = ("sequential", "multicore", "gpu")
+FLOAT32_ENGINES = ("gpu-optimized", "multi-gpu")
+
+
+@pytest.mark.parametrize("engine", EXACT_ENGINES)
+def test_exact_engines_match_reference(engine, tiny_workload, reference_ylt):
+    result = create_engine(engine).run(
+        tiny_workload.yet,
+        tiny_workload.portfolio,
+        tiny_workload.catalog.n_events,
+    )
+    assert reference_ylt.allclose(result.ylt, rtol=1e-9, atol=1e-6)
+
+
+@pytest.mark.parametrize("engine", FLOAT32_ENGINES)
+def test_reduced_precision_engines_match_within_tolerance(
+    engine, tiny_workload, reference_ylt
+):
+    result = create_engine(engine).run(
+        tiny_workload.yet,
+        tiny_workload.portfolio,
+        tiny_workload.catalog.n_events,
+    )
+    scale = max(float(np.abs(reference_ylt.losses).max()), 1.0)
+    assert reference_ylt.allclose(result.ylt, rtol=1e-4, atol=1e-5 * scale)
+
+
+def test_all_engines_registered():
+    assert set(available_engines()) == {
+        "reference",
+        "sequential",
+        "multicore",
+        "gpu",
+        "gpu-optimized",
+        "multi-gpu",
+    }
+
+
+# ----------------------------------------------------------------------
+# Randomised equivalence (hypothesis)
+# ----------------------------------------------------------------------
+CATALOG = 120
+
+
+@st.composite
+def random_problem(draw):
+    """A random small YET + single-layer portfolio."""
+    n_elts = draw(st.integers(1, 3))
+    elts = []
+    for elt_id in range(n_elts):
+        mapping = draw(
+            st.dictionaries(
+                st.integers(1, CATALOG),
+                st.floats(0.0, 1e6, allow_nan=False),
+                min_size=1,
+                max_size=25,
+            )
+        )
+        terms = ELTFinancialTerms(
+            retention=draw(st.floats(0, 100.0)),
+            limit=draw(st.floats(100.0, 1e7)),
+            share=draw(st.floats(0.1, 1.0)),
+        )
+        elts.append(EventLossTable.from_dict(elt_id, mapping, terms=terms))
+    layer_terms = LayerTerms(
+        occ_retention=draw(st.floats(0, 1e4)),
+        occ_limit=draw(st.floats(1.0, 1e6)),
+        agg_retention=draw(st.floats(0, 1e5)),
+        agg_limit=draw(st.floats(1.0, 1e7)),
+    )
+    portfolio = Portfolio.single_layer(elts, terms=layer_terms)
+
+    n_trials = draw(st.integers(1, 8))
+    trials = []
+    for _ in range(n_trials):
+        events = draw(
+            st.lists(
+                st.tuples(
+                    st.integers(1, CATALOG), st.floats(0.0, 1.0, width=32)
+                ),
+                min_size=0,
+                max_size=15,
+            )
+        )
+        trials.append(events)
+    yet = YearEventTable.from_trials(trials)
+    return yet, portfolio
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(problem=random_problem())
+def test_engines_agree_on_random_problems(problem):
+    yet, portfolio = problem
+    reference = aggregate_risk_analysis_reference(yet, portfolio)
+    scale = max(float(np.abs(reference.losses).max()), 1.0)
+    for engine in EXACT_ENGINES:
+        result = create_engine(engine, n_cores=2).run(yet, portfolio, CATALOG)
+        assert reference.allclose(result.ylt, rtol=1e-9, atol=1e-6), engine
+    for engine in FLOAT32_ENGINES:
+        result = create_engine(engine, n_devices=2).run(
+            yet, portfolio, CATALOG
+        )
+        assert reference.allclose(
+            result.ylt, rtol=1e-3, atol=1e-4 * scale
+        ), engine
+
+
+@settings(max_examples=10, deadline=None)
+@given(problem=random_problem(), kind=st.sampled_from(
+    ["direct", "sorted", "hash", "cuckoo", "compressed"]
+))
+def test_lookup_kind_never_changes_results(problem, kind):
+    yet, portfolio = problem
+    reference = aggregate_risk_analysis_reference(yet, portfolio)
+    result = create_engine("sequential", lookup_kind=kind).run(
+        yet, portfolio, CATALOG
+    )
+    assert reference.allclose(result.ylt, rtol=1e-9, atol=1e-6)

@@ -1,0 +1,136 @@
+"""Tests for device specs, launch geometry and occupancy."""
+
+import pytest
+
+from repro.gpusim.device import DeviceSpec, TESLA_C2075, TESLA_M2090
+from repro.gpusim.hierarchy import KernelLaunch
+from repro.gpusim.occupancy import compute_occupancy
+
+
+class TestDeviceSpecs:
+    def test_c2075_matches_paper_description(self):
+        # "448 processor cores (organised as 14 streaming multi-processors
+        # each with 32 ...), each with a frequency of 1.15 GHz, a global
+        # memory of 5.375 GB and a memory bandwidth of 144 GB/sec"
+        assert TESLA_C2075.n_cores == 448
+        assert TESLA_C2075.n_sms == 14
+        assert TESLA_C2075.clock_ghz == 1.15
+        assert TESLA_C2075.mem_bandwidth_gbs == 144.0
+        assert TESLA_C2075.global_mem_bytes == int(5.375 * 2**30)
+        # "peak double precision ... 515 Gflops ... single ... 1.03 Tflops"
+        assert TESLA_C2075.peak_dp_gflops == 515.0
+        assert TESLA_C2075.peak_sp_gflops == 1030.0
+
+    def test_m2090_matches_paper_description(self):
+        # "512 processor cores ... 5.375 GB ... 177 GB/sec ... 665 Gflops
+        # double, 1.33 Tflops single"
+        assert TESLA_M2090.n_cores == 512
+        assert TESLA_M2090.mem_bandwidth_gbs == 177.0
+        assert TESLA_M2090.peak_dp_gflops == 665.0
+
+    def test_peak_flops_by_precision(self):
+        assert TESLA_C2075.peak_flops(4) == pytest.approx(1.03e12)
+        assert TESLA_C2075.peak_flops(8) == pytest.approx(515e9)
+
+    def test_max_warps(self):
+        assert TESLA_C2075.max_warps_per_sm == 48  # 1536 / 32
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(
+                name="bad", n_sms=0, cores_per_sm=32, clock_ghz=1.0,
+                global_mem_bytes=1, mem_bandwidth_gbs=1.0,
+            )
+
+
+class TestKernelLaunch:
+    def test_grid_size_matches_paper_example(self):
+        # §IV.B: 1M threads at 256/block → ~3906 blocks over 14 SMs → ~279.
+        launch = KernelLaunch(n_threads_total=1_000_000, threads_per_block=256)
+        assert launch.n_blocks == 3907  # ceil(1e6/256)
+        assert launch.blocks_per_sm_estimate(TESLA_C2075) == 280  # ceil
+
+    def test_warps_round_up(self):
+        launch = KernelLaunch(n_threads_total=100, threads_per_block=48)
+        assert launch.warps_per_block() == 2
+
+    def test_lane_utilization(self):
+        assert KernelLaunch(1, 32).lane_utilization() == 1.0
+        assert KernelLaunch(1, 16).lane_utilization() == 0.5
+        assert KernelLaunch(1, 48).lane_utilization() == 0.75
+
+    def test_validate_block_size_limit(self):
+        launch = KernelLaunch(n_threads_total=10, threads_per_block=2048)
+        with pytest.raises(ValueError, match="exceeds device limit"):
+            launch.validate_against(TESLA_C2075)
+
+    def test_validate_shared_overflow(self):
+        launch = KernelLaunch(
+            n_threads_total=10,
+            threads_per_block=64,
+            shared_bytes_per_block=TESLA_C2075.shared_mem_per_sm_bytes + 1,
+        )
+        with pytest.raises(ValueError, match="shared memory overflow"):
+            launch.validate_against(TESLA_C2075)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            KernelLaunch(n_threads_total=0, threads_per_block=32)
+        with pytest.raises(ValueError):
+            KernelLaunch(n_threads_total=1, threads_per_block=0)
+
+
+class TestOccupancy:
+    def test_256_threads_fully_occupies_fermi(self):
+        # 6 blocks x 256 threads = 1536 = max → occupancy 1.0.
+        occ = compute_occupancy(
+            TESLA_C2075, KernelLaunch(10_000, 256, registers_per_thread=20)
+        )
+        assert occ.blocks_per_sm == 6
+        assert occ.occupancy == pytest.approx(1.0)
+
+    def test_128_threads_is_block_slot_limited(self):
+        # 8-block cap → 1024 threads → 2/3 occupancy (the Figure 2 dip).
+        occ = compute_occupancy(
+            TESLA_C2075, KernelLaunch(10_000, 128, registers_per_thread=20)
+        )
+        assert occ.blocks_per_sm == 8
+        assert occ.limiting_resource == "blocks"
+        assert occ.occupancy == pytest.approx(2 / 3)
+
+    def test_shared_memory_limits_blocks(self):
+        occ = compute_occupancy(
+            TESLA_C2075,
+            KernelLaunch(
+                10_000, 64, shared_bytes_per_block=24 * 1024,
+                registers_per_thread=20,
+            ),
+        )
+        assert occ.blocks_per_sm == 2
+        assert occ.limiting_resource == "shared"
+
+    def test_registers_limit_blocks(self):
+        occ = compute_occupancy(
+            TESLA_C2075,
+            KernelLaunch(10_000, 256, registers_per_thread=64),
+        )
+        # 64 regs x 256 threads = 16384 regs/block → 2 blocks/SM.
+        assert occ.blocks_per_sm == 2
+        assert occ.limiting_resource == "registers"
+
+    def test_unlaunchable_block(self):
+        occ = compute_occupancy(
+            TESLA_C2075,
+            KernelLaunch(
+                10, 32, shared_bytes_per_block=49 * 1024,
+            ),
+        )
+        assert occ.blocks_per_sm == 0
+        assert not occ.launchable
+
+    def test_partial_warps_allocate_whole_warps(self):
+        # 48-thread blocks consume 2 warps of thread budget each.
+        occ = compute_occupancy(
+            TESLA_C2075, KernelLaunch(10_000, 48, registers_per_thread=16)
+        )
+        assert occ.active_warps_per_sm == occ.blocks_per_sm * 2

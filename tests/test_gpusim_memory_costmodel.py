@@ -1,0 +1,185 @@
+"""Tests for traffic accounting and the kernel cost model."""
+
+import pytest
+
+from repro.gpusim.costmodel import (
+    ACHIEVABLE_BW_FRACTION,
+    concurrency_factor,
+    estimate_kernel_seconds,
+)
+from repro.gpusim.device import TESLA_C2075
+from repro.gpusim.hierarchy import KernelLaunch
+from repro.gpusim.memory import (
+    STRIDED_EFFECTIVE_BYTES,
+    DeviceCounters,
+    TrafficClass,
+)
+from repro.gpusim.occupancy import compute_occupancy
+
+
+def make_counters():
+    return DeviceCounters(device=TESLA_C2075)
+
+
+class TestDeviceCounters:
+    def test_random_charges_full_transactions(self):
+        counters = make_counters()
+        counters.global_random(10, word_bytes=4)
+        assert counters.global_bytes_moved[TrafficClass.RANDOM.value] == (
+            10 * TESLA_C2075.transaction_bytes
+        )
+        assert counters.global_bytes_useful == 40
+        assert counters.global_transactions == 10
+
+    def test_random_word_size_does_not_change_bytes_moved(self):
+        # The paper's float32 optimisation does NOT shrink lookup traffic:
+        # an uncoalesced access moves a whole 128-byte line either way.
+        a, b = make_counters(), make_counters()
+        a.global_random(100, word_bytes=4)
+        b.global_random(100, word_bytes=8)
+        assert (
+            a.total_global_bytes_moved == b.total_global_bytes_moved
+        )
+
+    def test_strided_charges_effective_bytes(self):
+        counters = make_counters()
+        counters.global_strided(10, word_bytes=8)
+        assert counters.global_bytes_moved[TrafficClass.STRIDED.value] == (
+            10 * STRIDED_EFFECTIVE_BYTES
+        )
+
+    def test_coalesced_rounds_to_transactions(self):
+        counters = make_counters()
+        counters.global_coalesced(100)  # < one 128-byte transaction
+        assert counters.global_bytes_moved[TrafficClass.COALESCED.value] == 128
+        assert counters.global_transactions == 1
+
+    def test_bus_efficiency(self):
+        counters = make_counters()
+        counters.global_random(1, word_bytes=4)
+        assert counters.bus_efficiency == pytest.approx(4 / 128)
+
+    def test_activity_attribution(self):
+        counters = make_counters()
+        counters.global_random(5, 4, activity="loss_lookup")
+        counters.global_coalesced(256, activity="fetch_events")
+        assert counters.activity_bytes["loss_lookup"] == 5 * 128
+        assert counters.activity_bytes["fetch_events"] == 256
+
+    def test_flops_split_by_precision(self):
+        counters = make_counters()
+        counters.flops(100, dtype_bytes=4)
+        counters.flops(50, dtype_bytes=8)
+        assert counters.flops_sp == 100
+        assert counters.flops_dp == 50
+
+    def test_merge(self):
+        a, b = make_counters(), make_counters()
+        a.global_random(10, 4, activity="loss_lookup")
+        b.global_random(5, 4, activity="loss_lookup")
+        b.shared(100)
+        a.merge(b)
+        assert a.global_transactions == 15
+        assert a.shared_accesses == 100
+        assert a.activity_bytes["loss_lookup"] == 15 * 128
+
+    def test_shared_conflict_factor(self):
+        counters = make_counters()
+        counters.shared(10, conflict_factor=2.0)
+        assert counters.shared_accesses == 20
+        with pytest.raises(ValueError):
+            counters.shared(1, conflict_factor=0.5)
+
+
+class TestConcurrencyFactor:
+    def _factor(self, tpb, registers=20, shared=0, mlp=1.0):
+        launch = KernelLaunch(
+            100_000, tpb, shared_bytes_per_block=shared,
+            registers_per_thread=registers,
+        )
+        occ = compute_occupancy(TESLA_C2075, launch)
+        return concurrency_factor(TESLA_C2075, launch, occ, mlp)
+
+    def test_full_occupancy_saturates(self):
+        assert self._factor(256) == pytest.approx(1.0)
+
+    def test_low_occupancy_derates(self):
+        assert self._factor(128) < 1.0
+
+    def test_mlp_compensates_low_occupancy(self):
+        low = self._factor(64, shared=24 * 1024, mlp=1.0)
+        high = self._factor(64, shared=24 * 1024, mlp=32.0)
+        assert high > low
+        assert high == pytest.approx(1.0)
+
+    def test_subwarp_blocks_derated_by_lane_util(self):
+        full = self._factor(32, shared=12 * 1024, mlp=64.0)
+        half = self._factor(16, shared=6 * 1024, mlp=64.0)
+        assert half == pytest.approx(0.5 * full)
+
+    def test_infeasible_launch_raises(self):
+        launch = KernelLaunch(10, 32, shared_bytes_per_block=49 * 1024)
+        occ = compute_occupancy(TESLA_C2075, launch)
+        with pytest.raises(ValueError, match="infeasible"):
+            concurrency_factor(TESLA_C2075, launch, occ, 1.0)
+
+
+class TestEstimateKernelSeconds:
+    def test_memory_bound_kernel_time(self):
+        counters = make_counters()
+        counters.global_random(1_000_000, 8)
+        cost = estimate_kernel_seconds(
+            TESLA_C2075, KernelLaunch(100_000, 256, registers_per_thread=20),
+            counters,
+        )
+        expected = (1_000_000 * 128) / (
+            TESLA_C2075.mem_bandwidth_bytes * ACHIEVABLE_BW_FRACTION
+        )
+        assert cost.bandwidth_s == pytest.approx(expected)
+        assert cost.memory_bound
+        assert cost.total >= cost.bandwidth_s
+
+    def test_compute_bound_kernel(self):
+        counters = make_counters()
+        counters.flops(1e12, dtype_bytes=4)
+        cost = estimate_kernel_seconds(
+            TESLA_C2075, KernelLaunch(100_000, 256, registers_per_thread=20),
+            counters,
+        )
+        assert not cost.memory_bound
+        assert cost.compute_s == pytest.approx(1e12 / 1.03e12)
+
+    def test_barrier_intensity_penalises_single_resident_block(self):
+        counters = make_counters()
+        counters.global_random(1_000_000, 4)
+        launch = KernelLaunch(
+            100_000, 256, shared_bytes_per_block=48 * 1024,
+            registers_per_thread=32,
+        )
+        free = estimate_kernel_seconds(
+            TESLA_C2075, launch, counters, mlp=24.0, barrier_intensity=0.0
+        )
+        stalled = estimate_kernel_seconds(
+            TESLA_C2075, launch, counters, mlp=24.0, barrier_intensity=0.12
+        )
+        assert stalled.bandwidth_s == pytest.approx(free.bandwidth_s * 1.12)
+
+    def test_negative_barrier_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_kernel_seconds(
+                TESLA_C2075,
+                KernelLaunch(10, 32),
+                make_counters(),
+                barrier_intensity=-1.0,
+            )
+
+    def test_overhead_grows_with_blocks(self):
+        counters = make_counters()
+        counters.global_random(100, 4)
+        small = estimate_kernel_seconds(
+            TESLA_C2075, KernelLaunch(1_000, 256), counters
+        )
+        large = estimate_kernel_seconds(
+            TESLA_C2075, KernelLaunch(1_000_000, 256), counters
+        )
+        assert large.overhead_s > small.overhead_s

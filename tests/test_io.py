@@ -1,0 +1,156 @@
+"""Tests for binary/CSV serialisation and memory estimation."""
+
+import numpy as np
+import pytest
+
+from repro.data.elt import ELTFinancialTerms, EventLossTable
+from repro.data.presets import BENCH_SMALL, PAPER
+from repro.data.ylt import YearLossTable
+from repro.io.binary import (
+    load_elt,
+    load_portfolio,
+    load_yet,
+    load_ylt,
+    save_elt,
+    save_portfolio,
+    save_yet,
+    save_ylt,
+)
+from repro.io.csvio import elt_from_csv, elt_to_csv, ylt_to_csv
+from repro.io.memory import estimate_workload_memory
+
+
+class TestYetRoundtrip:
+    def test_roundtrip_preserves_everything(self, tiny_workload, tmp_path):
+        path = tmp_path / "yet.npz"
+        save_yet(tiny_workload.yet, path)
+        loaded = load_yet(path)
+        assert np.array_equal(loaded.event_ids, tiny_workload.yet.event_ids)
+        assert np.array_equal(loaded.timestamps, tiny_workload.yet.timestamps)
+        assert np.array_equal(loaded.offsets, tiny_workload.yet.offsets)
+
+    def test_wrong_format_rejected(self, tiny_workload, tmp_path):
+        path = tmp_path / "notyet.npz"
+        save_ylt(YearLossTable.single_layer(np.array([1.0])), path)
+        with pytest.raises(ValueError, match="format"):
+            load_yet(path)
+
+
+class TestEltRoundtrip:
+    def test_roundtrip_with_terms(self, tmp_path):
+        elt = EventLossTable.from_dict(
+            7,
+            {1: 10.5, 99: 2.25},
+            terms=ELTFinancialTerms(
+                retention=3.0, limit=100.0, share=0.8, currency_rate=1.1
+            ),
+        )
+        path = tmp_path / "elt.npz"
+        save_elt(elt, path)
+        loaded = load_elt(path)
+        assert loaded.elt_id == 7
+        assert loaded.to_dict() == elt.to_dict()
+        assert loaded.terms == elt.terms
+
+    def test_infinite_limit_survives(self, tmp_path):
+        elt = EventLossTable.from_dict(0, {1: 1.0})
+        path = tmp_path / "elt.npz"
+        save_elt(elt, path)
+        assert np.isinf(load_elt(path).terms.limit)
+
+
+class TestPortfolioRoundtrip:
+    def test_roundtrip(self, tiny_workload, tmp_path):
+        path = tmp_path / "portfolio.npz"
+        save_portfolio(tiny_workload.portfolio, path)
+        loaded = load_portfolio(path)
+        assert loaded.n_layers == tiny_workload.portfolio.n_layers
+        assert loaded.n_elts == tiny_workload.portfolio.n_elts
+        for layer, original in zip(
+            loaded.layers, tiny_workload.portfolio.layers
+        ):
+            assert layer.layer_id == original.layer_id
+            assert layer.elt_ids == original.elt_ids
+            assert layer.terms.as_tuple() == original.terms.as_tuple()
+        for elt_id, elt in loaded.elts.items():
+            assert elt.to_dict() == tiny_workload.portfolio.elts[
+                elt_id
+            ].to_dict()
+
+    def test_analysis_identical_after_roundtrip(
+        self, tiny_workload, reference_ylt, tmp_path
+    ):
+        from repro.core.algorithm import aggregate_risk_analysis_reference
+
+        p_path = tmp_path / "p.npz"
+        y_path = tmp_path / "y.npz"
+        save_portfolio(tiny_workload.portfolio, p_path)
+        save_yet(tiny_workload.yet, y_path)
+        ylt = aggregate_risk_analysis_reference(
+            load_yet(y_path), load_portfolio(p_path)
+        )
+        assert reference_ylt.allclose(ylt, rtol=0, atol=0)
+
+
+class TestYltRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        ylt = YearLossTable.from_dict(
+            {0: np.array([1.0, 2.5]), 3: np.array([0.0, 9.0])}
+        )
+        path = tmp_path / "ylt.npz"
+        save_ylt(ylt, path)
+        loaded = load_ylt(path)
+        assert loaded.allclose(ylt, rtol=0, atol=0)
+        assert loaded.layer_ids == (0, 3)
+
+
+class TestCsv:
+    def test_elt_roundtrip(self, tmp_path):
+        elt = EventLossTable.from_dict(2, {5: 1.25, 3: 10.0, 100: 0.125})
+        path = tmp_path / "elt.csv"
+        elt_to_csv(elt, path)
+        loaded = elt_from_csv(path, elt_id=2)
+        assert loaded.to_dict() == elt.to_dict()
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("foo,bar\n1,2\n")
+        with pytest.raises(ValueError, match="header"):
+            elt_from_csv(path, elt_id=0)
+
+    def test_bad_row_reported_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("event_id,loss\n1,notanumber\n")
+        with pytest.raises(ValueError, match=":2"):
+            elt_from_csv(path, elt_id=0)
+
+    def test_ylt_csv_shape(self, tmp_path):
+        ylt = YearLossTable.from_dict(
+            {0: np.array([1.0, 2.0]), 1: np.array([3.0, 4.0])}
+        )
+        path = tmp_path / "ylt.csv"
+        ylt_to_csv(ylt, path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "trial,layer_0,layer_1"
+        assert len(lines) == 3
+
+
+class TestMemoryEstimate:
+    def test_paper_direct_table_arithmetic(self):
+        estimate = estimate_workload_memory(PAPER)
+        # 15 x (2M + 1) x 8 bytes ≈ 240 MB of loss slots.
+        assert estimate.direct_tables_bytes == 15 * (2_000_001) * 8
+        assert estimate.direct_overhead_factor > 50
+
+    def test_paper_yet_ids_fit_tesla_but_not_with_timestamps(self):
+        from repro.gpusim.device import TESLA_C2075
+
+        ids_only = estimate_workload_memory(PAPER, include_timestamps=False)
+        with_times = estimate_workload_memory(PAPER, include_timestamps=True)
+        budget = TESLA_C2075.global_mem_bytes
+        assert ids_only.fits(budget, direct=True)
+        assert not with_times.fits(budget, direct=True)
+
+    def test_compact_smaller_than_direct(self):
+        estimate = estimate_workload_memory(BENCH_SMALL)
+        assert estimate.compact_tables_bytes < estimate.direct_tables_bytes

@@ -1,0 +1,117 @@
+"""Tests for the combined direct table and the lookup factory."""
+
+import numpy as np
+import pytest
+
+from repro.data.elt import EventLossTable
+from repro.lookup.combined import CombinedDirectTable
+from repro.lookup.factory import (
+    LOOKUP_KINDS,
+    build_layer_lookups,
+    build_lookup,
+    memory_report,
+)
+
+CATALOG = 2_000
+
+
+def make_elts(n_elts=3, n_losses=100):
+    rng = np.random.default_rng(7)
+    elts = []
+    for elt_id in range(n_elts):
+        ids = np.sort(
+            rng.choice(np.arange(1, CATALOG + 1), size=n_losses, replace=False)
+        )
+        elts.append(
+            EventLossTable(
+                elt_id=elt_id,
+                event_ids=ids.astype(np.int32),
+                losses=rng.lognormal(8, 1, size=n_losses),
+            )
+        )
+    return elts
+
+
+class TestCombinedDirectTable:
+    def test_rows_match_individual_lookups(self):
+        elts = make_elts()
+        combined = CombinedDirectTable(elts, CATALOG)
+        queries = np.array([1, 5, 100, 1999])
+        rows = combined.lookup_rows(queries)
+        assert rows.shape == (4, 3)
+        for col, elt in enumerate(elts):
+            expected = [elt.loss_of(int(q)) for q in queries]
+            assert np.allclose(rows[:, col], expected)
+
+    def test_lookup_elt_column(self):
+        elts = make_elts()
+        combined = CombinedDirectTable(elts, CATALOG)
+        out = combined.lookup_elt(elts[1].event_ids, elts[1].elt_id)
+        assert np.allclose(out, elts[1].losses)
+
+    def test_lookup_unknown_elt_rejected(self):
+        combined = CombinedDirectTable(make_elts(), CATALOG)
+        with pytest.raises(KeyError):
+            combined.lookup_elt(np.array([1]), 99)
+
+    def test_row_bytes(self):
+        combined = CombinedDirectTable(make_elts(n_elts=15), CATALOG)
+        assert combined.row_nbytes == 15 * 8
+
+    def test_memory_is_slots_times_elts(self):
+        combined = CombinedDirectTable(make_elts(n_elts=4), CATALOG)
+        assert combined.nbytes == (CATALOG + 1) * 4 * 8
+
+    def test_empty_elt_list_rejected(self):
+        with pytest.raises(ValueError):
+            CombinedDirectTable([], CATALOG)
+
+    def test_duplicate_elt_ids_rejected(self):
+        elts = make_elts(n_elts=2)
+        elts[1].elt_id = elts[0].elt_id
+        with pytest.raises(ValueError):
+            CombinedDirectTable(elts, CATALOG)
+
+    def test_2d_row_queries(self):
+        elts = make_elts()
+        combined = CombinedDirectTable(elts, CATALOG)
+        queries = np.zeros((2, 5), dtype=np.int64)
+        rows = combined.lookup_rows(queries)
+        assert rows.shape == (2, 5, 3)
+        assert np.all(rows == 0.0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind", LOOKUP_KINDS)
+    def test_builds_each_kind(self, kind):
+        elt = make_elts(n_elts=1)[0]
+        lookup = build_lookup(elt, CATALOG, kind=kind)
+        assert lookup.kind == kind
+        assert np.allclose(lookup.lookup(elt.event_ids), elt.losses)
+
+    def test_unknown_kind_rejected(self):
+        elt = make_elts(n_elts=1)[0]
+        with pytest.raises(ValueError, match="unknown lookup kind"):
+            build_lookup(elt, CATALOG, kind="btree")
+
+    def test_build_layer_lookups(self):
+        elts = make_elts(n_elts=4)
+        lookups = build_layer_lookups(elts, CATALOG, kind="sorted")
+        assert len(lookups) == 4
+        assert [lk.elt_id for lk in lookups] == [0, 1, 2, 3]
+
+    def test_memory_report_shape(self):
+        rows = memory_report(make_elts(), CATALOG)
+        kinds = [row["kind"] for row in rows]
+        assert kinds == list(LOOKUP_KINDS)
+        assert "compressed" in kinds  # §VI future-work structure included
+
+    def test_memory_report_direct_uses_most_memory_fewest_accesses(self):
+        # The §III trade-off, as data.
+        rows = {row["kind"]: row for row in memory_report(make_elts(), CATALOG)}
+        assert rows["direct"]["total_bytes"] == max(
+            r["total_bytes"] for r in rows.values()
+        )
+        assert rows["direct"]["accesses_per_lookup"] == min(
+            r["accesses_per_lookup"] for r in rows.values()
+        )

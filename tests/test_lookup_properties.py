@@ -1,0 +1,74 @@
+"""Property-based tests: every lookup structure vs the dict oracle."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.data.elt import EventLossTable
+from repro.lookup.factory import LOOKUP_KINDS, build_lookup
+
+CATALOG = 400
+
+
+@st.composite
+def elt_and_queries(draw):
+    """A random sparse ELT plus a random query batch over the catalogue."""
+    mapping = draw(
+        st.dictionaries(
+            keys=st.integers(1, CATALOG),
+            values=st.floats(0.0, 1e9, allow_nan=False),
+            min_size=0,
+            max_size=60,
+        )
+    )
+    queries = draw(
+        st.lists(st.integers(0, CATALOG), min_size=0, max_size=80)
+    )
+    return mapping, np.asarray(queries, dtype=np.int64)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=elt_and_queries())
+def test_all_structures_match_dict_oracle(data):
+    mapping, queries = data
+    elt = EventLossTable.from_dict(0, mapping)
+    expected = np.array(
+        [mapping.get(int(q), 0.0) for q in queries], dtype=np.float64
+    )
+    for kind in LOOKUP_KINDS:
+        lookup = build_lookup(elt, CATALOG, kind=kind)
+        out = lookup.lookup(queries)
+        assert np.allclose(out, expected), f"{kind} disagreed with oracle"
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=elt_and_queries())
+def test_structures_agree_with_each_other(data):
+    mapping, queries = data
+    elt = EventLossTable.from_dict(0, mapping)
+    results = {
+        kind: build_lookup(elt, CATALOG, kind=kind).lookup(queries)
+        for kind in LOOKUP_KINDS
+    }
+    baseline = results["direct"]
+    for kind, out in results.items():
+        assert np.allclose(out, baseline), f"{kind} != direct"
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    mapping=st.dictionaries(
+        st.integers(1, CATALOG), st.floats(0.01, 1e6), min_size=1, max_size=50
+    )
+)
+def test_access_count_ordering_invariant(mapping):
+    """Direct ≤ cuckoo ≤ sorted in expected accesses (for n ≥ 4)."""
+    elt = EventLossTable.from_dict(0, mapping)
+    direct = build_lookup(elt, CATALOG, kind="direct")
+    cuckoo = build_lookup(elt, CATALOG, kind="cuckoo")
+    sorted_ = build_lookup(elt, CATALOG, kind="sorted")
+    assert direct.mean_accesses_per_lookup() <= cuckoo.mean_accesses_per_lookup()
+    if elt.n_losses >= 4:
+        assert (
+            cuckoo.mean_accesses_per_lookup()
+            <= sorted_.mean_accesses_per_lookup()
+        )

@@ -1,0 +1,250 @@
+"""Tests for the concrete lookup structures (direct/sorted/hash/cuckoo)."""
+
+import numpy as np
+import pytest
+
+from repro.data.elt import EventLossTable
+from repro.lookup.compressed import CompressedBlockTable
+from repro.lookup.cuckoo import CuckooTable
+from repro.lookup.direct import DirectAccessTable
+from repro.lookup.hashtable import OpenAddressingTable
+from repro.lookup.sorted_table import SortedLookupTable
+
+CATALOG = 5_000
+
+
+def make_elt(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    ids = np.sort(rng.choice(np.arange(1, CATALOG + 1), size=n, replace=False))
+    return EventLossTable(
+        elt_id=0,
+        event_ids=ids.astype(np.int32),
+        losses=rng.lognormal(10, 1, size=n),
+    )
+
+
+ALL_KINDS = [
+    ("direct", lambda elt: DirectAccessTable(elt, CATALOG)),
+    ("sorted", lambda elt: SortedLookupTable(elt)),
+    ("hash", lambda elt: OpenAddressingTable(elt)),
+    ("cuckoo", lambda elt: CuckooTable(elt)),
+    ("compressed", lambda elt: CompressedBlockTable(elt, loss_dtype=np.float64)),
+]
+
+
+@pytest.mark.parametrize("kind,builder", ALL_KINDS)
+class TestCommonContract:
+    def test_hits_match_oracle(self, kind, builder):
+        elt = make_elt()
+        lookup = builder(elt)
+        out = lookup.lookup(elt.event_ids)
+        assert np.allclose(out, elt.losses)
+
+    def test_misses_are_zero(self, kind, builder):
+        elt = make_elt()
+        lookup = builder(elt)
+        present = set(int(i) for i in elt.event_ids)
+        absent = np.array(
+            [i for i in range(1, 2000) if i not in present], dtype=np.int64
+        )
+        assert np.all(lookup.lookup(absent) == 0.0)
+
+    def test_null_event_is_zero(self, kind, builder):
+        lookup = builder(make_elt())
+        assert lookup.lookup_scalar(0) == 0.0
+
+    def test_2d_queries_keep_shape(self, kind, builder):
+        elt = make_elt()
+        lookup = builder(elt)
+        queries = np.tile(elt.event_ids[:6], (4, 1))
+        out = lookup.lookup(queries)
+        assert out.shape == (4, 6)
+        assert np.allclose(out[0], elt.losses[:6])
+
+    def test_empty_query(self, kind, builder):
+        lookup = builder(make_elt())
+        out = lookup.lookup(np.empty(0, dtype=np.int64))
+        assert out.size == 0
+
+    def test_returns_float64(self, kind, builder):
+        lookup = builder(make_elt())
+        out = lookup.lookup(np.array([1, 2, 3]))
+        assert out.dtype == np.float64
+
+    def test_nbytes_positive(self, kind, builder):
+        assert builder(make_elt()).nbytes > 0
+
+    def test_describe_row(self, kind, builder):
+        row = builder(make_elt()).describe()
+        assert row["kind"] == kind
+        assert row["n_losses"] == 300
+
+
+class TestDirectAccessTable:
+    def test_exactly_one_access_per_lookup(self):
+        table = DirectAccessTable(make_elt(), CATALOG)
+        assert table.mean_accesses_per_lookup() == 1.0
+
+    def test_catalog_too_small_rejected(self):
+        elt = make_elt()
+        with pytest.raises(ValueError):
+            DirectAccessTable(elt, catalog_size=int(elt.max_event_id) - 1)
+
+    def test_float32_storage(self):
+        table = DirectAccessTable(make_elt(), CATALOG, dtype=np.float32)
+        assert table.dtype == np.float32
+        assert table.nbytes == (CATALOG + 1) * 4
+
+    def test_fill_fraction_is_sparse(self):
+        table = DirectAccessTable(make_elt(n=50), CATALOG)
+        assert table.fill_fraction == pytest.approx(50 / (CATALOG + 1))
+
+    def test_raw_table_readonly(self):
+        table = DirectAccessTable(make_elt(), CATALOG)
+        raw = table.raw_table()
+        with pytest.raises(ValueError):
+            raw[1] = 99.0
+
+    def test_memory_matches_paper_arithmetic(self):
+        # §III: an ELT over a 2M catalogue = 2M loss slots regardless of
+        # how many are non-zero.
+        table = DirectAccessTable(make_elt(n=20), CATALOG)
+        assert table.n_slots == CATALOG + 1
+
+
+class TestSortedLookupTable:
+    def test_log_accesses(self):
+        table = SortedLookupTable(make_elt(n=256))
+        assert table.mean_accesses_per_lookup() == pytest.approx(9.0)
+
+    def test_empty_elt(self):
+        table = SortedLookupTable(EventLossTable.from_dict(0, {}))
+        assert np.all(table.lookup(np.array([1, 2, 3])) == 0.0)
+
+    def test_memory_compact(self):
+        table = SortedLookupTable(make_elt(n=100))
+        assert table.nbytes == 100 * (4 + 8)
+
+
+class TestOpenAddressingTable:
+    def test_load_factor_respected(self):
+        table = OpenAddressingTable(make_elt(n=300), load_factor=0.25)
+        assert table.fill <= 0.25
+
+    def test_invalid_load_factor(self):
+        with pytest.raises(ValueError):
+            OpenAddressingTable(make_elt(), load_factor=1.0)
+
+    def test_probe_counts_positive_and_bounded(self):
+        elt = make_elt()
+        table = OpenAddressingTable(elt)
+        counts = table.probe_counts(elt.event_ids)
+        assert np.all(counts >= 1)
+        assert counts.max() <= table._max_probe + 1
+
+    def test_measured_accesses_close_to_expectation(self):
+        elt = make_elt(n=500, seed=3)
+        table = OpenAddressingTable(elt)
+        rng = np.random.default_rng(0)
+        queries = rng.integers(1, CATALOG, size=10_000)
+        measured = table.mean_accesses_per_lookup(queries)
+        assert 1.0 <= measured <= 4.0
+
+    def test_duplicate_insert_rejected(self):
+        elt = make_elt()
+        table = OpenAddressingTable(elt)
+        with pytest.raises(ValueError):
+            table._bulk_insert(
+                np.array([int(elt.event_ids[0])]), np.array([1.0])
+            )
+
+
+class TestCompressedBlockTable:
+    def test_delta_width_narrow_for_dense_ids(self):
+        # Consecutive ids → deltas fit 16 bits.
+        elt = EventLossTable.from_dict(
+            0, {i: float(i) for i in range(1, 200)}
+        )
+        table = CompressedBlockTable(elt)
+        assert table.delta_bits == 16
+
+    def test_delta_width_widens_for_sparse_blocks(self):
+        # Ids spread over a huge range within one block → 32-bit deltas.
+        elt = EventLossTable.from_dict(
+            0, {1: 1.0, 100_000: 2.0, 4_000_000_00: 3.0}
+        )
+        table = CompressedBlockTable(elt, block_size=64)
+        assert table.delta_bits == 32
+        assert table.lookup_scalar(100_000) == 2.0
+
+    def test_compression_beats_sorted_pairs(self):
+        elt = make_elt(n=1000, seed=5)
+        table = CompressedBlockTable(elt)
+        assert table.compression_ratio > 1.5
+
+    def test_block_boundaries_exact(self):
+        # Queries at exact block boundaries (first/last id per block).
+        n, block = 300, 32
+        elt = make_elt(n=n, seed=6)
+        table = CompressedBlockTable(elt, block_size=block)
+        edges = np.concatenate(
+            [elt.event_ids[::block], elt.event_ids[block - 1 :: block]]
+        )
+        expected = [elt.loss_of(int(e)) for e in edges]
+        assert np.allclose(
+            table.lookup(edges.astype(np.int64)), expected, rtol=1e-6
+        )
+
+    def test_query_below_first_id_is_zero(self):
+        elt = EventLossTable.from_dict(0, {100: 5.0})
+        table = CompressedBlockTable(elt)
+        assert table.lookup_scalar(50) == 0.0
+
+    def test_empty_elt(self):
+        table = CompressedBlockTable(EventLossTable.from_dict(0, {}))
+        assert np.all(table.lookup(np.array([1, 2])) == 0.0)
+        assert table.nbytes == 0 or table.nbytes >= 0
+
+    def test_accesses_between_direct_and_sorted(self):
+        elt = make_elt(n=1024, seed=7)
+        compressed = CompressedBlockTable(elt)
+        direct = DirectAccessTable(elt, CATALOG)
+        sorted_ = SortedLookupTable(elt)
+        assert (
+            direct.mean_accesses_per_lookup()
+            < compressed.mean_accesses_per_lookup()
+            < sorted_.mean_accesses_per_lookup()
+        )
+
+    def test_block_size_one(self):
+        elt = make_elt(n=20, seed=8)
+        table = CompressedBlockTable(elt, block_size=1)
+        assert np.allclose(table.lookup(elt.event_ids), elt.losses, rtol=1e-6)
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            CompressedBlockTable(make_elt(), block_size=0)
+
+
+class TestCuckooTable:
+    def test_at_most_two_accesses(self):
+        table = CuckooTable(make_elt(n=400))
+        assert table.mean_accesses_per_lookup() == 2.0
+        rng = np.random.default_rng(1)
+        queries = rng.integers(1, CATALOG, size=1000)
+        assert table.mean_accesses_per_lookup(queries) <= 2.0
+
+    def test_handles_adversarial_sizes(self):
+        # Insert counts near the load limit force evictions/rebuilds.
+        for n in (7, 8, 9, 100, 1000):
+            elt = make_elt(n=n, seed=n)
+            table = CuckooTable(elt)
+            assert np.allclose(table.lookup(elt.event_ids), elt.losses)
+
+    def test_invalid_load_factor(self):
+        with pytest.raises(ValueError):
+            CuckooTable(make_elt(), load_factor=0.9)
+
+    def test_fill_below_load_factor(self):
+        table = CuckooTable(make_elt(n=300), load_factor=0.4)
+        assert table.fill <= 0.4

@@ -1,0 +1,100 @@
+"""Tests for convergence diagnostics (quantile CIs, subsample tables)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.convergence import (
+    convergence_table,
+    pml_confidence_interval,
+    pml_relative_error,
+)
+from repro.metrics.pml import pml
+
+
+@pytest.fixture()
+def lognormal_losses():
+    rng = np.random.default_rng(11)
+    return rng.lognormal(12, 1.5, size=20_000)
+
+
+class TestPmlConfidenceInterval:
+    def test_brackets_point_estimate(self, lognormal_losses):
+        lo, hi = pml_confidence_interval(lognormal_losses, 100.0)
+        estimate = pml(lognormal_losses, 100.0)
+        assert lo <= estimate <= hi
+
+    def test_wider_at_deeper_return_periods(self, lognormal_losses):
+        lo10, hi10 = pml_confidence_interval(lognormal_losses, 10.0)
+        lo1k, hi1k = pml_confidence_interval(lognormal_losses, 1000.0)
+        rel10 = (hi10 - lo10) / pml(lognormal_losses, 10.0)
+        rel1k = (hi1k - lo1k) / pml(lognormal_losses, 1000.0)
+        assert rel1k > rel10
+
+    def test_narrows_with_more_trials(self):
+        rng = np.random.default_rng(5)
+        small = rng.lognormal(12, 1.5, size=1_000)
+        large = rng.lognormal(12, 1.5, size=100_000)
+        assert pml_relative_error(large, 100.0) < pml_relative_error(
+            small, 100.0
+        )
+
+    def test_higher_confidence_is_wider(self, lognormal_losses):
+        lo90, hi90 = pml_confidence_interval(
+            lognormal_losses, 100.0, confidence=0.90
+        )
+        lo99, hi99 = pml_confidence_interval(
+            lognormal_losses, 100.0, confidence=0.99
+        )
+        assert (hi99 - lo99) >= (hi90 - lo90)
+
+    def test_coverage_on_known_distribution(self):
+        """The CI should contain the true quantile ~confidence of the
+        time; check it is not wildly off on a uniform distribution."""
+        rng = np.random.default_rng(7)
+        true_quantile = 0.99  # PML at 100 years of U(0,1) is 0.99
+        hits = 0
+        n_reps = 60
+        for _ in range(n_reps):
+            sample = rng.random(2_000)
+            lo, hi = pml_confidence_interval(sample, 100.0, confidence=0.9)
+            if lo <= true_quantile <= hi:
+                hits += 1
+        assert hits / n_reps >= 0.75  # allow slack around nominal 0.90
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            pml_confidence_interval(np.array([1.0]), 1.0)
+        with pytest.raises(ValueError):
+            pml_confidence_interval(np.empty(0), 100.0)
+        with pytest.raises(ValueError):
+            pml_confidence_interval(np.array([1.0]), 100.0, confidence=1.0)
+
+
+class TestConvergenceTable:
+    def test_rows_grow_with_fraction(self, lognormal_losses):
+        rows = convergence_table(lognormal_losses, fractions=(0.1, 0.5, 1.0))
+        sizes = [row["n_trials"] for row in rows]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] == lognormal_losses.size
+
+    def test_relative_error_shrinks(self, lognormal_losses):
+        rows = convergence_table(
+            lognormal_losses, fractions=(0.05, 1.0), seed=1
+        )
+        assert rows[-1]["pml_rel_error"] < rows[0]["pml_rel_error"]
+
+    def test_unresolved_rows_flagged(self):
+        losses = np.arange(50.0)  # 50 trials cannot resolve 1-in-100
+        rows = convergence_table(
+            losses, return_period_years=100.0, fractions=(1.0,)
+        )
+        assert rows[0]["resolved"] == 0.0
+
+    def test_deterministic_given_seed(self, lognormal_losses):
+        a = convergence_table(lognormal_losses, seed=3, fractions=(0.2,))
+        b = convergence_table(lognormal_losses, seed=3, fractions=(0.2,))
+        assert a == b
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            convergence_table(np.empty(0))

@@ -1,0 +1,102 @@
+"""Tests for exceedance curves and quantiles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics.curves import (
+    aep_curve,
+    exceedance_probability,
+    oep_curve,
+    quantile,
+)
+
+
+class TestAepCurve:
+    def test_simple_curve(self):
+        curve = aep_curve(np.array([1.0, 2.0, 3.0, 4.0]))
+        # P(loss > 1) = 3/4, P(loss > 4) = 0.
+        assert curve.probability_of_exceeding(1.0) == pytest.approx(0.75)
+        assert curve.probability_of_exceeding(4.0) == 0.0
+
+    def test_threshold_below_minimum(self):
+        curve = aep_curve(np.array([5.0, 10.0]))
+        assert curve.probability_of_exceeding(1.0) == pytest.approx(1.0)
+
+    def test_duplicate_losses_handled(self):
+        curve = aep_curve(np.array([2.0, 2.0, 2.0, 5.0]))
+        assert curve.probability_of_exceeding(2.0) == pytest.approx(0.25)
+
+    def test_probabilities_non_increasing(self):
+        rng = np.random.default_rng(0)
+        curve = aep_curve(rng.lognormal(10, 2, size=500))
+        assert np.all(np.diff(curve.probabilities) <= 0)
+
+    def test_empty_losses(self):
+        curve = aep_curve(np.empty(0))
+        assert curve.probability_of_exceeding(1.0) == 0.0
+        assert curve.max_loss == 0.0
+
+    def test_loss_at_return_period(self):
+        losses = np.arange(1.0, 101.0)  # 100 equally likely years
+        curve = aep_curve(losses)
+        # 1-in-10: exceeded with probability 0.1 → loss 90.
+        assert curve.loss_at_return_period(10) == pytest.approx(90.0)
+
+    def test_return_period_beyond_data_gives_max(self):
+        curve = aep_curve(np.array([1.0, 2.0]))
+        assert curve.loss_at_return_period(1000) == 2.0
+
+    def test_invalid_return_period(self):
+        curve = aep_curve(np.array([1.0]))
+        with pytest.raises(ValueError):
+            curve.loss_at_return_period(1.0)
+
+    def test_oep_alias_behaviour(self):
+        maxima = np.array([3.0, 7.0, 1.0])
+        curve = oep_curve(maxima)
+        assert curve.probability_of_exceeding(3.0) == pytest.approx(1 / 3)
+
+    def test_2d_input_rejected(self):
+        with pytest.raises(ValueError):
+            aep_curve(np.zeros((2, 2)))
+
+
+class TestExceedanceProbability:
+    def test_direct_computation(self):
+        losses = np.array([1.0, 2.0, 3.0, 4.0])
+        assert exceedance_probability(losses, 2.5) == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert exceedance_probability(np.empty(0), 1.0) == 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        losses=st.lists(st.floats(0, 1e9), min_size=1, max_size=200),
+        threshold=st.floats(0, 1e9),
+    )
+    def test_matches_curve(self, losses, threshold):
+        arr = np.asarray(losses)
+        direct = exceedance_probability(arr, threshold)
+        from_curve = aep_curve(arr).probability_of_exceeding(threshold)
+        assert direct == pytest.approx(from_curve, abs=1e-12)
+
+
+class TestQuantile:
+    def test_higher_interpolation_attained(self):
+        losses = np.array([1.0, 2.0, 3.0, 4.0])
+        q = quantile(losses, 0.5)
+        assert q in losses
+
+    def test_bounds(self):
+        losses = np.array([5.0, 1.0, 3.0])
+        assert quantile(losses, 0.0) == 1.0
+        assert quantile(losses, 1.0) == 5.0
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            quantile(np.array([1.0]), 1.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            quantile(np.empty(0), 0.5)

@@ -1,0 +1,127 @@
+"""Tests for PML/VaR and TVaR, including coherence properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.ylt import YearLossTable
+from repro.metrics.pml import pml, pml_table, value_at_risk
+from repro.metrics.tvar import tail_value_at_risk, tvar_table
+
+losses_strategy = st.lists(
+    st.floats(0, 1e9, allow_nan=False), min_size=2, max_size=300
+).map(np.asarray)
+
+
+class TestValueAtRisk:
+    def test_known_quantile(self):
+        losses = np.arange(1.0, 101.0)
+        assert value_at_risk(losses, 0.99) == 100.0
+        assert value_at_risk(losses, 0.90) == 91.0
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            value_at_risk(np.array([1.0]), 1.5)
+
+    @settings(max_examples=40, deadline=None)
+    @given(losses=losses_strategy, q=st.floats(0.0, 1.0))
+    def test_var_is_attained_loss(self, losses, q):
+        var = value_at_risk(losses, q)
+        assert var in losses
+
+    @settings(max_examples=40, deadline=None)
+    @given(losses=losses_strategy)
+    def test_var_monotone_in_confidence(self, losses):
+        assert value_at_risk(losses, 0.5) <= value_at_risk(losses, 0.9)
+        assert value_at_risk(losses, 0.9) <= value_at_risk(losses, 0.99)
+
+
+class TestPml:
+    def test_return_period_semantics(self):
+        losses = np.arange(1.0, 101.0)
+        assert pml(losses, 100.0) == 100.0  # 1-in-100 = 99th percentile
+        assert pml(losses, 10.0) == 91.0
+
+    def test_invalid_return_period(self):
+        with pytest.raises(ValueError):
+            pml(np.array([1.0, 2.0]), 1.0)
+        with pytest.raises(ValueError):
+            pml(np.array([1.0, 2.0]), -3.0)
+
+    def test_pml_table_layers_and_portfolio(self):
+        ylt = YearLossTable.from_dict(
+            {0: np.arange(0.0, 1000.0), 1: np.arange(0.0, 2000.0, 2.0)}
+        )
+        layer_table = pml_table(ylt, layer_id=0, return_periods=(10, 100))
+        portfolio_table = pml_table(ylt, return_periods=(10, 100))
+        assert set(layer_table) == {10.0, 100.0}
+        # Portfolio losses = 3x layer 0 losses here.
+        assert portfolio_table[100.0] == pytest.approx(
+            3 * layer_table[100.0], rel=0.01
+        )
+
+    def test_pml_increases_with_return_period(self):
+        rng = np.random.default_rng(3)
+        losses = rng.lognormal(12, 2, size=5000)
+        assert pml(losses, 250.0) >= pml(losses, 50.0) >= pml(losses, 10.0)
+
+
+class TestTvar:
+    def test_flat_tail_equals_var(self):
+        losses = np.array([1.0, 1.0, 1.0, 1.0])
+        assert tail_value_at_risk(losses, 0.5) == 1.0
+
+    def test_known_value(self):
+        losses = np.arange(1.0, 11.0)  # 1..10
+        # VaR(0.8) = 9 (higher rule); tail = {9, 10}; TVaR = 9.5.
+        assert tail_value_at_risk(losses, 0.8) == pytest.approx(9.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            tail_value_at_risk(np.empty(0), 0.9)
+
+    def test_tvar_table(self):
+        ylt = YearLossTable.single_layer(np.arange(0.0, 1000.0))
+        table = tvar_table(ylt, layer_id=0, confidences=(0.9, 0.99))
+        assert table[0.99] > table[0.9]
+
+    @settings(max_examples=50, deadline=None)
+    @given(losses=losses_strategy, q=st.floats(0.0, 0.999))
+    def test_tvar_at_least_var(self, losses, q):
+        """Coherence: the tail mean cannot be below its threshold."""
+        var = value_at_risk(losses, q)
+        tvar = tail_value_at_risk(losses, q)
+        # relative slack: the mean of identical float64 values can differ
+        # from the value itself in the last ulp.
+        assert tvar >= var * (1 - 1e-12) - 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(losses=losses_strategy)
+    def test_tvar_bounded_by_max(self, losses):
+        tvar = tail_value_at_risk(losses, 0.95)
+        assert tvar <= losses.max() * (1 + 1e-12) + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(losses=losses_strategy)
+    def test_tvar_monotone_in_confidence(self, losses):
+        assert tail_value_at_risk(losses, 0.5) <= tail_value_at_risk(
+            losses, 0.95
+        ) + 1e-9
+
+
+class TestYltSummary:
+    def test_summary_fields(self, tiny_workload, reference_ylt):
+        from repro.metrics.stats import ylt_summary
+
+        summary = ylt_summary(reference_ylt, layer_id=0)
+        assert summary["n_trials"] == reference_ylt.n_trials
+        assert summary["min"] <= summary["median"] <= summary["max"]
+        assert summary["tvar_99"] >= summary["var_99"]
+        assert 0.0 <= summary["zero_fraction"] <= 1.0
+
+    def test_empty_series_rejected(self):
+        from repro.metrics.stats import ylt_summary
+
+        ylt = YearLossTable(layer_ids=(0,), losses=np.zeros((1, 0)))
+        with pytest.raises(ValueError):
+            ylt_summary(ylt, layer_id=0)

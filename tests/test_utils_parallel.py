@@ -1,0 +1,72 @@
+"""Tests for repro.utils.parallel."""
+
+import threading
+
+import pytest
+
+from repro.utils.parallel import available_cpu_count, chunk_ranges, run_threaded
+
+
+class TestAvailableCpuCount:
+    def test_positive(self):
+        assert available_cpu_count() >= 1
+
+
+class TestChunkRanges:
+    def test_even_split(self):
+        assert chunk_ranges(9, 3) == [(0, 3), (3, 6), (6, 9)]
+
+    def test_uneven_split_differs_by_at_most_one(self):
+        ranges = chunk_ranges(10, 3)
+        sizes = [stop - start for start, stop in ranges]
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == 10
+
+    def test_covers_range_contiguously(self):
+        ranges = chunk_ranges(17, 5)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == 17
+        for (_, stop), (start, _) in zip(ranges, ranges[1:]):
+            assert stop == start
+
+    def test_more_chunks_than_items_drops_empty(self):
+        ranges = chunk_ranges(3, 10)
+        assert len(ranges) == 3
+        assert all(stop > start for start, stop in ranges)
+
+    def test_zero_items(self):
+        assert chunk_ranges(0, 4) == []
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            chunk_ranges(-1, 2)
+        with pytest.raises(ValueError):
+            chunk_ranges(5, 0)
+
+
+class TestRunThreaded:
+    def test_results_in_task_order(self):
+        tasks = [lambda i=i: i * i for i in range(10)]
+        assert run_threaded(tasks) == [i * i for i in range(10)]
+
+    def test_empty_task_list(self):
+        assert run_threaded([]) == []
+
+    def test_exception_propagates(self):
+        def bad():
+            raise RuntimeError("task failed")
+
+        with pytest.raises(RuntimeError, match="task failed"):
+            run_threaded([bad])
+
+    def test_actually_uses_multiple_threads(self):
+        seen = set()
+        barrier = threading.Barrier(2, timeout=5)
+
+        def task():
+            barrier.wait()  # deadlocks unless two threads run concurrently
+            seen.add(threading.get_ident())
+            return None
+
+        run_threaded([task, task], max_workers=2)
+        assert len(seen) == 2

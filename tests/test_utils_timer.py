@@ -1,0 +1,131 @@
+"""Tests for repro.utils.timer."""
+
+import time
+
+import pytest
+
+from repro.utils.timer import (
+    ACTIVITIES,
+    ACTIVITY_LOOKUP,
+    ACTIVITY_OTHER,
+    ActivityProfile,
+    Stopwatch,
+    timed,
+)
+
+
+class TestStopwatch:
+    def test_measures_elapsed_time(self):
+        sw = Stopwatch().start()
+        time.sleep(0.01)
+        assert sw.stop() >= 0.01
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_accumulates_across_start_stop_cycles(self):
+        sw = Stopwatch()
+        sw.start()
+        first = sw.stop()
+        sw.start()
+        total = sw.stop()
+        assert total >= first
+
+    def test_reset_clears_state(self):
+        sw = Stopwatch().start()
+        sw.stop()
+        sw.reset()
+        assert sw.elapsed == 0.0
+        assert not sw.running
+
+    def test_running_flag(self):
+        sw = Stopwatch()
+        assert not sw.running
+        sw.start()
+        assert sw.running
+        sw.stop()
+        assert not sw.running
+
+
+class TestTimedContext:
+    def test_yields_running_stopwatch(self):
+        with timed() as sw:
+            assert sw.running
+        assert not sw.running
+        assert sw.elapsed > 0
+
+    def test_stops_on_exception(self):
+        with pytest.raises(ValueError):
+            with timed() as sw:
+                raise ValueError("boom")
+        assert not sw.running
+
+
+class TestActivityProfile:
+    def test_starts_with_canonical_activities_at_zero(self):
+        profile = ActivityProfile()
+        assert set(ACTIVITIES) <= set(profile.seconds)
+        assert profile.total == 0.0
+
+    def test_charge_accumulates(self):
+        profile = ActivityProfile()
+        profile.charge(ACTIVITY_LOOKUP, 1.5)
+        profile.charge(ACTIVITY_LOOKUP, 0.5)
+        assert profile.seconds[ACTIVITY_LOOKUP] == 2.0
+
+    def test_charge_unknown_activity_creates_it(self):
+        profile = ActivityProfile()
+        profile.charge("custom", 1.0)
+        assert profile.seconds["custom"] == 1.0
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            ActivityProfile().charge(ACTIVITY_LOOKUP, -0.1)
+
+    def test_track_context_charges_elapsed(self):
+        profile = ActivityProfile()
+        with profile.track(ACTIVITY_LOOKUP):
+            time.sleep(0.005)
+        assert profile.seconds[ACTIVITY_LOOKUP] >= 0.005
+
+    def test_fractions_sum_to_one(self):
+        profile = ActivityProfile()
+        profile.charge(ACTIVITY_LOOKUP, 3.0)
+        profile.charge(ACTIVITY_OTHER, 1.0)
+        fractions = profile.fractions()
+        assert abs(sum(fractions.values()) - 1.0) < 1e-12
+        assert fractions[ACTIVITY_LOOKUP] == pytest.approx(0.75)
+
+    def test_fractions_of_empty_profile_are_zero(self):
+        assert all(v == 0.0 for v in ActivityProfile().fractions().values())
+
+    def test_merged_sums_activities(self):
+        a = ActivityProfile()
+        a.charge(ACTIVITY_LOOKUP, 1.0)
+        b = ActivityProfile()
+        b.charge(ACTIVITY_LOOKUP, 2.0)
+        b.charge("custom", 1.0)
+        merged = a.merged(b)
+        assert merged.seconds[ACTIVITY_LOOKUP] == 3.0
+        assert merged.seconds["custom"] == 1.0
+        # originals untouched
+        assert a.seconds[ACTIVITY_LOOKUP] == 1.0
+
+    def test_scaled(self):
+        profile = ActivityProfile()
+        profile.charge(ACTIVITY_LOOKUP, 2.0)
+        scaled = profile.scaled(0.5)
+        assert scaled.seconds[ACTIVITY_LOOKUP] == 1.0
+        assert profile.seconds[ACTIVITY_LOOKUP] == 2.0
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ActivityProfile().scaled(-1.0)
+
+    def test_as_row_includes_total(self):
+        profile = ActivityProfile()
+        profile.charge(ACTIVITY_LOOKUP, 2.0)
+        row = profile.as_row()
+        assert row["total"] == 2.0
+        assert row[ACTIVITY_LOOKUP] == 2.0

@@ -1,0 +1,91 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_dtype,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    check_same_length,
+    check_sorted,
+    check_unique,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    @pytest.mark.parametrize("value", [0, -1, -0.001])
+    def test_rejects_nonpositive(self, value):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", value)
+
+
+class TestCheckNonnegative:
+    def test_accepts_zero(self):
+        assert check_nonnegative("x", 0.0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_nonnegative("x", -1e-9)
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds_accepted(self):
+        assert check_in_range("q", 0.0, 0.0, 1.0) == 0.0
+        assert check_in_range("q", 1.0, 0.0, 1.0) == 1.0
+
+    def test_exclusive_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            check_in_range("q", 0.0, 0.0, 1.0, inclusive=False)
+
+    def test_outside_rejected(self):
+        with pytest.raises(ValueError):
+            check_in_range("q", 1.5, 0.0, 1.0)
+
+
+class TestCheckSameLength:
+    def test_equal_lengths_return_length(self):
+        assert check_same_length(a=[1, 2], b=(3, 4)) == 2
+
+    def test_mismatch_raises_with_names(self):
+        with pytest.raises(ValueError, match="a.*b|b.*a"):
+            check_same_length(a=[1], b=[1, 2])
+
+    def test_empty_call_returns_zero(self):
+        assert check_same_length() == 0
+
+
+class TestCheckDtype:
+    def test_exact_dtype_passes(self):
+        arr = np.zeros(3, dtype=np.int32)
+        assert check_dtype("arr", arr, np.int32) is arr
+
+    def test_wrong_dtype_raises(self):
+        with pytest.raises(TypeError):
+            check_dtype("arr", np.zeros(3, dtype=np.int64), np.int32)
+
+
+class TestCheckSorted:
+    def test_sorted_passes(self):
+        check_sorted("x", np.array([1, 2, 2, 3]))
+
+    def test_unsorted_raises(self):
+        with pytest.raises(ValueError):
+            check_sorted("x", np.array([2, 1]))
+
+    def test_multidimensional_rejected(self):
+        with pytest.raises(ValueError):
+            check_sorted("x", np.zeros((2, 2)))
+
+
+class TestCheckUnique:
+    def test_unique_passes(self):
+        check_unique("ids", [1, 2, 3])
+
+    def test_duplicate_raises(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            check_unique("ids", [1, 2, 1])

@@ -1,0 +1,83 @@
+"""Tests for the cross-engine validation harness (repro.validation)."""
+
+import numpy as np
+import pytest
+
+from repro.validation import (
+    EngineCheck,
+    ValidationReport,
+    assert_engines_agree,
+    verify_engines,
+)
+
+
+class TestVerifyEngines:
+    def test_all_engines_pass_on_tiny_workload(self, tiny_workload):
+        report = verify_engines(tiny_workload)
+        assert report.all_passed, report.summary()
+        assert len(report.checks) == 5
+        assert report.failures == []
+
+    def test_subset_of_engines(self, tiny_workload):
+        report = verify_engines(
+            tiny_workload, engines=("sequential", "gpu")
+        )
+        assert [c.engine for c in report.checks] == ["sequential", "gpu"]
+
+    def test_float32_engines_get_wider_band(self, tiny_workload):
+        report = verify_engines(tiny_workload)
+        by_name = {c.engine: c for c in report.checks}
+        assert by_name["sequential"].tolerance_rel < by_name[
+            "gpu-optimized"
+        ].tolerance_rel
+
+    def test_exact_engines_have_tiny_errors(self, tiny_workload):
+        report = verify_engines(tiny_workload)
+        for check in report.checks:
+            if check.engine in ("sequential", "multicore", "gpu"):
+                assert check.max_rel_error <= 1e-9
+
+    def test_engine_options_forwarded(self, tiny_workload):
+        report = verify_engines(
+            tiny_workload,
+            engines=("multicore",),
+            engine_options={"n_cores": 2},
+        )
+        assert report.all_passed
+
+    def test_summary_readable(self, tiny_workload):
+        report = verify_engines(tiny_workload, engines=("sequential",))
+        text = report.summary()
+        assert "sequential" in text
+        assert "OK" in text
+
+
+class TestAssertEnginesAgree:
+    def test_passes_silently(self, tiny_workload):
+        report = assert_engines_agree(
+            tiny_workload, engines=("sequential", "multicore")
+        )
+        assert report.all_passed
+
+    def test_raises_on_tightened_tolerance(self, tiny_workload):
+        # Force a failure: demand float64 exactness from float32 engines.
+        with pytest.raises(AssertionError, match="gpu-optimized"):
+            assert_engines_agree(
+                tiny_workload,
+                engines=("gpu-optimized",),
+                float32_rtol=1e-15,
+            )
+
+
+class TestReportTypes:
+    def test_engine_check_summary_status(self):
+        ok = EngineCheck("x", True, 0.0, 0.0, 1e-9, 0.1)
+        bad = EngineCheck("y", False, 1.0, 1.0, 1e-9, 0.1)
+        assert "OK" in ok.summary()
+        assert "FAIL" in bad.summary()
+
+    def test_report_failures_listed(self):
+        report = ValidationReport(n_trials=1, n_layers=1)
+        report.checks.append(EngineCheck("y", False, 1, 1, 1e-9, 0.1))
+        assert not report.all_passed
+        assert report.failures == ["y"]
