@@ -1,0 +1,98 @@
+"""Kernel-fusion microbenchmark: fused ragged CSR vs legacy dense kernel.
+
+Runs both kernel paths on the ``BENCH_SMALL``-shaped workload and writes
+a ``BENCH_kernels.json`` artifact next to this file so later PRs can
+track the fused path's trajectory (wall-clock ratio and peak
+intermediate memory) across the repository's history.
+
+The guard assertions are deliberately loose on time (CI machines are
+noisy) and strict on memory (pool accounting is deterministic).
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import dense_intermediate_bytes, run_ragged
+from repro.core.vectorized import run_vectorized
+from repro.utils.bufpool import ScratchBufferPool
+
+ARTIFACT = Path(__file__).resolve().parent / "BENCH_kernels.json"
+REPEATS = 5
+
+
+def _best_seconds(fn, repeats=REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+@pytest.fixture(scope="module")
+def fusion_rows(workload, spec):
+    """Measure both kernels once per dtype; shared by the tests below."""
+    yet, portfolio = workload.yet, workload.portfolio
+    catalog = workload.catalog.n_events
+    rows = []
+    for dtype_label, dtype in (("float64", np.float64), ("float32", np.float32)):
+        itemsize = np.dtype(dtype).itemsize
+        run_vectorized(yet, portfolio, catalog, dtype=dtype)  # warm cache
+        dense_s = _best_seconds(
+            lambda: run_vectorized(yet, portfolio, catalog, dtype=dtype)
+        )
+        pool = ScratchBufferPool()
+        run_ragged(yet, portfolio, catalog, dtype=dtype, pool=pool)  # warm pool
+        ragged_s = _best_seconds(
+            lambda: run_ragged(yet, portfolio, catalog, dtype=dtype, pool=pool)
+        )
+        rows.append(
+            {
+                "dtype": dtype_label,
+                "dense_seconds": dense_s,
+                "ragged_seconds": ragged_s,
+                "speedup": dense_s / ragged_s,
+                "dense_peak_intermediate_bytes": dense_intermediate_bytes(
+                    yet.n_trials, yet.max_events_per_trial, itemsize
+                ),
+                "ragged_peak_intermediate_bytes": pool.peak_bytes,
+                "lookups_per_second_ragged": spec.n_lookups / ragged_s,
+            }
+        )
+    artifact = {
+        "benchmark": "kernel_fusion",
+        "workload": spec.name,
+        "n_trials": yet.n_trials,
+        "n_occurrences": yet.n_occurrences,
+        "repeats": REPEATS,
+        "rows": rows,
+    }
+    ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
+    return rows
+
+
+def test_artifact_written(fusion_rows):
+    data = json.loads(ARTIFACT.read_text())
+    assert data["benchmark"] == "kernel_fusion"
+    assert len(data["rows"]) == 2
+
+
+@pytest.mark.parametrize("dtype_label", ["float64", "float32"])
+def test_ragged_not_slower_than_dense(fusion_rows, dtype_label):
+    row = next(r for r in fusion_rows if r["dtype"] == dtype_label)
+    # Typically ~2-3x faster; 1.05 slack absorbs scheduler noise without
+    # letting a real regression (ratio < 1) through.
+    assert row["ragged_seconds"] <= row["dense_seconds"] * 1.05, row
+
+
+@pytest.mark.parametrize("dtype_label", ["float64", "float32"])
+def test_ragged_peak_memory_halved(fusion_rows, dtype_label):
+    row = next(r for r in fusion_rows if r["dtype"] == dtype_label)
+    assert (
+        row["ragged_peak_intermediate_bytes"] * 2
+        <= row["dense_peak_intermediate_bytes"]
+    ), row

@@ -24,6 +24,7 @@ Quickstart::
 
 from repro.core.analysis import AggregateRiskAnalysis, AnalysisResult
 from repro.core.algorithm import aggregate_risk_analysis_reference
+from repro.core.kernels import KERNELS, autotune_batch_trials, run_ragged
 from repro.core.occurrence import max_occurrence_losses, occurrence_frequency
 from repro.core.secondary import SecondaryUncertainty
 from repro.data import (
@@ -74,6 +75,9 @@ __all__ = [
     "AggregateRiskAnalysis",
     "AnalysisResult",
     "aggregate_risk_analysis_reference",
+    "KERNELS",
+    "autotune_batch_trials",
+    "run_ragged",
     "SecondaryUncertainty",
     "BENCH_DEFAULT",
     "BENCH_LARGE",

@@ -4,8 +4,12 @@
   (steps 2–4 of Algorithm 1), scalar and vectorised.
 * :mod:`repro.core.algorithm` — a line-by-line scalar reference of
   Algorithm 1, the correctness oracle for every engine.
-* :mod:`repro.core.vectorized` — the trial-batch kernel: the numerical
-  core all five implementations in :mod:`repro.engines` share.
+* :mod:`repro.core.vectorized` — the dense trial-batch kernel: the
+  legacy numerical core all five implementations in
+  :mod:`repro.engines` share.
+* :mod:`repro.core.kernels` — the fused zero-copy kernel path: ragged
+  CSR execution, stacked multi-ELT gathers, pooled scratch buffers and
+  the memory-budget batch autotuner (``kernel="ragged"``).
 * :mod:`repro.core.analysis` — the high-level
   :class:`~repro.core.analysis.AggregateRiskAnalysis` entry point.
 * :mod:`repro.core.secondary` — the paper's future-work extension:
@@ -22,6 +26,13 @@ from repro.core.vectorized import (
     layer_trial_batch,
     run_vectorized,
 )
+from repro.core.kernels import (
+    KERNELS,
+    autotune_batch_trials,
+    layer_trial_batch_ragged,
+    run_ragged,
+    segment_sums,
+)
 from repro.core.analysis import AggregateRiskAnalysis, AnalysisResult
 from repro.core.secondary import SecondaryUncertainty, layer_trial_batch_secondary
 from repro.core.occurrence import max_occurrence_losses, occurrence_frequency
@@ -35,6 +46,11 @@ __all__ = [
     "aggregate_risk_analysis_reference",
     "layer_trial_batch",
     "run_vectorized",
+    "KERNELS",
+    "autotune_batch_trials",
+    "layer_trial_batch_ragged",
+    "run_ragged",
+    "segment_sums",
     "AggregateRiskAnalysis",
     "AnalysisResult",
     "SecondaryUncertainty",

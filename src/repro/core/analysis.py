@@ -88,6 +88,11 @@ class AggregateRiskAnalysis:
     dtype:
         Working precision; ``numpy.float32`` reproduces the paper's
         reduced-precision optimisation.
+    kernel:
+        Numerical core: ``"dense"`` (legacy padded trial blocks) or
+        ``"ragged"`` (the fused zero-copy CSR kernel of
+        :mod:`repro.core.kernels` — prefer it for ragged YETs, many-ELT
+        layers or tight memory budgets).
     """
 
     def __init__(
@@ -96,13 +101,17 @@ class AggregateRiskAnalysis:
         catalog_size: int,
         lookup_kind: str = "direct",
         dtype: np.dtype | type = np.float64,
+        kernel: str = "dense",
     ) -> None:
+        from repro.core.kernels import check_kernel
+
         check_positive("catalog_size", catalog_size)
         portfolio.validate()
         self.portfolio = portfolio
         self.catalog_size = int(catalog_size)
         self.lookup_kind = lookup_kind
         self.dtype = np.dtype(dtype)
+        self.kernel = check_kernel(kernel)
 
     def run(
         self, yet: YearEventTable, engine: str = "sequential", **engine_options: Any
@@ -118,12 +127,13 @@ class AggregateRiskAnalysis:
         """
         from repro.engines.registry import create_engine  # deferred import
 
-        engine_obj = create_engine(
-            engine,
-            lookup_kind=self.lookup_kind,
-            dtype=self.dtype,
-            **engine_options,
-        )
+        options: Dict[str, Any] = {
+            "lookup_kind": self.lookup_kind,
+            "dtype": self.dtype,
+            "kernel": self.kernel,
+        }
+        options.update(engine_options)  # per-run overrides win
+        engine_obj = create_engine(engine, **options)
         return engine_obj.run(yet, self.portfolio, self.catalog_size)
 
     def run_all(

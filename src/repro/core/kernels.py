@@ -1,0 +1,388 @@
+"""Fused zero-copy kernels: Algorithm 1 directly on the ragged CSR arrays.
+
+Why a second kernel path
+------------------------
+The paper's central lesson is that aggregate risk analysis is
+memory-bound: every optimisation that won (direct access tables, chunked
+shared-memory staging, reduced precision) cuts bytes moved per trial.
+The legacy dense path (:mod:`repro.core.vectorized`) moves *more* bytes
+than the problem requires: each batch pads the ragged YET to a
+``(trials, events)`` matrix, then loops over ELTs doing one gather plus
+several term-application temporaries each — a 15-ELT layer materialises
+~45 full-size intermediates per batch.
+
+This module is the fused alternative, selected with ``kernel="ragged"``
+on any engine (``kernel="dense"`` keeps the legacy path):
+
+* **no dense padding** — the kernel runs on the YET's CSR arrays
+  (``event_ids``/``offsets``) directly, via zero-copy views from
+  :meth:`repro.data.yet.YearEventTable.csr_block`;
+* **one fused gather per layer** — a
+  :class:`~repro.lookup.combined.StackedDirectTable` holds all of a
+  layer's direct tables as rows of one ``(n_elts, catalog + 1)`` matrix,
+  so ``table[:, ids]`` services every ELT in a single call;
+* **in-place terms into pooled scratch** — financial terms broadcast
+  over the gathered block in place, occurrence terms clamp the combined
+  vector in place, and all working arrays come from a
+  :class:`~repro.utils.bufpool.ScratchBufferPool` (allocate once, reuse
+  every batch);
+* **segment reduction instead of a padded row-sum** — per-trial totals
+  come from ``np.add.reduceat`` over the CSR offsets;
+* **occurrence chunking** — the gather runs over bounded occurrence
+  chunks (the CPU mirror of the paper's shared-memory chunking), so peak
+  scratch is ``n_elts x occ_chunk`` words rather than
+  ``n_elts x n_occurrences``;
+* **a batch autotuner** — :func:`autotune_batch_trials` sizes trial
+  batches to a byte budget instead of defaulting to all-trials-at-once.
+
+Choosing ``dense`` vs ``ragged``
+--------------------------------
+Prefer ``ragged`` when trials are ragged (dense padding wastes
+``max/mean`` in both memory and arithmetic), when layers have many ELTs
+(the fused gather and in-place terms remove per-ELT temporaries), or
+when memory is tight (the autotuner plus pooling bound peak scratch).
+The dense path remains useful as the bit-for-bit legacy baseline, for
+the ``combined`` GPU variant study, and for workloads so small that
+kernel choice is noise.  Both paths produce YLTs equal to the scalar
+reference within float64 tolerance; the ``KERNEL-ABLATE`` experiment and
+``benchmarks/test_kernel_fusion.py`` track the trajectory.
+
+Non-direct lookup kinds (``sorted``/``hash``/``cuckoo``/``compressed``)
+cannot be stacked into one matrix; for them the ragged path still runs —
+per-ELT lookups over the *flat* CSR id array, combined in place — it
+just forgoes the single fused gather.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.core.terms import (
+    apply_aggregate_terms_cumulative,
+    apply_occurrence_terms,
+)
+from repro.data.layer import LayerTerms, Portfolio
+from repro.data.yet import YearEventTable
+from repro.data.ylt import YearLossTable
+from repro.lookup.base import LossLookup
+from repro.lookup.combined import StackedDirectTable
+from repro.lookup.factory import LookupCache, get_lookup_cache
+from repro.utils.bufpool import ScratchBufferPool
+from repro.utils.timer import (
+    ACTIVITY_FETCH,
+    ACTIVITY_FINANCIAL,
+    ACTIVITY_LAYER,
+    ACTIVITY_LOOKUP,
+    ActivityProfile,
+)
+
+KERNEL_DENSE = "dense"
+KERNEL_RAGGED = "ragged"
+KERNELS = (KERNEL_DENSE, KERNEL_RAGGED)
+"""Kernel-path names accepted by engines and the high-level API."""
+
+#: default scratch budget of the batch autotuner (bytes)
+DEFAULT_BATCH_BUDGET_BYTES = 64 * 2**20
+
+#: occurrence-chunk bounds for the fused gather (elements per ELT row).
+#: The cap keeps the staged block cache-friendly — the CPU mirror of the
+#: paper's shared-memory chunk — and is what holds peak scratch well
+#: below the dense path's full-batch intermediates.
+MIN_OCC_CHUNK = 1_024
+MAX_OCC_CHUNK = 16_384
+
+
+def check_kernel(kernel: str) -> str:
+    """Validate a kernel-path name (engine constructors call this)."""
+    if kernel not in KERNELS:
+        raise ValueError(f"unknown kernel {kernel!r}; expected one of {KERNELS}")
+    return kernel
+
+
+# ----------------------------------------------------------------------
+# Autotuning
+# ----------------------------------------------------------------------
+def autotune_batch_trials(
+    n_trials: int,
+    events_per_trial: float,
+    n_elts: int,
+    dtype: np.dtype | type = np.float64,
+    budget_bytes: int = DEFAULT_BATCH_BUDGET_BYTES,
+) -> int:
+    """Trials per batch such that the kernel's scratch fits ``budget_bytes``.
+
+    The ragged kernel's per-trial scratch is the combined loss vector
+    (one word per occurrence), the fused gather chunk (bounded,
+    accounted at one ``n_elts``-row chunk), and the per-trial totals.
+    Solving ``scratch(batch) <= budget`` replaces the dense path's
+    default of all-trials-at-once with an explicit memory policy; the
+    result is clamped to ``[1, n_trials]``.
+    """
+    if n_trials < 1:
+        raise ValueError(f"n_trials must be >= 1, got {n_trials}")
+    if budget_bytes < 1:
+        raise ValueError(f"budget_bytes must be >= 1, got {budget_bytes}")
+    itemsize = np.dtype(dtype).itemsize
+    events = max(1.0, float(events_per_trial))
+    # Per trial: combined vector + amortised share of the gather chunk
+    # (n_elts rows resident over the chunk's occurrences) + totals/year.
+    per_trial = events * itemsize * (1 + n_elts) + 16
+    batch = int(budget_bytes / per_trial)
+    return max(1, min(n_trials, batch))
+
+
+def _occ_chunk_for(
+    n_elts: int, itemsize: int, budget_bytes: int = DEFAULT_BATCH_BUDGET_BYTES
+) -> int:
+    """Occurrences per fused-gather chunk under the scratch budget.
+
+    The chunk block is ``n_elts x chunk`` words; half the budget is left
+    for the combined vector and totals.  Clamped to keep individual
+    NumPy calls large enough to amortise dispatch overhead.
+    """
+    chunk = int(budget_bytes / 2 / max(1, n_elts * itemsize))
+    return max(MIN_OCC_CHUNK, min(MAX_OCC_CHUNK, chunk))
+
+
+def dense_intermediate_bytes(
+    n_trials_batch: int, max_events: int, itemsize: int = 8
+) -> int:
+    """Estimated peak intermediate bytes of one dense-path batch.
+
+    Counts the full-size blocks simultaneously live at the legacy
+    kernel's peak (inside a financial-term application): the padded
+    ``(batch, max_events)`` id matrix (int32), the combined block, the
+    gather result and two term-application temporaries — four blocks of
+    the working itemsize plus the 4-byte ids.  The ``KERNEL-ABLATE``
+    experiment compares this against the ragged path's *measured* pool
+    peak.
+    """
+    block = int(n_trials_batch) * int(max_events)
+    return block * (4 + 4 * int(itemsize))
+
+
+# ----------------------------------------------------------------------
+# Segment reduction
+# ----------------------------------------------------------------------
+def segment_sums(
+    values: np.ndarray, offsets: np.ndarray, out: np.ndarray | None = None
+) -> np.ndarray:
+    """Per-segment sums of a CSR-delimited flat array, in ``float64``.
+
+    ``offsets`` delimits segment ``i`` as ``values[offsets[i]:offsets[i+1]]``;
+    empty segments (including trailing ones whose start index equals
+    ``values.size``) sum to exactly 0.0.  This replaces the dense path's
+    padded row-sum: one ``np.add.reduceat`` over the offsets instead of
+    touching ``n_trials x max_events`` slots.
+    """
+    offs = np.asarray(offsets)
+    starts = offs[:-1]
+    n_seg = starts.size
+    if out is None:
+        out = np.zeros(n_seg, dtype=np.float64)
+    else:
+        if out.shape != (n_seg,):
+            raise ValueError(f"out shape {out.shape} != ({n_seg},)")
+        out[:] = 0.0
+    flat = np.asarray(values)
+    if n_seg == 0 or flat.size == 0:
+        return out
+    # reduceat rejects indices == size (legal here: trailing empty
+    # segments); restrict to in-bounds starts, which stay non-decreasing.
+    valid = starts < flat.size
+    out[valid] = np.add.reduceat(flat, starts[valid], dtype=np.float64)
+    # For an empty segment reduceat yields values[start] — zero it.
+    counts = np.diff(offs)
+    out[counts == 0] = 0.0
+    return out
+
+
+# ----------------------------------------------------------------------
+# Layer table selection (shared by run_ragged and every engine)
+# ----------------------------------------------------------------------
+def build_layer_tables(
+    elts,
+    catalog_size: int,
+    lookup_kind: str,
+    dtype: np.dtype | type,
+    kernel: str,
+    cache: LookupCache | None = None,
+) -> tuple[list, StackedDirectTable | None, int]:
+    """Cached lookup structures for one layer, per kernel path.
+
+    Returns ``(lookups, stacked, table_bytes)``: the ragged path over
+    direct tables uses one stacked matrix (``lookups`` empty), every
+    other combination uses the per-ELT structures.  ``table_bytes`` is
+    what an engine stages to a (simulated) device.  Builds go through
+    ``cache`` (the process-wide lookup cache by default) so layers
+    sharing ELTs — and repeated runs — build once.
+    """
+    cache = cache if cache is not None else get_lookup_cache()
+    if kernel == KERNEL_RAGGED and lookup_kind == "direct":
+        stacked = cache.stacked_table(elts, catalog_size, dtype=dtype)
+        return [], stacked, stacked.nbytes
+    lookups = cache.layer_lookups(
+        elts, catalog_size=catalog_size, kind=lookup_kind, dtype=dtype
+    )
+    return lookups, None, sum(lk.nbytes for lk in lookups)
+
+
+# ----------------------------------------------------------------------
+# The fused kernel
+# ----------------------------------------------------------------------
+def layer_trial_batch_ragged(
+    event_ids: np.ndarray,
+    offsets: np.ndarray,
+    lookups: Sequence[LossLookup] | None,
+    layer_terms: LayerTerms,
+    stacked: StackedDirectTable | None = None,
+    profile: ActivityProfile | None = None,
+    dtype: np.dtype | type = np.float64,
+    pool: ScratchBufferPool | None = None,
+) -> np.ndarray:
+    """Steps 1–4 of Algorithm 1 over a ragged CSR trial block, fused.
+
+    Parameters
+    ----------
+    event_ids, offsets:
+        CSR arrays of the trial block (``offsets[i]:offsets[i+1]``
+        delimits trial ``i``); typically views from
+        :meth:`~repro.data.yet.YearEventTable.csr_block`.
+    lookups:
+        Per-ELT lookup structures — the fallback combine path for
+        non-direct kinds.  Ignored when ``stacked`` is given.
+    layer_terms:
+        The layer's occurrence/aggregate XL terms.
+    stacked:
+        The layer's :class:`~repro.lookup.combined.StackedDirectTable`;
+        when present, losses come from one fused gather per occurrence
+        chunk with terms applied in place.
+    dtype:
+        Working precision of the accumulation.
+    pool:
+        Scratch-buffer pool for working arrays (a private throwaway pool
+        is used if omitted — pass one to reuse buffers across batches).
+
+    Returns
+    -------
+    numpy.ndarray
+        1-D ``(n_trials,)`` year losses in ``float64``.
+    """
+    profile = profile if profile is not None else ActivityProfile()
+    pool = pool if pool is not None else ScratchBufferPool()
+    ids = np.asarray(event_ids)
+    offs = np.asarray(offsets)
+    if ids.ndim != 1:
+        raise ValueError(f"event_ids must be 1-D, got shape {ids.shape}")
+    if offs.ndim != 1 or offs.size < 1:
+        raise ValueError("offsets must be 1-D with at least one entry")
+    work = np.dtype(dtype)
+    n_occ = ids.size
+    n_trials = offs.size - 1
+
+    combined = pool.take((n_occ,), work)
+    try:
+        if stacked is not None:
+            # Fused path: chunked gather over all ELTs at once, terms
+            # broadcast in place, rows summed into the combined vector.
+            tdtype = stacked.dtype
+            chunk = _occ_chunk_for(stacked.n_elts, tdtype.itemsize)
+            gross = pool.take((stacked.n_elts, min(chunk, max(n_occ, 1))), tdtype)
+            try:
+                for lo in range(0, n_occ, chunk):
+                    hi = min(lo + chunk, n_occ)
+                    block = gross[:, : hi - lo]
+                    with profile.track(ACTIVITY_LOOKUP):
+                        stacked.gather(ids[lo:hi], out=block)
+                    with profile.track(ACTIVITY_FINANCIAL):
+                        stacked.apply_terms_inplace(block)
+                        np.sum(block, axis=0, out=combined[lo:hi])
+            finally:
+                pool.give(gross)
+        else:
+            # Fallback combine for non-stackable lookup kinds: still no
+            # dense padding — per-ELT lookups run over the flat id array.
+            combined[:] = 0.0
+            for lookup in lookups or ():
+                with profile.track(ACTIVITY_LOOKUP):
+                    gross_flat = lookup.lookup(ids)
+                with profile.track(ACTIVITY_FINANCIAL):
+                    net = lookup.terms.apply(gross_flat)
+                    combined += net.astype(work, copy=False)
+
+        with profile.track(ACTIVITY_LAYER):
+            apply_occurrence_terms(combined, layer_terms, out=combined)
+            totals = segment_sums(combined, offs)
+            year = apply_aggregate_terms_cumulative(totals, layer_terms, out=totals)
+    finally:
+        pool.give(combined)
+    return year
+
+
+def run_ragged(
+    yet: YearEventTable,
+    portfolio: Portfolio,
+    catalog_size: int,
+    lookup_kind: str = "direct",
+    dtype: np.dtype | type = np.float64,
+    batch_trials: int | None = None,
+    profile: ActivityProfile | None = None,
+    budget_bytes: int = DEFAULT_BATCH_BUDGET_BYTES,
+    cache: LookupCache | None = None,
+    pool: ScratchBufferPool | None = None,
+) -> YearLossTable:
+    """Full analysis with the fused ragged kernel, batched over trials.
+
+    ``batch_trials=None`` (the default) invokes
+    :func:`autotune_batch_trials` with ``budget_bytes`` — unlike the
+    dense path, the default is a memory policy, not all-trials-at-once.
+    Lookup builds go through ``cache`` (the process-wide
+    :func:`~repro.lookup.factory.get_lookup_cache` by default) so layers
+    sharing ELTs — and repeated runs — build each table once.
+    """
+    profile = profile if profile is not None else ActivityProfile()
+    cache = cache if cache is not None else get_lookup_cache()
+    pool = pool if pool is not None else ScratchBufferPool()
+    n_trials = yet.n_trials
+
+    per_layer: Dict[int, np.ndarray] = {}
+    for layer in portfolio.layers:
+        elts = portfolio.elts_of(layer)
+        with profile.track(ACTIVITY_FETCH):
+            lookups, stacked, _ = build_layer_tables(
+                elts,
+                catalog_size,
+                lookup_kind,
+                dtype,
+                KERNEL_RAGGED,
+                cache=cache,
+            )
+        if batch_trials is None:
+            batch = autotune_batch_trials(
+                n_trials,
+                yet.mean_events_per_trial,
+                len(elts),
+                dtype=dtype,
+                budget_bytes=budget_bytes,
+            )
+        else:
+            batch = max(1, int(batch_trials))
+        out = np.empty(n_trials, dtype=np.float64)
+        for start in range(0, n_trials, batch):
+            stop = min(start + batch, n_trials)
+            with profile.track(ACTIVITY_FETCH):
+                ids, offs = yet.csr_block(start, stop)
+            out[start:stop] = layer_trial_batch_ragged(
+                ids,
+                offs,
+                lookups,
+                layer.terms,
+                stacked=stacked,
+                profile=profile,
+                dtype=dtype,
+                pool=pool,
+            )
+        per_layer[layer.layer_id] = out
+    return YearLossTable.from_dict(per_layer)

@@ -27,7 +27,7 @@ from repro.data.layer import LayerTerms, Portfolio
 from repro.data.yet import YearEventTable
 from repro.data.ylt import YearLossTable
 from repro.lookup.base import LossLookup
-from repro.lookup.factory import build_layer_lookups
+from repro.lookup.factory import cached_layer_lookups
 from repro.utils.timer import (
     ACTIVITY_FETCH,
     ACTIVITY_FINANCIAL,
@@ -110,8 +110,10 @@ def run_vectorized(
 
     per_layer: dict[int, np.ndarray] = {}
     for layer in portfolio.layers:
+        # Shared cache: layers (and repeated runs) with the same ELT
+        # objects reuse one build instead of rebuilding per layer.
         with profile.track(ACTIVITY_FETCH):
-            lookups = build_layer_lookups(
+            lookups = cached_layer_lookups(
                 portfolio.elts_of(layer),
                 catalog_size=catalog_size,
                 kind=lookup_kind,

@@ -71,12 +71,19 @@ class ELTFinancialTerms:
         )
 
     def apply(self, losses: np.ndarray) -> np.ndarray:
-        """Vectorised application: ``share*min(max(l*fx - ret, 0), lim)``."""
-        converted = np.asarray(losses, dtype=LOSS_DTYPE) * self.currency_rate
-        excess = np.maximum(converted - self.retention, 0.0)
+        """Vectorised application: ``share*min(max(l*fx - ret, 0), lim)``.
+
+        Floating inputs keep their dtype (float32 in, float32 out — the
+        reduced-precision path must not upcast); integer inputs are
+        promoted to ``float64``.
+        """
+        arr = np.asarray(losses)
+        work = arr.dtype if arr.dtype.kind == "f" else np.dtype(LOSS_DTYPE)
+        converted = arr.astype(work, copy=False) * work.type(self.currency_rate)
+        excess = np.maximum(converted - work.type(self.retention), work.type(0))
         if math.isfinite(self.limit):
-            excess = np.minimum(excess, self.limit)
-        return excess * self.share
+            excess = np.minimum(excess, work.type(self.limit))
+        return excess * work.type(self.share)
 
     def apply_scalar(self, loss: float) -> float:
         """Scalar application, used by the line-by-line reference engine."""

@@ -184,6 +184,34 @@ class YearEventTable:
             offsets=(self.offsets[start : stop + 1] - lo).astype(OFFSET_DTYPE),
         )
 
+    @property
+    def mean_events_per_trial(self) -> float:
+        """Average occurrences per trial (the batch autotuner's input)."""
+        if self.n_trials == 0:
+            return 0.0
+        return self.n_occurrences / self.n_trials
+
+    def csr_block(self, start: int, stop: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Zero-copy CSR view of trials ``[start, stop)``.
+
+        Returns ``(event_ids, offsets)`` where ``event_ids`` is a *view*
+        into the flat id array (no copy, unlike :meth:`slice_trials`) and
+        ``offsets`` is rebased to start at 0.  This is the unit the fused
+        ragged kernel (:mod:`repro.core.kernels`) consumes: the whole
+        point of the ragged path is that the trial block is never padded
+        to a dense matrix, so handing out views keeps the event-fetch
+        step allocation-free.
+        """
+        if not 0 <= start <= stop <= self.n_trials:
+            raise IndexError(
+                f"invalid trial slice [{start}, {stop}) of {self.n_trials}"
+            )
+        lo = int(self.offsets[start])
+        return (
+            self.event_ids[lo : int(self.offsets[stop])],
+            self.offsets[start : stop + 1] - lo,
+        )
+
     def to_dense(self, width: int | None = None) -> np.ndarray:
         """Rectangular ``(n_trials, width)`` id matrix padded with 0.
 

@@ -32,6 +32,10 @@ class Engine(abc.ABC):
         Working precision of the loss accumulation.  The optimised GPU
         engines override the default to ``float32`` (the paper's
         reduced-precision optimisation) unless told otherwise.
+    kernel:
+        Numerical core: ``"dense"`` (the legacy padded trial-block
+        kernel) or ``"ragged"`` (the fused zero-copy CSR kernel of
+        :mod:`repro.core.kernels`).
     """
 
     #: registry name, overridden by subclasses
@@ -41,9 +45,13 @@ class Engine(abc.ABC):
         self,
         lookup_kind: str = "direct",
         dtype: np.dtype | type = np.float64,
+        kernel: str = "dense",
     ) -> None:
+        from repro.core.kernels import check_kernel  # deferred import
+
         self.lookup_kind = lookup_kind
         self.dtype = np.dtype(dtype)
+        self.kernel = check_kernel(kernel)
 
     # ------------------------------------------------------------------
     def run(
@@ -83,5 +91,5 @@ class Engine(abc.ABC):
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"{type(self).__name__}(lookup_kind={self.lookup_kind!r}, "
-            f"dtype={self.dtype})"
+            f"dtype={self.dtype}, kernel={self.kernel!r})"
         )

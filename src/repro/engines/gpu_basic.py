@@ -19,12 +19,12 @@ from repro.data.ylt import YearLossTable
 from repro.engines.base import Engine
 from repro.engines.gpu_common import (
     ARABasicKernel,
+    build_layer_tables,
     merge_meta_occupancy,
     modeled_activity_profile,
 )
 from repro.gpusim.device import DeviceSpec, TESLA_C2075
 from repro.gpusim.kernel import GPUDevice
-from repro.lookup.factory import build_layer_lookups
 from repro.utils.timer import ACTIVITY_OTHER, ActivityProfile
 from repro.utils.validation import check_positive
 
@@ -52,8 +52,9 @@ class GPUBasicEngine(Engine):
         device_spec: DeviceSpec = TESLA_C2075,
         threads_per_block: int = 256,
         batch_blocks: int = 256,
+        kernel: str = "dense",
     ) -> None:
-        super().__init__(lookup_kind=lookup_kind, dtype=dtype)
+        super().__init__(lookup_kind=lookup_kind, dtype=dtype, kernel=kernel)
         check_positive("threads_per_block", threads_per_block)
         check_positive("batch_blocks", batch_blocks)
         self.device_spec = device_spec
@@ -74,6 +75,7 @@ class GPUBasicEngine(Engine):
         profile = ActivityProfile()
         meta: Dict[str, Any] = {
             "device": self.device_spec.name,
+            "kernel": self.kernel,
             "layers": [],
         }
 
@@ -84,13 +86,13 @@ class GPUBasicEngine(Engine):
         modeled_total += device.transfers.h2d(yet_bytes, "yet")
 
         for layer in portfolio.layers:
-            lookups = build_layer_lookups(
+            lookups, stacked, table_bytes = build_layer_tables(
                 portfolio.elts_of(layer),
-                catalog_size=catalog_size,
-                kind=self.lookup_kind,
-                dtype=self.dtype,
+                catalog_size,
+                self.lookup_kind,
+                self.dtype,
+                self.kernel,
             )
-            table_bytes = sum(lk.nbytes for lk in lookups)
             device.alloc(f"elt_tables_layer{layer.layer_id}", table_bytes)
             modeled_total += device.transfers.h2d(
                 table_bytes, f"elt_tables_layer{layer.layer_id}"
@@ -115,6 +117,8 @@ class GPUBasicEngine(Engine):
                 layer_terms=layer.terms,
                 out=out,
                 dtype=self.dtype,
+                kernel=self.kernel,
+                stacked=stacked,
             )
             result = device.launch(
                 kernel,

@@ -38,6 +38,11 @@ from typing import Dict, Sequence
 
 import numpy as np
 
+from repro.core.kernels import (
+    build_layer_tables,
+    check_kernel,
+    layer_trial_batch_ragged,
+)
 from repro.core.terms import (
     apply_aggregate_terms_cumulative,
     apply_occurrence_terms,
@@ -47,6 +52,8 @@ from repro.data.yet import YearEventTable
 from repro.gpusim.kernel import SimKernel
 from repro.gpusim.memory import DeviceCounters
 from repro.lookup.base import LossLookup
+from repro.lookup.combined import StackedDirectTable
+from repro.utils.bufpool import ScratchBufferPool
 from repro.utils.timer import (
     ACTIVITY_FETCH,
     ACTIVITY_FINANCIAL,
@@ -245,8 +252,21 @@ def record_optimized_traffic(
     counters.instruction_count(instr * per_pair)
 
 
+# ``build_layer_tables`` is defined in :mod:`repro.core.kernels` (the
+# selection rule is shared with the CPU engines) and re-exported from the
+# import block above for the GPU engines.
+
+
 class _ARAKernelBase(SimKernel):
-    """Shared functional body of both ARA kernels (one thread per trial)."""
+    """Shared functional body of both ARA kernels (one thread per trial).
+
+    ``kernel`` selects the functional compute: ``"dense"`` (the legacy
+    padded block) or ``"ragged"`` (the fused CSR path of
+    :mod:`repro.core.kernels`, fed by ``stacked`` when the layer uses
+    direct tables).  The *traffic ledger* is unchanged either way — the
+    simulated device still models the paper's CUDA kernels; only the
+    host-side functional arithmetic switches implementation.
+    """
 
     def __init__(
         self,
@@ -255,6 +275,8 @@ class _ARAKernelBase(SimKernel):
         layer_terms: LayerTerms,
         out: np.ndarray,
         dtype: np.dtype,
+        kernel: str = "dense",
+        stacked: StackedDirectTable | None = None,
     ) -> None:
         if out.shape != (yet.n_trials,):
             raise ValueError(
@@ -265,13 +287,33 @@ class _ARAKernelBase(SimKernel):
         self.layer_terms = layer_terms
         self.out = out
         self.dtype = np.dtype(dtype)
+        self.kernel = check_kernel(kernel)
+        self.stacked = stacked
+        self._pool = ScratchBufferPool()
 
     @property
     def word_bytes(self) -> int:
         return self.dtype.itemsize
 
+    @property
+    def n_elts(self) -> int:
+        return self.stacked.n_elts if self.stacked is not None else len(self.lookups)
+
     def _compute_range(self, start: int, stop: int) -> tuple[np.ndarray, int]:
         """Functional work for trials [start, stop): returns (year, n_occ)."""
+        if self.kernel == "ragged":
+            ids, offs = self.yet.csr_block(start, stop)
+            year = layer_trial_batch_ragged(
+                ids,
+                offs,
+                self.lookups,
+                self.layer_terms,
+                stacked=self.stacked,
+                dtype=self.dtype,
+                pool=self._pool,
+            )
+            self.out[start:stop] = year
+            return year, ids.size
         chunk = self.yet.slice_trials(start, stop)
         dense = chunk.to_dense()
         combined = np.zeros(dense.shape, dtype=self.dtype)
@@ -300,7 +342,7 @@ class ARABasicKernel(_ARAKernelBase):
             counters,
             n_occ=n_occ,
             n_trials=stop - start,
-            n_elts=len(self.lookups),
+            n_elts=self.n_elts,
             word=self.word_bytes,
         )
 
@@ -320,8 +362,12 @@ class ARAOptimizedKernel(_ARAKernelBase):
         dtype: np.dtype,
         flags: OptimizationFlags,
         chunk_events: int = 24,
+        kernel: str = "dense",
+        stacked: StackedDirectTable | None = None,
     ) -> None:
-        super().__init__(yet, lookups, layer_terms, out, dtype)
+        super().__init__(
+            yet, lookups, layer_terms, out, dtype, kernel=kernel, stacked=stacked
+        )
         if chunk_events < 1:
             raise ValueError(f"chunk_events must be >= 1, got {chunk_events}")
         self.flags = flags
@@ -352,7 +398,7 @@ class ARAOptimizedKernel(_ARAKernelBase):
             counters,
             n_occ=n_occ,
             n_trials=stop - start,
-            n_elts=len(self.lookups),
+            n_elts=self.n_elts,
             word=self.word_bytes,
             flags=self.flags,
             chunk_events=self.chunk_events,

@@ -21,12 +21,12 @@ from repro.engines.base import Engine
 from repro.engines.gpu_common import (
     ARAOptimizedKernel,
     OptimizationFlags,
+    build_layer_tables,
     merge_meta_occupancy,
     modeled_activity_profile,
 )
 from repro.gpusim.device import DeviceSpec, TESLA_C2075
 from repro.gpusim.kernel import GPUDevice
-from repro.lookup.factory import build_layer_lookups
 from repro.utils.timer import ACTIVITY_OTHER, ActivityProfile
 from repro.utils.validation import check_positive
 
@@ -59,8 +59,9 @@ class GPUOptimizedEngine(Engine):
         chunk_events: int = 24,
         flags: OptimizationFlags | None = None,
         batch_blocks: int = 256,
+        kernel: str = "dense",
     ) -> None:
-        super().__init__(lookup_kind=lookup_kind, dtype=dtype)
+        super().__init__(lookup_kind=lookup_kind, dtype=dtype, kernel=kernel)
         check_positive("threads_per_block", threads_per_block)
         check_positive("chunk_events", chunk_events)
         check_positive("batch_blocks", batch_blocks)
@@ -90,6 +91,7 @@ class GPUOptimizedEngine(Engine):
             "device": self.device_spec.name,
             "flags": self.flags.describe(),
             "chunk_events": self.chunk_events,
+            "kernel": self.kernel,
             "layers": [],
         }
 
@@ -98,13 +100,13 @@ class GPUOptimizedEngine(Engine):
         modeled_total += device.transfers.h2d(yet_bytes, "yet")
 
         for layer in portfolio.layers:
-            lookups = build_layer_lookups(
+            lookups, stacked, table_bytes = build_layer_tables(
                 portfolio.elts_of(layer),
-                catalog_size=catalog_size,
-                kind=self.lookup_kind,
-                dtype=dtype,
+                catalog_size,
+                self.lookup_kind,
+                dtype,
+                self.kernel,
             )
-            table_bytes = sum(lk.nbytes for lk in lookups)
             device.alloc(f"elt_tables_layer{layer.layer_id}", table_bytes)
             modeled_total += device.transfers.h2d(
                 table_bytes, f"elt_tables_layer{layer.layer_id}"
@@ -132,6 +134,8 @@ class GPUOptimizedEngine(Engine):
                 dtype=dtype,
                 flags=self.flags,
                 chunk_events=self.chunk_events,
+                kernel=self.kernel,
+                stacked=stacked,
             )
             result = device.launch(
                 kernel,

@@ -21,12 +21,13 @@ from typing import Any, Dict, List
 
 import numpy as np
 
+from repro.core.kernels import build_layer_tables, layer_trial_batch_ragged
 from repro.core.vectorized import layer_trial_batch
 from repro.data.layer import Portfolio
 from repro.data.yet import YearEventTable
 from repro.data.ylt import YearLossTable
 from repro.engines.base import Engine
-from repro.lookup.factory import build_layer_lookups
+from repro.utils.bufpool import ScratchBufferPool
 from repro.utils.parallel import available_cpu_count, chunk_ranges, run_threaded
 from repro.utils.timer import ACTIVITY_FETCH, ActivityProfile
 from repro.utils.validation import check_positive
@@ -53,8 +54,9 @@ class MulticoreEngine(Engine):
         dtype: np.dtype | type = np.float64,
         n_cores: int | None = None,
         threads_per_core: int = 1,
+        kernel: str = "dense",
     ) -> None:
-        super().__init__(lookup_kind=lookup_kind, dtype=dtype)
+        super().__init__(lookup_kind=lookup_kind, dtype=dtype, kernel=kernel)
         self.n_cores = int(n_cores) if n_cores else available_cpu_count()
         check_positive("n_cores", self.n_cores)
         check_positive("threads_per_core", threads_per_core)
@@ -73,21 +75,27 @@ class MulticoreEngine(Engine):
         profile = ActivityProfile()
         per_layer: Dict[int, np.ndarray] = {}
 
+        chunks = chunk_ranges(
+            yet.n_trials, min(self.n_logical_threads, yet.n_trials)
+        )
+        # One scratch pool per chunk slot, reused across layers: pools
+        # are not thread-safe, but chunk i is a distinct task per layer
+        # and layers run back-to-back, so each pool has one borrower at
+        # a time and its buffers amortise over the whole run.
+        pools: List[ScratchBufferPool] = [ScratchBufferPool() for _ in chunks]
         for layer in portfolio.layers:
-            # Lookup tables are built once and shared read-only by all
-            # workers — the paper's design ("all threads within a block
-            # access the same ELT") at CPU scale.
+            # Lookup tables are built once (through the shared cache) and
+            # read concurrently by all workers — the paper's design ("all
+            # threads within a block access the same ELT") at CPU scale.
             with profile.track(ACTIVITY_FETCH):
-                lookups = build_layer_lookups(
+                lookups, stacked, _ = build_layer_tables(
                     portfolio.elts_of(layer),
-                    catalog_size=catalog_size,
-                    kind=self.lookup_kind,
-                    dtype=self.dtype,
+                    catalog_size,
+                    self.lookup_kind,
+                    self.dtype,
+                    self.kernel,
                 )
             out = np.empty(yet.n_trials, dtype=np.float64)
-            chunks = chunk_ranges(
-                yet.n_trials, min(self.n_logical_threads, yet.n_trials)
-            )
             # Each chunk gets its own profile; charges are merged after
             # the join.  Merged seconds are *CPU* seconds across workers
             # (they sum over threads); the engine's wall_seconds field
@@ -99,8 +107,24 @@ class MulticoreEngine(Engine):
             def make_task(chunk_idx: int):
                 start, stop = chunks[chunk_idx]
                 wprofile = worker_profiles[chunk_idx]
+                pool = pools[chunk_idx]
 
                 def task() -> None:
+                    if self.kernel == "ragged":
+                        # Zero-copy CSR views into the shared YET.
+                        with wprofile.track(ACTIVITY_FETCH):
+                            ids, offs = yet.csr_block(start, stop)
+                        out[start:stop] = layer_trial_batch_ragged(
+                            ids,
+                            offs,
+                            lookups,
+                            layer.terms,
+                            stacked=stacked,
+                            profile=wprofile,
+                            dtype=self.dtype,
+                            pool=pool,
+                        )
+                        return
                     sub = yet.slice_trials(start, stop)
                     with wprofile.track(ACTIVITY_FETCH):
                         dense = sub.to_dense()
@@ -126,5 +150,6 @@ class MulticoreEngine(Engine):
             "n_cores": self.n_cores,
             "threads_per_core": self.threads_per_core,
             "n_logical_threads": self.n_logical_threads,
+            "kernel": self.kernel,
         }
         return YearLossTable.from_dict(per_layer), profile, None, meta

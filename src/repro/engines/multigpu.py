@@ -27,13 +27,13 @@ from repro.engines.base import Engine
 from repro.engines.gpu_common import (
     ARAOptimizedKernel,
     OptimizationFlags,
+    build_layer_tables,
     merge_meta_occupancy,
     modeled_activity_profile,
 )
 from repro.gpusim.device import DeviceSpec, TESLA_M2090
 from repro.gpusim.kernel import GPUDevice, KernelResult
 from repro.gpusim.multi import MultiGPU
-from repro.lookup.factory import build_layer_lookups
 from repro.utils.timer import ACTIVITY_OTHER, ActivityProfile
 from repro.utils.validation import check_positive
 
@@ -70,8 +70,9 @@ class MultiGPUEngine(Engine):
         flags: OptimizationFlags | None = None,
         batch_blocks: int = 2048,
         balance: str = "trials",
+        kernel: str = "dense",
     ) -> None:
-        super().__init__(lookup_kind=lookup_kind, dtype=dtype)
+        super().__init__(lookup_kind=lookup_kind, dtype=dtype, kernel=kernel)
         check_positive("n_devices", n_devices)
         check_positive("threads_per_block", threads_per_block)
         check_positive("chunk_events", chunk_events)
@@ -113,6 +114,7 @@ class MultiGPUEngine(Engine):
             "flags": self.flags.describe(),
             "chunk_events": self.chunk_events,
             "balance": self.balance,
+            "kernel": self.kernel,
             "per_device": [],
         }
         modeled_total = 0.0
@@ -120,14 +122,15 @@ class MultiGPUEngine(Engine):
         for layer in portfolio.layers:
             # Every device needs the full ELT tables (lookups are not
             # partitionable by trial); tables are built once on the host
-            # and conceptually broadcast to each device.
-            lookups = build_layer_lookups(
+            # (through the shared cache) and conceptually broadcast to
+            # each device.
+            lookups, stacked, table_bytes = build_layer_tables(
                 portfolio.elts_of(layer),
-                catalog_size=catalog_size,
-                kind=self.lookup_kind,
-                dtype=dtype,
+                catalog_size,
+                self.lookup_kind,
+                dtype,
+                self.kernel,
             )
-            table_bytes = sum(lk.nbytes for lk in lookups)
             out = np.empty(yet.n_trials, dtype=np.float64)
 
             def make_device_task(task):
@@ -156,6 +159,8 @@ class MultiGPUEngine(Engine):
                         dtype=dtype,
                         flags=self.flags,
                         chunk_events=self.chunk_events,
+                        kernel=self.kernel,
+                        stacked=stacked,
                     )
                     result = device.launch(
                         kernel,

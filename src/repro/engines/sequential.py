@@ -17,6 +17,7 @@ from typing import Any, Dict
 import numpy as np
 
 from repro.core.algorithm import aggregate_risk_analysis_reference
+from repro.core.kernels import run_ragged
 from repro.core.vectorized import run_vectorized
 from repro.data.layer import Portfolio
 from repro.data.yet import YearEventTable
@@ -31,7 +32,12 @@ class SequentialEngine(Engine):
     Parameters
     ----------
     batch_trials:
-        Trials per kernel batch (bounds the dense block's memory).
+        Trials per kernel batch (bounds the working block's memory).
+        ``None`` lets the ragged path's autotuner size batches to its
+        byte budget (the dense path treats ``None`` as the legacy 8192).
+    kernel:
+        ``"dense"`` (legacy padded kernel) or ``"ragged"`` (fused CSR
+        kernel, :mod:`repro.core.kernels`).
     """
 
     name = "sequential"
@@ -40,12 +46,13 @@ class SequentialEngine(Engine):
         self,
         lookup_kind: str = "direct",
         dtype: np.dtype | type = np.float64,
-        batch_trials: int = 8192,
+        batch_trials: int | None = 8192,
+        kernel: str = "dense",
     ) -> None:
-        super().__init__(lookup_kind=lookup_kind, dtype=dtype)
-        if batch_trials < 1:
+        super().__init__(lookup_kind=lookup_kind, dtype=dtype, kernel=kernel)
+        if batch_trials is not None and batch_trials < 1:
             raise ValueError(f"batch_trials must be >= 1, got {batch_trials}")
-        self.batch_trials = int(batch_trials)
+        self.batch_trials = None if batch_trials is None else int(batch_trials)
 
     def _execute(
         self,
@@ -54,16 +61,33 @@ class SequentialEngine(Engine):
         catalog_size: int,
     ) -> tuple[YearLossTable, ActivityProfile, float | None, Dict[str, Any]]:
         profile = ActivityProfile()
-        ylt = run_vectorized(
-            yet,
-            portfolio,
-            catalog_size,
-            lookup_kind=self.lookup_kind,
-            dtype=self.dtype,
-            batch_trials=self.batch_trials,
-            profile=profile,
-        )
-        meta = {"batch_trials": self.batch_trials, "n_threads": 1}
+        if self.kernel == "ragged":
+            ylt = run_ragged(
+                yet,
+                portfolio,
+                catalog_size,
+                lookup_kind=self.lookup_kind,
+                dtype=self.dtype,
+                batch_trials=self.batch_trials,
+                profile=profile,
+            )
+        else:
+            ylt = run_vectorized(
+                yet,
+                portfolio,
+                catalog_size,
+                lookup_kind=self.lookup_kind,
+                dtype=self.dtype,
+                batch_trials=(
+                    8192 if self.batch_trials is None else self.batch_trials
+                ),
+                profile=profile,
+            )
+        meta = {
+            "batch_trials": self.batch_trials,
+            "n_threads": 1,
+            "kernel": self.kernel,
+        }
         return ylt, profile, None, meta
 
 

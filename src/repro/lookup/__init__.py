@@ -30,12 +30,17 @@ from repro.lookup.direct import DirectAccessTable
 from repro.lookup.sorted_table import SortedLookupTable
 from repro.lookup.hashtable import OpenAddressingTable
 from repro.lookup.cuckoo import CuckooTable
-from repro.lookup.combined import CombinedDirectTable
+from repro.lookup.combined import CombinedDirectTable, StackedDirectTable
 from repro.lookup.compressed import CompressedBlockTable
 from repro.lookup.factory import (
     LOOKUP_KINDS,
+    LookupCache,
     build_lookup,
     build_layer_lookups,
+    build_stacked_table,
+    cached_layer_lookups,
+    clear_lookup_cache,
+    get_lookup_cache,
     memory_report,
 )
 
@@ -46,9 +51,15 @@ __all__ = [
     "OpenAddressingTable",
     "CuckooTable",
     "CombinedDirectTable",
+    "StackedDirectTable",
     "CompressedBlockTable",
     "LOOKUP_KINDS",
+    "LookupCache",
     "build_lookup",
     "build_layer_lookups",
+    "build_stacked_table",
+    "cached_layer_lookups",
+    "clear_lookup_cache",
+    "get_lookup_cache",
     "memory_report",
 ]

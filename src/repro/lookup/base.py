@@ -15,7 +15,10 @@ class LossLookup(abc.ABC):
 
     Contract (relied on by every engine and property-tested):
 
-    * ``lookup(ids)`` returns ``float64`` losses, elementwise;
+    * ``lookup(ids)`` returns losses elementwise in the structure's own
+      storage dtype (``float64`` unless built with a reduced precision —
+      a float32 table yields float32 results, so the paper's
+      reduced-precision path never silently upcasts);
     * absent ids — including the reserved null id 0 used for YET padding —
       yield exactly ``0.0``;
     * ``lookup`` never mutates its input and is safe to call concurrently

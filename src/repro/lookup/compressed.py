@@ -80,9 +80,11 @@ class CompressedBlockTable(LossLookup):
 
     # ------------------------------------------------------------------
     def lookup(self, event_ids: np.ndarray) -> np.ndarray:
+        # Results carry the stored loss dtype (no float64 upcast) so the
+        # reduced-precision path stays reduced end to end.
         queries = np.asarray(event_ids, dtype=np.int64)
         flat = queries.ravel()
-        out = np.zeros(flat.shape, dtype=np.float64)
+        out = np.zeros(flat.shape, dtype=self._losses.dtype)
         if self._n == 0 or flat.size == 0:
             return out.reshape(queries.shape)
         # Rightmost block whose base is <= query.
@@ -113,9 +115,7 @@ class CompressedBlockTable(LossLookup):
             pos = np.searchsorted(ids_here, q)
             pos_clipped = np.minimum(pos, ids_here.size - 1)
             hit = ids_here[pos_clipped] == q
-            out[idx[hit]] = self._losses[lo + pos_clipped[hit]].astype(
-                np.float64
-            )
+            out[idx[hit]] = self._losses[lo + pos_clipped[hit]]
         return out.reshape(queries.shape)
 
     # ------------------------------------------------------------------

@@ -51,8 +51,11 @@ class DirectAccessTable(LossLookup):
         self._table[elt.event_ids] = elt.losses.astype(dtype)
 
     def lookup(self, event_ids: np.ndarray) -> np.ndarray:
+        # Returns the table's own dtype (no float64 upcast): the paper's
+        # reduced-precision optimisation only pays off if float32 losses
+        # stay float32 through the whole kernel.
         ids = np.asarray(event_ids)
-        return self._table[ids].astype(np.float64, copy=False)
+        return self._table[ids]
 
     @property
     def nbytes(self) -> int:

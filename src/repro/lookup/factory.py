@@ -1,13 +1,17 @@
-"""Factory and memory accounting for lookup structures."""
+"""Factory, shared cache and memory accounting for lookup structures."""
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+import threading
+import weakref
+from collections import OrderedDict
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.data.elt import EventLossTable
 from repro.lookup.base import LossLookup
+from repro.lookup.combined import StackedDirectTable
 from repro.lookup.compressed import CompressedBlockTable
 from repro.lookup.cuckoo import CuckooTable
 from repro.lookup.direct import DirectAccessTable
@@ -56,6 +60,173 @@ def build_layer_lookups(
         build_lookup(elt, catalog_size=catalog_size, kind=kind, dtype=dtype)
         for elt in elts
     ]
+
+
+def build_stacked_table(
+    elts: Sequence[EventLossTable],
+    catalog_size: int,
+    dtype: np.dtype | type = np.float64,
+) -> StackedDirectTable:
+    """Build the fused-kernel stacked direct table for one layer."""
+    return StackedDirectTable(elts, catalog_size=catalog_size, dtype=dtype)
+
+
+class LookupCache:
+    """LRU cache of built layer lookup structures.
+
+    Lookup structures are frozen after construction and safe for
+    concurrent readers, so portfolios whose layers share ELTs — and
+    repeated engine runs over the same portfolio (benchmark sweeps,
+    pricing loops) — can share one build instead of rebuilding per layer
+    per run.
+
+    Entries are keyed by the *identity* of the ELT objects (plus their
+    terms and the identity of their data buffers, so reassigning
+    ``elt.terms``/``elt.losses`` misses the cache) and
+    ``(catalog_size, kind, dtype)``.  Each entry holds only *weak*
+    references to its ELTs: dropping a workload evicts its entries —
+    the cache never pins hundreds of MB of tables past the data's
+    lifetime — and eviction-on-death also guarantees a recycled ``id()``
+    can never alias a cached key.  ``maxsize`` bounds worst-case memory
+    while the data is alive (direct tables at paper scale are ~240 MB
+    per 15-ELT layer).
+
+    The one mutation the key cannot see is *in-place* edits of a live
+    ELT's loss values (``elt.losses *= 2``); lookup structures have
+    always been build-time snapshots, so after such an edit call
+    :func:`clear_lookup_cache` (or use a fresh :class:`LookupCache`).
+    """
+
+    def __init__(self, maxsize: int = 8) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = int(maxsize)
+        # key -> (value, tuple of weakrefs keeping eviction callbacks alive)
+        self._entries: "OrderedDict[Tuple, Tuple[object, tuple]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def _evict(self, key: Tuple) -> None:
+        with self._lock:
+            self._entries.pop(key, None)
+
+    def _get(self, key: Tuple, elts: Sequence[EventLossTable], build):
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry[0]
+        value = build()
+        # Weak references with an eviction callback: the entry dies with
+        # its ELTs, so cached ids always refer to live objects and the
+        # tables are reclaimable once the workload is dropped.
+        refs = tuple(
+            weakref.ref(elt, lambda _ref, key=key: self._evict(key))
+            for elt in elts
+        )
+        with self._lock:
+            self.misses += 1
+            self._entries[key] = (value, refs)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+        return value
+
+    @staticmethod
+    def _key(
+        tag: str,
+        elts: Sequence[EventLossTable],
+        catalog_size: int,
+        kind: str,
+        dtype: np.dtype | type,
+    ) -> Tuple:
+        return (
+            tag,
+            tuple(
+                (
+                    id(elt),
+                    elt.terms.as_tuple(),
+                    elt.event_ids.ctypes.data,
+                    elt.losses.ctypes.data,
+                    elt.n_losses,
+                )
+                for elt in elts
+            ),
+            int(catalog_size),
+            kind,
+            np.dtype(dtype).str,
+        )
+
+    # ------------------------------------------------------------------
+    def layer_lookups(
+        self,
+        elts: Sequence[EventLossTable],
+        catalog_size: int,
+        kind: str = "direct",
+        dtype: np.dtype | type = np.float64,
+    ) -> List[LossLookup]:
+        """Cached :func:`build_layer_lookups`."""
+        key = self._key("lookups", elts, catalog_size, kind, dtype)
+        return self._get(
+            key,
+            elts,
+            lambda: build_layer_lookups(
+                elts, catalog_size=catalog_size, kind=kind, dtype=dtype
+            ),
+        )
+
+    def stacked_table(
+        self,
+        elts: Sequence[EventLossTable],
+        catalog_size: int,
+        dtype: np.dtype | type = np.float64,
+    ) -> StackedDirectTable:
+        """Cached :func:`build_stacked_table`."""
+        key = self._key("stacked", elts, catalog_size, "stacked", dtype)
+        return self._get(
+            key,
+            elts,
+            lambda: build_stacked_table(elts, catalog_size, dtype=dtype),
+        )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "size": len(self)}
+
+
+_DEFAULT_CACHE = LookupCache()
+
+
+def get_lookup_cache() -> LookupCache:
+    """The process-wide shared lookup cache used by all engines."""
+    return _DEFAULT_CACHE
+
+
+def clear_lookup_cache() -> None:
+    """Drop every cached lookup build (benchmark hygiene)."""
+    _DEFAULT_CACHE.clear()
+
+
+def cached_layer_lookups(
+    elts: Sequence[EventLossTable],
+    catalog_size: int,
+    kind: str = "direct",
+    dtype: np.dtype | type = np.float64,
+) -> List[LossLookup]:
+    """:func:`build_layer_lookups` through the shared process-wide cache."""
+    return _DEFAULT_CACHE.layer_lookups(
+        elts, catalog_size=catalog_size, kind=kind, dtype=dtype
+    )
 
 
 def memory_report(

@@ -1,5 +1,6 @@
 """Shared utilities: timing, RNG, validation and parallel helpers."""
 
+from repro.utils.bufpool import ScratchBufferPool
 from repro.utils.timer import ActivityProfile, Stopwatch, timed
 from repro.utils.rng import default_rng, spawn_rngs
 from repro.utils.validation import (
@@ -16,6 +17,7 @@ from repro.utils.parallel import (
 )
 
 __all__ = [
+    "ScratchBufferPool",
     "ActivityProfile",
     "Stopwatch",
     "timed",

@@ -115,3 +115,138 @@ class TestFactory:
         assert rows["direct"]["accesses_per_lookup"] == min(
             r["accesses_per_lookup"] for r in rows.values()
         )
+
+
+class TestStackedDirectTable:
+    def test_gather_matches_individual_lookups(self):
+        from repro.lookup.combined import StackedDirectTable
+        from repro.lookup.direct import DirectAccessTable
+
+        elts = make_elts()
+        stacked = StackedDirectTable(elts, CATALOG)
+        queries = np.array([0, 1, 5, 100, 1999])
+        block = stacked.gather(queries)
+        assert block.shape == (len(elts), queries.size)
+        for row, elt in enumerate(elts):
+            direct = DirectAccessTable(elt, CATALOG)
+            assert np.array_equal(block[row], direct.lookup(queries))
+
+    def test_apply_terms_matches_scalar_terms(self):
+        from repro.data.elt import ELTFinancialTerms
+        from repro.lookup.combined import StackedDirectTable
+
+        elts = make_elts(n_elts=2)
+        elts[0].terms = ELTFinancialTerms(retention=100.0, limit=5000.0, share=0.5)
+        elts[1].terms = ELTFinancialTerms(currency_rate=1.3)
+        stacked = StackedDirectTable(elts, CATALOG)
+        queries = np.concatenate([[0], elts[0].event_ids[:10], elts[1].event_ids[:10]])
+        block = stacked.gather(queries)
+        expected = np.stack(
+            [elt.terms.apply(block[row].copy()) for row, elt in enumerate(elts)]
+        )
+        stacked.apply_terms_inplace(block)
+        assert np.allclose(block, expected, rtol=1e-12)
+
+    def test_gather_into_pooled_buffer(self):
+        from repro.lookup.combined import StackedDirectTable
+
+        elts = make_elts()
+        stacked = StackedDirectTable(elts, CATALOG, dtype=np.float32)
+        out = np.empty((len(elts), 4), dtype=np.float32)
+        result = stacked.gather(np.array([1, 2, 3, 4]), out=out)
+        assert result is out
+        assert stacked.dtype == np.float32
+
+    def test_rejects_2d_queries_and_bad_catalog(self):
+        from repro.lookup.combined import StackedDirectTable
+
+        elts = make_elts()
+        stacked = StackedDirectTable(elts, CATALOG)
+        with pytest.raises(ValueError):
+            stacked.gather(np.zeros((2, 2), dtype=np.int64))
+        with pytest.raises(ValueError):
+            StackedDirectTable(elts, catalog_size=1)
+        with pytest.raises(ValueError):
+            StackedDirectTable([], catalog_size=CATALOG)
+
+
+class TestLookupCache:
+    def test_hit_returns_same_objects(self):
+        from repro.lookup.factory import LookupCache
+
+        cache = LookupCache()
+        elts = make_elts()
+        first = cache.layer_lookups(elts, CATALOG)
+        second = cache.layer_lookups(elts, CATALOG)
+        assert first is second
+        assert cache.stats() == {"hits": 1, "misses": 1, "size": 1}
+
+    def test_distinct_kind_dtype_catalog_miss(self):
+        from repro.lookup.factory import LookupCache
+
+        cache = LookupCache()
+        elts = make_elts()
+        cache.layer_lookups(elts, CATALOG, kind="direct")
+        cache.layer_lookups(elts, CATALOG, kind="sorted")
+        cache.layer_lookups(elts, CATALOG, kind="direct", dtype=np.float32)
+        cache.layer_lookups(elts, CATALOG + 1, kind="direct")
+        assert cache.misses == 4 and cache.hits == 0
+
+    def test_terms_reassignment_misses(self):
+        from repro.data.elt import ELTFinancialTerms
+        from repro.lookup.factory import LookupCache
+
+        cache = LookupCache()
+        elts = make_elts()
+        first = cache.layer_lookups(elts, CATALOG)
+        elts[0].terms = ELTFinancialTerms(retention=42.0)
+        second = cache.layer_lookups(elts, CATALOG)
+        assert second is not first
+        assert second[0].terms.retention == 42.0
+
+    def test_losses_reassignment_misses(self):
+        from repro.lookup.factory import LookupCache
+
+        cache = LookupCache()
+        elts = make_elts()
+        first = cache.layer_lookups(elts, CATALOG)
+        elts[0].losses = elts[0].losses * 2.0
+        second = cache.layer_lookups(elts, CATALOG)
+        assert second is not first
+        assert np.allclose(
+            second[0].lookup(elts[0].event_ids), elts[0].losses
+        )
+
+    def test_entries_evicted_when_elts_die(self):
+        import gc
+
+        from repro.lookup.factory import LookupCache
+
+        cache = LookupCache()
+        elts = make_elts()
+        cache.layer_lookups(elts, CATALOG)
+        assert len(cache) == 1
+        del elts
+        gc.collect()
+        assert len(cache) == 0  # weakref callbacks evicted the entry
+
+    def test_lru_bounded(self):
+        from repro.lookup.factory import LookupCache
+
+        cache = LookupCache(maxsize=2)
+        keep = [make_elts(n_elts=1) for _ in range(4)]
+        for elts in keep:
+            cache.layer_lookups(elts, CATALOG)
+        assert len(cache) == 2
+
+    def test_stacked_table_cached(self):
+        from repro.lookup.factory import LookupCache
+
+        cache = LookupCache()
+        elts = make_elts()
+        a = cache.stacked_table(elts, CATALOG)
+        b = cache.stacked_table(elts, CATALOG)
+        assert a is b
+        # stacked and per-ELT builds are distinct entries
+        cache.layer_lookups(elts, CATALOG)
+        assert len(cache) == 2

@@ -66,7 +66,10 @@ class TestCommonContract:
         out = lookup.lookup(np.empty(0, dtype=np.int64))
         assert out.size == 0
 
-    def test_returns_float64(self, kind, builder):
+    def test_returns_float64_by_default(self, kind, builder):
+        # Default builds store float64, and lookup returns the storage
+        # dtype without upcasting (see the reduced-precision tests below
+        # for the float32 side of the contract).
         lookup = builder(make_elt())
         out = lookup.lookup(np.array([1, 2, 3]))
         assert out.dtype == np.float64
@@ -78,6 +81,35 @@ class TestCommonContract:
         row = builder(make_elt()).describe()
         assert row["kind"] == kind
         assert row["n_losses"] == 300
+
+
+class TestReducedPrecisionStaysReduced:
+    """Float32 tables must yield float32 results — no silent upcast."""
+
+    def test_direct_float32_lookup_dtype(self):
+        table = DirectAccessTable(make_elt(), CATALOG, dtype=np.float32)
+        out = table.lookup(np.array([1, 2, 3]))
+        assert out.dtype == np.float32
+
+    def test_compressed_float32_lookup_dtype(self):
+        table = CompressedBlockTable(make_elt(), loss_dtype=np.float32)
+        elt = make_elt()
+        out = table.lookup(elt.event_ids[:8])
+        assert out.dtype == np.float32
+
+    def test_financial_terms_preserve_float32(self):
+        from repro.data.elt import ELTFinancialTerms
+
+        terms = ELTFinancialTerms(retention=1.0, limit=10.0, share=0.5)
+        out = terms.apply(np.array([0.5, 4.0, 100.0], dtype=np.float32))
+        assert out.dtype == np.float32
+        assert np.allclose(out, [0.0, 1.5, 5.0])
+
+    def test_financial_terms_promote_integers_to_float64(self):
+        from repro.data.elt import ELTFinancialTerms
+
+        out = ELTFinancialTerms().apply(np.array([1, 2, 3]))
+        assert out.dtype == np.float64
 
 
 class TestDirectAccessTable:
