@@ -8,12 +8,15 @@
   legacy numerical core all five implementations in
   :mod:`repro.engines` share.
 * :mod:`repro.core.kernels` — the fused zero-copy kernel path: ragged
-  CSR execution, stacked multi-ELT gathers, pooled scratch buffers and
-  the memory-budget batch autotuner (``kernel="ragged"``).
+  CSR execution, stacked multi-ELT gathers, pooled scratch buffers,
+  double-buffered batch streaming and the L2-aware batch autotuner
+  (``kernel="ragged"``, the default on every engine).
 * :mod:`repro.core.analysis` — the high-level
   :class:`~repro.core.analysis.AggregateRiskAnalysis` entry point.
 * :mod:`repro.core.secondary` — the paper's future-work extension:
-  secondary uncertainty (per-event loss distributions) inside the kernel.
+  secondary uncertainty (per-event loss distributions) inside the
+  kernel, with counter-based decomposition-invariant sampling on the
+  ragged path.
 """
 
 from repro.core.terms import (
@@ -27,9 +30,13 @@ from repro.core.vectorized import (
     run_vectorized,
 )
 from repro.core.kernels import (
+    DEFAULT_KERNEL,
     KERNELS,
     autotune_batch_trials,
+    get_l2_cache_bytes,
     layer_trial_batch_ragged,
+    layer_trial_batch_secondary_ragged,
+    occ_chunk_for,
     run_ragged,
     segment_sums,
 )
@@ -46,9 +53,13 @@ __all__ = [
     "aggregate_risk_analysis_reference",
     "layer_trial_batch",
     "run_vectorized",
+    "DEFAULT_KERNEL",
     "KERNELS",
     "autotune_batch_trials",
+    "get_l2_cache_bytes",
     "layer_trial_batch_ragged",
+    "layer_trial_batch_secondary_ragged",
+    "occ_chunk_for",
     "run_ragged",
     "segment_sums",
     "AggregateRiskAnalysis",

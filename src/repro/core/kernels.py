@@ -55,10 +55,17 @@ just forgoes the single fused gather.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Sequence
 
 import numpy as np
 
+from repro.core.secondary import (
+    SECONDARY_TILE,
+    SecondaryUncertainty,
+    layer_stream_key,
+    resolve_secondary_seed,
+)
 from repro.core.terms import (
     apply_aggregate_terms_cumulative,
     apply_occurrence_terms,
@@ -69,7 +76,8 @@ from repro.data.ylt import YearLossTable
 from repro.lookup.base import LossLookup
 from repro.lookup.combined import StackedDirectTable
 from repro.lookup.factory import LookupCache, get_lookup_cache
-from repro.utils.bufpool import ScratchBufferPool
+from repro.utils.bufpool import ScratchBufferPool, stream_batches
+from repro.utils.rng import SeedLike
 from repro.utils.timer import (
     ACTIVITY_FETCH,
     ACTIVITY_FINANCIAL,
@@ -83,15 +91,122 @@ KERNEL_RAGGED = "ragged"
 KERNELS = (KERNEL_DENSE, KERNEL_RAGGED)
 """Kernel-path names accepted by engines and the high-level API."""
 
+#: the default kernel path of every engine and the high-level API.
+#: Ragged became the default once KERNEL-ABLATE confirmed parity with a
+#: ~2-3x speedup and ~2.5x lower peak scratch across dtypes; ``dense``
+#: remains selectable as the legacy baseline.
+DEFAULT_KERNEL = KERNEL_RAGGED
+
 #: default scratch budget of the batch autotuner (bytes)
 DEFAULT_BATCH_BUDGET_BYTES = 64 * 2**20
 
-#: occurrence-chunk bounds for the fused gather (elements per ELT row).
-#: The cap keeps the staged block cache-friendly — the CPU mirror of the
-#: paper's shared-memory chunk — and is what holds peak scratch well
-#: below the dense path's full-batch intermediates.
+#: fallback L2 budget when the cache hierarchy cannot be detected (1 MiB
+#: — the ballpark per-core L2 of every x86/ARM server part of the last
+#: decade).
+FALLBACK_L2_CACHE_BYTES = 1 * 2**20
+
+#: floor on the occurrence chunk (elements per ELT row): keeps each
+#: fused-gather NumPy call large enough to amortise dispatch overhead.
 MIN_OCC_CHUNK = 1_024
-MAX_OCC_CHUNK = 16_384
+
+_DETECTED_L2: int | None = None
+
+
+def get_l2_cache_bytes() -> int:
+    """The occurrence-chunk byte budget: detected L2 size, overridable.
+
+    Resolution order: the ``REPRO_L2_CACHE_BYTES`` environment variable
+    (read every call, so tests and deployments can steer the autotuner
+    without touching code; plain bytes or a ``K``/``M`` suffix, the same
+    format sysfs uses — a malformed value raises rather than being
+    silently ignored), then the per-core L2 data/unified cache size from
+    sysfs (detected once and memoised), then
+    :data:`FALLBACK_L2_CACHE_BYTES`.
+    """
+    override = os.environ.get("REPRO_L2_CACHE_BYTES")
+    if override:
+        nbytes = _parse_cache_size(override)
+        if nbytes is None:
+            raise ValueError(
+                f"REPRO_L2_CACHE_BYTES={override!r} is not a byte count "
+                "(expected an integer, optionally suffixed with K or M)"
+            )
+        return max(64 * 1024, nbytes)
+    global _DETECTED_L2
+    if _DETECTED_L2 is None:
+        _DETECTED_L2 = _detect_l2_cache_bytes()
+    return _DETECTED_L2
+
+
+def _parse_cache_size(text: str) -> int | None:
+    """Parse ``1048576`` / ``512K`` / ``1M`` into bytes (None if invalid)."""
+    text = text.strip().upper()
+    scale = 1
+    if text.endswith("K"):
+        scale, text = 1024, text[:-1]
+    elif text.endswith("M"):
+        scale, text = 1024 * 1024, text[:-1]
+    try:
+        nbytes = int(text) * scale
+    except ValueError:
+        return None
+    return nbytes if nbytes > 0 else None
+
+
+def _detect_l2_cache_bytes() -> int:
+    """Read cpu0's level-2 data/unified cache size from sysfs."""
+    base = "/sys/devices/system/cpu/cpu0/cache"
+    try:
+        for entry in sorted(os.listdir(base)):
+            if not entry.startswith("index"):
+                continue
+            index = os.path.join(base, entry)
+            try:
+                with open(os.path.join(index, "level")) as f:
+                    level = f.read().strip()
+                with open(os.path.join(index, "type")) as f:
+                    kind = f.read().strip()
+                if level != "2" or kind not in ("Data", "Unified"):
+                    continue
+                with open(os.path.join(index, "size")) as f:
+                    nbytes = _parse_cache_size(f.read())
+            except OSError:
+                continue
+            if nbytes:
+                return nbytes
+    except OSError:
+        pass
+    return FALLBACK_L2_CACHE_BYTES
+
+
+def max_occ_chunk(itemsize: int, l2_bytes: int | None = None) -> int:
+    """Upper bound on the occurrence chunk for a working ``itemsize``.
+
+    Half the L2 budget in words of ``itemsize`` — the single-ELT limit of
+    :func:`occ_chunk_for`, and the derived replacement for the old fixed
+    16K cap: a machine with a bigger L2 gets proportionally deeper
+    chunks, a smaller one stays cache-resident.
+    """
+    l2 = get_l2_cache_bytes() if l2_bytes is None else l2_bytes
+    return max(MIN_OCC_CHUNK, l2 // (2 * max(1, int(itemsize))))
+
+
+def occ_chunk_for(
+    n_elts: int, itemsize: int, l2_bytes: int | None = None
+) -> int:
+    """Occurrences per fused-gather chunk under the L2 cache budget.
+
+    The staged block is ``n_elts x chunk`` words; it is sized to half the
+    L2 budget (the other half is left for the combined vector, the
+    multiplier block of the secondary path and the table lines the gather
+    touches), clamped to ``[MIN_OCC_CHUNK, max_occ_chunk(...)]``.  This
+    is the CPU mirror of the paper's shared-memory chunk: the reduction
+    over the staged block re-reads what the gather just wrote, so keeping
+    the block cache-resident is what makes the fusion pay.
+    """
+    l2 = get_l2_cache_bytes() if l2_bytes is None else l2_bytes
+    chunk = (l2 // 2) // max(1, int(n_elts) * max(1, int(itemsize)))
+    return max(MIN_OCC_CHUNK, min(max_occ_chunk(itemsize, l2), chunk))
 
 
 def check_kernel(kernel: str) -> str:
@@ -110,15 +225,20 @@ def autotune_batch_trials(
     n_elts: int,
     dtype: np.dtype | type = np.float64,
     budget_bytes: int = DEFAULT_BATCH_BUDGET_BYTES,
+    secondary: bool = False,
+    l2_bytes: int | None = None,
 ) -> int:
     """Trials per batch such that the kernel's scratch fits ``budget_bytes``.
 
-    The ragged kernel's per-trial scratch is the combined loss vector
-    (one word per occurrence), the fused gather chunk (bounded,
-    accounted at one ``n_elts``-row chunk), and the per-trial totals.
-    Solving ``scratch(batch) <= budget`` replaces the dense path's
-    default of all-trials-at-once with an explicit memory policy; the
-    result is clamped to ``[1, n_trials]``.
+    The ragged kernel's per-batch scratch is the combined loss vector
+    (one word per occurrence), the fused gather chunk (``n_elts`` rows of
+    :func:`occ_chunk_for` occurrences — charged exactly, at the same
+    size the kernel will actually use, including the secondary path's
+    rounding of the chunk to whole RNG tiles), the secondary path's
+    multiplier block plus its per-tile uniform/index workspaces, and the
+    per-trial totals.  Solving ``scratch(batch) <= budget`` replaces the
+    dense path's default of all-trials-at-once with an explicit memory
+    policy; the result is clamped to ``[1, n_trials]``.
     """
     if n_trials < 1:
         raise ValueError(f"n_trials must be >= 1, got {n_trials}")
@@ -126,28 +246,27 @@ def autotune_batch_trials(
         raise ValueError(f"budget_bytes must be >= 1, got {budget_bytes}")
     itemsize = np.dtype(dtype).itemsize
     events = max(1.0, float(events_per_trial))
-    # Per trial: combined vector + amortised share of the gather chunk
-    # (n_elts rows resident over the chunk's occurrences) + totals/year.
-    per_trial = events * itemsize * (1 + n_elts) + 16
-    batch = int(budget_bytes / per_trial)
+    chunk = occ_chunk_for(n_elts, itemsize, l2_bytes=l2_bytes)
+    if secondary:
+        # The secondary kernel aligns its chunk to whole SECONDARY_TILEs
+        # (never below one tile) and stages a multiplier block beside
+        # the gather chunk, plus one float64 uniform and one intp index
+        # workspace of a full tile per ELT row.
+        chunk = max(1, chunk // SECONDARY_TILE) * SECONDARY_TILE
+        fixed = n_elts * (
+            chunk * itemsize * 2
+            + SECONDARY_TILE * (8 + np.dtype(np.intp).itemsize)
+        )
+    else:
+        fixed = n_elts * chunk * itemsize
+    # Per trial: combined vector words + totals/year accumulators.
+    per_trial = events * itemsize + 16
+    batch = int(max(0, budget_bytes - fixed) / per_trial)
     return max(1, min(n_trials, batch))
 
 
-def _occ_chunk_for(
-    n_elts: int, itemsize: int, budget_bytes: int = DEFAULT_BATCH_BUDGET_BYTES
-) -> int:
-    """Occurrences per fused-gather chunk under the scratch budget.
-
-    The chunk block is ``n_elts x chunk`` words; half the budget is left
-    for the combined vector and totals.  Clamped to keep individual
-    NumPy calls large enough to amortise dispatch overhead.
-    """
-    chunk = int(budget_bytes / 2 / max(1, n_elts * itemsize))
-    return max(MIN_OCC_CHUNK, min(MAX_OCC_CHUNK, chunk))
-
-
 def dense_intermediate_bytes(
-    n_trials_batch: int, max_events: int, itemsize: int = 8
+    n_trials_batch: int, max_events: int, itemsize: int = 8, secondary: bool = False
 ) -> int:
     """Estimated peak intermediate bytes of one dense-path batch.
 
@@ -155,12 +274,19 @@ def dense_intermediate_bytes(
     kernel's peak (inside a financial-term application): the padded
     ``(batch, max_events)`` id matrix (int32), the combined block, the
     gather result and two term-application temporaries — four blocks of
-    the working itemsize plus the 4-byte ids.  The ``KERNEL-ABLATE``
-    experiment compares this against the ragged path's *measured* pool
-    peak.
+    the working itemsize plus the 4-byte ids.  With ``secondary``, the
+    dense path additionally materialises a full-size float64 multiplier
+    matrix and the scaled-gross temporary it produces.  The
+    ``KERNEL-ABLATE`` experiments compare these estimates against the
+    ragged path's *measured* pool peak.
     """
     block = int(n_trials_batch) * int(max_events)
-    return block * (4 + 4 * int(itemsize))
+    per_slot = 4 + 4 * int(itemsize)
+    if secondary:
+        # rng-sampled multipliers are always float64; `gross * multipliers`
+        # adds one more block at the promoted itemsize.
+        per_slot += 8 + max(8, int(itemsize))
+    return block * per_slot
 
 
 # ----------------------------------------------------------------------
@@ -288,7 +414,7 @@ def layer_trial_batch_ragged(
             # Fused path: chunked gather over all ELTs at once, terms
             # broadcast in place, rows summed into the combined vector.
             tdtype = stacked.dtype
-            chunk = _occ_chunk_for(stacked.n_elts, tdtype.itemsize)
+            chunk = occ_chunk_for(stacked.n_elts, tdtype.itemsize)
             gross = pool.take((stacked.n_elts, min(chunk, max(n_occ, 1))), tdtype)
             try:
                 for lo in range(0, n_occ, chunk):
@@ -321,6 +447,124 @@ def layer_trial_batch_ragged(
     return year
 
 
+def layer_trial_batch_secondary_ragged(
+    event_ids: np.ndarray,
+    offsets: np.ndarray,
+    lookups: Sequence[LossLookup] | None,
+    layer_terms: LayerTerms,
+    uncertainty: SecondaryUncertainty,
+    stream_key: int,
+    stacked: StackedDirectTable | None = None,
+    occ_base: int = 0,
+    profile: ActivityProfile | None = None,
+    dtype: np.dtype | type = np.float64,
+    pool: ScratchBufferPool | None = None,
+) -> np.ndarray:
+    """:func:`layer_trial_batch_ragged` with per-(occurrence, ELT) draws.
+
+    The fused secondary-uncertainty kernel: damage-ratio multipliers are
+    sampled **directly into pooled scratch** beside the gathered loss
+    block (one Philox-counter inverse-transform draw per pair — see
+    :meth:`SecondaryUncertainty.multipliers_for_span`) and applied inside
+    the stacked-gather occurrence chunk, before the in-place financial
+    terms.  No dense ``(trials, events)`` matrix — of losses *or* of
+    multipliers — is ever materialised.
+
+    Parameters beyond :func:`layer_trial_batch_ragged`'s
+    ----------------------------------------------------
+    uncertainty:
+        The Beta damage-ratio model.
+    stream_key:
+        Base key of this layer's multiplier stream
+        (:func:`~repro.core.secondary.layer_stream_key`).
+    occ_base:
+        Global index of ``event_ids[0]`` in the full YET's flat
+        occurrence array.  Multipliers are addressed by *global*
+        occurrence index, so any decomposition of the trial space — engine
+        chunks, trial batches, occurrence chunks — reproduces identical
+        draws per (occurrence, ELT) pair.
+    """
+    profile = profile if profile is not None else ActivityProfile()
+    pool = pool if pool is not None else ScratchBufferPool()
+    ids = np.asarray(event_ids)
+    offs = np.asarray(offsets)
+    if ids.ndim != 1:
+        raise ValueError(f"event_ids must be 1-D, got shape {ids.shape}")
+    if offs.ndim != 1 or offs.size < 1:
+        raise ValueError("offsets must be 1-D with at least one entry")
+    if occ_base < 0:
+        raise ValueError(f"occ_base must be >= 0, got {occ_base}")
+    work = np.dtype(dtype)
+    n_occ = ids.size
+    n_elts = stacked.n_elts if stacked is not None else len(lookups or ())
+
+    combined = pool.take((n_occ,), work)
+    try:
+        tdtype = stacked.dtype if stacked is not None else work
+        table = uncertainty.quantile_table(dtype=tdtype)
+        # Round the occurrence chunk to whole RNG tiles and align chunk
+        # boundaries to *global* tile edges: every tile is then
+        # regenerated at most once per batch instead of once per
+        # straddling chunk.
+        chunk = occ_chunk_for(n_elts, tdtype.itemsize)
+        chunk_tiles = max(1, chunk // SECONDARY_TILE)
+        chunk = chunk_tiles * SECONDARY_TILE
+        width = min(chunk, max(n_occ, 1))
+        mult = pool.take((n_elts, width), tdtype)
+        gross = (
+            pool.take((n_elts, width), tdtype) if stacked is not None else None
+        )
+        try:
+            if combined.size and stacked is None:
+                combined[:] = 0.0
+            lo = 0
+            while lo < n_occ:
+                g = occ_base + lo
+                aligned_stop = (g // SECONDARY_TILE + chunk_tiles) * SECONDARY_TILE
+                hi = min(n_occ, aligned_stop - occ_base)
+                with profile.track(ACTIVITY_FINANCIAL):
+                    mblock = uncertainty.multipliers_for_span(
+                        stream_key,
+                        occ_base + lo,
+                        occ_base + hi,
+                        n_elts,
+                        out=mult[:, : hi - lo],
+                        table=table,
+                        pool=pool,
+                    )
+                if stacked is not None:
+                    block = gross[:, : hi - lo]
+                    with profile.track(ACTIVITY_LOOKUP):
+                        stacked.gather(ids[lo:hi], out=block)
+                    with profile.track(ACTIVITY_FINANCIAL):
+                        np.multiply(block, mblock, out=block)
+                        stacked.apply_terms_inplace(block)
+                        np.sum(block, axis=0, out=combined[lo:hi])
+                else:
+                    # Fallback for non-stackable lookup kinds: per-ELT
+                    # lookups over the flat chunk, each row scaled by its
+                    # multiplier stream before the ELT's terms apply.
+                    for row, lookup in enumerate(lookups or ()):
+                        with profile.track(ACTIVITY_LOOKUP):
+                            gross_flat = lookup.lookup(ids[lo:hi])
+                        with profile.track(ACTIVITY_FINANCIAL):
+                            scaled = gross_flat * mblock[row]
+                            net = lookup.terms.apply(scaled)
+                            combined[lo:hi] += net.astype(work, copy=False)
+                lo = hi
+        finally:
+            pool.give(gross)
+            pool.give(mult)
+
+        with profile.track(ACTIVITY_LAYER):
+            apply_occurrence_terms(combined, layer_terms, out=combined)
+            totals = segment_sums(combined, offs)
+            year = apply_aggregate_terms_cumulative(totals, layer_terms, out=totals)
+    finally:
+        pool.give(combined)
+    return year
+
+
 def run_ragged(
     yet: YearEventTable,
     portfolio: Portfolio,
@@ -332,6 +576,8 @@ def run_ragged(
     budget_bytes: int = DEFAULT_BATCH_BUDGET_BYTES,
     cache: LookupCache | None = None,
     pool: ScratchBufferPool | None = None,
+    secondary: SecondaryUncertainty | None = None,
+    secondary_seed: SeedLike = None,
 ) -> YearLossTable:
     """Full analysis with the fused ragged kernel, batched over trials.
 
@@ -341,11 +587,28 @@ def run_ragged(
     Lookup builds go through ``cache`` (the process-wide
     :func:`~repro.lookup.factory.get_lookup_cache` by default) so layers
     sharing ELTs — and repeated runs — build each table once.
+
+    Batches are double-buffered through
+    :func:`~repro.utils.bufpool.stream_batches`: a background thread
+    fetches batch ``N + 1``'s CSR slice and gather indices while batch
+    ``N`` reduces — the paper's overlap of chunk fetch with compute, at
+    host-batch granularity.  For the in-memory YET the fetch is
+    zero-copy (no extra scratch); sources that must stage reads borrow
+    from the streamer's two slot pools.
+
+    ``secondary`` switches every batch to the fused secondary-uncertainty
+    kernel (:func:`layer_trial_batch_secondary_ragged`).  Multiplier
+    draws are keyed by ``secondary_seed`` and the *global* occurrence
+    index, so results are reproducible for a given seed and invariant to
+    batch size.
     """
     profile = profile if profile is not None else ActivityProfile()
     cache = cache if cache is not None else get_lookup_cache()
     pool = pool if pool is not None else ScratchBufferPool()
     n_trials = yet.n_trials
+    base_seed = (
+        resolve_secondary_seed(secondary_seed) if secondary is not None else 0
+    )
 
     per_layer: Dict[int, np.ndarray] = {}
     for layer in portfolio.layers:
@@ -366,23 +629,61 @@ def run_ragged(
                 len(elts),
                 dtype=dtype,
                 budget_bytes=budget_bytes,
+                secondary=secondary is not None,
             )
         else:
             batch = max(1, int(batch_trials))
-        out = np.empty(n_trials, dtype=np.float64)
-        for start in range(0, n_trials, batch):
+        stream_key = layer_stream_key(base_seed, layer.layer_id)
+        starts = range(0, n_trials, batch)
+        # The prefetch thread charges into its own profile (charge() is a
+        # bare read-modify-write, unsafe to share across threads); folded
+        # into the caller's profile once the stream drains.
+        fetch_profile = ActivityProfile()
+
+        def fetch(i: int, slot: ScratchBufferPool):
+            """Fetch batch ``i``'s CSR slice + gather indices ahead of use.
+
+            For the in-memory YET this is zero-copy view slicing, so the
+            slot pool goes unused and the double buffer adds no memory;
+            an io- or mmap-backed source would stage its read into
+            ``slot`` here, which is what the two-slot design is for.
+            """
+            start = starts[i]
             stop = min(start + batch, n_trials)
-            with profile.track(ACTIVITY_FETCH):
+            with fetch_profile.track(ACTIVITY_FETCH):
                 ids, offs = yet.csr_block(start, stop)
-            out[start:stop] = layer_trial_batch_ragged(
-                ids,
-                offs,
-                lookups,
-                layer.terms,
-                stacked=stacked,
-                profile=profile,
-                dtype=dtype,
-                pool=pool,
-            )
+            return start, stop, ids, offs
+
+        out = np.empty(n_trials, dtype=np.float64)
+        for start, stop, ids, offs in stream_batches(fetch, len(starts)):
+            occ_base = int(yet.offsets[start])
+            if secondary is not None:
+                out[start:stop] = layer_trial_batch_secondary_ragged(
+                    ids,
+                    offs,
+                    lookups,
+                    layer.terms,
+                    secondary,
+                    stream_key,
+                    stacked=stacked,
+                    occ_base=occ_base,
+                    profile=profile,
+                    dtype=dtype,
+                    pool=pool,
+                )
+            else:
+                out[start:stop] = layer_trial_batch_ragged(
+                    ids,
+                    offs,
+                    lookups,
+                    layer.terms,
+                    stacked=stacked,
+                    profile=profile,
+                    dtype=dtype,
+                    pool=pool,
+                )
+        for activity, seconds in fetch_profile.seconds.items():
+            if seconds:
+                profile.charge(activity, seconds)
         per_layer[layer.layer_id] = out
     return YearLossTable.from_dict(per_layer)

@@ -97,16 +97,30 @@ def run_vectorized(
     dtype: np.dtype | type = np.float64,
     batch_trials: int | None = None,
     profile: ActivityProfile | None = None,
+    secondary=None,
+    secondary_seed=None,
 ) -> YearLossTable:
     """Full analysis with the vectorised kernel, batched over trials.
 
     ``batch_trials`` bounds peak memory: the dense event block and the
     per-ELT gather results are ``batch x max_events`` arrays.  The default
     (all trials in one batch) is fastest when it fits.
+
+    ``secondary`` (a :class:`~repro.core.secondary.SecondaryUncertainty`)
+    switches every batch to the secondary-uncertainty kernel.  Each
+    (layer, batch) gets a seed hashed from ``secondary_seed``, so a run
+    is reproducible for a fixed decomposition — but unlike the ragged
+    path's counter-based streams, dense draws are *not* invariant to the
+    batch size.
     """
     profile = profile if profile is not None else ActivityProfile()
     n_trials = yet.n_trials
     batch = n_trials if batch_trials is None else max(1, int(batch_trials))
+    base_seed = None
+    if secondary is not None:
+        from repro.core.secondary import resolve_secondary_seed
+
+        base_seed = resolve_secondary_seed(secondary_seed)
 
     per_layer: dict[int, np.ndarray] = {}
     for layer in portfolio.layers:
@@ -125,12 +139,28 @@ def run_vectorized(
             chunk = yet.slice_trials(start, stop)
             with profile.track(ACTIVITY_FETCH):
                 dense = chunk.to_dense()
-            out[start:stop] = layer_trial_batch(
-                dense,
-                lookups,
-                layer.terms,
-                profile=profile,
-                dtype=dtype,
-            )
+            if secondary is not None:
+                from repro.core.secondary import layer_trial_batch_secondary
+                from repro.utils.rng import stable_hash_seed
+
+                out[start:stop] = layer_trial_batch_secondary(
+                    dense,
+                    lookups,
+                    layer.terms,
+                    secondary,
+                    seed=stable_hash_seed(
+                        base_seed, "dense-secondary", layer.layer_id, start
+                    ),
+                    profile=profile,
+                    dtype=dtype,
+                )
+            else:
+                out[start:stop] = layer_trial_batch(
+                    dense,
+                    lookups,
+                    layer.terms,
+                    profile=profile,
+                    dtype=dtype,
+                )
         per_layer[layer.layer_id] = out
     return YearLossTable.from_dict(per_layer)

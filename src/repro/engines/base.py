@@ -33,9 +33,18 @@ class Engine(abc.ABC):
         engines override the default to ``float32`` (the paper's
         reduced-precision optimisation) unless told otherwise.
     kernel:
-        Numerical core: ``"dense"`` (the legacy padded trial-block
-        kernel) or ``"ragged"`` (the fused zero-copy CSR kernel of
-        :mod:`repro.core.kernels`).
+        Numerical core: ``"ragged"`` (the fused zero-copy CSR kernel of
+        :mod:`repro.core.kernels`, the default) or ``"dense"`` (the
+        legacy padded trial-block kernel).
+    secondary:
+        Optional :class:`~repro.core.secondary.SecondaryUncertainty`:
+        per-(occurrence, ELT) damage-ratio multipliers applied inside the
+        kernel.  The ragged path samples them with counter-based streams
+        keyed by global occurrence index (reproducible for a given
+        ``secondary_seed`` and invariant to engine decomposition); the
+        dense path draws per batch.
+    secondary_seed:
+        Seed of the multiplier streams (ignored without ``secondary``).
     """
 
     #: registry name, overridden by subclasses
@@ -45,13 +54,25 @@ class Engine(abc.ABC):
         self,
         lookup_kind: str = "direct",
         dtype: np.dtype | type = np.float64,
-        kernel: str = "dense",
+        kernel: str | None = None,
+        secondary=None,
+        secondary_seed=None,
     ) -> None:
-        from repro.core.kernels import check_kernel  # deferred import
+        from repro.core.kernels import DEFAULT_KERNEL, check_kernel
 
         self.lookup_kind = lookup_kind
         self.dtype = np.dtype(dtype)
-        self.kernel = check_kernel(kernel)
+        self.kernel = check_kernel(DEFAULT_KERNEL if kernel is None else kernel)
+        self.secondary = secondary
+        self.secondary_seed = secondary_seed
+
+    def _secondary_base_seed(self) -> int:
+        """Resolve ``secondary_seed`` to one integer base key (or 0)."""
+        from repro.core.secondary import resolve_secondary_seed
+
+        if self.secondary is None:
+            return 0
+        return resolve_secondary_seed(self.secondary_seed)
 
     # ------------------------------------------------------------------
     def run(

@@ -16,6 +16,7 @@ import numpy as np
 from repro.data.layer import Portfolio
 from repro.data.yet import YearEventTable
 from repro.data.ylt import YearLossTable
+from repro.core.secondary import layer_stream_key
 from repro.engines.base import Engine
 from repro.engines.gpu_common import (
     ARABasicKernel,
@@ -52,9 +53,17 @@ class GPUBasicEngine(Engine):
         device_spec: DeviceSpec = TESLA_C2075,
         threads_per_block: int = 256,
         batch_blocks: int = 256,
-        kernel: str = "dense",
+        kernel: str | None = None,
+        secondary=None,
+        secondary_seed=None,
     ) -> None:
-        super().__init__(lookup_kind=lookup_kind, dtype=dtype, kernel=kernel)
+        super().__init__(
+            lookup_kind=lookup_kind,
+            dtype=dtype,
+            kernel=kernel,
+            secondary=secondary,
+            secondary_seed=secondary_seed,
+        )
         check_positive("threads_per_block", threads_per_block)
         check_positive("batch_blocks", batch_blocks)
         self.device_spec = device_spec
@@ -69,6 +78,7 @@ class GPUBasicEngine(Engine):
     ) -> tuple[YearLossTable, ActivityProfile, float | None, Dict[str, Any]]:
         device = GPUDevice(self.device_spec)
         word = self.dtype.itemsize
+        base_seed = self._secondary_base_seed()
 
         per_layer: Dict[int, np.ndarray] = {}
         modeled_total = 0.0
@@ -76,6 +86,7 @@ class GPUBasicEngine(Engine):
         meta: Dict[str, Any] = {
             "device": self.device_spec.name,
             "kernel": self.kernel,
+            "secondary": self.secondary is not None,
             "layers": [],
         }
 
@@ -119,6 +130,10 @@ class GPUBasicEngine(Engine):
                 dtype=self.dtype,
                 kernel=self.kernel,
                 stacked=stacked,
+                secondary=self.secondary,
+                secondary_stream_key=layer_stream_key(
+                    base_seed, layer.layer_id
+                ),
             )
             result = device.launch(
                 kernel,

@@ -29,6 +29,12 @@ occurrence/cumulative/aggregate steps; plus coalesced YET reads and YLT
 writes.  The optimised kernel keeps only the RANDOM lookups and coalesced
 streams, moving everything else on-chip — which is exactly why the paper
 measures it ~2x faster (38.47 s → 20.63 s).
+
+With ``kernel="ragged"`` both kernel classes switch to
+:func:`record_ragged_traffic`, the fused formulation's own ledger
+(coalesced CSR streams, fused gather, no global intermediates), so
+modeled seconds reflect what the fused kernel actually moves rather than
+reusing the dense ledger.
 """
 
 from __future__ import annotations
@@ -42,6 +48,12 @@ from repro.core.kernels import (
     build_layer_tables,
     check_kernel,
     layer_trial_batch_ragged,
+    layer_trial_batch_secondary_ragged,
+    occ_chunk_for,
+)
+from repro.core.secondary import (
+    SecondaryUncertainty,
+    layer_trial_batch_secondary,
 )
 from repro.core.terms import (
     apply_aggregate_terms_cumulative,
@@ -54,6 +66,7 @@ from repro.gpusim.memory import DeviceCounters
 from repro.lookup.base import LossLookup
 from repro.lookup.combined import StackedDirectTable
 from repro.utils.bufpool import ScratchBufferPool
+from repro.utils.rng import stable_hash_seed
 from repro.utils.timer import (
     ACTIVITY_FETCH,
     ACTIVITY_FINANCIAL,
@@ -76,6 +89,12 @@ OPTIMIZED_REGISTERS_PER_THREAD = 32
 FLOPS_FINANCIAL_PER_LOOKUP = 5.0
 FLOPS_ACCUM_PER_LOOKUP = 1.0
 FLOPS_LAYER_PER_EVENT = 9.0
+
+# Extra work per (event, ELT) pair with secondary uncertainty on: one
+# Philox counter round for the uniform, the bin-index scale, and the
+# multiply into the gross loss (the quantile-table read is charged as a
+# random global access separately).
+FLOPS_SECONDARY_PER_LOOKUP = 12.0
 
 
 @dataclass(frozen=True)
@@ -252,6 +271,87 @@ def record_optimized_traffic(
     counters.instruction_count(instr * per_pair)
 
 
+def record_ragged_traffic(
+    counters: DeviceCounters,
+    n_occ: float,
+    n_trials: float,
+    n_elts: int,
+    word: int,
+    flags: OptimizationFlags,
+    occ_chunk: int,
+    secondary: bool = False,
+) -> None:
+    """Ledger entries of the *fused ragged* kernel (flag-dependent).
+
+    The ragged formulation's traffic differs from the dense ledger in
+    exactly the ways the fusion wins on hardware:
+
+    * the trial stream is the CSR arrays — coalesced event ids **plus
+      the coalesced offsets array** — instead of a padded id block;
+    * one fused gather per (event, ELT) pair (random, irreducible), with
+      the gathered chunk staged on-chip and the financial terms broadcast
+      over it in place: with ``flags.chunking`` there is **no** global
+      intermediate traffic, without it the gathered block spills to
+      global memory and is re-read once by the terms pass (2 accesses
+      per pair — still half the dense basic kernel's 4);
+    * the segment reduction + occurrence/aggregate clamps make one
+      strided pass over the combined vector (2 accesses per event)
+      instead of the dense path's nine;
+    * with ``secondary``, one quantile-table read per pair (random) and
+      the counter-RNG arithmetic.
+
+    Shared by both ARA kernel classes when ``kernel="ragged"`` so the
+    modeled GPU seconds show the same fusion win the CPU wall clock
+    measures.
+    """
+    per_pair = float(n_occ) * n_elts
+    # CSR streams: event ids and the offsets array, both coalesced.
+    counters.global_coalesced(n_occ * 4, activity=ACTIVITY_FETCH)
+    counters.global_coalesced((n_trials + 1) * 8, activity=ACTIVITY_FETCH)
+    # The fused gather: one random table read per (event, ELT) pair.
+    counters.global_random(per_pair, word, activity=ACTIVITY_LOOKUP)
+    if secondary:
+        # Per-pair damage-ratio multiplier: one quantile-table read.
+        counters.global_random(per_pair, word, activity=ACTIVITY_FINANCIAL)
+        counters.flops(
+            FLOPS_SECONDARY_PER_LOOKUP * per_pair,
+            word,
+            activity=ACTIVITY_FINANCIAL,
+        )
+
+    if flags.chunking:
+        # Gathered chunk staged on-chip; terms broadcast in place, and
+        # the occurrence clamp + segment accumulation consume the staged
+        # combined values before they ever reach global memory.
+        counters.shared(n_occ * (1.0 + n_elts))
+        counters.shared(2.0 * n_occ)
+        if not flags.registers:
+            counters.shared(2.0 * per_pair)
+        n_chunks = max(1.0, n_occ / max(1, occ_chunk))
+        counters.constant(n_chunks * (n_elts + 1))
+    else:
+        # Without staging the gathered block spills to global memory and
+        # the in-place terms pass re-reads it (write + read per pair),
+        # and the combined vector makes one strided round trip — still
+        # half the padded basic kernel's four per-pair accesses and a
+        # fraction of its nine per-event layer accesses.
+        counters.global_strided(
+            2.0 * per_pair, word, activity=ACTIVITY_FINANCIAL
+        )
+        counters.global_strided(2.0 * n_occ, word, activity=ACTIVITY_LAYER)
+
+    counters.flops(
+        (FLOPS_FINANCIAL_PER_LOOKUP + FLOPS_ACCUM_PER_LOOKUP) * per_pair,
+        word,
+        activity=ACTIVITY_FINANCIAL,
+    )
+    counters.flops(FLOPS_LAYER_PER_EVENT * n_occ, word, activity=ACTIVITY_LAYER)
+    counters.global_coalesced(n_trials * 8, activity=ACTIVITY_OTHER)
+
+    instr = INSTR_PER_ITER_UNROLLED if flags.unroll else INSTR_PER_ITER_ROLLED
+    counters.instruction_count(instr * per_pair)
+
+
 # ``build_layer_tables`` is defined in :mod:`repro.core.kernels` (the
 # selection rule is shared with the CPU engines) and re-exported from the
 # import block above for the GPU engines.
@@ -277,6 +377,9 @@ class _ARAKernelBase(SimKernel):
         dtype: np.dtype,
         kernel: str = "dense",
         stacked: StackedDirectTable | None = None,
+        secondary: SecondaryUncertainty | None = None,
+        secondary_stream_key: int = 0,
+        occ_origin: int = 0,
     ) -> None:
         if out.shape != (yet.n_trials,):
             raise ValueError(
@@ -289,6 +392,13 @@ class _ARAKernelBase(SimKernel):
         self.dtype = np.dtype(dtype)
         self.kernel = check_kernel(kernel)
         self.stacked = stacked
+        self.secondary = secondary
+        self.secondary_stream_key = int(secondary_stream_key)
+        # Global occurrence index of this (sub-)YET's first occurrence:
+        # multi-device engines pass their slice's origin so the ragged
+        # path's counter-based secondary draws stay decomposition-
+        # invariant across device counts.
+        self.occ_origin = int(occ_origin)
         self._pool = ScratchBufferPool()
 
     @property
@@ -299,23 +409,62 @@ class _ARAKernelBase(SimKernel):
     def n_elts(self) -> int:
         return self.stacked.n_elts if self.stacked is not None else len(self.lookups)
 
+    @property
+    def occ_chunk(self) -> int:
+        """Occurrence-chunk depth of the fused ragged gather."""
+        return occ_chunk_for(max(1, self.n_elts), self.word_bytes)
+
     def _compute_range(self, start: int, stop: int) -> tuple[np.ndarray, int]:
         """Functional work for trials [start, stop): returns (year, n_occ)."""
         if self.kernel == "ragged":
             ids, offs = self.yet.csr_block(start, stop)
-            year = layer_trial_batch_ragged(
-                ids,
-                offs,
-                self.lookups,
-                self.layer_terms,
-                stacked=self.stacked,
-                dtype=self.dtype,
-                pool=self._pool,
-            )
+            if self.secondary is not None:
+                year = layer_trial_batch_secondary_ragged(
+                    ids,
+                    offs,
+                    self.lookups,
+                    self.layer_terms,
+                    self.secondary,
+                    self.secondary_stream_key,
+                    stacked=self.stacked,
+                    occ_base=self.occ_origin + int(self.yet.offsets[start]),
+                    dtype=self.dtype,
+                    pool=self._pool,
+                )
+            else:
+                year = layer_trial_batch_ragged(
+                    ids,
+                    offs,
+                    self.lookups,
+                    self.layer_terms,
+                    stacked=self.stacked,
+                    dtype=self.dtype,
+                    pool=self._pool,
+                )
             self.out[start:stop] = year
             return year, ids.size
         chunk = self.yet.slice_trials(start, stop)
         dense = chunk.to_dense()
+        if self.secondary is not None:
+            # occ_origin distinguishes devices of a multi-GPU split whose
+            # sub-YETs all start their local batch ranges at 0 — without
+            # it two devices would replay identical multiplier streams
+            # on different trials.
+            year = layer_trial_batch_secondary(
+                dense,
+                self.lookups,
+                self.layer_terms,
+                self.secondary,
+                seed=stable_hash_seed(
+                    self.secondary_stream_key,
+                    "gpu-dense-secondary",
+                    self.occ_origin,
+                    start,
+                ),
+                dtype=self.dtype,
+            )
+            self.out[start:stop] = year
+            return year, chunk.n_occurrences
         combined = np.zeros(dense.shape, dtype=self.dtype)
         for lookup in self.lookups:
             gross = lookup.lookup(dense)
@@ -329,7 +478,14 @@ class _ARAKernelBase(SimKernel):
 
 
 class ARABasicKernel(_ARAKernelBase):
-    """Implementation (iii): intermediates in global/local memory."""
+    """Implementation (iii): intermediates in global/local memory.
+
+    With ``kernel="ragged"`` the ledger switches to
+    :func:`record_ragged_traffic` (no optimisation flags: the gathered
+    block still spills to global memory, but the CSR streams and the
+    fused single-pass reduction already halve the strided traffic) — so
+    modeled seconds show the fusion win even on the unoptimised engine.
+    """
 
     name = "ara-basic"
     registers_per_thread = BASIC_REGISTERS_PER_THREAD
@@ -338,6 +494,18 @@ class ARABasicKernel(_ARAKernelBase):
 
     def run_range(self, start: int, stop: int, counters: DeviceCounters) -> None:
         _, n_occ = self._compute_range(start, stop)
+        if self.kernel == "ragged":
+            record_ragged_traffic(
+                counters,
+                n_occ=n_occ,
+                n_trials=stop - start,
+                n_elts=self.n_elts,
+                word=self.word_bytes,
+                flags=OptimizationFlags.none(),
+                occ_chunk=self.occ_chunk,
+                secondary=self.secondary is not None,
+            )
+            return
         record_basic_traffic(
             counters,
             n_occ=n_occ,
@@ -364,9 +532,21 @@ class ARAOptimizedKernel(_ARAKernelBase):
         chunk_events: int = 24,
         kernel: str = "dense",
         stacked: StackedDirectTable | None = None,
+        secondary: SecondaryUncertainty | None = None,
+        secondary_stream_key: int = 0,
+        occ_origin: int = 0,
     ) -> None:
         super().__init__(
-            yet, lookups, layer_terms, out, dtype, kernel=kernel, stacked=stacked
+            yet,
+            lookups,
+            layer_terms,
+            out,
+            dtype,
+            kernel=kernel,
+            stacked=stacked,
+            secondary=secondary,
+            secondary_stream_key=secondary_stream_key,
+            occ_origin=occ_origin,
         )
         if chunk_events < 1:
             raise ValueError(f"chunk_events must be >= 1, got {chunk_events}")
@@ -394,6 +574,18 @@ class ARAOptimizedKernel(_ARAKernelBase):
     # -- execution ----------------------------------------------------------
     def run_range(self, start: int, stop: int, counters: DeviceCounters) -> None:
         _, n_occ = self._compute_range(start, stop)
+        if self.kernel == "ragged":
+            record_ragged_traffic(
+                counters,
+                n_occ=n_occ,
+                n_trials=stop - start,
+                n_elts=self.n_elts,
+                word=self.word_bytes,
+                flags=self.flags,
+                occ_chunk=self.occ_chunk,
+                secondary=self.secondary is not None,
+            )
+            return
         record_optimized_traffic(
             counters,
             n_occ=n_occ,

@@ -17,6 +17,7 @@ import numpy as np
 from repro.data.layer import Portfolio
 from repro.data.yet import YearEventTable
 from repro.data.ylt import YearLossTable
+from repro.core.secondary import layer_stream_key
 from repro.engines.base import Engine
 from repro.engines.gpu_common import (
     ARAOptimizedKernel,
@@ -59,9 +60,17 @@ class GPUOptimizedEngine(Engine):
         chunk_events: int = 24,
         flags: OptimizationFlags | None = None,
         batch_blocks: int = 256,
-        kernel: str = "dense",
+        kernel: str | None = None,
+        secondary=None,
+        secondary_seed=None,
     ) -> None:
-        super().__init__(lookup_kind=lookup_kind, dtype=dtype, kernel=kernel)
+        super().__init__(
+            lookup_kind=lookup_kind,
+            dtype=dtype,
+            kernel=kernel,
+            secondary=secondary,
+            secondary_seed=secondary_seed,
+        )
         check_positive("threads_per_block", threads_per_block)
         check_positive("chunk_events", chunk_events)
         check_positive("batch_blocks", batch_blocks)
@@ -84,6 +93,7 @@ class GPUOptimizedEngine(Engine):
     ) -> tuple[YearLossTable, ActivityProfile, float | None, Dict[str, Any]]:
         device = GPUDevice(self.device_spec)
         dtype = self.working_dtype
+        base_seed = self._secondary_base_seed()
         per_layer: Dict[int, np.ndarray] = {}
         modeled_total = 0.0
         profile = ActivityProfile()
@@ -92,6 +102,7 @@ class GPUOptimizedEngine(Engine):
             "flags": self.flags.describe(),
             "chunk_events": self.chunk_events,
             "kernel": self.kernel,
+            "secondary": self.secondary is not None,
             "layers": [],
         }
 
@@ -136,6 +147,10 @@ class GPUOptimizedEngine(Engine):
                 chunk_events=self.chunk_events,
                 kernel=self.kernel,
                 stacked=stacked,
+                secondary=self.secondary,
+                secondary_stream_key=layer_stream_key(
+                    base_seed, layer.layer_id
+                ),
             )
             result = device.launch(
                 kernel,

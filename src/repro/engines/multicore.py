@@ -21,20 +21,38 @@ from typing import Any, Dict, List
 
 import numpy as np
 
-from repro.core.kernels import build_layer_tables, layer_trial_batch_ragged
+from repro.core.kernels import (
+    build_layer_tables,
+    layer_trial_batch_ragged,
+    layer_trial_batch_secondary_ragged,
+)
+from repro.core.secondary import layer_stream_key, layer_trial_batch_secondary
 from repro.core.vectorized import layer_trial_batch
 from repro.data.layer import Portfolio
 from repro.data.yet import YearEventTable
 from repro.data.ylt import YearLossTable
 from repro.engines.base import Engine
 from repro.utils.bufpool import ScratchBufferPool
-from repro.utils.parallel import available_cpu_count, chunk_ranges, run_threaded
+from repro.utils.parallel import (
+    available_cpu_count,
+    balanced_chunk_ranges,
+    chunk_ranges,
+    run_threaded,
+)
+from repro.utils.rng import stable_hash_seed
 from repro.utils.timer import ACTIVITY_FETCH, ActivityProfile
 from repro.utils.validation import check_positive
 
 
 class MulticoreEngine(Engine):
     """Trial-parallel execution on a pool of OS threads.
+
+    With ``kernel="ragged"`` (the default) the trial space is split by
+    cumulative *occurrence* counts — the multi-GPU engine's
+    ``balance="events"`` rule via the shared
+    :func:`~repro.utils.parallel.balanced_chunk_ranges` — so ragged YETs
+    hand every worker a near-equal share of actual lookups instead of
+    trial counts.  The dense kernel keeps the paper's equal-trial split.
 
     Parameters
     ----------
@@ -54,9 +72,17 @@ class MulticoreEngine(Engine):
         dtype: np.dtype | type = np.float64,
         n_cores: int | None = None,
         threads_per_core: int = 1,
-        kernel: str = "dense",
+        kernel: str | None = None,
+        secondary=None,
+        secondary_seed=None,
     ) -> None:
-        super().__init__(lookup_kind=lookup_kind, dtype=dtype, kernel=kernel)
+        super().__init__(
+            lookup_kind=lookup_kind,
+            dtype=dtype,
+            kernel=kernel,
+            secondary=secondary,
+            secondary_seed=secondary_seed,
+        )
         self.n_cores = int(n_cores) if n_cores else available_cpu_count()
         check_positive("n_cores", self.n_cores)
         check_positive("threads_per_core", threads_per_core)
@@ -74,10 +100,15 @@ class MulticoreEngine(Engine):
     ) -> tuple[YearLossTable, ActivityProfile, float | None, Dict[str, Any]]:
         profile = ActivityProfile()
         per_layer: Dict[int, np.ndarray] = {}
+        base_seed = self._secondary_base_seed()
 
-        chunks = chunk_ranges(
-            yet.n_trials, min(self.n_logical_threads, yet.n_trials)
-        )
+        n_chunks = min(self.n_logical_threads, yet.n_trials)
+        if self.kernel == "ragged":
+            # Occurrence-balanced decomposition: ragged YETs load-balance
+            # on actual work (lookups ∝ occurrences), not trial counts.
+            chunks = balanced_chunk_ranges(yet.offsets, n_chunks)
+        else:
+            chunks = chunk_ranges(yet.n_trials, n_chunks)
         # One scratch pool per chunk slot, reused across layers: pools
         # are not thread-safe, but chunk i is a distinct task per layer
         # and layers run back-to-back, so each pool has one borrower at
@@ -104,6 +135,8 @@ class MulticoreEngine(Engine):
                 ActivityProfile() for _ in chunks
             ]
 
+            stream_key = layer_stream_key(base_seed, layer.layer_id)
+
             def make_task(chunk_idx: int):
                 start, stop = chunks[chunk_idx]
                 wprofile = worker_profiles[chunk_idx]
@@ -114,6 +147,25 @@ class MulticoreEngine(Engine):
                         # Zero-copy CSR views into the shared YET.
                         with wprofile.track(ACTIVITY_FETCH):
                             ids, offs = yet.csr_block(start, stop)
+                        if self.secondary is not None:
+                            # Counter-based streams keyed by global
+                            # occurrence index: the same multipliers
+                            # regardless of how many chunks this run
+                            # split into (decomposition invariance).
+                            out[start:stop] = layer_trial_batch_secondary_ragged(
+                                ids,
+                                offs,
+                                lookups,
+                                layer.terms,
+                                self.secondary,
+                                stream_key,
+                                stacked=stacked,
+                                occ_base=int(yet.offsets[start]),
+                                profile=wprofile,
+                                dtype=self.dtype,
+                                pool=pool,
+                            )
+                            return
                         out[start:stop] = layer_trial_batch_ragged(
                             ids,
                             offs,
@@ -128,6 +180,25 @@ class MulticoreEngine(Engine):
                     sub = yet.slice_trials(start, stop)
                     with wprofile.track(ACTIVITY_FETCH):
                         dense = sub.to_dense()
+                    if self.secondary is not None:
+                        # Dense draws are sequential-stream: reproducible
+                        # per (layer, chunk start), but not invariant to
+                        # the decomposition — the ragged path is.
+                        out[start:stop] = layer_trial_batch_secondary(
+                            dense,
+                            lookups,
+                            layer.terms,
+                            self.secondary,
+                            seed=stable_hash_seed(
+                                base_seed,
+                                "dense-secondary",
+                                layer.layer_id,
+                                start,
+                            ),
+                            profile=wprofile,
+                            dtype=self.dtype,
+                        )
+                        return
                     out[start:stop] = layer_trial_batch(
                         dense,
                         lookups,
@@ -151,5 +222,7 @@ class MulticoreEngine(Engine):
             "threads_per_core": self.threads_per_core,
             "n_logical_threads": self.n_logical_threads,
             "kernel": self.kernel,
+            "balance": "events" if self.kernel == "ragged" else "trials",
+            "secondary": self.secondary is not None,
         }
         return YearLossTable.from_dict(per_layer), profile, None, meta

@@ -20,6 +20,7 @@ from typing import Any, Dict, List
 
 import numpy as np
 
+from repro.core.secondary import layer_stream_key
 from repro.data.layer import Portfolio
 from repro.data.yet import YearEventTable
 from repro.data.ylt import YearLossTable
@@ -70,9 +71,17 @@ class MultiGPUEngine(Engine):
         flags: OptimizationFlags | None = None,
         batch_blocks: int = 2048,
         balance: str = "trials",
-        kernel: str = "dense",
+        kernel: str | None = None,
+        secondary=None,
+        secondary_seed=None,
     ) -> None:
-        super().__init__(lookup_kind=lookup_kind, dtype=dtype, kernel=kernel)
+        super().__init__(
+            lookup_kind=lookup_kind,
+            dtype=dtype,
+            kernel=kernel,
+            secondary=secondary,
+            secondary_seed=secondary_seed,
+        )
         check_positive("n_devices", n_devices)
         check_positive("threads_per_block", threads_per_block)
         check_positive("chunk_events", chunk_events)
@@ -105,6 +114,7 @@ class MultiGPUEngine(Engine):
             else pool.decompose(yet.n_trials)
         )
         dtype = self.working_dtype
+        base_seed = self._secondary_base_seed()
 
         per_layer: Dict[int, np.ndarray] = {}
         profile = ActivityProfile()
@@ -115,6 +125,7 @@ class MultiGPUEngine(Engine):
             "chunk_events": self.chunk_events,
             "balance": self.balance,
             "kernel": self.kernel,
+            "secondary": self.secondary is not None,
             "per_device": [],
         }
         modeled_total = 0.0
@@ -161,6 +172,14 @@ class MultiGPUEngine(Engine):
                         chunk_events=self.chunk_events,
                         kernel=self.kernel,
                         stacked=stacked,
+                        secondary=self.secondary,
+                        secondary_stream_key=layer_stream_key(
+                            base_seed, layer.layer_id
+                        ),
+                        # Global origin of this device's YET slice keeps
+                        # the counter-based secondary draws identical for
+                        # any device count.
+                        occ_origin=int(yet.offsets[start]),
                     )
                     result = device.launch(
                         kernel,

@@ -36,8 +36,8 @@ class SequentialEngine(Engine):
         ``None`` lets the ragged path's autotuner size batches to its
         byte budget (the dense path treats ``None`` as the legacy 8192).
     kernel:
-        ``"dense"`` (legacy padded kernel) or ``"ragged"`` (fused CSR
-        kernel, :mod:`repro.core.kernels`).
+        ``"ragged"`` (fused CSR kernel, :mod:`repro.core.kernels`, the
+        default) or ``"dense"`` (legacy padded kernel).
     """
 
     name = "sequential"
@@ -47,9 +47,17 @@ class SequentialEngine(Engine):
         lookup_kind: str = "direct",
         dtype: np.dtype | type = np.float64,
         batch_trials: int | None = 8192,
-        kernel: str = "dense",
+        kernel: str | None = None,
+        secondary=None,
+        secondary_seed=None,
     ) -> None:
-        super().__init__(lookup_kind=lookup_kind, dtype=dtype, kernel=kernel)
+        super().__init__(
+            lookup_kind=lookup_kind,
+            dtype=dtype,
+            kernel=kernel,
+            secondary=secondary,
+            secondary_seed=secondary_seed,
+        )
         if batch_trials is not None and batch_trials < 1:
             raise ValueError(f"batch_trials must be >= 1, got {batch_trials}")
         self.batch_trials = None if batch_trials is None else int(batch_trials)
@@ -70,6 +78,8 @@ class SequentialEngine(Engine):
                 dtype=self.dtype,
                 batch_trials=self.batch_trials,
                 profile=profile,
+                secondary=self.secondary,
+                secondary_seed=self.secondary_seed,
             )
         else:
             ylt = run_vectorized(
@@ -82,11 +92,14 @@ class SequentialEngine(Engine):
                     8192 if self.batch_trials is None else self.batch_trials
                 ),
                 profile=profile,
+                secondary=self.secondary,
+                secondary_seed=self.secondary_seed,
             )
         meta = {
             "batch_trials": self.batch_trials,
             "n_threads": 1,
             "kernel": self.kernel,
+            "secondary": self.secondary is not None,
         }
         return ylt, profile, None, meta
 
@@ -108,6 +121,11 @@ class ReferenceEngine(Engine):
         portfolio: Portfolio,
         catalog_size: int,
     ) -> tuple[YearLossTable, ActivityProfile, float | None, Dict[str, Any]]:
+        if self.secondary is not None:
+            raise NotImplementedError(
+                "the scalar reference engine has no secondary-uncertainty "
+                "path; use any vectorised engine"
+            )
         profile = ActivityProfile()
         with profile.track(ACTIVITY_OTHER):
             ylt = aggregate_risk_analysis_reference(yet, portfolio)

@@ -17,7 +17,7 @@ from typing import Callable, List, Sequence, Tuple, TypeVar
 
 from repro.gpusim.device import DeviceSpec, TESLA_M2090
 from repro.gpusim.kernel import GPUDevice
-from repro.utils.parallel import chunk_ranges, run_threaded
+from repro.utils.parallel import balanced_chunk_ranges, chunk_ranges, run_threaded
 from repro.utils.validation import check_positive
 
 T = TypeVar("T")
@@ -71,35 +71,21 @@ class MultiGPU:
 
         Real YETs are ragged (800–1500 events per trial); an equal-trial
         split then hands devices unequal work and the fork-join makespan
-        follows the unluckiest device.  This partition walks the YET's
-        offset array instead, cutting at the trial boundaries closest to
-        equal cumulative event counts.  For fixed-event-count YETs it
-        degenerates to :meth:`decompose`.
+        follows the unluckiest device.  This partition cuts at the trial
+        boundaries closest to equal cumulative event counts — the shared
+        :func:`~repro.utils.parallel.balanced_chunk_ranges` rule, which
+        the multicore engine's ragged path reuses on CPU.  For
+        fixed-event-count YETs it degenerates to :meth:`decompose`.
         """
-        import numpy as np
-
-        n_trials = yet.n_trials
-        total = yet.n_occurrences
-        if total == 0:
-            return self.decompose(n_trials)
-        targets = np.arange(1, self.n_devices) * (total / self.n_devices)
-        cuts = np.searchsorted(yet.offsets[1:], targets, side="left") + 1
-        # Force strictly increasing boundaries within [0, n_trials].
-        boundaries = [0]
-        for cut in cuts:
-            boundaries.append(
-                int(min(max(cut, boundaries[-1] + 1), n_trials))
+        if yet.n_occurrences == 0:
+            return self.decompose(yet.n_trials)
+        return [
+            DeviceTask(device=device, trial_range=trial_range)
+            for device, trial_range in zip(
+                self.devices,
+                balanced_chunk_ranges(yet.offsets, self.n_devices),
             )
-        boundaries.append(n_trials)
-        tasks: List[DeviceTask] = []
-        for device, (start, stop) in zip(
-            self.devices, zip(boundaries, boundaries[1:])
-        ):
-            if stop > start:
-                tasks.append(
-                    DeviceTask(device=device, trial_range=(start, stop))
-                )
-        return tasks
+        ]
 
     def run_host_threads(
         self, tasks: Sequence[Callable[[], T]]

@@ -230,13 +230,20 @@ def cached_layer_lookups(
 
 
 def memory_report(
-    elts: Sequence[EventLossTable], catalog_size: int
+    elts: Sequence[EventLossTable],
+    catalog_size: int,
+    include_stacked: bool = False,
 ) -> List[Dict[str, float]]:
     """Memory/access trade-off rows for every structure kind.
 
     One row per kind with total bytes across the given ELTs and expected
     memory accesses per lookup — the quantified version of the paper's
     Section III argument (direct access: most memory, fewest accesses).
+
+    ``include_stacked`` appends the fused ragged kernel's layer-wide
+    :class:`~repro.lookup.combined.StackedDirectTable` (the default
+    kernel path's representation): byte-identical to the per-ELT direct
+    tables, but serviced by one gather for the whole layer.
     """
     rows: List[Dict[str, float]] = []
     for kind in LOOKUP_KINDS:
@@ -253,6 +260,18 @@ def memory_report(
                 "total_bytes": float(total_bytes),
                 "bytes_per_elt": float(total_bytes / max(len(lookups), 1)),
                 "accesses_per_lookup": float(accesses),
+            }
+        )
+    if include_stacked and elts:
+        stacked = build_stacked_table(elts, catalog_size)
+        rows.append(
+            {
+                "kind": "stacked",
+                "total_bytes": float(stacked.nbytes),
+                "bytes_per_elt": float(stacked.nbytes / stacked.n_elts),
+                "accesses_per_lookup": float(
+                    stacked.mean_accesses_per_lookup()
+                ),
             }
         )
     return rows

@@ -14,6 +14,8 @@ import os
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, List, Sequence, Tuple, TypeVar
 
+import numpy as np
+
 T = TypeVar("T")
 
 
@@ -48,6 +50,47 @@ def chunk_ranges(n_items: int, n_chunks: int) -> List[Tuple[int, int]]:
         ranges.append((start, start + size))
         start += size
     return ranges
+
+
+def balanced_chunk_ranges(
+    offsets: Sequence[int] | np.ndarray, n_chunks: int
+) -> List[Tuple[int, int]]:
+    """Split a CSR-delimited item space into chunks of ~equal *weight*.
+
+    ``offsets`` is a CSR offset array (``offsets[i]:offsets[i+1]``
+    delimits item ``i``, e.g. a YET trial's occurrences); the split cuts
+    at the item boundaries closest to equal cumulative weight, so ragged
+    workloads hand every worker a near-equal share of actual work rather
+    than of item counts.  This is the partitioning rule of the multi-GPU
+    engine's ``balance="events"`` mode, shared here so the multicore
+    engine's ragged path load-balances the same way.
+
+    Degenerates to :func:`chunk_ranges` when all weights are zero; like
+    it, empty chunks are dropped, so the result may have fewer than
+    ``n_chunks`` entries but always covers ``[0, n_items)`` exactly.
+    """
+    if n_chunks <= 0:
+        raise ValueError(f"n_chunks must be positive, got {n_chunks}")
+    offs = np.asarray(offsets)
+    if offs.ndim != 1 or offs.size < 1:
+        raise ValueError("offsets must be 1-D with at least one entry")
+    n_items = offs.size - 1
+    total = int(offs[-1]) - int(offs[0])
+    if n_items == 0:
+        return []
+    if total == 0:
+        return chunk_ranges(n_items, n_chunks)
+    targets = int(offs[0]) + np.arange(1, n_chunks) * (total / n_chunks)
+    cuts = np.searchsorted(offs[1:], targets, side="left") + 1
+    boundaries = [0]
+    for cut in cuts:
+        boundaries.append(int(min(max(cut, boundaries[-1] + 1), n_items)))
+    boundaries.append(n_items)
+    return [
+        (start, stop)
+        for start, stop in zip(boundaries, boundaries[1:])
+        if stop > start
+    ]
 
 
 def run_threaded(

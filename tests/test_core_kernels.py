@@ -13,6 +13,10 @@ import pytest
 
 from repro.core.algorithm import aggregate_risk_analysis_reference
 from repro.core.kernels import (
+    MIN_OCC_CHUNK,
+    get_l2_cache_bytes,
+    max_occ_chunk,
+    occ_chunk_for,
     KERNELS,
     autotune_batch_trials,
     check_kernel,
@@ -253,10 +257,42 @@ class TestAutotuner:
             dtype=np.float64,
             budget_bytes=64 * 2**20,
         )
-        # scratch(batch) = batch * events * itemsize * (1 + n_elts) + eps
-        per_trial = 1_000 * 8 * 16
+        # scratch(batch) = combined vector + totals + the staged gather
+        # chunk at its actual L2-derived size.
+        chunk_block = 15 * occ_chunk_for(15, 8) * 8
         assert 1 <= batch <= 1_000_000
-        assert batch * per_trial <= 64 * 2**20
+        assert batch * (1_000 * 8 + 16) + chunk_block <= 64 * 2**20
+
+    def test_secondary_halves_the_trial_budget_share(self):
+        plain = autotune_batch_trials(10**6, 1_000, 15, secondary=False)
+        with_secondary = autotune_batch_trials(10**6, 1_000, 15, secondary=True)
+        # The multiplier block doubles the fixed chunk cost, so the
+        # trial batch can only shrink (or stay equal).
+        assert with_secondary <= plain
+
+    def test_l2_budget_steers_occ_chunk(self):
+        small = occ_chunk_for(15, 8, l2_bytes=256 * 1024)
+        large = occ_chunk_for(15, 8, l2_bytes=8 * 2**20)
+        assert MIN_OCC_CHUNK <= small < large
+        assert large <= max_occ_chunk(8, l2_bytes=8 * 2**20)
+        # Detected (or fallback) budget is sane and feeds the default.
+        assert get_l2_cache_bytes() >= 64 * 1024
+
+    def test_l2_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_L2_CACHE_BYTES", str(512 * 1024))
+        assert get_l2_cache_bytes() == 512 * 1024
+        assert occ_chunk_for(1, 8) == min(
+            max_occ_chunk(8), (512 * 1024 // 2) // 8
+        )
+        # Suffixed values use the same format as sysfs.
+        monkeypatch.setenv("REPRO_L2_CACHE_BYTES", "512K")
+        assert get_l2_cache_bytes() == 512 * 1024
+        monkeypatch.setenv("REPRO_L2_CACHE_BYTES", "2M")
+        assert get_l2_cache_bytes() == 2 * 2**20
+        # Malformed overrides fail loudly instead of being ignored.
+        monkeypatch.setenv("REPRO_L2_CACHE_BYTES", "lots")
+        with pytest.raises(ValueError, match="REPRO_L2_CACHE_BYTES"):
+            get_l2_cache_bytes()
 
     def test_small_workload_runs_in_one_batch(self):
         assert autotune_batch_trials(100, 10.0, 5) == 100

@@ -106,6 +106,16 @@ class TestFactory:
         assert kinds == list(LOOKUP_KINDS)
         assert "compressed" in kinds  # §VI future-work structure included
 
+    def test_memory_report_stacked_row(self):
+        rows = {
+            r["kind"]: r
+            for r in memory_report(make_elts(), CATALOG, include_stacked=True)
+        }
+        # The ragged default path's layer table: same bytes as the
+        # per-ELT direct tables, one read per (event, ELT) query.
+        assert rows["stacked"]["total_bytes"] == rows["direct"]["total_bytes"]
+        assert rows["stacked"]["accesses_per_lookup"] == 1.0
+
     def test_memory_report_direct_uses_most_memory_fewest_accesses(self):
         # The §III trade-off, as data.
         rows = {row["kind"]: row for row in memory_report(make_elts(), CATALOG)}

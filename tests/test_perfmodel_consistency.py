@@ -41,19 +41,28 @@ def run(engine, workload):
 
 
 class TestModelEngineAgreement:
+    """Pinned to ``kernel="dense"``: the analytic model prices the
+    paper's padded CUDA kernels, so model↔engine agreement is a
+    dense-ledger contract.  The ragged ledger deliberately charges the
+    fused formulation's (smaller) traffic — asserted separately below."""
+
     def test_gpu_basic(self, workload):
         predicted = predict_gpu_basic(SPEC).total_seconds
-        modeled = run(GPUBasicEngine(), workload).modeled_seconds
+        modeled = run(GPUBasicEngine(kernel="dense"), workload).modeled_seconds
         assert modeled == pytest.approx(predicted, rel=0.05)
 
     def test_gpu_optimized(self, workload):
         predicted = predict_gpu_optimized(SPEC).total_seconds
-        modeled = run(GPUOptimizedEngine(), workload).modeled_seconds
+        modeled = run(
+            GPUOptimizedEngine(kernel="dense"), workload
+        ).modeled_seconds
         assert modeled == pytest.approx(predicted, rel=0.05)
 
     def test_multi_gpu(self, workload):
         predicted = predict_multi_gpu(SPEC, n_devices=4).total_seconds
-        modeled = run(MultiGPUEngine(n_devices=4), workload).modeled_seconds
+        modeled = run(
+            MultiGPUEngine(n_devices=4, kernel="dense"), workload
+        ).modeled_seconds
         assert modeled == pytest.approx(predicted, rel=0.08)
 
     @pytest.mark.parametrize("tpb", [128, 256, 512])
@@ -62,9 +71,42 @@ class TestModelEngineAgreement:
             SPEC, threads_per_block=tpb
         ).total_seconds
         modeled = run(
-            GPUBasicEngine(threads_per_block=tpb), workload
+            GPUBasicEngine(threads_per_block=tpb, kernel="dense"), workload
         ).modeled_seconds
         assert modeled == pytest.approx(predicted, rel=0.05)
+
+
+class TestRaggedLedgerShowsFusionWin:
+    """The ragged ledger (coalesced CSR streams + fused gather, no
+    global intermediates) must price *below* the dense ledger wherever
+    the fusion actually removes traffic: the basic kernel's per-pair
+    round trips and the optimised kernel without chunking.  The fully
+    chunked optimised kernel is already on-chip, so there ragged models
+    at parity (within the small extra coalesced offsets stream)."""
+
+    def test_ragged_beats_dense_on_basic(self, workload):
+        dense = run(GPUBasicEngine(kernel="dense"), workload)
+        ragged = run(GPUBasicEngine(kernel="ragged"), workload)
+        assert ragged.modeled_seconds < dense.modeled_seconds
+        assert ragged.ylt.allclose(dense.ylt)
+
+    def test_ragged_beats_dense_without_chunking(self, workload):
+        from repro.engines.gpu_common import OptimizationFlags
+
+        flags = OptimizationFlags(False, True, True, True)
+        dense = run(
+            GPUOptimizedEngine(kernel="dense", flags=flags), workload
+        )
+        ragged = run(
+            GPUOptimizedEngine(kernel="ragged", flags=flags), workload
+        )
+        assert ragged.modeled_seconds < dense.modeled_seconds
+
+    def test_ragged_parity_on_fully_optimized(self, workload):
+        dense = run(GPUOptimizedEngine(kernel="dense"), workload)
+        ragged = run(GPUOptimizedEngine(kernel="ragged"), workload)
+        assert ragged.modeled_seconds <= dense.modeled_seconds * 1.02
+        assert ragged.ylt.allclose(dense.ylt)
 
 
 class TestLinearityOfSequentialModel:

@@ -1,0 +1,432 @@
+"""Tests for the fused ragged secondary-uncertainty path.
+
+Covers the PR-2 tentpole guarantees:
+
+* dense-vs-ragged secondary parity (mean preservation) across dtypes and
+  batch sizes;
+* decomposition invariance of the counter-based multiplier streams —
+  batch size, occurrence chunking, multicore worker count and multi-GPU
+  device count must not change a seeded result bit-for-bit;
+* double-buffered batch streaming correctness, including empty and
+  degenerate trials;
+* the quantile-table sampler's statistical contract (mean exactly 1).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import (
+    layer_trial_batch_ragged,
+    layer_trial_batch_secondary_ragged,
+    run_ragged,
+)
+from repro.core.secondary import (
+    SECONDARY_TILE,
+    SecondaryUncertainty,
+    layer_stream_key,
+    resolve_secondary_seed,
+)
+from repro.core.vectorized import run_vectorized
+from repro.data.yet import YearEventTable
+from repro.engines.multicore import MulticoreEngine
+from repro.engines.multigpu import MultiGPUEngine
+from repro.engines.sequential import SequentialEngine
+from repro.lookup.factory import build_layer_lookups, build_stacked_table
+from repro.utils.bufpool import ScratchBufferPool, stream_batches
+
+
+SU = SecondaryUncertainty(4.0, 4.0)
+
+
+def run_workload(workload):
+    return (
+        workload.yet,
+        workload.portfolio,
+        workload.catalog.n_events,
+    )
+
+
+# ----------------------------------------------------------------------
+# Quantile table / sampler contract
+# ----------------------------------------------------------------------
+class TestQuantileSampler:
+    def test_table_mean_is_exactly_one(self):
+        table = SU.quantile_table()
+        assert table.mean() == pytest.approx(1.0, abs=1e-12)
+        assert table.flags.writeable is False
+
+    def test_table_cached_per_shape(self):
+        assert SU.quantile_table() is SU.quantile_table()
+        assert SecondaryUncertainty(4.0, 4.0).quantile_table() is SU.quantile_table()
+
+    def test_table_tracks_distribution_spread(self):
+        tight = SecondaryUncertainty(100.0, 100.0).quantile_table()
+        loose = SecondaryUncertainty(2.0, 2.0).quantile_table()
+        assert loose.std() > tight.std()
+
+    def test_span_invariance(self):
+        """Multipliers depend only on (key, global index, row)."""
+        whole = SU.multipliers_for_span(123, 0, 3 * SECONDARY_TILE, 4)
+        pieces = np.concatenate(
+            [
+                SU.multipliers_for_span(123, lo, hi, 4)
+                for lo, hi in [
+                    (0, 17),
+                    (17, SECONDARY_TILE + 5),
+                    (SECONDARY_TILE + 5, 3 * SECONDARY_TILE),
+                ]
+            ],
+            axis=1,
+        )
+        np.testing.assert_array_equal(whole, pieces)
+
+    def test_distinct_keys_distinct_streams(self):
+        a = SU.multipliers_for_span(1, 0, 256, 2)
+        b = SU.multipliers_for_span(2, 0, 256, 2)
+        assert not np.array_equal(a, b)
+
+    def test_empirical_mean_close_to_one(self):
+        block = SU.multipliers_for_span(7, 0, 200_000, 1)
+        assert block.mean() == pytest.approx(1.0, abs=5e-3)
+
+    def test_resolve_seed(self):
+        assert resolve_secondary_seed(42) == 42
+        assert resolve_secondary_seed(np.int64(7)) == 7
+        # None draws a fresh key; two draws almost surely differ.
+        assert resolve_secondary_seed(None) != resolve_secondary_seed(None)
+
+    def test_layer_keys_differ(self):
+        assert layer_stream_key(1, 0) != layer_stream_key(1, 1)
+
+
+# ----------------------------------------------------------------------
+# Dense vs ragged secondary parity (mean preservation)
+# ----------------------------------------------------------------------
+class TestDenseRaggedSecondaryParity:
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    @pytest.mark.parametrize("batch_trials", [None, 7, 64])
+    def test_mean_preserved_vs_base(self, small_workload, dtype, batch_trials):
+        """Property: multipliers have mean 1, so with loose layer terms
+        averaged year losses track the no-secondary baseline."""
+        yet, portfolio, catalog = run_workload(small_workload)
+        base = run_ragged(yet, portfolio, catalog, dtype=dtype)
+        totals = np.zeros(yet.n_trials)
+        n_draws = 8
+        for seed in range(n_draws):
+            ylt = run_ragged(
+                yet,
+                portfolio,
+                catalog,
+                dtype=dtype,
+                batch_trials=batch_trials,
+                secondary=SU,
+                secondary_seed=seed,
+            )
+            totals += ylt.losses[0]
+        mean = totals / n_draws
+        assert mean.sum() == pytest.approx(
+            base.losses[0].sum(), rel=0.05
+        )
+
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_dense_and_ragged_agree_statistically(self, small_workload, dtype):
+        """Different samplers, same model: totals agree within noise."""
+        yet, portfolio, catalog = run_workload(small_workload)
+        dense = run_vectorized(
+            yet, portfolio, catalog, dtype=dtype, secondary=SU, secondary_seed=0
+        )
+        ragged = run_ragged(
+            yet, portfolio, catalog, dtype=dtype, secondary=SU, secondary_seed=0
+        )
+        assert ragged.losses[0].sum() == pytest.approx(
+            dense.losses[0].sum(), rel=0.05
+        )
+        # Both widen the distribution relative to the deterministic base.
+        base = run_ragged(yet, portfolio, catalog, dtype=dtype)
+        assert ragged.losses[0].std() != pytest.approx(
+            base.losses[0].std(), rel=1e-6
+        )
+
+    def test_secondary_widens_spread_with_looser_beta(self, small_workload):
+        yet, portfolio, catalog = run_workload(small_workload)
+        base = run_ragged(yet, portfolio, catalog)
+        tight = run_ragged(
+            yet,
+            portfolio,
+            catalog,
+            secondary=SecondaryUncertainty(5000.0, 5000.0),
+            secondary_seed=1,
+        )
+        # Near-degenerate Beta: multipliers ~1, totals ~deterministic.
+        # (Elementwise comparison would amplify near-retention clamps,
+        # so the contract is on the aggregate.)
+        assert tight.losses[0].sum() == pytest.approx(
+            base.losses[0].sum(), rel=0.01
+        )
+
+    def test_non_direct_lookup_fallback(self, tiny_workload):
+        """The fused secondary path also runs for non-stackable kinds."""
+        yet, portfolio, catalog = run_workload(tiny_workload)
+        direct = run_ragged(
+            yet, portfolio, catalog, secondary=SU, secondary_seed=3
+        )
+        sorted_kind = run_ragged(
+            yet,
+            portfolio,
+            catalog,
+            lookup_kind="sorted",
+            secondary=SU,
+            secondary_seed=3,
+        )
+        # Same multiplier streams, same losses: paths agree to float
+        # accumulation order.
+        np.testing.assert_allclose(
+            direct.losses[0], sorted_kind.losses[0], rtol=1e-9
+        )
+
+
+# ----------------------------------------------------------------------
+# Decomposition invariance
+# ----------------------------------------------------------------------
+class TestDecompositionInvariance:
+    def test_batch_size_invariance_bitwise(self, small_workload):
+        yet, portfolio, catalog = run_workload(small_workload)
+        results = [
+            run_ragged(
+                yet,
+                portfolio,
+                catalog,
+                batch_trials=batch,
+                secondary=SU,
+                secondary_seed=11,
+            ).losses[0]
+            for batch in (None, 13, 100, yet.n_trials)
+        ]
+        for other in results[1:]:
+            np.testing.assert_array_equal(results[0], other)
+
+    def test_multicore_worker_count_invariance(self, small_workload):
+        yet, portfolio, catalog = run_workload(small_workload)
+        results = [
+            MulticoreEngine(
+                n_cores=n, kernel="ragged", secondary=SU, secondary_seed=5
+            )
+            .run(yet, portfolio, catalog)
+            .ylt.losses[0]
+            for n in (1, 2, 5)
+        ]
+        np.testing.assert_array_equal(results[0], results[1])
+        np.testing.assert_array_equal(results[0], results[2])
+
+    def test_multicore_matches_sequential(self, small_workload):
+        yet, portfolio, catalog = run_workload(small_workload)
+        seq = SequentialEngine(
+            kernel="ragged", secondary=SU, secondary_seed=5
+        ).run(yet, portfolio, catalog)
+        multi = MulticoreEngine(
+            n_cores=4, kernel="ragged", secondary=SU, secondary_seed=5
+        ).run(yet, portfolio, catalog)
+        np.testing.assert_array_equal(
+            seq.ylt.losses[0], multi.ylt.losses[0]
+        )
+
+    def test_multigpu_device_count_invariance(self, small_workload):
+        yet, portfolio, catalog = run_workload(small_workload)
+        results = [
+            MultiGPUEngine(
+                n_devices=n,
+                kernel="ragged",
+                secondary=SU,
+                secondary_seed=9,
+            )
+            .run(yet, portfolio, catalog)
+            .ylt.losses[0]
+            for n in (1, 3)
+        ]
+        np.testing.assert_array_equal(results[0], results[1])
+
+    def test_multicore_occurrence_balanced_split(self):
+        """Ragged multicore splits by occurrences: with one huge trial
+        and many tiny ones, the heavy trial gets its own chunk."""
+        trials = [[(1, 0.1)] * 60] + [[(2, 0.5)]] * 6
+        yet = YearEventTable.from_trials(trials)
+        from repro.utils.parallel import balanced_chunk_ranges, chunk_ranges
+
+        balanced = balanced_chunk_ranges(yet.offsets, 2)
+        plain = chunk_ranges(yet.n_trials, 2)
+        assert balanced != plain
+        assert balanced[0] == (0, 1)  # the heavy trial alone
+
+    def test_engine_meta_reports_balance_mode(self, tiny_workload):
+        yet, portfolio, catalog = run_workload(tiny_workload)
+        ragged = MulticoreEngine(n_cores=2, kernel="ragged").run(
+            yet, portfolio, catalog
+        )
+        dense = MulticoreEngine(n_cores=2, kernel="dense").run(
+            yet, portfolio, catalog
+        )
+        assert ragged.meta["balance"] == "events"
+        assert dense.meta["balance"] == "trials"
+
+
+# ----------------------------------------------------------------------
+# Engine wiring
+# ----------------------------------------------------------------------
+class TestEngineSecondaryWiring:
+    @pytest.mark.parametrize(
+        "engine_name",
+        ["sequential", "multicore", "gpu", "gpu-optimized", "multi-gpu"],
+    )
+    @pytest.mark.parametrize("kernel", ["dense", "ragged"])
+    def test_every_engine_accepts_secondary(
+        self, tiny_workload, engine_name, kernel
+    ):
+        from repro.engines.registry import create_engine
+
+        yet, portfolio, catalog = run_workload(tiny_workload)
+        engine = create_engine(
+            engine_name, kernel=kernel, secondary=SU, secondary_seed=1
+        )
+        result = engine.run(yet, portfolio, catalog)
+        assert result.meta.get("secondary") is True
+        base = create_engine(engine_name, kernel=kernel).run(
+            yet, portfolio, catalog
+        )
+        # Secondary sampling must actually perturb the losses.
+        assert not np.array_equal(
+            result.ylt.losses[0], base.ylt.losses[0]
+        )
+
+    def test_analysis_api_passes_secondary(self, tiny_workload):
+        from repro.core.analysis import AggregateRiskAnalysis
+
+        yet, portfolio, catalog = run_workload(tiny_workload)
+        ara = AggregateRiskAnalysis(
+            portfolio, catalog, secondary=SU, secondary_seed=2
+        )
+        assert ara.kernel == "ragged"  # the flipped default
+        a = ara.run(yet, engine="sequential")
+        b = ara.run(yet, engine="multicore")
+        np.testing.assert_array_equal(a.ylt.losses[0], b.ylt.losses[0])
+
+    def test_reference_engine_rejects_secondary(self, tiny_workload):
+        from repro.engines.sequential import ReferenceEngine
+
+        yet, portfolio, catalog = run_workload(tiny_workload)
+        with pytest.raises(NotImplementedError):
+            ReferenceEngine(secondary=SU).run(yet, portfolio, catalog)
+
+    def test_default_kernel_is_ragged_everywhere(self):
+        from repro.engines.registry import available_engines, create_engine
+
+        for name in available_engines():
+            assert create_engine(name).kernel == "ragged", name
+
+
+# ----------------------------------------------------------------------
+# Double-buffered batch streaming
+# ----------------------------------------------------------------------
+class TestStreamBatches:
+    def test_yields_in_order_with_lookahead(self):
+        seen = []
+
+        def fetch(i, pool):
+            seen.append(i)
+            return i * 10
+
+        assert list(stream_batches(fetch, 5)) == [0, 10, 20, 30, 40]
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_zero_and_single_batch(self):
+        assert list(stream_batches(lambda i, p: i, 0)) == []
+        assert list(stream_batches(lambda i, p: i, 1)) == [0]
+
+    def test_slot_pools_alternate_and_release(self):
+        pools = (ScratchBufferPool(), ScratchBufferPool())
+        taken = []
+
+        def fetch(i, pool):
+            buf = pool.take((8,), np.float64)
+            buf[:] = i
+            taken.append((i, pool))
+            return buf
+
+        outputs = [float(buf[0]) for buf in stream_batches(fetch, 6, pools=pools)]
+        assert outputs == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+        # Slots alternate deterministically and end fully reclaimed.
+        assert [pools.index(p) for _, p in taken] == [0, 1, 0, 1, 0, 1]
+        assert pools[0].lent_bytes == 0 and pools[1].lent_bytes == 0
+        # Each slot allocated once and recycled thereafter.
+        assert pools[0].misses == 1 and pools[0].hits == 2
+
+    def test_fetch_exception_propagates(self):
+        def fetch(i, pool):
+            if i == 2:
+                raise RuntimeError("boom")
+            return i
+
+        stream = stream_batches(fetch, 4)
+        assert next(stream) == 0
+        assert next(stream) == 1
+        with pytest.raises(RuntimeError, match="boom"):
+            next(stream)
+
+    def test_early_exit_cleans_up(self):
+        for item in stream_batches(lambda i, p: i, 10):
+            if item == 3:
+                break  # the in-flight fetch must not leak a thread
+
+    def test_run_ragged_streams_empty_trials(self):
+        """Empty and degenerate trials survive the double-buffered path."""
+        from repro.data.elt import ELTFinancialTerms, EventLossTable
+        from repro.data.layer import Layer, LayerTerms, Portfolio
+
+        trials = [[], [(1, 0.2), (2, 0.4)], [], [(3, 0.9)], [], []]
+        yet = YearEventTable.from_trials(trials)
+        elt = EventLossTable(
+            elt_id=0,
+            event_ids=np.array([1, 2, 3], dtype=np.int32),
+            losses=np.array([10.0, 20.0, 30.0]),
+            terms=ELTFinancialTerms(),
+        )
+        portfolio = Portfolio(
+            layers=[Layer(layer_id=0, elt_ids=(0,), terms=LayerTerms())],
+            elts={0: elt},
+        )
+        for batch in (1, 2, None):
+            ylt = run_ragged(yet, portfolio, 10, batch_trials=batch)
+            np.testing.assert_allclose(
+                ylt.losses[0], [0.0, 30.0, 0.0, 30.0, 0.0, 0.0]
+            )
+            with_secondary = run_ragged(
+                yet,
+                portfolio,
+                10,
+                batch_trials=batch,
+                secondary=SU,
+                secondary_seed=4,
+            )
+            # Empty trials stay exactly zero under secondary sampling.
+            assert with_secondary.losses[0][0] == 0.0
+            assert with_secondary.losses[0][2] == 0.0
+
+    def test_ragged_kernel_empty_block(self):
+        """Zero-trial and zero-occurrence CSR blocks are legal."""
+        from repro.data.layer import LayerTerms
+
+        year = layer_trial_batch_ragged(
+            np.array([], dtype=np.int32),
+            np.array([0], dtype=np.int64),
+            [],
+            LayerTerms(),
+        )
+        assert year.shape == (0,)
+        year = layer_trial_batch_secondary_ragged(
+            np.array([], dtype=np.int32),
+            np.array([0], dtype=np.int64),
+            [],
+            LayerTerms(),
+            SU,
+            stream_key=1,
+        )
+        assert year.shape == (0,)
