@@ -1,20 +1,31 @@
 #!/usr/bin/env python
-"""Real-time pricing: interactively quote reinsurance layers.
+"""Real-time pricing: interactive quotes and the concurrent quote service.
 
 The paper's motivating scenario — an underwriter adjusts eXcess-of-Loss
 terms and re-quotes against a million pre-simulated years in seconds.
 This example builds a session over a fixed YET/ELT pool, quotes three
-candidate layer structures, and shows the marginal tail impact of adding
-each to an existing book.
+candidate layer structures one at a time (the classic
+``RealTimePricer`` workflow), shows the marginal tail impact of adding
+each to an existing book — then re-quotes a whole *batch* of candidate
+structures concurrently through the plan-level ``QuoteService``, which
+computes the shared gather+financial pass once per ELT set and reuses it
+for every candidate's layer-terms finish.
 
 Run:  python examples/portfolio_pricing.py
 """
 
 from __future__ import annotations
 
+import time
+
 import repro
 from repro.data.generator import generate_catalog, generate_elt, generate_yet
-from repro.pricing import PricingAssumptions, RealTimePricer
+from repro.pricing import (
+    PricingAssumptions,
+    QuoteRequest,
+    QuoteService,
+    RealTimePricer,
+)
 
 
 def main() -> None:
@@ -88,6 +99,53 @@ def main() -> None:
           f"{len(pricer.history)} quotes on {yet.n_trials:,} trials")
     print("(the paper's multi-GPU platform reaches 1M trials in ~4.35 s — "
           "the latency that makes this workflow real-time at market scale)")
+
+    # ------------------------------------------------------------------
+    # Batch quoting: sweep a grid of structures through the concurrent
+    # QuoteService.  All candidates share one ELT set, so the service
+    # computes the expensive lookup+financial pass once and finishes
+    # each candidate against the cached per-occurrence loss vector —
+    # quotes are bit-for-bit identical to one-at-a-time engine runs.
+    # ------------------------------------------------------------------
+    requests = [
+        QuoteRequest(
+            elt_ids=(4, 5, 6, 7, 8),
+            terms=repro.LayerTerms(
+                occ_retention=r * typical,
+                occ_limit=(r + 4) * typical,
+                agg_retention=0.0,
+                agg_limit=(3 * r + 12) * typical,
+            ),
+            label=f"retention {r:.1f}x",
+        )
+        for r in (0.5, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 10.0)
+    ]
+    with QuoteService(
+        yet=yet,
+        elts=elts,
+        catalog_size=catalog.n_events,
+        book=book,
+        assumptions=pricer.assumptions,
+        max_workers=4,
+    ) as service:
+        started = time.perf_counter()
+        records = service.quote_many(requests)
+        batch_seconds = time.perf_counter() - started
+        stats = service.cache_stats()
+
+    print(f"\nbatch of {len(records)} structures quoted concurrently in "
+          f"{batch_seconds:.2f} s "
+          f"({batch_seconds / len(records):.3f} s/quote):")
+    print(f"{'structure':16s} {'premium':>14s} {'RoL':>8s} "
+          f"{'marginal TVaR':>14s}")
+    for request, record in zip(requests, records):
+        q = record.quote
+        print(f"{request.label:16s} {q.premium:>14,.0f} "
+              f"{q.rate_on_line:>8.2%} {record.marginal_tvar:>14,.0f}")
+    print(f"base-vector cache: {stats['base']['misses']} computed "
+          "(one per distinct ELT set: the candidates' and the book's), "
+          f"{stats['base']['hits']} reused — a single gather+financial "
+          "pass served all 8 candidate finishes")
 
 
 if __name__ == "__main__":

@@ -66,9 +66,18 @@ from repro.metrics import (
     value_at_risk,
     ylt_summary,
 )
+from repro.plan import (
+    EngineCapabilities,
+    ExecutionPlan,
+    Planner,
+    PlanTask,
+    Scheduler,
+)
 from repro.pricing import (
     LayerQuote,
     PricingAssumptions,
+    QuoteRequest,
+    QuoteService,
     RealTimePricer,
     price_layer,
 )
@@ -115,8 +124,15 @@ __all__ = [
     "tvar_table",
     "value_at_risk",
     "ylt_summary",
+    "ExecutionPlan",
+    "PlanTask",
+    "Planner",
+    "EngineCapabilities",
+    "Scheduler",
     "LayerQuote",
     "PricingAssumptions",
+    "QuoteRequest",
+    "QuoteService",
     "RealTimePricer",
     "price_layer",
     "max_occurrence_losses",

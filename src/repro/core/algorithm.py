@@ -7,6 +7,14 @@ pseudocode names (``x``, ``lx``, ``lox``, ``lr``).  Every optimised engine
 must reproduce its YLT bit-for-bit up to floating-point tolerance; the
 equivalence is enforced by integration and property tests.
 
+Secondary uncertainty is supported end to end: the scalar path consumes
+the *same* counter-based multipliers the fused ragged kernel samples
+(:meth:`~repro.core.secondary.SecondaryUncertainty.multipliers_for_span`,
+addressed by global occurrence index), scaling each per-(occurrence, ELT)
+gross loss before the ELT's financial terms — so a seeded secondary run
+can be cross-checked against the oracle, not merely validated
+statistically.
+
 It is intentionally slow (pure Python): use it only on test-sized inputs.
 """
 
@@ -17,13 +25,116 @@ from typing import Dict, List
 import numpy as np
 
 from repro.core.terms import aggregate_term_scalar, occurrence_term_scalar
-from repro.data.layer import Portfolio
+from repro.data.layer import Layer, Portfolio
 from repro.data.yet import YearEventTable
 from repro.data.ylt import YearLossTable
 
 
+def reference_layer_losses(
+    yet: YearEventTable,
+    portfolio: Portfolio,
+    layer: Layer,
+    trial_start: int = 0,
+    trial_stop: int | None = None,
+    secondary=None,
+    base_seed: int = 0,
+) -> np.ndarray:
+    """Scalar Algorithm 1 for one layer over trials ``[start, stop)``.
+
+    The per-task unit of the plan-driven :class:`~repro.engines.
+    sequential.ReferenceEngine`: trial and occurrence indices are global,
+    so any decomposition reproduces the whole-run result exactly.
+
+    ``secondary`` (with ``base_seed``, the resolved secondary seed)
+    scales each per-(occurrence, ELT) loss by the same mean-1 Beta
+    multiplier the fused kernels draw — addressed by
+    ``(layer stream key, global occurrence index, ELT row)``.
+    """
+    trial_stop = yet.n_trials if trial_stop is None else trial_stop
+    if not 0 <= trial_start <= trial_stop <= yet.n_trials:
+        raise IndexError(
+            f"invalid trial range [{trial_start}, {trial_stop}) "
+            f"of {yet.n_trials}"
+        )
+    elts = portfolio.elts_of(layer)
+    # Pre-fetch each covered ELT as a dict: the reference uses plain
+    # key-value lookup semantics, independent of the optimised
+    # lookup structures it validates.
+    elt_dicts: List[Dict[int, float]] = [elt.to_dict() for elt in elts]
+    terms = layer.terms
+    trial_losses = np.zeros(trial_stop - trial_start, dtype=np.float64)
+
+    stream_key = 0
+    if secondary is not None:
+        from repro.core.secondary import layer_stream_key
+
+        stream_key = layer_stream_key(base_seed, layer.layer_id)
+
+    for t in range(trial_start, trial_stop):  # line 3: for all b ∈ YET
+        event_ids, _timestamps = yet.trial(t)
+        k = event_ids.size
+
+        multipliers = None
+        if secondary is not None and k:
+            # The kernel-identical draws for this trial's global
+            # occurrence span: row = ELT position, column = occurrence.
+            occ_lo = int(yet.offsets[t])
+            multipliers = secondary.multipliers_for_span(
+                stream_key, occ_lo, occ_lo + k, len(elts)
+            )
+
+        # Combined loss per event occurrence, accumulated across ELTs
+        # (lines 4–14).  lox_d in the pseudocode.
+        lox = [0.0] * k
+        for c, (elt, elt_dict) in enumerate(zip(elts, elt_dicts)):  # line 4
+            # Line 5–7: look up each event of the trial in this ELT.
+            x = [elt_dict.get(int(event_id), 0.0) for event_id in event_ids]
+            if multipliers is not None:
+                # Secondary uncertainty: the looked-up mean loss becomes
+                # a draw around the mean before financial terms apply.
+                x = [
+                    loss * float(multipliers[c, d])
+                    for d, loss in enumerate(x)
+                ]
+            # Line 8–10: apply the ELT's financial terms per event loss.
+            lx = [elt.terms.apply_scalar(loss) for loss in x]
+            # Line 11–13: accumulate across ELTs into one loss/event.
+            for d in range(k):
+                lox[d] = lox[d] + lx[d]
+
+        # Line 15–17: occurrence terms per event occurrence.
+        for d in range(k):
+            lox[d] = occurrence_term_scalar(lox[d], terms)
+
+        # Line 18–20: running cumulative sum over the ordered events.
+        for d in range(1, k):
+            lox[d] = lox[d] + lox[d - 1]
+
+        # Line 21–23: aggregate terms on the cumulative series.
+        for d in range(k):
+            lox[d] = aggregate_term_scalar(lox[d], terms)
+
+        # Line 24–26: backward difference (lox_{-1} treated as 0).
+        previous = 0.0
+        for d in range(k):
+            current = lox[d]
+            lox[d] = current - previous
+            previous = current
+
+        # Line 27–29: the trial (year) loss lr.
+        lr = 0.0
+        for d in range(k):
+            lr = lr + lox[d]
+        trial_losses[t - trial_start] = lr
+
+    return trial_losses
+
+
 def aggregate_risk_analysis_reference(
-    yet: YearEventTable, portfolio: Portfolio
+    yet: YearEventTable,
+    portfolio: Portfolio,
+    secondary=None,
+    secondary_seed=None,
 ) -> YearLossTable:
     """Run Algorithm 1 exactly as written (procedure ARA, lines 1–32).
 
@@ -33,64 +144,26 @@ def aggregate_risk_analysis_reference(
         The Year Event Table (input 1).
     portfolio:
         Supplies the ELTs (input 2) and Layers (input 3).
+    secondary:
+        Optional :class:`~repro.core.secondary.SecondaryUncertainty` —
+        the oracle then draws the same counter-based multipliers as the
+        fused kernels, so seeded secondary runs cross-check end to end.
+    secondary_seed:
+        Seed of the multiplier streams (ignored without ``secondary``).
 
     Returns
     -------
     YearLossTable
         One aggregate (year) loss per layer per trial.
     """
+    base_seed = 0
+    if secondary is not None:
+        from repro.core.secondary import resolve_secondary_seed
+
+        base_seed = resolve_secondary_seed(secondary_seed)
     per_layer: Dict[int, np.ndarray] = {}
-
     for layer in portfolio.layers:  # line 2: for all a ∈ L
-        elts = portfolio.elts_of(layer)
-        # Pre-fetch each covered ELT as a dict: the reference uses plain
-        # key-value lookup semantics, independent of the optimised
-        # lookup structures it validates.
-        elt_dicts: List[Dict[int, float]] = [elt.to_dict() for elt in elts]
-        terms = layer.terms
-        trial_losses = np.zeros(yet.n_trials, dtype=np.float64)
-
-        for t in range(yet.n_trials):  # line 3: for all b ∈ YET
-            event_ids, _timestamps = yet.trial(t)
-            k = event_ids.size
-
-            # Combined loss per event occurrence, accumulated across ELTs
-            # (lines 4–14).  lox_d in the pseudocode.
-            lox = [0.0] * k
-            for elt, elt_dict in zip(elts, elt_dicts):  # line 4: c ∈ EL
-                # Line 5–7: look up each event of the trial in this ELT.
-                x = [elt_dict.get(int(event_id), 0.0) for event_id in event_ids]
-                # Line 8–10: apply the ELT's financial terms per event loss.
-                lx = [elt.terms.apply_scalar(loss) for loss in x]
-                # Line 11–13: accumulate across ELTs into one loss/event.
-                for d in range(k):
-                    lox[d] = lox[d] + lx[d]
-
-            # Line 15–17: occurrence terms per event occurrence.
-            for d in range(k):
-                lox[d] = occurrence_term_scalar(lox[d], terms)
-
-            # Line 18–20: running cumulative sum over the ordered events.
-            for d in range(1, k):
-                lox[d] = lox[d] + lox[d - 1]
-
-            # Line 21–23: aggregate terms on the cumulative series.
-            for d in range(k):
-                lox[d] = aggregate_term_scalar(lox[d], terms)
-
-            # Line 24–26: backward difference (lox_{-1} treated as 0).
-            previous = 0.0
-            for d in range(k):
-                current = lox[d]
-                lox[d] = current - previous
-                previous = current
-
-            # Line 27–29: the trial (year) loss lr.
-            lr = 0.0
-            for d in range(k):
-                lr = lr + lox[d]
-            trial_losses[t] = lr
-
-        per_layer[layer.layer_id] = trial_losses
-
+        per_layer[layer.layer_id] = reference_layer_losses(
+            yet, portfolio, layer, secondary=secondary, base_seed=base_seed
+        )
     return YearLossTable.from_dict(per_layer)

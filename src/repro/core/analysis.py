@@ -125,18 +125,7 @@ class AggregateRiskAnalysis:
         self.secondary = secondary
         self.secondary_seed = secondary_seed
 
-    def run(
-        self, yet: YearEventTable, engine: str = "sequential", **engine_options: Any
-    ) -> AnalysisResult:
-        """Run the analysis with the named engine.
-
-        ``engine`` is one of the registry names (see
-        :func:`repro.engines.registry.available_engines`):
-        ``"reference"``, ``"sequential"``, ``"multicore"``, ``"gpu"``,
-        ``"gpu-optimized"``, ``"multi-gpu"``.  Extra keyword arguments are
-        forwarded to the engine constructor (e.g. ``n_cores=8`` for
-        multicore, ``threads_per_block=256`` for GPU engines).
-        """
+    def _engine(self, engine: str, **engine_options: Any):
         from repro.engines.registry import create_engine  # deferred import
 
         options: Dict[str, Any] = {
@@ -147,8 +136,83 @@ class AggregateRiskAnalysis:
             "secondary_seed": self.secondary_seed,
         }
         options.update(engine_options)  # per-run overrides win
-        engine_obj = create_engine(engine, **options)
-        return engine_obj.run(yet, self.portfolio, self.catalog_size)
+        return create_engine(engine, **options)
+
+    def plan(
+        self, yet: YearEventTable, engine: str = "sequential", **engine_options: Any
+    ):
+        """The :class:`~repro.plan.plan.ExecutionPlan` a run would execute.
+
+        Every engine executes plans from the shared
+        :class:`~repro.plan.planner.Planner`; this exposes the plan
+        without running it — for inspection, tests, or passing a
+        precomputed plan to :meth:`run` (``run(..., plan=plan)``).
+        """
+        return self._engine(engine, **engine_options).plan_for(
+            yet, self.portfolio
+        )
+
+    def run(
+        self,
+        yet: YearEventTable,
+        engine: str = "sequential",
+        plan=None,
+        **engine_options: Any,
+    ) -> AnalysisResult:
+        """Run the analysis with the named engine.
+
+        ``engine`` is one of the registry names (see
+        :func:`repro.engines.registry.available_engines`):
+        ``"reference"``, ``"sequential"``, ``"multicore"``, ``"gpu"``,
+        ``"gpu-optimized"``, ``"multi-gpu"``.  Extra keyword arguments are
+        forwarded to the engine constructor (e.g. ``n_cores=8`` for
+        multicore, ``threads_per_block=256`` for GPU engines).
+
+        ``plan`` (an :class:`~repro.plan.plan.ExecutionPlan`, e.g. from
+        :meth:`plan`) skips planning and executes the given
+        decomposition; results are bit-for-bit independent of how the
+        plan is scheduled, so sharing plans across runs is always safe.
+        """
+        engine_obj = self._engine(engine, **engine_options)
+        return engine_obj.run(yet, self.portfolio, self.catalog_size, plan=plan)
+
+    def run_many(
+        self,
+        yet: YearEventTable,
+        portfolios,
+        engine: str = "sequential",
+        max_concurrent: int | None = None,
+        **engine_options: Any,
+    ) -> list:
+        """Run the same analysis over several portfolios concurrently.
+
+        The many-concurrent-analyses entry point (the quote workload's
+        shape: many candidate books over one trial database).  Each
+        portfolio gets its own engine run; runs are scheduled side by
+        side on a :class:`~repro.plan.scheduler.Scheduler` pool
+        (``max_concurrent`` wide; NumPy kernels release the GIL, so the
+        runs genuinely overlap) and share the process-wide lookup cache,
+        so portfolios referencing the same ELTs build tables once.
+        Returns results in portfolio order.
+
+        For the interactive batch-quoting workflow — which additionally
+        shares *partial results* across candidates — use
+        :class:`repro.pricing.realtime.QuoteService`.
+        """
+        from repro.plan.scheduler import Scheduler  # deferred import
+
+        portfolios = list(portfolios)
+
+        def make_job(portfolio: Portfolio):
+            def job() -> AnalysisResult:
+                engine_obj = self._engine(engine, **engine_options)
+                return engine_obj.run(yet, portfolio, self.catalog_size)
+
+            return job
+
+        return Scheduler(max_workers=max_concurrent).run_jobs(
+            [make_job(p) for p in portfolios]
+        )
 
     def run_all(
         self, yet: YearEventTable, engines: tuple = (), **shared_options: Any

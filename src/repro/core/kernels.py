@@ -56,16 +56,11 @@ just forgoes the single fused gather.
 from __future__ import annotations
 
 import os
-from typing import Dict, Sequence
+from typing import Sequence
 
 import numpy as np
 
-from repro.core.secondary import (
-    SECONDARY_TILE,
-    SecondaryUncertainty,
-    layer_stream_key,
-    resolve_secondary_seed,
-)
+from repro.core.secondary import SECONDARY_TILE, SecondaryUncertainty
 from repro.core.terms import (
     apply_aggregate_terms_cumulative,
     apply_occurrence_terms,
@@ -76,10 +71,9 @@ from repro.data.ylt import YearLossTable
 from repro.lookup.base import LossLookup
 from repro.lookup.combined import StackedDirectTable
 from repro.lookup.factory import LookupCache, get_lookup_cache
-from repro.utils.bufpool import ScratchBufferPool, stream_batches
+from repro.utils.bufpool import ScratchBufferPool
 from repro.utils.rng import SeedLike
 from repro.utils.timer import (
-    ACTIVITY_FETCH,
     ACTIVITY_FINANCIAL,
     ACTIVITY_LAYER,
     ACTIVITY_LOOKUP,
@@ -358,6 +352,190 @@ def build_layer_tables(
 # ----------------------------------------------------------------------
 # The fused kernel
 # ----------------------------------------------------------------------
+def _fill_combined(
+    ids: np.ndarray,
+    lookups: Sequence[LossLookup] | None,
+    stacked: StackedDirectTable | None,
+    combined: np.ndarray,
+    profile: ActivityProfile,
+    pool: ScratchBufferPool,
+) -> None:
+    """Fill ``combined`` with per-occurrence losses summed across ELTs.
+
+    Steps 1–2 of Algorithm 1 (gather + financial terms), the layer-term-
+    independent prefix shared by every candidate layer over the same ELT
+    set — which is exactly why it is split out: the quote service caches
+    this vector and re-runs only the finish per candidate.
+    """
+    n_occ = ids.size
+    if stacked is not None:
+        # Fused path: chunked gather over all ELTs at once, terms
+        # broadcast in place, rows summed into the combined vector.
+        tdtype = stacked.dtype
+        chunk = occ_chunk_for(stacked.n_elts, tdtype.itemsize)
+        gross = pool.take((stacked.n_elts, min(chunk, max(n_occ, 1))), tdtype)
+        try:
+            for lo in range(0, n_occ, chunk):
+                hi = min(lo + chunk, n_occ)
+                block = gross[:, : hi - lo]
+                with profile.track(ACTIVITY_LOOKUP):
+                    stacked.gather(ids[lo:hi], out=block)
+                with profile.track(ACTIVITY_FINANCIAL):
+                    stacked.apply_terms_inplace(block)
+                    np.sum(block, axis=0, out=combined[lo:hi])
+        finally:
+            pool.give(gross)
+    else:
+        # Fallback combine for non-stackable lookup kinds: still no
+        # dense padding — per-ELT lookups run over the flat id array.
+        combined[:] = 0.0
+        work = combined.dtype
+        for lookup in lookups or ():
+            with profile.track(ACTIVITY_LOOKUP):
+                gross_flat = lookup.lookup(ids)
+            with profile.track(ACTIVITY_FINANCIAL):
+                net = lookup.terms.apply(gross_flat)
+                combined += net.astype(work, copy=False)
+
+
+def _fill_combined_secondary(
+    ids: np.ndarray,
+    lookups: Sequence[LossLookup] | None,
+    stacked: StackedDirectTable | None,
+    combined: np.ndarray,
+    uncertainty: SecondaryUncertainty,
+    stream_key: int,
+    occ_base: int,
+    profile: ActivityProfile,
+    pool: ScratchBufferPool,
+) -> None:
+    """:func:`_fill_combined` with per-(occurrence, ELT) multiplier draws.
+
+    Multipliers are sampled into pooled scratch beside the gathered
+    block, addressed by *global* occurrence index (``occ_base`` +
+    offset), so the filled vector is invariant to how callers batch or
+    chunk the occurrence space.
+    """
+    n_occ = ids.size
+    work = combined.dtype
+    n_elts = stacked.n_elts if stacked is not None else len(lookups or ())
+    tdtype = stacked.dtype if stacked is not None else work
+    table = uncertainty.quantile_table(dtype=tdtype)
+    # Round the occurrence chunk to whole RNG tiles and align chunk
+    # boundaries to *global* tile edges: every tile is then regenerated
+    # at most once per batch instead of once per straddling chunk.
+    chunk = occ_chunk_for(n_elts, tdtype.itemsize)
+    chunk_tiles = max(1, chunk // SECONDARY_TILE)
+    chunk = chunk_tiles * SECONDARY_TILE
+    width = min(chunk, max(n_occ, 1))
+    mult = pool.take((n_elts, width), tdtype)
+    gross = pool.take((n_elts, width), tdtype) if stacked is not None else None
+    try:
+        if combined.size and stacked is None:
+            combined[:] = 0.0
+        lo = 0
+        while lo < n_occ:
+            g = occ_base + lo
+            aligned_stop = (g // SECONDARY_TILE + chunk_tiles) * SECONDARY_TILE
+            hi = min(n_occ, aligned_stop - occ_base)
+            with profile.track(ACTIVITY_FINANCIAL):
+                mblock = uncertainty.multipliers_for_span(
+                    stream_key,
+                    occ_base + lo,
+                    occ_base + hi,
+                    n_elts,
+                    out=mult[:, : hi - lo],
+                    table=table,
+                    pool=pool,
+                )
+            if stacked is not None:
+                block = gross[:, : hi - lo]
+                with profile.track(ACTIVITY_LOOKUP):
+                    stacked.gather(ids[lo:hi], out=block)
+                with profile.track(ACTIVITY_FINANCIAL):
+                    np.multiply(block, mblock, out=block)
+                    stacked.apply_terms_inplace(block)
+                    np.sum(block, axis=0, out=combined[lo:hi])
+            else:
+                # Fallback for non-stackable lookup kinds: per-ELT
+                # lookups over the flat chunk, each row scaled by its
+                # multiplier stream before the ELT's terms apply.
+                for row, lookup in enumerate(lookups or ()):
+                    with profile.track(ACTIVITY_LOOKUP):
+                        gross_flat = lookup.lookup(ids[lo:hi])
+                    with profile.track(ACTIVITY_FINANCIAL):
+                        scaled = gross_flat * mblock[row]
+                        net = lookup.terms.apply(scaled)
+                        combined[lo:hi] += net.astype(work, copy=False)
+            lo = hi
+    finally:
+        pool.give(gross)
+        pool.give(mult)
+
+
+def combined_occurrence_losses(
+    event_ids: np.ndarray,
+    lookups: Sequence[LossLookup] | None,
+    stacked: StackedDirectTable | None = None,
+    dtype: np.dtype | type = np.float64,
+    out: np.ndarray | None = None,
+    profile: ActivityProfile | None = None,
+    pool: ScratchBufferPool | None = None,
+    secondary: SecondaryUncertainty | None = None,
+    stream_key: int = 0,
+    occ_base: int = 0,
+) -> np.ndarray:
+    """Per-occurrence combined losses (steps 1–2) for a flat id block.
+
+    The layer-term-independent prefix of the fused kernel, exposed so
+    the :class:`~repro.pricing.realtime.QuoteService` can compute it
+    once per ELT set and finish many candidate layers against the same
+    vector (:func:`finish_layer_losses`).  ``out`` (shape ``(n_occ,)``
+    in the working dtype) avoids allocating — the service passes slices
+    of its cached full-YET vector, one per plan task.
+    """
+    profile = profile if profile is not None else ActivityProfile()
+    pool = pool if pool is not None else ScratchBufferPool()
+    ids = np.asarray(event_ids)
+    if ids.ndim != 1:
+        raise ValueError(f"event_ids must be 1-D, got shape {ids.shape}")
+    work = np.dtype(dtype)
+    if out is None:
+        out = np.empty(ids.size, dtype=work)
+    elif out.shape != (ids.size,):
+        raise ValueError(f"out shape {out.shape} != ({ids.size},)")
+    if secondary is not None:
+        _fill_combined_secondary(
+            ids, lookups, stacked, out, secondary, stream_key,
+            occ_base, profile, pool,
+        )
+    else:
+        _fill_combined(ids, lookups, stacked, out, profile, pool)
+    return out
+
+
+def finish_layer_losses(
+    combined: np.ndarray,
+    offsets: np.ndarray,
+    layer_terms: LayerTerms,
+    profile: ActivityProfile | None = None,
+) -> np.ndarray:
+    """Steps 3–4: layer terms over an already-combined loss vector.
+
+    **Mutates ``combined`` in place** (the occurrence clamp) — callers
+    finishing against a cached vector must pass a scratch copy.  Returns
+    the per-trial year losses in ``float64``; bit-identical to what the
+    fused kernel produces, because it *is* the fused kernel's finishing
+    pass.
+    """
+    profile = profile if profile is not None else ActivityProfile()
+    with profile.track(ACTIVITY_LAYER):
+        apply_occurrence_terms(combined, layer_terms, out=combined)
+        totals = segment_sums(combined, offsets)
+        year = apply_aggregate_terms_cumulative(totals, layer_terms, out=totals)
+    return year
+
+
 def layer_trial_batch_ragged(
     event_ids: np.ndarray,
     offsets: np.ndarray,
@@ -406,42 +584,11 @@ def layer_trial_batch_ragged(
         raise ValueError("offsets must be 1-D with at least one entry")
     work = np.dtype(dtype)
     n_occ = ids.size
-    n_trials = offs.size - 1
 
     combined = pool.take((n_occ,), work)
     try:
-        if stacked is not None:
-            # Fused path: chunked gather over all ELTs at once, terms
-            # broadcast in place, rows summed into the combined vector.
-            tdtype = stacked.dtype
-            chunk = occ_chunk_for(stacked.n_elts, tdtype.itemsize)
-            gross = pool.take((stacked.n_elts, min(chunk, max(n_occ, 1))), tdtype)
-            try:
-                for lo in range(0, n_occ, chunk):
-                    hi = min(lo + chunk, n_occ)
-                    block = gross[:, : hi - lo]
-                    with profile.track(ACTIVITY_LOOKUP):
-                        stacked.gather(ids[lo:hi], out=block)
-                    with profile.track(ACTIVITY_FINANCIAL):
-                        stacked.apply_terms_inplace(block)
-                        np.sum(block, axis=0, out=combined[lo:hi])
-            finally:
-                pool.give(gross)
-        else:
-            # Fallback combine for non-stackable lookup kinds: still no
-            # dense padding — per-ELT lookups run over the flat id array.
-            combined[:] = 0.0
-            for lookup in lookups or ():
-                with profile.track(ACTIVITY_LOOKUP):
-                    gross_flat = lookup.lookup(ids)
-                with profile.track(ACTIVITY_FINANCIAL):
-                    net = lookup.terms.apply(gross_flat)
-                    combined += net.astype(work, copy=False)
-
-        with profile.track(ACTIVITY_LAYER):
-            apply_occurrence_terms(combined, layer_terms, out=combined)
-            totals = segment_sums(combined, offs)
-            year = apply_aggregate_terms_cumulative(totals, layer_terms, out=totals)
+        _fill_combined(ids, lookups, stacked, combined, profile, pool)
+        year = finish_layer_losses(combined, offs, layer_terms, profile=profile)
     finally:
         pool.give(combined)
     return year
@@ -496,70 +643,21 @@ def layer_trial_batch_secondary_ragged(
         raise ValueError(f"occ_base must be >= 0, got {occ_base}")
     work = np.dtype(dtype)
     n_occ = ids.size
-    n_elts = stacked.n_elts if stacked is not None else len(lookups or ())
 
     combined = pool.take((n_occ,), work)
     try:
-        tdtype = stacked.dtype if stacked is not None else work
-        table = uncertainty.quantile_table(dtype=tdtype)
-        # Round the occurrence chunk to whole RNG tiles and align chunk
-        # boundaries to *global* tile edges: every tile is then
-        # regenerated at most once per batch instead of once per
-        # straddling chunk.
-        chunk = occ_chunk_for(n_elts, tdtype.itemsize)
-        chunk_tiles = max(1, chunk // SECONDARY_TILE)
-        chunk = chunk_tiles * SECONDARY_TILE
-        width = min(chunk, max(n_occ, 1))
-        mult = pool.take((n_elts, width), tdtype)
-        gross = (
-            pool.take((n_elts, width), tdtype) if stacked is not None else None
+        _fill_combined_secondary(
+            ids,
+            lookups,
+            stacked,
+            combined,
+            uncertainty,
+            stream_key,
+            occ_base,
+            profile,
+            pool,
         )
-        try:
-            if combined.size and stacked is None:
-                combined[:] = 0.0
-            lo = 0
-            while lo < n_occ:
-                g = occ_base + lo
-                aligned_stop = (g // SECONDARY_TILE + chunk_tiles) * SECONDARY_TILE
-                hi = min(n_occ, aligned_stop - occ_base)
-                with profile.track(ACTIVITY_FINANCIAL):
-                    mblock = uncertainty.multipliers_for_span(
-                        stream_key,
-                        occ_base + lo,
-                        occ_base + hi,
-                        n_elts,
-                        out=mult[:, : hi - lo],
-                        table=table,
-                        pool=pool,
-                    )
-                if stacked is not None:
-                    block = gross[:, : hi - lo]
-                    with profile.track(ACTIVITY_LOOKUP):
-                        stacked.gather(ids[lo:hi], out=block)
-                    with profile.track(ACTIVITY_FINANCIAL):
-                        np.multiply(block, mblock, out=block)
-                        stacked.apply_terms_inplace(block)
-                        np.sum(block, axis=0, out=combined[lo:hi])
-                else:
-                    # Fallback for non-stackable lookup kinds: per-ELT
-                    # lookups over the flat chunk, each row scaled by its
-                    # multiplier stream before the ELT's terms apply.
-                    for row, lookup in enumerate(lookups or ()):
-                        with profile.track(ACTIVITY_LOOKUP):
-                            gross_flat = lookup.lookup(ids[lo:hi])
-                        with profile.track(ACTIVITY_FINANCIAL):
-                            scaled = gross_flat * mblock[row]
-                            net = lookup.terms.apply(scaled)
-                            combined[lo:hi] += net.astype(work, copy=False)
-                lo = hi
-        finally:
-            pool.give(gross)
-            pool.give(mult)
-
-        with profile.track(ACTIVITY_LAYER):
-            apply_occurrence_terms(combined, layer_terms, out=combined)
-            totals = segment_sums(combined, offs)
-            year = apply_aggregate_terms_cumulative(totals, layer_terms, out=totals)
+        year = finish_layer_losses(combined, offs, layer_terms, profile=profile)
     finally:
         pool.give(combined)
     return year
@@ -601,89 +699,44 @@ def run_ragged(
     draws are keyed by ``secondary_seed`` and the *global* occurrence
     index, so results are reproducible for a given seed and invariant to
     batch size.
+
+    Since the plan/execute split this is a thin veneer over the shared
+    decomposition machinery: a single-slot
+    :class:`~repro.plan.planner.Planner` plan (which owns the autotune
+    policy) executed by :func:`~repro.plan.execute.execute_plan_cpu` —
+    the same path every CPU engine runs.
     """
-    profile = profile if profile is not None else ActivityProfile()
+    # Deferred: repro.plan imports this module for the shared policy
+    # helpers (autotune, occ_chunk_for), so the import cannot be at
+    # module scope.
+    from repro.plan.execute import execute_plan_cpu
+    from repro.plan.planner import EngineCapabilities, Planner
+    from repro.plan.scheduler import Scheduler
+
     cache = cache if cache is not None else get_lookup_cache()
-    pool = pool if pool is not None else ScratchBufferPool()
-    n_trials = yet.n_trials
-    base_seed = (
-        resolve_secondary_seed(secondary_seed) if secondary is not None else 0
+    caps = EngineCapabilities(
+        engine="run-ragged",
+        n_slots=1,
+        kernel=KERNEL_RAGGED,
+        batch_trials=(
+            None if batch_trials is None else max(1, int(batch_trials))
+        ),
+        budget_bytes=budget_bytes,
+        dtype=np.dtype(dtype).str,
+        secondary=secondary is not None,
     )
-
-    per_layer: Dict[int, np.ndarray] = {}
-    for layer in portfolio.layers:
-        elts = portfolio.elts_of(layer)
-        with profile.track(ACTIVITY_FETCH):
-            lookups, stacked, _ = build_layer_tables(
-                elts,
-                catalog_size,
-                lookup_kind,
-                dtype,
-                KERNEL_RAGGED,
-                cache=cache,
-            )
-        if batch_trials is None:
-            batch = autotune_batch_trials(
-                n_trials,
-                yet.mean_events_per_trial,
-                len(elts),
-                dtype=dtype,
-                budget_bytes=budget_bytes,
-                secondary=secondary is not None,
-            )
-        else:
-            batch = max(1, int(batch_trials))
-        stream_key = layer_stream_key(base_seed, layer.layer_id)
-        starts = range(0, n_trials, batch)
-        # The prefetch thread charges into its own profile (charge() is a
-        # bare read-modify-write, unsafe to share across threads); folded
-        # into the caller's profile once the stream drains.
-        fetch_profile = ActivityProfile()
-
-        def fetch(i: int, slot: ScratchBufferPool):
-            """Fetch batch ``i``'s CSR slice + gather indices ahead of use.
-
-            For the in-memory YET this is zero-copy view slicing, so the
-            slot pool goes unused and the double buffer adds no memory;
-            an io- or mmap-backed source would stage its read into
-            ``slot`` here, which is what the two-slot design is for.
-            """
-            start = starts[i]
-            stop = min(start + batch, n_trials)
-            with fetch_profile.track(ACTIVITY_FETCH):
-                ids, offs = yet.csr_block(start, stop)
-            return start, stop, ids, offs
-
-        out = np.empty(n_trials, dtype=np.float64)
-        for start, stop, ids, offs in stream_batches(fetch, len(starts)):
-            occ_base = int(yet.offsets[start])
-            if secondary is not None:
-                out[start:stop] = layer_trial_batch_secondary_ragged(
-                    ids,
-                    offs,
-                    lookups,
-                    layer.terms,
-                    secondary,
-                    stream_key,
-                    stacked=stacked,
-                    occ_base=occ_base,
-                    profile=profile,
-                    dtype=dtype,
-                    pool=pool,
-                )
-            else:
-                out[start:stop] = layer_trial_batch_ragged(
-                    ids,
-                    offs,
-                    lookups,
-                    layer.terms,
-                    stacked=stacked,
-                    profile=profile,
-                    dtype=dtype,
-                    pool=pool,
-                )
-        for activity, seconds in fetch_profile.seconds.items():
-            if seconds:
-                profile.charge(activity, seconds)
-        per_layer[layer.layer_id] = out
-    return YearLossTable.from_dict(per_layer)
+    plan = Planner().plan(yet, portfolio, caps)
+    return execute_plan_cpu(
+        yet,
+        portfolio,
+        catalog_size,
+        plan,
+        lookup_kind=lookup_kind,
+        dtype=dtype,
+        secondary=secondary,
+        secondary_seed=secondary_seed,
+        profile=profile,
+        scheduler=Scheduler(max_workers=1),
+        pools=None if pool is None else [pool],
+        cache=cache,
+    )

@@ -12,6 +12,8 @@ from repro.core.analysis import AnalysisResult
 from repro.data.layer import Portfolio
 from repro.data.yet import YearEventTable
 from repro.data.ylt import YearLossTable
+from repro.plan.plan import ExecutionPlan
+from repro.plan.planner import EngineCapabilities, Planner
 from repro.utils.timer import ActivityProfile
 from repro.utils.validation import check_positive
 
@@ -19,9 +21,19 @@ from repro.utils.validation import check_positive
 class Engine(abc.ABC):
     """One implementation of aggregate risk analysis.
 
+    Engines are plan executors: :meth:`capabilities` declares how the
+    engine wants the trial space decomposed (lanes, kernel, balance,
+    batching), the shared :class:`~repro.plan.planner.Planner` turns
+    that into an :class:`~repro.plan.plan.ExecutionPlan`, and
+    :meth:`_execute` runs the plan's tasks — no engine owns its own
+    decomposition loop.  Because tasks are keyed by global trial and
+    occurrence index, a plan's results are bit-for-bit identical for any
+    scheduler concurrency.
+
     Subclasses implement :meth:`_execute`; :meth:`run` wraps it with input
-    validation and end-to-end wall timing, so every engine returns a
-    uniformly shaped :class:`~repro.core.analysis.AnalysisResult`.
+    validation, planning, and end-to-end wall timing, so every engine
+    returns a uniformly shaped
+    :class:`~repro.core.analysis.AnalysisResult`.
 
     Parameters
     ----------
@@ -75,22 +87,67 @@ class Engine(abc.ABC):
         return resolve_secondary_seed(self.secondary_seed)
 
     # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def capabilities(self) -> EngineCapabilities:
+        """Decomposition profile the planner builds this engine's plans
+        from.  The base default is a single-lane plan; engines with real
+        parallel lanes (multicore workers, multi-GPU devices) override.
+        """
+        return EngineCapabilities(
+            engine=self.name,
+            n_slots=1,
+            kernel=self.kernel,
+            dtype=self.dtype.str,
+            secondary=self.secondary is not None,
+        )
+
+    def plan_for(
+        self, yet: YearEventTable, portfolio: Portfolio
+    ) -> ExecutionPlan:
+        """The :class:`ExecutionPlan` this engine would execute."""
+        return Planner().plan(yet, portfolio, self.capabilities())
+
+    # ------------------------------------------------------------------
     def run(
         self,
         yet: YearEventTable,
         portfolio: Portfolio,
         catalog_size: int,
+        plan: ExecutionPlan | None = None,
     ) -> AnalysisResult:
-        """Validate inputs, execute, and time the full run."""
+        """Validate inputs, plan (unless given one), execute, and time.
+
+        ``plan`` lets callers precompute or share a plan (the quote
+        service, plan-inspection tooling); it must have been built for
+        this YET/portfolio shape.
+        """
         check_positive("catalog_size", catalog_size)
         portfolio.validate()
         if yet.n_trials == 0:
             raise ValueError("YET has no trials")
         started = time.perf_counter()
+        if plan is None:
+            plan = self.plan_for(yet, portfolio)
+        else:
+            if plan.n_trials != yet.n_trials:
+                raise ValueError(
+                    f"plan was built for {plan.n_trials} trials, "
+                    f"YET has {yet.n_trials}"
+                )
+            portfolio_layers = {layer.layer_id for layer in portfolio.layers}
+            if set(plan.layer_ids) != portfolio_layers:
+                raise ValueError(
+                    f"plan was built for layers "
+                    f"{sorted(set(plan.layer_ids))}, portfolio has "
+                    f"{sorted(portfolio_layers)} — a plan is only valid "
+                    "for the portfolio it was planned from"
+                )
         ylt, profile, modeled_seconds, meta = self._execute(
-            yet, portfolio, int(catalog_size)
+            yet, portfolio, int(catalog_size), plan
         )
         wall = time.perf_counter() - started
+        meta.setdefault("plan", plan.summary())
         return AnalysisResult(
             ylt=ylt,
             profile=profile,
@@ -106,8 +163,9 @@ class Engine(abc.ABC):
         yet: YearEventTable,
         portfolio: Portfolio,
         catalog_size: int,
+        plan: ExecutionPlan,
     ) -> tuple[YearLossTable, ActivityProfile, float | None, Dict[str, Any]]:
-        """Produce (ylt, activity profile, modeled seconds or None, meta)."""
+        """Execute ``plan``; produce (ylt, profile, modeled seconds, meta)."""
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -26,6 +26,8 @@ from repro.engines.gpu_common import (
 )
 from repro.gpusim.device import DeviceSpec, TESLA_C2075
 from repro.gpusim.kernel import GPUDevice
+from repro.plan.plan import ExecutionPlan
+from repro.plan.planner import EngineCapabilities
 from repro.utils.timer import ACTIVITY_OTHER, ActivityProfile
 from repro.utils.validation import check_positive
 
@@ -70,11 +72,25 @@ class GPUBasicEngine(Engine):
         self.threads_per_block = int(threads_per_block)
         self.batch_blocks = int(batch_blocks)
 
+    def capabilities(self) -> EngineCapabilities:
+        # One device, one kernel launch per layer: a single whole-range
+        # task per lane (block-level batching happens inside the
+        # simulated device, not in the plan).
+        return EngineCapabilities(
+            engine=self.name,
+            n_slots=1,
+            kernel=self.kernel,
+            slot_batching="whole",
+            dtype=self.dtype.str,
+            secondary=self.secondary is not None,
+        )
+
     def _execute(
         self,
         yet: YearEventTable,
         portfolio: Portfolio,
         catalog_size: int,
+        plan: ExecutionPlan,
     ) -> tuple[YearLossTable, ActivityProfile, float | None, Dict[str, Any]]:
         device = GPUDevice(self.device_spec)
         word = self.dtype.itemsize
@@ -97,6 +113,7 @@ class GPUBasicEngine(Engine):
         modeled_total += device.transfers.h2d(yet_bytes, "yet")
 
         for layer in portfolio.layers:
+            (task,) = plan.layer_tasks(layer.layer_id)
             lookups, stacked, table_bytes = build_layer_tables(
                 portfolio.elts_of(layer),
                 catalog_size,
@@ -134,10 +151,11 @@ class GPUBasicEngine(Engine):
                 secondary_stream_key=layer_stream_key(
                     base_seed, layer.layer_id
                 ),
+                occ_origin=task.occ_start,
             )
             result = device.launch(
                 kernel,
-                n_threads_total=yet.n_trials,
+                n_threads_total=task.n_trials,
                 threads_per_block=self.threads_per_block,
                 batch_blocks=self.batch_blocks,
             )

@@ -28,6 +28,8 @@ from repro.engines.gpu_common import (
 )
 from repro.gpusim.device import DeviceSpec, TESLA_C2075
 from repro.gpusim.kernel import GPUDevice
+from repro.plan.plan import ExecutionPlan
+from repro.plan.planner import EngineCapabilities
 from repro.utils.timer import ACTIVITY_OTHER, ActivityProfile
 from repro.utils.validation import check_positive
 
@@ -85,11 +87,24 @@ class GPUOptimizedEngine(Engine):
         """float32 when the reduced-precision optimisation is on."""
         return np.dtype(np.float32) if self.flags.float32 else self.dtype
 
+    def capabilities(self) -> EngineCapabilities:
+        # One device, one launch per layer (same shape as the basic
+        # engine; the four optimisations live inside the kernel).
+        return EngineCapabilities(
+            engine=self.name,
+            n_slots=1,
+            kernel=self.kernel,
+            slot_batching="whole",
+            dtype=self.working_dtype.str,
+            secondary=self.secondary is not None,
+        )
+
     def _execute(
         self,
         yet: YearEventTable,
         portfolio: Portfolio,
         catalog_size: int,
+        plan: ExecutionPlan,
     ) -> tuple[YearLossTable, ActivityProfile, float | None, Dict[str, Any]]:
         device = GPUDevice(self.device_spec)
         dtype = self.working_dtype
@@ -111,6 +126,7 @@ class GPUOptimizedEngine(Engine):
         modeled_total += device.transfers.h2d(yet_bytes, "yet")
 
         for layer in portfolio.layers:
+            (task,) = plan.layer_tasks(layer.layer_id)
             lookups, stacked, table_bytes = build_layer_tables(
                 portfolio.elts_of(layer),
                 catalog_size,
@@ -151,10 +167,11 @@ class GPUOptimizedEngine(Engine):
                 secondary_stream_key=layer_stream_key(
                     base_seed, layer.layer_id
                 ),
+                occ_origin=task.occ_start,
             )
             result = device.launch(
                 kernel,
-                n_threads_total=yet.n_trials,
+                n_threads_total=task.n_trials,
                 threads_per_block=self.threads_per_block,
                 batch_blocks=self.batch_blocks,
             )

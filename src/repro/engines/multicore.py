@@ -2,66 +2,56 @@
 
 The paper parallelises by trial: "a single thread is employed per trial"
 with OpenMP scheduling threads over cores (Figure 1a), and additionally
-oversubscribes each core with many threads (Figure 1b).  Here the trial
-space is split into contiguous chunks executed by a pool of OS threads.
-NumPy's gathers and ufuncs release the GIL, so the chunks genuinely run
-in parallel; like the paper's CPU, the shared memory bus bounds the
-achievable speedup — random ELT lookups have no locality for the cache
-hierarchy to exploit.
+oversubscribes each core with many threads (Figure 1b).  Here the shared
+:class:`~repro.plan.planner.Planner` lays the trial space onto
+``n_cores * threads_per_core`` lanes — each a logical "thread" — and the
+:class:`~repro.plan.scheduler.Scheduler` runs those lanes on a pool of
+``n_cores`` OS threads.  NumPy's gathers and ufuncs release the GIL, so
+the lanes genuinely run in parallel; like the paper's CPU, the shared
+memory bus bounds the achievable speedup — random ELT lookups have no
+locality for the cache hierarchy to exploit.
 
-``n_threads = n_cores * threads_per_core`` mirrors the paper's Figure 1b
-oversubscription axis: past the core count extra threads only help by
-overlapping memory latency, so returns diminish quickly (our measured
-curve; the perfmodel reproduces the paper's exact one).
+With ``kernel="ragged"`` (the default) lanes are cut at equal cumulative
+*occurrence* counts — the multi-GPU engine's ``balance="events"`` rule —
+so ragged YETs hand every worker a near-equal share of actual lookups;
+inside a lane, tasks stream through the executor's double-buffered fetch
+(chunk fetch overlaps reduce, matching the sequential engine).  The
+dense kernel keeps the paper's equal-trial split, one task per lane.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List
+from typing import Any, Dict
 
 import numpy as np
 
-from repro.core.kernels import (
-    build_layer_tables,
-    layer_trial_batch_ragged,
-    layer_trial_batch_secondary_ragged,
-)
-from repro.core.secondary import layer_stream_key, layer_trial_batch_secondary
-from repro.core.vectorized import layer_trial_batch
 from repro.data.layer import Portfolio
 from repro.data.yet import YearEventTable
 from repro.data.ylt import YearLossTable
 from repro.engines.base import Engine
-from repro.utils.bufpool import ScratchBufferPool
-from repro.utils.parallel import (
-    available_cpu_count,
-    balanced_chunk_ranges,
-    chunk_ranges,
-    run_threaded,
-)
-from repro.utils.rng import stable_hash_seed
-from repro.utils.timer import ACTIVITY_FETCH, ActivityProfile
+from repro.plan.execute import execute_plan_cpu
+from repro.plan.plan import ExecutionPlan
+from repro.plan.planner import EngineCapabilities
+from repro.plan.scheduler import Scheduler
+from repro.utils.parallel import available_cpu_count
+from repro.utils.timer import ActivityProfile
 from repro.utils.validation import check_positive
 
 
 class MulticoreEngine(Engine):
     """Trial-parallel execution on a pool of OS threads.
 
-    With ``kernel="ragged"`` (the default) the trial space is split by
-    cumulative *occurrence* counts — the multi-GPU engine's
-    ``balance="events"`` rule via the shared
-    :func:`~repro.utils.parallel.balanced_chunk_ranges` — so ragged YETs
-    hand every worker a near-equal share of actual lookups instead of
-    trial counts.  The dense kernel keeps the paper's equal-trial split.
-
     Parameters
     ----------
     n_cores:
-        Worker threads mapped to cores (defaults to all available).
+        Worker threads mapped to cores (defaults to all available) —
+        the scheduler's concurrency.  Results are bit-for-bit identical
+        for any value: the plan fixes the decomposition, the scheduler
+        only picks how many lanes run at once.
     threads_per_core:
-        Oversubscription factor (Figure 1b's axis): the trial space is
-        split into ``n_cores * threads_per_core`` chunks, each a logical
-        "thread", scheduled onto the ``n_cores`` workers.
+        Oversubscription factor (Figure 1b's axis): the plan receives
+        ``n_cores * threads_per_core`` lanes, scheduled onto the
+        ``n_cores`` workers.
     """
 
     name = "multicore"
@@ -92,137 +82,49 @@ class MulticoreEngine(Engine):
     def n_logical_threads(self) -> int:
         return self.n_cores * self.threads_per_core
 
+    def capabilities(self) -> EngineCapabilities:
+        # Ragged lanes sub-batch (streaming double buffer); dense lanes
+        # stay whole so the dense secondary stream keeps its historical
+        # chunk-start seeds.
+        return EngineCapabilities(
+            engine=self.name,
+            n_slots=self.n_logical_threads,
+            kernel=self.kernel,
+            balance="auto",
+            slot_batching="batched" if self.kernel == "ragged" else "whole",
+            dtype=self.dtype.str,
+            secondary=self.secondary is not None,
+        )
+
     def _execute(
         self,
         yet: YearEventTable,
         portfolio: Portfolio,
         catalog_size: int,
+        plan: ExecutionPlan,
     ) -> tuple[YearLossTable, ActivityProfile, float | None, Dict[str, Any]]:
+        # Merged per-activity seconds are *CPU* seconds across workers
+        # (they sum over threads); the engine's wall_seconds field
+        # reports elapsed time.
         profile = ActivityProfile()
-        per_layer: Dict[int, np.ndarray] = {}
-        base_seed = self._secondary_base_seed()
-
-        n_chunks = min(self.n_logical_threads, yet.n_trials)
-        if self.kernel == "ragged":
-            # Occurrence-balanced decomposition: ragged YETs load-balance
-            # on actual work (lookups ∝ occurrences), not trial counts.
-            chunks = balanced_chunk_ranges(yet.offsets, n_chunks)
-        else:
-            chunks = chunk_ranges(yet.n_trials, n_chunks)
-        # One scratch pool per chunk slot, reused across layers: pools
-        # are not thread-safe, but chunk i is a distinct task per layer
-        # and layers run back-to-back, so each pool has one borrower at
-        # a time and its buffers amortise over the whole run.
-        pools: List[ScratchBufferPool] = [ScratchBufferPool() for _ in chunks]
-        for layer in portfolio.layers:
-            # Lookup tables are built once (through the shared cache) and
-            # read concurrently by all workers — the paper's design ("all
-            # threads within a block access the same ELT") at CPU scale.
-            with profile.track(ACTIVITY_FETCH):
-                lookups, stacked, _ = build_layer_tables(
-                    portfolio.elts_of(layer),
-                    catalog_size,
-                    self.lookup_kind,
-                    self.dtype,
-                    self.kernel,
-                )
-            out = np.empty(yet.n_trials, dtype=np.float64)
-            # Each chunk gets its own profile; charges are merged after
-            # the join.  Merged seconds are *CPU* seconds across workers
-            # (they sum over threads); the engine's wall_seconds field
-            # reports elapsed time.
-            worker_profiles: List[ActivityProfile] = [
-                ActivityProfile() for _ in chunks
-            ]
-
-            stream_key = layer_stream_key(base_seed, layer.layer_id)
-
-            def make_task(chunk_idx: int):
-                start, stop = chunks[chunk_idx]
-                wprofile = worker_profiles[chunk_idx]
-                pool = pools[chunk_idx]
-
-                def task() -> None:
-                    if self.kernel == "ragged":
-                        # Zero-copy CSR views into the shared YET.
-                        with wprofile.track(ACTIVITY_FETCH):
-                            ids, offs = yet.csr_block(start, stop)
-                        if self.secondary is not None:
-                            # Counter-based streams keyed by global
-                            # occurrence index: the same multipliers
-                            # regardless of how many chunks this run
-                            # split into (decomposition invariance).
-                            out[start:stop] = layer_trial_batch_secondary_ragged(
-                                ids,
-                                offs,
-                                lookups,
-                                layer.terms,
-                                self.secondary,
-                                stream_key,
-                                stacked=stacked,
-                                occ_base=int(yet.offsets[start]),
-                                profile=wprofile,
-                                dtype=self.dtype,
-                                pool=pool,
-                            )
-                            return
-                        out[start:stop] = layer_trial_batch_ragged(
-                            ids,
-                            offs,
-                            lookups,
-                            layer.terms,
-                            stacked=stacked,
-                            profile=wprofile,
-                            dtype=self.dtype,
-                            pool=pool,
-                        )
-                        return
-                    sub = yet.slice_trials(start, stop)
-                    with wprofile.track(ACTIVITY_FETCH):
-                        dense = sub.to_dense()
-                    if self.secondary is not None:
-                        # Dense draws are sequential-stream: reproducible
-                        # per (layer, chunk start), but not invariant to
-                        # the decomposition — the ragged path is.
-                        out[start:stop] = layer_trial_batch_secondary(
-                            dense,
-                            lookups,
-                            layer.terms,
-                            self.secondary,
-                            seed=stable_hash_seed(
-                                base_seed,
-                                "dense-secondary",
-                                layer.layer_id,
-                                start,
-                            ),
-                            profile=wprofile,
-                            dtype=self.dtype,
-                        )
-                        return
-                    out[start:stop] = layer_trial_batch(
-                        dense,
-                        lookups,
-                        layer.terms,
-                        profile=wprofile,
-                        dtype=self.dtype,
-                    )
-
-                return task
-
-            run_threaded(
-                [make_task(i) for i in range(len(chunks))],
-                max_workers=self.n_cores,
-            )
-            for wprofile in worker_profiles:
-                profile = profile.merged(wprofile)
-            per_layer[layer.layer_id] = out
-
+        ylt = execute_plan_cpu(
+            yet,
+            portfolio,
+            catalog_size,
+            plan,
+            lookup_kind=self.lookup_kind,
+            dtype=self.dtype,
+            secondary=self.secondary,
+            secondary_seed=self.secondary_seed,
+            profile=profile,
+            scheduler=Scheduler(max_workers=self.n_cores),
+        )
         meta = {
             "n_cores": self.n_cores,
             "threads_per_core": self.threads_per_core,
             "n_logical_threads": self.n_logical_threads,
             "kernel": self.kernel,
-            "balance": "events" if self.kernel == "ragged" else "trials",
+            "balance": plan.balance,
             "secondary": self.secondary is not None,
         }
-        return YearLossTable.from_dict(per_layer), profile, None, meta
+        return ylt, profile, None, meta

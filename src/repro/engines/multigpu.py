@@ -1,11 +1,14 @@
 """(v) Multi-GPU engine — the paper's fastest implementation.
 
 The optimised kernel decomposed over a pool of simulated Tesla M2090s:
-the trial space is block-partitioned, each device receives the full ELT
-tables plus its YET slice, and one *real* host thread per device drives
-the (simulated) launch — the paper's "a thread on the CPU invokes and
-manages a GPU" architecture.  Modeled time is the fork-join makespan: the
-slowest device's staging + kernel + copy-back.
+the shared :class:`~repro.plan.planner.Planner` block-partitions the
+trial space into one lane per device (equal trial counts, the paper's
+rule, or equal occurrence counts with ``balance="events"``), each device
+receives the full ELT tables plus its YET slice, and the
+:class:`~repro.plan.scheduler.Scheduler` drives one *real* host thread
+per device — the paper's "a thread on the CPU invokes and manages a GPU"
+architecture.  Modeled time is the fork-join makespan: the slowest
+device's staging + kernel + copy-back.
 
 The default block size is 32 — the warp size — which the paper's Figure 4
 finds optimal for this kernel: its deep chunking (``chunk_events=96``,
@@ -35,6 +38,9 @@ from repro.engines.gpu_common import (
 from repro.gpusim.device import DeviceSpec, TESLA_M2090
 from repro.gpusim.kernel import GPUDevice, KernelResult
 from repro.gpusim.multi import MultiGPU
+from repro.plan.plan import ExecutionPlan, PlanTask
+from repro.plan.planner import EngineCapabilities
+from repro.plan.scheduler import Scheduler
 from repro.utils.timer import ACTIVITY_OTHER, ActivityProfile
 from repro.utils.validation import check_positive
 
@@ -55,7 +61,9 @@ class MultiGPUEngine(Engine):
     balance:
         Trial-partitioning strategy: ``"trials"`` (the paper's equal
         trial-count split) or ``"events"`` (equal occurrence counts — an
-        extension that load-balances ragged YETs).
+        extension that load-balances ragged YETs).  Resolved by the
+        shared planner, the same rule the multicore engine's ragged
+        path uses.
     """
 
     name = "multi-gpu"
@@ -101,18 +109,27 @@ class MultiGPUEngine(Engine):
     def working_dtype(self) -> np.dtype:
         return np.dtype(np.float32) if self.flags.float32 else self.dtype
 
+    def capabilities(self) -> EngineCapabilities:
+        # One lane per device, one launch per (layer, device).
+        return EngineCapabilities(
+            engine=self.name,
+            n_slots=self.n_devices,
+            kernel=self.kernel,
+            balance=self.balance,
+            slot_batching="whole",
+            dtype=self.working_dtype.str,
+            secondary=self.secondary is not None,
+        )
+
     def _execute(
         self,
         yet: YearEventTable,
         portfolio: Portfolio,
         catalog_size: int,
+        plan: ExecutionPlan,
     ) -> tuple[YearLossTable, ActivityProfile, float | None, Dict[str, Any]]:
         pool = MultiGPU(self.n_devices, spec=self.device_spec)
-        tasks = (
-            pool.decompose_balanced(yet)
-            if self.balance == "events"
-            else pool.decompose(yet.n_trials)
-        )
+        scheduler = Scheduler(max_workers=self.n_devices)
         dtype = self.working_dtype
         base_seed = self._secondary_base_seed()
 
@@ -123,7 +140,7 @@ class MultiGPUEngine(Engine):
             "n_devices": self.n_devices,
             "flags": self.flags.describe(),
             "chunk_events": self.chunk_events,
-            "balance": self.balance,
+            "balance": plan.balance,
             "kernel": self.kernel,
             "secondary": self.secondary is not None,
             "per_device": [],
@@ -144,66 +161,58 @@ class MultiGPUEngine(Engine):
             )
             out = np.empty(yet.n_trials, dtype=np.float64)
 
-            def make_device_task(task):
-                start, stop = task.trial_range
-                device: GPUDevice = task.device
+            def run_device(
+                slot: int, tasks: List[PlanTask]
+            ) -> tuple[KernelResult, float, PlanTask]:
+                (task,) = tasks  # whole-lane plans: one launch per device
+                device: GPUDevice = pool.devices[slot]
+                sub_yet = yet.slice_trials(task.trial_start, task.trial_stop)
+                staging = 0.0
+                yet_bytes = sub_yet.n_occurrences * 4
+                name = f"layer{layer.layer_id}"
+                device.alloc(f"yet_{name}", yet_bytes)
+                staging += device.transfers.h2d(yet_bytes, f"yet_{name}")
+                device.alloc(f"tables_{name}", table_bytes)
+                staging += device.transfers.h2d(table_bytes, f"tables_{name}")
+                out_bytes = sub_yet.n_trials * 8
+                device.alloc(f"ylt_{name}", out_bytes)
 
-                def run() -> tuple[KernelResult, float, int, int]:
-                    sub_yet = yet.slice_trials(start, stop)
-                    staging = 0.0
-                    yet_bytes = sub_yet.n_occurrences * 4
-                    name = f"layer{layer.layer_id}"
-                    device.alloc(f"yet_{name}", yet_bytes)
-                    staging += device.transfers.h2d(yet_bytes, f"yet_{name}")
-                    device.alloc(f"tables_{name}", table_bytes)
-                    staging += device.transfers.h2d(
-                        table_bytes, f"tables_{name}"
-                    )
-                    out_bytes = sub_yet.n_trials * 8
-                    device.alloc(f"ylt_{name}", out_bytes)
-
-                    kernel = ARAOptimizedKernel(
-                        yet=sub_yet,
-                        lookups=lookups,
-                        layer_terms=layer.terms,
-                        out=out[start:stop],
-                        dtype=dtype,
-                        flags=self.flags,
-                        chunk_events=self.chunk_events,
-                        kernel=self.kernel,
-                        stacked=stacked,
-                        secondary=self.secondary,
-                        secondary_stream_key=layer_stream_key(
-                            base_seed, layer.layer_id
-                        ),
-                        # Global origin of this device's YET slice keeps
-                        # the counter-based secondary draws identical for
-                        # any device count.
-                        occ_origin=int(yet.offsets[start]),
-                    )
-                    result = device.launch(
-                        kernel,
-                        n_threads_total=sub_yet.n_trials,
-                        threads_per_block=self.threads_per_block,
-                        batch_blocks=self.batch_blocks,
-                    )
-                    staging += device.transfers.d2h(out_bytes, f"ylt_{name}")
-                    device.free(f"yet_{name}")
-                    device.free(f"tables_{name}")
-                    device.free(f"ylt_{name}")
-                    return result, staging, start, stop
-
-                return run
+                kernel = ARAOptimizedKernel(
+                    yet=sub_yet,
+                    lookups=lookups,
+                    layer_terms=layer.terms,
+                    out=out[task.trial_start : task.trial_stop],
+                    dtype=dtype,
+                    flags=self.flags,
+                    chunk_events=self.chunk_events,
+                    kernel=self.kernel,
+                    stacked=stacked,
+                    secondary=self.secondary,
+                    secondary_stream_key=layer_stream_key(
+                        base_seed, layer.layer_id
+                    ),
+                    # Global origin of this device's YET slice keeps
+                    # the counter-based secondary draws identical for
+                    # any device count.
+                    occ_origin=task.occ_start,
+                )
+                result = device.launch(
+                    kernel,
+                    n_threads_total=sub_yet.n_trials,
+                    threads_per_block=self.threads_per_block,
+                    batch_blocks=self.batch_blocks,
+                )
+                staging += device.transfers.d2h(out_bytes, f"ylt_{name}")
+                device.free(f"yet_{name}")
+                device.free(f"tables_{name}")
+                device.free(f"ylt_{name}")
+                return result, staging, task
 
             # One real host thread per device (the paper's management
-            # scheme); join and take the makespan.
-            outcomes = pool.run_host_threads(
-                [make_device_task(task) for task in tasks]
-            )
+            # scheme); the scheduler joins and we take the makespan.
+            outcomes = scheduler.run_layer(plan, layer.layer_id, run_device)
             per_device_seconds: List[float] = []
-            for device_index, (result, staging, start, stop) in enumerate(
-                outcomes
-            ):
+            for slot, (result, staging, task) in outcomes:
                 device_seconds = result.modeled_seconds + staging
                 per_device_seconds.append(device_seconds)
                 profile = profile.merged(
@@ -214,9 +223,9 @@ class MultiGPUEngine(Engine):
                     )
                 )
                 device_meta: Dict[str, Any] = {
-                    "device_id": device_index,
+                    "device_id": slot,
                     "layer_id": layer.layer_id,
-                    "trials": (start, stop),
+                    "trials": (task.trial_start, task.trial_stop),
                     "staging_seconds": staging,
                     "kernel_seconds": result.modeled_seconds,
                 }

@@ -1,10 +1,13 @@
 """(i) Sequential engine — the paper's single-core C++ baseline.
 
-One thread, trials processed in batches through the shared vectorised
-kernel.  The batch size bounds peak memory without changing results; the
-per-activity wall-clock profile directly measures the Figure 6 breakdown
-(the paper's finding on this implementation: >65% of time in loss lookup,
-~31% in the numerical term computations).
+One thread, executing a single-lane :class:`~repro.plan.plan.
+ExecutionPlan`: the shared :class:`~repro.plan.planner.Planner` cuts the
+trial space into batch tasks (a fixed depth, or the ragged autotuner's
+byte budget) and :func:`~repro.plan.execute.execute_plan_cpu` streams
+them with a double-buffered fetch.  The per-activity wall-clock profile
+directly measures the Figure 6 breakdown (the paper's finding on this
+implementation: >65% of time in loss lookup, ~31% in the numerical term
+computations).
 
 ``ReferenceEngine`` additionally exposes the line-by-line scalar oracle
 through the same engine interface, for validation runs.
@@ -16,13 +19,15 @@ from typing import Any, Dict
 
 import numpy as np
 
-from repro.core.algorithm import aggregate_risk_analysis_reference
-from repro.core.kernels import run_ragged
-from repro.core.vectorized import run_vectorized
+from repro.core.algorithm import reference_layer_losses
 from repro.data.layer import Portfolio
 from repro.data.yet import YearEventTable
 from repro.data.ylt import YearLossTable
 from repro.engines.base import Engine
+from repro.plan.execute import execute_plan_cpu
+from repro.plan.plan import ExecutionPlan
+from repro.plan.planner import EngineCapabilities
+from repro.plan.scheduler import Scheduler
 from repro.utils.timer import ACTIVITY_OTHER, ActivityProfile
 
 
@@ -32,8 +37,8 @@ class SequentialEngine(Engine):
     Parameters
     ----------
     batch_trials:
-        Trials per kernel batch (bounds the working block's memory).
-        ``None`` lets the ragged path's autotuner size batches to its
+        Trials per plan task (bounds the working block's memory).
+        ``None`` lets the planner's ragged autotuner size batches to its
         byte budget (the dense path treats ``None`` as the legacy 8192).
     kernel:
         ``"ragged"`` (fused CSR kernel, :mod:`repro.core.kernels`, the
@@ -62,39 +67,37 @@ class SequentialEngine(Engine):
             raise ValueError(f"batch_trials must be >= 1, got {batch_trials}")
         self.batch_trials = None if batch_trials is None else int(batch_trials)
 
+    def capabilities(self) -> EngineCapabilities:
+        return EngineCapabilities(
+            engine=self.name,
+            n_slots=1,
+            kernel=self.kernel,
+            batch_trials=self.batch_trials,
+            slot_batching="batched",
+            dtype=self.dtype.str,
+            secondary=self.secondary is not None,
+        )
+
     def _execute(
         self,
         yet: YearEventTable,
         portfolio: Portfolio,
         catalog_size: int,
+        plan: ExecutionPlan,
     ) -> tuple[YearLossTable, ActivityProfile, float | None, Dict[str, Any]]:
         profile = ActivityProfile()
-        if self.kernel == "ragged":
-            ylt = run_ragged(
-                yet,
-                portfolio,
-                catalog_size,
-                lookup_kind=self.lookup_kind,
-                dtype=self.dtype,
-                batch_trials=self.batch_trials,
-                profile=profile,
-                secondary=self.secondary,
-                secondary_seed=self.secondary_seed,
-            )
-        else:
-            ylt = run_vectorized(
-                yet,
-                portfolio,
-                catalog_size,
-                lookup_kind=self.lookup_kind,
-                dtype=self.dtype,
-                batch_trials=(
-                    8192 if self.batch_trials is None else self.batch_trials
-                ),
-                profile=profile,
-                secondary=self.secondary,
-                secondary_seed=self.secondary_seed,
-            )
+        ylt = execute_plan_cpu(
+            yet,
+            portfolio,
+            catalog_size,
+            plan,
+            lookup_kind=self.lookup_kind,
+            dtype=self.dtype,
+            secondary=self.secondary,
+            secondary_seed=self.secondary_seed,
+            profile=profile,
+            scheduler=Scheduler(max_workers=1),
+        )
         meta = {
             "batch_trials": self.batch_trials,
             "n_threads": 1,
@@ -110,7 +113,10 @@ class ReferenceEngine(Engine):
     Pure-Python and extremely slow — the correctness oracle, not a
     performance point.  Ignores ``lookup_kind``/``dtype`` (it always uses
     dict semantics in ``float64``, the most literal reading of the
-    pseudocode).
+    pseudocode).  With ``secondary`` it draws the *same* counter-based
+    multipliers as the fused ragged kernel (addressed by global
+    occurrence index), so a seeded secondary run can be cross-checked
+    end to end against any vectorised engine.
     """
 
     name = "reference"
@@ -120,13 +126,29 @@ class ReferenceEngine(Engine):
         yet: YearEventTable,
         portfolio: Portfolio,
         catalog_size: int,
+        plan: ExecutionPlan,
     ) -> tuple[YearLossTable, ActivityProfile, float | None, Dict[str, Any]]:
-        if self.secondary is not None:
-            raise NotImplementedError(
-                "the scalar reference engine has no secondary-uncertainty "
-                "path; use any vectorised engine"
-            )
         profile = ActivityProfile()
+        base_seed = self._secondary_base_seed()
+        per_layer: Dict[int, np.ndarray] = {}
         with profile.track(ACTIVITY_OTHER):
-            ylt = aggregate_risk_analysis_reference(yet, portfolio)
-        return ylt, profile, None, {"scalar": True}
+            for layer in portfolio.layers:
+                out = np.zeros(yet.n_trials, dtype=np.float64)
+                # Execute the plan's tasks (a single whole-range task
+                # for this engine's single-lane capabilities, but any
+                # valid plan works — tasks carry global indices).
+                for task in plan.layer_tasks(layer.layer_id):
+                    out[task.trial_start : task.trial_stop] = (
+                        reference_layer_losses(
+                            yet,
+                            portfolio,
+                            layer,
+                            trial_start=task.trial_start,
+                            trial_stop=task.trial_stop,
+                            secondary=self.secondary,
+                            base_seed=base_seed,
+                        )
+                    )
+                per_layer[layer.layer_id] = out
+        meta = {"scalar": True, "secondary": self.secondary is not None}
+        return YearLossTable.from_dict(per_layer), profile, None, meta

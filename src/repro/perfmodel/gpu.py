@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Any, Dict
 
+from repro.core.kernels import occ_chunk_for
 from repro.data.presets import WorkloadSpec
 from repro.engines.gpu_common import (
     BASIC_REGISTERS_PER_THREAD,
@@ -24,6 +25,7 @@ from repro.engines.gpu_common import (
     optimized_shared_bytes_per_block,
     record_basic_traffic,
     record_optimized_traffic,
+    record_ragged_traffic,
 )
 from repro.gpusim.costmodel import estimate_kernel_seconds
 from repro.gpusim.device import DeviceSpec, TESLA_C2075
@@ -182,6 +184,125 @@ def predict_gpu_optimized(
     }
     return PerfPrediction(
         implementation="gpu-optimized",
+        total_seconds=total,
+        profile=profile,
+        meta=meta,
+    )
+
+
+def predict_gpu_ragged(
+    spec: WorkloadSpec,
+    device: DeviceSpec = TESLA_C2075,
+    threads_per_block: int = 256,
+    optimized: bool = False,
+    flags: OptimizationFlags | None = None,
+    chunk_events: int = 24,
+    secondary: bool = False,
+) -> PerfPrediction:
+    """Modeled time of the *fused ragged* kernel at paper scale.
+
+    Prices the :func:`~repro.engines.gpu_common.record_ragged_traffic`
+    ledger — the coalesced CSR streams, the single fused gather per
+    (event, ELT) pair, and the one-pass segment reduction — with the
+    same cost model as the dense predictions, so paper-scale projections
+    show the fusion win the measured ``KERNEL-ABLATE`` benchmark
+    demonstrates at container scale.
+
+    ``optimized=False`` mirrors the basic engine running the ragged
+    kernel (:class:`~repro.engines.gpu_common.ARABasicKernel`'s
+    footprint: no shared staging, ``mlp=1``); ``optimized=True`` mirrors
+    :class:`~repro.engines.gpu_common.ARAOptimizedKernel` (``flags``
+    default all four optimisations, chunked staging with ``chunk_events``
+    loads in flight).  ``secondary`` adds the fused secondary-uncertainty
+    path's quantile-table reads and counter-RNG arithmetic.
+    """
+    if optimized:
+        flags = flags if flags is not None else OptimizationFlags.all()
+    else:
+        if flags is not None:
+            raise ValueError(
+                "flags apply only to optimized=True: the basic engine "
+                "runs the ragged kernel with no optimisations "
+                "(ARABasicKernel records flags=none), so a flagged "
+                "basic-ragged projection would model a kernel that "
+                "does not exist"
+            )
+        flags = OptimizationFlags.none()
+    word_bytes = 4 if flags.float32 else 8
+    # The fused gather's occurrence-chunk depth, exactly as the kernel
+    # classes derive it (the ragged ledger's constant-traffic input).
+    occ_chunk = occ_chunk_for(max(1, spec.elts_per_layer), word_bytes)
+    counters = DeviceCounters(device=device)
+    for _ in range(spec.n_layers):
+        record_ragged_traffic(
+            counters,
+            n_occ=spec.n_occurrences,
+            n_trials=spec.n_trials,
+            n_elts=spec.elts_per_layer,
+            word=word_bytes,
+            flags=flags,
+            occ_chunk=occ_chunk,
+            secondary=secondary,
+        )
+    launch = KernelLaunch(
+        n_threads_total=spec.n_trials,
+        threads_per_block=threads_per_block,
+        shared_bytes_per_block=(
+            optimized_shared_bytes_per_block(
+                threads_per_block, chunk_events, word_bytes, flags
+            )
+            if optimized
+            else 0
+        ),
+        registers_per_thread=(
+            OPTIMIZED_REGISTERS_PER_THREAD
+            if optimized
+            else BASIC_REGISTERS_PER_THREAD
+        ),
+    )
+    launch.validate_against(device)
+    occupancy = compute_occupancy(device, launch)
+    if not occupancy.launchable:
+        raise ValueError(
+            f"infeasible launch: {threads_per_block} threads/block with "
+            f"{launch.shared_bytes_per_block} B shared "
+            f"(limited by {occupancy.limiting_resource})"
+        )
+    cost = estimate_kernel_seconds(
+        device,
+        launch,
+        counters,
+        mlp=optimized_mlp(flags, chunk_events) if optimized else 1.0,
+        barrier_intensity=(
+            optimized_barrier_intensity(flags) if optimized else 0.0
+        ),
+    )
+    staging, detail = _staging_seconds(spec, device, word_bytes)
+    total = cost.total + staging
+
+    profile = modeled_activity_profile(
+        counters, cost.bandwidth_s, cost.compute_s
+    )
+    leftover = total - profile.total
+    if leftover > 0:
+        profile.charge(ACTIVITY_OTHER, leftover)
+    meta: Dict[str, Any] = {
+        "device": device.name,
+        "threads_per_block": threads_per_block,
+        "kernel": "ragged",
+        "optimized": optimized,
+        "flags": flags.describe(),
+        "occ_chunk": occ_chunk,
+        "secondary": secondary,
+        "occupancy": cost.occupancy.occupancy,
+        "blocks_per_sm": cost.occupancy.blocks_per_sm,
+        "limiting_resource": cost.occupancy.limiting_resource,
+        "kernel_seconds": cost.total,
+        "memory_bound": cost.memory_bound,
+        **detail,
+    }
+    return PerfPrediction(
+        implementation="gpu-ragged" if not optimized else "gpu-optimized-ragged",
         total_seconds=total,
         profile=profile,
         meta=meta,

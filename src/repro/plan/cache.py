@@ -1,0 +1,151 @@
+"""Plan-level result cache: share computed segments across in-flight plans.
+
+The quote workload (arXiv:1308.2066's framing) is many layers over the
+same YET, most sharing ELT sets and differing only in contract terms.
+Algorithm 1 splits cleanly at the layer-terms boundary: everything
+upstream — the fused gather and per-ELT financial terms, i.e. the
+combined per-occurrence loss vector — depends only on
+``(ELT set, YET, dtype, lookup kind, secondary stream)``, not on the
+layer's occurrence/aggregate terms.  Caching at that boundary lets a
+batch of N candidate quotes (or a marginal re-quote against a book) pay
+for the expensive lookup+financial pass once and re-run only the cheap
+layer-terms finish per candidate.
+
+:class:`PlanResultCache` is a thread-safe LRU with *in-flight
+deduplication*: the first requester of a key computes while later
+requesters block on the same pending entry, so concurrent quote tasks
+sharing an ELT set never duplicate the base pass.
+
+Keys are content fingerprints (:func:`elt_fingerprint`,
+:func:`yet_fingerprint`), not object identities, so logically identical
+inputs hit regardless of which Python objects carry them.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from collections import OrderedDict
+from typing import Callable, Dict, Hashable, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+from repro.data.elt import EventLossTable
+from repro.data.yet import YearEventTable
+
+T = TypeVar("T")
+
+
+def yet_fingerprint(yet: YearEventTable) -> Tuple[int, int, int, int]:
+    """Content fingerprint of a YET (shape + CRCs of the CSR arrays).
+
+    CRC32 over the raw event-id and offset bytes runs at memory speed
+    (C implementation) and changes whenever any occurrence moves —
+    collisions would need equal-length tables with colliding CRCs on
+    *both* arrays.
+    """
+    return (
+        yet.n_trials,
+        yet.n_occurrences,
+        zlib.crc32(yet.event_ids.tobytes()),
+        zlib.crc32(np.ascontiguousarray(yet.offsets).tobytes()),
+    )
+
+
+def elt_fingerprint(elt: EventLossTable) -> Tuple:
+    """Content fingerprint of one ELT (ids, losses, financial terms)."""
+    return (
+        int(elt.elt_id),
+        int(elt.n_losses),
+        zlib.crc32(np.ascontiguousarray(elt.event_ids).tobytes()),
+        zlib.crc32(np.ascontiguousarray(elt.losses).tobytes()),
+        elt.terms.as_tuple(),
+    )
+
+
+def elt_set_fingerprint(elts: Sequence[EventLossTable]) -> Tuple:
+    """Fingerprint of an ordered ELT set (order matters: it fixes the
+    accumulation order of the combined loss vector)."""
+    return tuple(elt_fingerprint(elt) for elt in elts)
+
+
+class PlanResultCache:
+    """Thread-safe LRU of computed plan segments with in-flight dedup.
+
+    ``get_or_compute(key, compute)`` returns the cached value for
+    ``key`` or runs ``compute()`` exactly once across all concurrent
+    requesters.  Values are treated as frozen (callers must not mutate
+    returned arrays in place — copy before finishing a quote).
+    """
+
+    def __init__(self, maxsize: int = 16) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._pending: Dict[Hashable, threading.Event] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        #: hits that joined a computation already in flight
+        self.inflight_hits = 0
+
+    # ------------------------------------------------------------------
+    def get_or_compute(self, key: Hashable, compute: Callable[[], T]) -> T:
+        while True:
+            with self._lock:
+                if key in self._entries:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    return self._entries[key]  # type: ignore[return-value]
+                event = self._pending.get(key)
+                if event is None:
+                    self._pending[key] = threading.Event()
+                    self.misses += 1
+                    break
+                self.inflight_hits += 1
+            # Another thread is computing this key: wait, then re-check
+            # (the computation may have failed, in which case we retry).
+            event.wait()
+        try:
+            value = compute()
+        except BaseException:
+            with self._lock:
+                self._pending.pop(key).set()
+            raise
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+            self._pending.pop(key).set()
+        return value
+
+    def peek(self, key: Hashable):
+        """Return the cached value or ``None`` (no LRU touch, no stats)."""
+        with self._lock:
+            return self._entries.get(key)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "inflight_hits": self.inflight_hits,
+                "size": len(self._entries),
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PlanResultCache(size={len(self)}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )

@@ -1,0 +1,231 @@
+"""CPU plan executor: run an ExecutionPlan through the shared kernels.
+
+This is the one place the CPU engines' task-execution mechanics live;
+the sequential and multicore engines (and :func:`repro.core.kernels.
+run_ragged`, the kernel-level convenience entry) all execute their plans
+here.  Per layer the executor:
+
+1. builds the layer's lookup tables once, through the shared
+   :class:`~repro.lookup.factory.LookupCache` (layers sharing ELTs —
+   and repeated runs — build once);
+2. hands each plan slot group to the :class:`~repro.plan.scheduler.
+   Scheduler` (fork-join at the layer barrier);
+3. inside a slot, streams the tasks through
+   :func:`~repro.utils.bufpool.stream_batches`, so task ``N + 1``'s
+   fetch (the CSR views, or the dense padded block) overlaps task
+   ``N``'s reduce on every lane — the double-buffering the sequential
+   engine had and the multicore workers previously lacked.
+
+Outputs are written at each task's *global* trial range, and the ragged
+kernels key all stochastic state by global occurrence index, so results
+are bit-for-bit identical for any scheduler concurrency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.kernels import (
+    KERNEL_RAGGED,
+    build_layer_tables,
+    layer_trial_batch_ragged,
+    layer_trial_batch_secondary_ragged,
+)
+from repro.core.secondary import (
+    layer_stream_key,
+    layer_trial_batch_secondary,
+    resolve_secondary_seed,
+)
+from repro.core.vectorized import layer_trial_batch
+from repro.data.layer import Portfolio
+from repro.data.yet import YearEventTable
+from repro.data.ylt import YearLossTable
+from repro.plan.plan import ExecutionPlan, PlanTask
+from repro.plan.scheduler import Scheduler
+from repro.utils.bufpool import ScratchBufferPool, stream_batches
+from repro.utils.rng import stable_hash_seed
+from repro.utils.timer import ACTIVITY_FETCH, ActivityProfile
+
+
+def execute_plan_cpu(
+    yet: YearEventTable,
+    portfolio: Portfolio,
+    catalog_size: int,
+    plan: ExecutionPlan,
+    lookup_kind: str = "direct",
+    dtype: np.dtype | type = np.float64,
+    secondary=None,
+    secondary_seed=None,
+    profile: ActivityProfile | None = None,
+    scheduler: Scheduler | None = None,
+    pools: Sequence[ScratchBufferPool] | None = None,
+    cache=None,
+) -> YearLossTable:
+    """Execute ``plan`` on the CPU kernels; returns the YLT.
+
+    Parameters
+    ----------
+    plan:
+        The decomposition to execute (from a
+        :class:`~repro.plan.planner.Planner`).
+    scheduler:
+        Concurrency policy (default: inline, one worker).  Any value
+        produces the same YLT.
+    pools:
+        Scratch pools, one per plan slot (cycled if fewer).  Passing
+        pools lets callers observe peak-scratch accounting and reuse
+        warm buffers across runs; by default one private pool per slot
+        is created (reused across layers, matching the historical
+        engines' slot-pool reuse).
+    profile:
+        Wall-clock activity profile.  Per-slot compute and fetch charges
+        are accumulated in worker-private profiles and folded in after
+        each layer barrier, so the sums are CPU seconds across workers.
+    """
+    if plan.n_trials != yet.n_trials or plan.n_occurrences != yet.n_occurrences:
+        raise ValueError(
+            f"plan shape ({plan.n_trials} trials, {plan.n_occurrences} occ) "
+            f"does not match YET ({yet.n_trials}, {yet.n_occurrences})"
+        )
+    portfolio_layers = tuple(layer.layer_id for layer in portfolio.layers)
+    if set(plan.layer_ids) != set(portfolio_layers):
+        raise ValueError(
+            f"plan was built for layers {plan.layer_ids}, portfolio has "
+            f"{portfolio_layers} — a plan is only valid for the portfolio "
+            "it was planned from"
+        )
+    profile = profile if profile is not None else ActivityProfile()
+    scheduler = scheduler if scheduler is not None else Scheduler(max_workers=1)
+    n_pools = max(1, plan.n_slots)
+    slot_pools: List[ScratchBufferPool] = (
+        list(pools) if pools else [ScratchBufferPool() for _ in range(n_pools)]
+    )
+    base_seed = (
+        resolve_secondary_seed(secondary_seed) if secondary is not None else 0
+    )
+    ragged = plan.kernel == KERNEL_RAGGED
+
+    per_layer: Dict[int, np.ndarray] = {}
+    for layer in portfolio.layers:
+        with profile.track(ACTIVITY_FETCH):
+            lookups, stacked, _ = build_layer_tables(
+                portfolio.elts_of(layer),
+                catalog_size,
+                lookup_kind,
+                dtype,
+                plan.kernel,
+                cache=cache,
+            )
+        out = np.empty(plan.n_trials, dtype=np.float64)
+        stream_key = layer_stream_key(base_seed, layer.layer_id)
+        # Worker-private profiles: compute charges and (background)
+        # prefetch charges must not share one profile across threads —
+        # ActivityProfile.charge is a bare read-modify-write.
+        compute_profiles: List[ActivityProfile] = []
+        fetch_profiles: List[ActivityProfile] = []
+
+        def run_slot(slot: int, tasks: List[PlanTask]) -> None:
+            wp = ActivityProfile()
+            fp = ActivityProfile()
+            compute_profiles.append(wp)
+            fetch_profiles.append(fp)
+            pool = slot_pools[slot % len(slot_pools)]
+            if ragged:
+
+                def fetch(i: int, _slot_pool: ScratchBufferPool):
+                    task = tasks[i]
+                    with fp.track(ACTIVITY_FETCH):
+                        ids, offs = yet.csr_block(
+                            task.trial_start, task.trial_stop
+                        )
+                    return task, ids, offs
+
+                for task, ids, offs in stream_batches(fetch, len(tasks)):
+                    if secondary is not None:
+                        out[task.trial_start : task.trial_stop] = (
+                            layer_trial_batch_secondary_ragged(
+                                ids,
+                                offs,
+                                lookups,
+                                layer.terms,
+                                secondary,
+                                stream_key,
+                                stacked=stacked,
+                                occ_base=task.occ_start,
+                                profile=wp,
+                                dtype=dtype,
+                                pool=pool,
+                            )
+                        )
+                    else:
+                        out[task.trial_start : task.trial_stop] = (
+                            layer_trial_batch_ragged(
+                                ids,
+                                offs,
+                                lookups,
+                                layer.terms,
+                                stacked=stacked,
+                                profile=wp,
+                                dtype=dtype,
+                                pool=pool,
+                            )
+                        )
+                return
+
+            def fetch_dense(i: int, _slot_pool: ScratchBufferPool):
+                task = tasks[i]
+                with fp.track(ACTIVITY_FETCH):
+                    dense = yet.slice_trials(
+                        task.trial_start, task.trial_stop
+                    ).to_dense()
+                return task, dense
+
+            for task, dense in stream_batches(fetch_dense, len(tasks)):
+                if secondary is not None:
+                    # Dense draws are sequential-stream, keyed by the
+                    # task's global trial start: reproducible for a
+                    # fixed plan, but (unlike ragged) not invariant to
+                    # the decomposition itself.
+                    out[task.trial_start : task.trial_stop] = (
+                        layer_trial_batch_secondary(
+                            dense,
+                            lookups,
+                            layer.terms,
+                            secondary,
+                            seed=stable_hash_seed(
+                                base_seed,
+                                "dense-secondary",
+                                layer.layer_id,
+                                task.trial_start,
+                            ),
+                            profile=wp,
+                            dtype=dtype,
+                        )
+                    )
+                else:
+                    out[task.trial_start : task.trial_stop] = (
+                        layer_trial_batch(
+                            dense,
+                            lookups,
+                            layer.terms,
+                            profile=wp,
+                            dtype=dtype,
+                        )
+                    )
+
+        scheduler.run_layer(plan, layer.layer_id, run_slot)
+        for wp in compute_profiles:
+            profile_merge_into(profile, wp)
+        for fp in fetch_profiles:
+            profile_merge_into(profile, fp)
+        per_layer[layer.layer_id] = out
+    return YearLossTable.from_dict(per_layer)
+
+
+def profile_merge_into(target: ActivityProfile, source: ActivityProfile) -> None:
+    """Fold ``source``'s charges into ``target`` (post-join, single thread)."""
+    for activity, seconds in source.seconds.items():
+        if seconds:
+            target.charge(activity, seconds)

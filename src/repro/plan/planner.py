@@ -1,0 +1,219 @@
+"""The Planner: shared decomposition policy for every engine.
+
+Before this module, each engine owned a private copy of the same three
+decisions — how to split the trial space over workers/devices
+(``balanced_chunk_ranges`` vs ``chunk_ranges``), how deep to batch within
+a worker (``autotune_batch_trials`` vs fixed constants), and whether to
+balance on trials or occurrences.  The :class:`Planner` centralises them:
+an engine declares *capabilities* (how many lanes it has, which kernel it
+runs, how it wants batches cut) and receives an
+:class:`~repro.plan.plan.ExecutionPlan` whose tasks it executes verbatim.
+
+The policies reproduce the historical engines' decompositions exactly:
+
+* lanes: ``min(n_slots, n_trials)`` contiguous ranges, cut at equal
+  cumulative *occurrences* for ragged event-balanced plans
+  (:func:`~repro.utils.parallel.balanced_chunk_ranges`) or equal trial
+  counts otherwise (:func:`~repro.utils.parallel.chunk_ranges`);
+* batches: a fixed ``batch_trials`` when the engine pins one, the
+  memory-budget :func:`~repro.core.kernels.autotune_batch_trials` for
+  ragged plans, and the legacy 8192-trial constant for dense plans
+  (whose secondary streams are keyed by batch start and therefore must
+  not float with a byte budget);
+* dense lanes are never sub-batched unless the engine opts in
+  (``slot_batching="batched"``), preserving the dense multicore path's
+  chunk-start-seeded draws bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.kernels import (
+    DEFAULT_BATCH_BUDGET_BYTES,
+    DEFAULT_KERNEL,
+    KERNEL_RAGGED,
+    autotune_batch_trials,
+    check_kernel,
+)
+from repro.data.layer import Portfolio
+from repro.data.yet import YearEventTable
+from repro.plan.plan import ExecutionPlan, PlanTask
+from repro.utils.parallel import balanced_chunk_ranges, chunk_ranges
+from repro.utils.validation import check_positive
+
+#: legacy dense batch depth (the pre-plan sequential engine's default).
+DENSE_DEFAULT_BATCH_TRIALS = 8192
+
+BALANCE_MODES = ("auto", "events", "trials")
+SLOT_BATCHING_MODES = ("batched", "whole")
+
+
+@dataclass(frozen=True)
+class EngineCapabilities:
+    """What an engine tells the planner about itself.
+
+    Attributes
+    ----------
+    engine:
+        Engine name (recorded in plan meta; no policy effect).
+    n_slots:
+        Concurrent lanes the engine can execute: worker threads for the
+        multicore engine, devices for the multi-GPU engine, 1 for
+        single-stream engines.
+    kernel:
+        Kernel path the engine will run (``"ragged"``/``"dense"``).
+    balance:
+        ``"auto"`` resolves to ``"events"`` for ragged kernels and
+        ``"trials"`` for dense (the historical engine rules); engines
+        with an explicit user knob (multi-GPU ``balance=``) pass it
+        through.
+    batch_trials:
+        Fixed trials-per-task within a lane; ``None`` lets the planner
+        choose (autotune for ragged, the legacy 8192 for dense).
+    slot_batching:
+        ``"batched"`` cuts each lane into batch tasks (enables the
+        executors' double-buffered fetch); ``"whole"`` emits one task
+        per lane (the GPU engines' one-launch-per-device shape, and the
+        dense multicore path's chunk-start-seeded draws).
+    budget_bytes:
+        Scratch budget handed to the ragged batch autotuner.
+    dtype:
+        Working precision (autotune input), as a numpy dtype string.
+    secondary:
+        Whether secondary-uncertainty sampling is on (autotune input:
+        the multiplier block is charged beside the gather chunk).
+    """
+
+    engine: str = "generic"
+    n_slots: int = 1
+    kernel: str = DEFAULT_KERNEL
+    balance: str = "auto"
+    batch_trials: int | None = None
+    slot_batching: str = "batched"
+    budget_bytes: int = DEFAULT_BATCH_BUDGET_BYTES
+    dtype: str = "<f8"
+    secondary: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive("n_slots", self.n_slots)
+        check_kernel(self.kernel)
+        if self.balance not in BALANCE_MODES:
+            raise ValueError(
+                f"balance must be one of {BALANCE_MODES}, got {self.balance!r}"
+            )
+        if self.slot_batching not in SLOT_BATCHING_MODES:
+            raise ValueError(
+                f"slot_batching must be one of {SLOT_BATCHING_MODES}, "
+                f"got {self.slot_batching!r}"
+            )
+        if self.batch_trials is not None and self.batch_trials < 1:
+            raise ValueError(
+                f"batch_trials must be >= 1, got {self.batch_trials}"
+            )
+        check_positive("budget_bytes", self.budget_bytes)
+
+    @property
+    def resolved_balance(self) -> str:
+        if self.balance != "auto":
+            return self.balance
+        return "events" if self.kernel == KERNEL_RAGGED else "trials"
+
+
+class Planner:
+    """Builds :class:`ExecutionPlan` objects from workload + capabilities."""
+
+    def slot_ranges(
+        self, yet: YearEventTable, caps: EngineCapabilities
+    ) -> List[Tuple[int, int]]:
+        """Per-lane contiguous trial ranges (the engines' historical cut).
+
+        ``min(n_slots, n_trials)`` ranges; event-balanced plans cut at
+        the trial boundaries closest to equal cumulative occurrence
+        counts, others at equal trial counts.  Degenerate lanes are
+        dropped, so fewer ranges than ``n_slots`` may come back.
+        """
+        n_trials = yet.n_trials
+        if n_trials == 0:
+            return []
+        n_chunks = min(caps.n_slots, n_trials)
+        if n_chunks <= 1:
+            return [(0, n_trials)]
+        if caps.resolved_balance == "events":
+            return balanced_chunk_ranges(yet.offsets, n_chunks)
+        return chunk_ranges(n_trials, n_chunks)
+
+    def batch_trials_for(
+        self, yet: YearEventTable, n_elts: int, caps: EngineCapabilities
+    ) -> int:
+        """Trials per task within a lane, for a layer of ``n_elts`` ELTs."""
+        if caps.batch_trials is not None:
+            return max(1, int(caps.batch_trials))
+        if caps.kernel == KERNEL_RAGGED:
+            return autotune_batch_trials(
+                yet.n_trials,
+                yet.mean_events_per_trial,
+                n_elts,
+                dtype=np.dtype(caps.dtype),
+                budget_bytes=caps.budget_bytes,
+                secondary=caps.secondary,
+            )
+        return DENSE_DEFAULT_BATCH_TRIALS
+
+    def plan(
+        self,
+        yet: YearEventTable,
+        portfolio: Portfolio,
+        caps: EngineCapabilities,
+    ) -> ExecutionPlan:
+        """Decompose the analysis into a validated task list."""
+        if yet.n_trials == 0:
+            raise ValueError("cannot plan over a YET with no trials")
+        portfolio.validate()
+        ranges = self.slot_ranges(yet, caps)
+        offsets = yet.offsets
+        tasks: List[PlanTask] = []
+        batch_meta: Dict[int, int] = {}
+        for layer in portfolio.layers:
+            if caps.slot_batching == "whole":
+                batch = None
+            else:
+                batch = self.batch_trials_for(yet, layer.n_elts, caps)
+                batch_meta[layer.layer_id] = batch
+            for slot, (start, stop) in enumerate(ranges):
+                step = (stop - start) if batch is None else batch
+                for seq, t0 in enumerate(range(start, stop, step)):
+                    t1 = min(t0 + step, stop)
+                    tasks.append(
+                        PlanTask(
+                            task_id=len(tasks),
+                            layer_id=layer.layer_id,
+                            slot=slot,
+                            seq=seq,
+                            trial_start=t0,
+                            trial_stop=t1,
+                            occ_start=int(offsets[t0]),
+                            occ_stop=int(offsets[t1]),
+                        )
+                    )
+        meta: Dict[str, Any] = {
+            "engine": caps.engine,
+            "slot_batching": caps.slot_batching,
+            "batch_trials": batch_meta or None,
+            "requested_slots": caps.n_slots,
+        }
+        plan = ExecutionPlan(
+            n_trials=yet.n_trials,
+            n_occurrences=yet.n_occurrences,
+            layer_ids=tuple(layer.layer_id for layer in portfolio.layers),
+            n_slots=len(ranges),
+            kernel=caps.kernel,
+            balance=caps.resolved_balance,
+            tasks=tuple(tasks),
+            meta=meta,
+        )
+        plan.validate_coverage()
+        return plan

@@ -9,11 +9,19 @@ analysis on demand.
 """
 
 from repro.pricing.pricer import LayerQuote, PricingAssumptions, price_layer
-from repro.pricing.realtime import RealTimePricer
+from repro.pricing.realtime import (
+    QuoteRecord,
+    QuoteRequest,
+    QuoteService,
+    RealTimePricer,
+)
 
 __all__ = [
     "LayerQuote",
     "PricingAssumptions",
     "price_layer",
+    "QuoteRecord",
+    "QuoteRequest",
+    "QuoteService",
     "RealTimePricer",
 ]

@@ -1,0 +1,237 @@
+"""Concurrent QuoteService: exactness, caching, batching, async quoting."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import AggregateRiskAnalysis
+from repro.core.secondary import SecondaryUncertainty
+from repro.data.generator import generate_catalog, generate_elt, generate_yet
+from repro.data.layer import Layer, LayerTerms, Portfolio
+from repro.pricing import QuoteRequest, QuoteService, RealTimePricer
+
+SU = SecondaryUncertainty(4.0, 4.0)
+
+
+@pytest.fixture(scope="module")
+def session_data():
+    catalog = generate_catalog(n_events=5_000, total_annual_rate=40.0)
+    yet = generate_yet(catalog, n_trials=600, events_per_trial=25, seed=11)
+    elts = [
+        generate_elt(catalog, elt_id=i, n_losses=300, seed=50 + i)
+        for i in range(6)
+    ]
+    return catalog, yet, elts
+
+
+def single_layer_run(yet, elts, elt_ids, terms, catalog_size, **opts):
+    p = Portfolio()
+    for elt in elts:
+        if elt.elt_id in elt_ids:
+            p.add_elt(elt)
+    p.add_layer(Layer(layer_id=9999, elt_ids=tuple(elt_ids), terms=terms))
+    ara = AggregateRiskAnalysis(p, catalog_size, **opts)
+    return ara.run(yet, engine="sequential").ylt.layer_losses(9999)
+
+
+class TestExactness:
+    def test_bitwise_equal_to_sequential_engine(self, session_data):
+        catalog, yet, elts = session_data
+        terms = LayerTerms(occ_retention=100.0, occ_limit=5_000.0)
+        with QuoteService(yet, elts, catalog.n_events, max_workers=3) as svc:
+            losses = svc.candidate_losses((0, 1, 2), terms)
+        expected = single_layer_run(
+            yet, elts, (0, 1, 2), terms, catalog.n_events
+        )
+        np.testing.assert_array_equal(losses, expected)
+
+    def test_worker_count_invariance(self, session_data):
+        catalog, yet, elts = session_data
+        terms = LayerTerms(occ_limit=2_000.0, agg_limit=30_000.0)
+        results = []
+        for workers in (1, 4):
+            with QuoteService(
+                yet, elts, catalog.n_events, max_workers=workers
+            ) as svc:
+                results.append(svc.candidate_losses((1, 2, 3), terms))
+        np.testing.assert_array_equal(results[0], results[1])
+
+    def test_secondary_seeded_matches_engine(self, session_data):
+        catalog, yet, elts = session_data
+        terms = LayerTerms(occ_retention=50.0)
+        with QuoteService(
+            yet,
+            elts,
+            catalog.n_events,
+            max_workers=2,
+            secondary=SU,
+            secondary_seed=99,
+        ) as svc:
+            losses = svc.candidate_losses((0, 3), terms, layer_id=9999)
+        expected = single_layer_run(
+            yet,
+            elts,
+            (0, 3),
+            terms,
+            catalog.n_events,
+            secondary=SU,
+            secondary_seed=99,
+        )
+        np.testing.assert_array_equal(losses, expected)
+
+
+class TestCaching:
+    def test_cache_hit_parity(self, session_data):
+        """Hit vs miss must be invisible in the numbers: a re-quote of
+        the same structure returns identical values, served from cache."""
+        catalog, yet, elts = session_data
+        # Finite occ_limit: keeps rate_on_line non-NaN so the frozen
+        # dataclass equality below is meaningful.
+        terms = LayerTerms(
+            occ_retention=25.0, occ_limit=8_000.0, agg_limit=50_000.0
+        )
+        with QuoteService(yet, elts, catalog.n_events, max_workers=2) as svc:
+            first = svc.quote(elt_ids=(0, 1), terms=terms)
+            second = svc.quote(elt_ids=(0, 1), terms=terms)
+            stats = svc.cache_stats()
+        assert first.meta["cached"] is False
+        assert second.meta["cached"] is True
+        assert first.quote == second.quote  # frozen dataclass equality
+        assert stats["losses"]["misses"] == 1
+        assert stats["losses"]["hits"] >= 1
+
+    def test_shared_elt_set_builds_base_once(self, session_data):
+        catalog, yet, elts = session_data
+        with QuoteService(yet, elts, catalog.n_events, max_workers=2) as svc:
+            for k in range(5):
+                svc.quote(
+                    elt_ids=(2, 3, 4),
+                    terms=LayerTerms(occ_retention=10.0 * k),
+                )
+            stats = svc.cache_stats()
+        assert stats["base"]["misses"] == 1
+        assert stats["base"]["hits"] == 4
+
+    def test_distinct_elt_sets_distinct_bases(self, session_data):
+        catalog, yet, elts = session_data
+        with QuoteService(yet, elts, catalog.n_events, max_workers=2) as svc:
+            svc.quote(elt_ids=(0, 1), terms=LayerTerms())
+            svc.quote(elt_ids=(0, 2), terms=LayerTerms())
+            stats = svc.cache_stats()
+        assert stats["base"]["misses"] == 2
+
+    def test_marginal_requote_reuses_book_segments(self, session_data):
+        """Quoting against a book whose layer shares the candidate's ELT
+        set must reuse the book's already-computed base vector."""
+        catalog, yet, elts = session_data
+        book = Portfolio()
+        for elt in elts[:3]:
+            book.add_elt(elt)
+        book.add_layer(
+            Layer(
+                layer_id=0,
+                elt_ids=(0, 1, 2),
+                terms=LayerTerms(occ_retention=200.0),
+            )
+        )
+        with QuoteService(
+            yet, elts, catalog.n_events, book=book, max_workers=2
+        ) as svc:
+            record = svc.quote(
+                elt_ids=(0, 1, 2), terms=LayerTerms(occ_limit=4_000.0)
+            )
+            stats = svc.cache_stats()
+        assert record.marginal_tvar is not None
+        # One base covers the candidate *and* every book layer.
+        assert stats["base"]["misses"] == 1
+
+
+class TestBatchAndAsync:
+    def test_quote_many_order_and_labels(self, session_data):
+        catalog, yet, elts = session_data
+        requests = [
+            QuoteRequest(
+                elt_ids=(0, 1, 2),
+                terms=LayerTerms(occ_retention=20.0 * k),
+                label=f"cand-{k}",
+            )
+            for k in range(6)
+        ]
+        with QuoteService(yet, elts, catalog.n_events, max_workers=4) as svc:
+            records = svc.quote_many(requests)
+        assert [r.meta["label"] for r in records] == [
+            f"cand-{k}" for k in range(6)
+        ]
+        assert len(svc.history) == 6
+
+    def test_quote_many_matches_individual_quotes(self, session_data):
+        catalog, yet, elts = session_data
+        candidates = [
+            ((1, 2), LayerTerms(occ_retention=5.0 * k, occ_limit=3_000.0))
+            for k in range(4)
+        ]
+        with QuoteService(yet, elts, catalog.n_events, max_workers=4) as svc:
+            batch = svc.quote_many(candidates)
+        pricer = RealTimePricer(yet, elts, catalog.n_events, engine="sequential")
+        for record, (elt_ids, terms) in zip(batch, candidates):
+            solo = pricer.quote(elt_ids=elt_ids, terms=terms)
+            assert record.quote.premium == solo.quote.premium
+            assert record.quote.expected_loss == solo.quote.expected_loss
+
+    def test_quote_async_returns_future(self, session_data):
+        catalog, yet, elts = session_data
+        with QuoteService(yet, elts, catalog.n_events, max_workers=2) as svc:
+            future = svc.quote_async(elt_ids=(4, 5), terms=LayerTerms())
+            record = future.result(timeout=30)
+        assert record.quote.expected_loss >= 0.0
+        assert record.engine == "quote-service"
+
+    def test_concurrent_identical_quotes_dedupe_inflight(self, session_data):
+        catalog, yet, elts = session_data
+        terms = LayerTerms(occ_limit=10_000.0)
+        with QuoteService(yet, elts, catalog.n_events, max_workers=4) as svc:
+            futures = [
+                svc.quote_async(elt_ids=(0, 1, 2, 3), terms=terms)
+                for _ in range(8)
+            ]
+            records = [f.result(timeout=30) for f in futures]
+            stats = svc.cache_stats()
+        premiums = {r.quote.premium for r in records}
+        assert len(premiums) == 1
+        assert stats["base"]["misses"] == 1
+
+
+class TestValidation:
+    def test_unknown_elt_rejected(self, session_data):
+        catalog, yet, elts = session_data
+        with QuoteService(yet, elts, catalog.n_events) as svc:
+            with pytest.raises(KeyError):
+                svc.quote(elt_ids=(999,), terms=LayerTerms())
+
+    def test_duplicate_pool_rejected(self, session_data):
+        catalog, yet, elts = session_data
+        with pytest.raises(ValueError):
+            QuoteService(yet, [elts[0], elts[0]], catalog.n_events)
+
+    def test_zero_workers_rejected(self, session_data):
+        catalog, yet, elts = session_data
+        with pytest.raises(ValueError, match="max_workers"):
+            QuoteService(yet, elts, catalog.n_events, max_workers=0)
+
+    def test_marginal_matches_realtime_pricer(self, session_data):
+        catalog, yet, elts = session_data
+        book = Portfolio()
+        for elt in elts[:2]:
+            book.add_elt(elt)
+        book.add_layer(Layer(layer_id=0, elt_ids=(0, 1)))
+        terms = LayerTerms(occ_retention=10.0)
+        with QuoteService(
+            yet, elts, catalog.n_events, book=book, max_workers=2
+        ) as svc:
+            service_record = svc.quote(elt_ids=(2, 3), terms=terms)
+        pricer = RealTimePricer(
+            yet, elts, catalog.n_events, engine="sequential", book=book
+        )
+        legacy_record = pricer.quote(elt_ids=(2, 3), terms=terms)
+        assert service_record.marginal_tvar == pytest.approx(
+            legacy_record.marginal_tvar, rel=1e-12
+        )

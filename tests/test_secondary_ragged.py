@@ -309,12 +309,28 @@ class TestEngineSecondaryWiring:
         b = ara.run(yet, engine="multicore")
         np.testing.assert_array_equal(a.ylt.losses[0], b.ylt.losses[0])
 
-    def test_reference_engine_rejects_secondary(self, tiny_workload):
-        from repro.engines.sequential import ReferenceEngine
+    def test_reference_engine_cross_checks_secondary(self, tiny_workload):
+        """The scalar oracle draws the same counter-based multipliers as
+        the fused kernel, so a seeded secondary run cross-checks end to
+        end (it no longer rejects ``secondary=``)."""
+        from repro.engines.sequential import ReferenceEngine, SequentialEngine
 
         yet, portfolio, catalog = run_workload(tiny_workload)
-        with pytest.raises(NotImplementedError):
-            ReferenceEngine(secondary=SU).run(yet, portfolio, catalog)
+        oracle = ReferenceEngine(secondary=SU, secondary_seed=21).run(
+            yet, portfolio, catalog
+        )
+        fused = SequentialEngine(
+            kernel="ragged", secondary=SU, secondary_seed=21
+        ).run(yet, portfolio, catalog)
+        assert oracle.meta["secondary"] is True
+        np.testing.assert_allclose(
+            oracle.ylt.losses[0], fused.ylt.losses[0], rtol=1e-9, atol=1e-6
+        )
+        # And the draws genuinely perturb the oracle's losses.
+        base = ReferenceEngine().run(yet, portfolio, catalog)
+        assert not np.array_equal(
+            oracle.ylt.losses[0], base.ylt.losses[0]
+        )
 
     def test_default_kernel_is_ragged_everywhere(self):
         from repro.engines.registry import available_engines, create_engine
