@@ -81,6 +81,17 @@ from repro.pricing import (
     RealTimePricer,
     price_layer,
 )
+from repro.store import (
+    FileStore,
+    MemoryStore,
+    ResultStore,
+    SharedFileStore,
+    StoreEntry,
+    TieredStore,
+    analysis_key,
+    default_store,
+    ylt_digest,
+)
 from repro.validation import assert_engines_agree, verify_engines
 
 __version__ = "1.0.0"
@@ -135,6 +146,15 @@ __all__ = [
     "QuoteService",
     "RealTimePricer",
     "price_layer",
+    "ResultStore",
+    "StoreEntry",
+    "MemoryStore",
+    "FileStore",
+    "SharedFileStore",
+    "TieredStore",
+    "default_store",
+    "analysis_key",
+    "ylt_digest",
     "max_occurrence_losses",
     "occurrence_frequency",
     "convergence_table",

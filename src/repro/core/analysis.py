@@ -101,6 +101,13 @@ class AggregateRiskAnalysis:
         kernel on every engine.
     secondary_seed:
         Seed of the multiplier streams (ignored without ``secondary``).
+    store:
+        Optional :class:`~repro.store.base.ResultStore` memoising whole
+        analyses: a run whose content-addressed
+        :func:`~repro.store.keys.analysis_key` is already stored returns
+        the persisted YLT bit-for-bit with zero engine task executions
+        (see :meth:`run`); misses execute normally and persist their
+        YLT.  Per-run ``store=`` arguments override this default.
     """
 
     def __init__(
@@ -112,6 +119,7 @@ class AggregateRiskAnalysis:
         kernel: str | None = None,
         secondary=None,
         secondary_seed=None,
+        store=None,
     ) -> None:
         from repro.core.kernels import DEFAULT_KERNEL, check_kernel
 
@@ -124,6 +132,7 @@ class AggregateRiskAnalysis:
         self.kernel = check_kernel(DEFAULT_KERNEL if kernel is None else kernel)
         self.secondary = secondary
         self.secondary_seed = secondary_seed
+        self.store = store
 
     def _engine(self, engine: str, **engine_options: Any):
         from repro.engines.registry import create_engine  # deferred import
@@ -157,6 +166,7 @@ class AggregateRiskAnalysis:
         yet: YearEventTable,
         engine: str = "sequential",
         plan=None,
+        store=None,
         **engine_options: Any,
     ) -> AnalysisResult:
         """Run the analysis with the named engine.
@@ -172,9 +182,20 @@ class AggregateRiskAnalysis:
         :meth:`plan`) skips planning and executes the given
         decomposition; results are bit-for-bit independent of how the
         plan is scheduled, so sharing plans across runs is always safe.
+
+        ``store`` (default: the analysis' configured store) memoises the
+        whole run: a plan-fingerprint hit replays the persisted YLT
+        bit-for-bit without executing a single engine task —
+        ``result.meta["replay"]`` records the outcome.
         """
         engine_obj = self._engine(engine, **engine_options)
-        return engine_obj.run(yet, self.portfolio, self.catalog_size, plan=plan)
+        return engine_obj.run(
+            yet,
+            self.portfolio,
+            self.catalog_size,
+            plan=plan,
+            store=self.store if store is None else store,
+        )
 
     def run_many(
         self,
@@ -182,6 +203,7 @@ class AggregateRiskAnalysis:
         portfolios,
         engine: str = "sequential",
         max_concurrent: int | None = None,
+        store=None,
         **engine_options: Any,
     ) -> list:
         """Run the same analysis over several portfolios concurrently.
@@ -193,7 +215,9 @@ class AggregateRiskAnalysis:
         (``max_concurrent`` wide; NumPy kernels release the GIL, so the
         runs genuinely overlap) and share the process-wide lookup cache,
         so portfolios referencing the same ELTs build tables once.
-        Returns results in portfolio order.
+        With a ``store`` (or a store configured on the analysis), each
+        run is memoised like :meth:`run` — a re-swept portfolio is a
+        hash lookup.  Returns results in portfolio order.
 
         For the interactive batch-quoting workflow — which additionally
         shares *partial results* across candidates — use
@@ -202,11 +226,14 @@ class AggregateRiskAnalysis:
         from repro.plan.scheduler import Scheduler  # deferred import
 
         portfolios = list(portfolios)
+        effective_store = self.store if store is None else store
 
         def make_job(portfolio: Portfolio):
             def job() -> AnalysisResult:
                 engine_obj = self._engine(engine, **engine_options)
-                return engine_obj.run(yet, portfolio, self.catalog_size)
+                return engine_obj.run(
+                    yet, portfolio, self.catalog_size, store=effective_store
+                )
 
             return job
 

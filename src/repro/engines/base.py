@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 import abc
+import threading
 import time
-from typing import Any, Dict
+from typing import TYPE_CHECKING, Any, Dict
 
 import numpy as np
 
@@ -16,6 +17,28 @@ from repro.plan.plan import ExecutionPlan
 from repro.plan.planner import EngineCapabilities, Planner
 from repro.utils.timer import ActivityProfile
 from repro.utils.validation import check_positive
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store.base import ResultStore
+
+# Process-wide count of actual engine executions (calls that reached
+# ``_execute``).  Replay hits do not touch it, which is exactly what the
+# memoisation tests assert: a store hit is *zero* engine task
+# executions, not merely a fast one.
+_EXECUTION_LOCK = threading.Lock()
+_EXECUTIONS = 0
+
+
+def execution_count() -> int:
+    """Engine executions (``_execute`` calls) so far in this process."""
+    with _EXECUTION_LOCK:
+        return _EXECUTIONS
+
+
+def _record_execution() -> None:
+    global _EXECUTIONS
+    with _EXECUTION_LOCK:
+        _EXECUTIONS += 1
 
 
 class Engine(abc.ABC):
@@ -109,18 +132,50 @@ class Engine(abc.ABC):
         return Planner().plan(yet, portfolio, self.capabilities())
 
     # ------------------------------------------------------------------
+    def analysis_key(
+        self,
+        plan: ExecutionPlan,
+        yet: YearEventTable,
+        portfolio: Portfolio,
+    ) -> str:
+        """Whole-analysis store key of running ``plan`` on these inputs.
+
+        Built from the plan fingerprint plus content fingerprints of
+        every numeric input (see :func:`repro.store.keys.analysis_key`);
+        two runs share a key exactly when their YLTs are interchangeable
+        bit-for-bit.
+        """
+        from repro.store.keys import analysis_key  # deferred import
+
+        return analysis_key(
+            plan,
+            yet,
+            portfolio,
+            dtype=self.capabilities().dtype,
+            lookup_kind=self.lookup_kind,
+            secondary=self.secondary,
+            secondary_seed=self._secondary_base_seed(),
+        )
+
     def run(
         self,
         yet: YearEventTable,
         portfolio: Portfolio,
         catalog_size: int,
         plan: ExecutionPlan | None = None,
+        store: "ResultStore | None" = None,
     ) -> AnalysisResult:
         """Validate inputs, plan (unless given one), execute, and time.
 
         ``plan`` lets callers precompute or share a plan (the quote
         service, plan-inspection tooling); it must have been built for
         this YET/portfolio shape.
+
+        ``store`` (a :class:`~repro.store.base.ResultStore`) memoises
+        the whole analysis: when the run's
+        :meth:`analysis_key` is present, the stored YLT is returned
+        bit-for-bit with *zero* engine task executions; otherwise the
+        run executes normally and its YLT is persisted under that key.
         """
         check_positive("catalog_size", catalog_size)
         portfolio.validate()
@@ -143,9 +198,14 @@ class Engine(abc.ABC):
                     f"{sorted(portfolio_layers)} — a plan is only valid "
                     "for the portfolio it was planned from"
                 )
+        if store is not None:
+            return self._run_stored(
+                yet, portfolio, int(catalog_size), plan, store, started
+            )
         ylt, profile, modeled_seconds, meta = self._execute(
             yet, portfolio, int(catalog_size), plan
         )
+        _record_execution()
         wall = time.perf_counter() - started
         meta.setdefault("plan", plan.summary())
         return AnalysisResult(
@@ -154,6 +214,80 @@ class Engine(abc.ABC):
             engine=self.name,
             wall_seconds=wall,
             modeled_seconds=modeled_seconds,
+            meta=meta,
+        )
+
+    def _run_stored(
+        self,
+        yet: YearEventTable,
+        portfolio: Portfolio,
+        catalog_size: int,
+        plan: ExecutionPlan,
+        store: "ResultStore",
+        started: float,
+    ) -> AnalysisResult:
+        """The memoised execution path: replay or compute-and-persist.
+
+        Runs through :meth:`~repro.store.base.ResultStore.get_or_compute`,
+        so concurrent identical runs — other threads *and*, on a
+        :class:`~repro.store.SharedFileStore`, other processes — execute
+        once and everyone else replays; a failed write-through costs
+        durability, never the result.
+        """
+        from repro.store.codec import (  # deferred imports
+            entry_from_ylt,
+            ylt_from_entry,
+        )
+
+        replay_key = self.analysis_key(plan, yet, portfolio)
+        computed: Dict[str, Any] = {}
+
+        def produce():
+            ylt, profile, modeled_seconds, meta = self._execute(
+                yet, portfolio, catalog_size, plan
+            )
+            _record_execution()
+            computed.update(
+                ylt=ylt,
+                profile=profile,
+                modeled_seconds=modeled_seconds,
+                meta=meta,
+            )
+            return entry_from_ylt(
+                ylt,
+                meta={
+                    "engine": self.name,
+                    "modeled_seconds": modeled_seconds,
+                },
+            )
+
+        entry = store.get_or_compute(replay_key, produce)
+        if not computed:  # replay: zero engine task executions
+            return AnalysisResult(
+                ylt=ylt_from_entry(entry),
+                profile=ActivityProfile(),
+                engine=self.name,
+                wall_seconds=time.perf_counter() - started,
+                modeled_seconds=entry.meta.get("modeled_seconds"),
+                meta={
+                    "plan": plan.summary(),
+                    "replay": {
+                        "hit": True,
+                        "key": replay_key,
+                        "computed_by": entry.meta.get("engine"),
+                        "store": type(store).__name__,
+                    },
+                },
+            )
+        meta = computed["meta"]
+        meta.setdefault("replay", {"hit": False, "key": replay_key})
+        meta.setdefault("plan", plan.summary())
+        return AnalysisResult(
+            ylt=computed["ylt"],
+            profile=computed["profile"],
+            engine=self.name,
+            wall_seconds=time.perf_counter() - started,
+            modeled_seconds=computed["modeled_seconds"],
             meta=meta,
         )
 

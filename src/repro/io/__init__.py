@@ -7,6 +7,13 @@ plus the memory-footprint estimator behind the Section III direct-access
 table arithmetic.
 """
 
+from repro.io.atomic import (
+    array_crc32,
+    load_npy,
+    publish_dir,
+    scratch_dir,
+    write_npy,
+)
 from repro.io.binary import (
     load_elt,
     load_portfolio,
@@ -21,6 +28,11 @@ from repro.io.csvio import elt_from_csv, elt_to_csv, ylt_to_csv
 from repro.io.memory import MemoryEstimate, estimate_workload_memory
 
 __all__ = [
+    "array_crc32",
+    "load_npy",
+    "publish_dir",
+    "scratch_dir",
+    "write_npy",
     "load_elt",
     "load_portfolio",
     "load_yet",

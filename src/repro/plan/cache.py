@@ -36,6 +36,10 @@ from repro.data.yet import YearEventTable
 T = TypeVar("T")
 
 
+class _Unstorable(Exception):
+    """Internal: a computed value that the backing store cannot hold."""
+
+
 def yet_fingerprint(yet: YearEventTable) -> Tuple[int, int, int, int]:
     """Content fingerprint of a YET (shape + CRCs of the CSR arrays).
 
@@ -70,18 +74,38 @@ def elt_set_fingerprint(elts: Sequence[EventLossTable]) -> Tuple:
 
 
 class PlanResultCache:
-    """Thread-safe LRU of computed plan segments with in-flight dedup.
+    """Thread-safe, bounded LRU of computed plan segments with in-flight
+    dedup and an optional durable backing store.
 
     ``get_or_compute(key, compute)`` returns the cached value for
     ``key`` or runs ``compute()`` exactly once across all concurrent
     requesters.  Values are treated as frozen (callers must not mutate
     returned arrays in place — copy before finishing a quote).
+
+    The LRU is hard-bounded at ``maxsize`` entries — under
+    many-candidate quoting old segments are evicted (counted in
+    ``evictions``), never accumulated without limit.
+
+    ``store`` (a :class:`~repro.store.base.ResultStore`) backs the LRU
+    with a second, durable level: misses consult the store before
+    computing, and computed ndarray values are written through.  Keys
+    are digested with :func:`repro.store.keys.fingerprint_digest` under
+    ``namespace``, so logically identical segments hit across process
+    restarts and across a fleet of workers sharing one cache directory
+    — LRU eviction only ever costs a re-read, not a re-compute.
     """
 
-    def __init__(self, maxsize: int = 16) -> None:
+    def __init__(
+        self,
+        maxsize: int = 16,
+        store=None,
+        namespace: str = "plan",
+    ) -> None:
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
         self.maxsize = int(maxsize)
+        self.store = store
+        self.namespace = str(namespace)
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
         self._pending: Dict[Hashable, threading.Event] = {}
         self._lock = threading.Lock()
@@ -89,6 +113,69 @@ class PlanResultCache:
         self.misses = 0
         #: hits that joined a computation already in flight
         self.inflight_hits = 0
+        #: entries dropped by the LRU bound
+        self.evictions = 0
+        #: misses satisfied by the backing store (compute avoided)
+        self.store_hits = 0
+        #: computed values written through to the backing store
+        self.store_puts = 0
+        #: backing-store failures survived (cache kept serving)
+        self.store_errors = 0
+
+    # ------------------------------------------------------------------
+    def _store_key(self, key: Hashable) -> str:
+        from repro.store.keys import fingerprint_digest  # deferred import
+
+        return fingerprint_digest(self.namespace, key)
+
+    def _compute_via_store(self, key: Hashable, compute: Callable[[], T]) -> T:
+        """Run the miss path *through* the backing store.
+
+        ``store.get_or_compute`` supplies the durable lookup, the
+        write-through, and — on :class:`~repro.store.SharedFileStore` —
+        the cross-process lock, so a fleet of worker processes racing
+        on one fingerprint runs ``compute`` exactly once.  Store
+        failures are absorbed (counted in ``store_errors``): the cache
+        keeps serving from ``compute`` alone; only ``compute``'s own
+        exceptions propagate.
+        """
+        from repro.store.codec import (  # deferred import
+            array_from_entry,
+            entry_from_array,
+        )
+
+        holder: dict = {}
+
+        def produce():
+            try:
+                value = compute()
+            except BaseException as exc:
+                holder["error"] = exc
+                raise
+            holder["value"] = value
+            if not isinstance(value, np.ndarray):
+                raise _Unstorable  # computed fine; just not persistable
+            return entry_from_array(value)
+
+        try:
+            entry = self.store.get_or_compute(self._store_key(key), produce)
+        except _Unstorable:
+            return holder["value"]
+        except BaseException:
+            if "error" in holder:
+                raise  # compute itself failed: the caller's problem
+            with self._lock:
+                self.store_errors += 1
+            if "value" in holder:
+                return holder["value"]
+            return compute()  # store broke before compute could run
+        if "value" in holder:
+            with self._lock:
+                self.store_puts += 1
+            return holder["value"]
+        with self._lock:
+            self.store_hits += 1
+        return array_from_entry(entry)  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     def get_or_compute(self, key: Hashable, compute: Callable[[], T]) -> T:
@@ -108,7 +195,10 @@ class PlanResultCache:
             # (the computation may have failed, in which case we retry).
             event.wait()
         try:
-            value = compute()
+            if self.store is not None:
+                value = self._compute_via_store(key, compute)
+            else:
+                value = compute()
         except BaseException:
             with self._lock:
                 self._pending.pop(key).set()
@@ -118,6 +208,7 @@ class PlanResultCache:
             self._entries.move_to_end(key)
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
+                self.evictions += 1
             self._pending.pop(key).set()
         return value
 
@@ -142,6 +233,11 @@ class PlanResultCache:
                 "misses": self.misses,
                 "inflight_hits": self.inflight_hits,
                 "size": len(self._entries),
+                "maxsize": self.maxsize,
+                "evictions": self.evictions,
+                "store_hits": self.store_hits,
+                "store_puts": self.store_puts,
+                "store_errors": self.store_errors,
             }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -259,7 +259,17 @@ class QuoteService(_PricingSessionBase):
     cache_size:
         LRU capacity of the base-vector cache (entries are one word per
         YET occurrence each); the finished-loss cache holds
-        ``4 * cache_size`` vectors of one float64 per trial.
+        ``4 * cache_size`` vectors of one float64 per trial.  Both
+        caches are hard-bounded — eviction counts appear in
+        :meth:`cache_stats`.
+    store:
+        Optional :class:`~repro.store.base.ResultStore` backing both
+        caches (e.g. :func:`repro.store.default_store`).  Base combined
+        occurrence-loss vectors and finished year-loss vectors are then
+        content-addressed and durable: they survive process restarts,
+        are shared by every worker process pointing at the same cache
+        directory, and LRU eviction costs a re-read instead of a
+        re-compute.
     """
 
     def __init__(
@@ -275,6 +285,7 @@ class QuoteService(_PricingSessionBase):
         secondary=None,
         secondary_seed=None,
         cache_size: int = 16,
+        store=None,
     ) -> None:
         super().__init__(
             yet, elts, catalog_size, book=book, assumptions=assumptions
@@ -294,8 +305,13 @@ class QuoteService(_PricingSessionBase):
             else 0
         )
         self._yet_fp = yet_fingerprint(yet)
-        self._base_cache = PlanResultCache(maxsize=cache_size)
-        self._loss_cache = PlanResultCache(maxsize=4 * cache_size)
+        self.store = store
+        self._base_cache = PlanResultCache(
+            maxsize=cache_size, store=store, namespace="quote-base"
+        )
+        self._loss_cache = PlanResultCache(
+            maxsize=4 * cache_size, store=store, namespace="quote-losses"
+        )
         self._scheduler = Scheduler(max_workers=self.max_workers)
         self._planner = Planner()
         self._executor: ThreadPoolExecutor | None = None
@@ -586,8 +602,12 @@ class QuoteService(_PricingSessionBase):
 
     # ------------------------------------------------------------------
     def cache_stats(self) -> Dict[str, Dict[str, int]]:
-        """Hit/miss counters of the plan-level result caches."""
-        return {
+        """Hit/miss/eviction counters of the plan-level result caches
+        (plus the backing store's, when one is configured)."""
+        stats = {
             "base": self._base_cache.stats(),
             "losses": self._loss_cache.stats(),
         }
+        if self.store is not None:
+            stats["store"] = self.store.stats()
+        return stats

@@ -1,0 +1,49 @@
+"""Converters between analysis result objects and store entries.
+
+Entries carry raw arrays plus JSON-able metadata; these helpers define
+the array names the rest of the system relies on (``losses`` /
+``layer_ids`` for YLTs, ``value`` for single cached vectors) so every
+layer that touches the store round-trips the same layout.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.data.ylt import YearLossTable
+from repro.store.base import StoreEntry
+
+
+def entry_from_ylt(
+    ylt: YearLossTable, meta: Mapping[str, Any] | None = None
+) -> StoreEntry:
+    """Wrap a YLT as a store entry (losses + layer ids, exact bytes)."""
+    return StoreEntry(
+        arrays={
+            "losses": ylt.losses,
+            "layer_ids": np.asarray(ylt.layer_ids, dtype=np.int64),
+        },
+        meta=dict(meta or {}),
+    )
+
+
+def ylt_from_entry(entry: StoreEntry) -> YearLossTable:
+    """Rebuild the YLT stored by :func:`entry_from_ylt` (bit-for-bit)."""
+    return YearLossTable(
+        layer_ids=tuple(int(i) for i in entry.arrays["layer_ids"]),
+        losses=entry.arrays["losses"],
+    )
+
+
+def entry_from_array(
+    array: np.ndarray, meta: Mapping[str, Any] | None = None
+) -> StoreEntry:
+    """Wrap one array (a cached base/loss vector) as a store entry."""
+    return StoreEntry(arrays={"value": array}, meta=dict(meta or {}))
+
+
+def array_from_entry(entry: StoreEntry) -> np.ndarray:
+    """The single array stored by :func:`entry_from_array`."""
+    return entry.arrays["value"]

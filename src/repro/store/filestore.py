@@ -1,0 +1,300 @@
+"""File-backed result stores: durable, mmap-read, multi-process safe.
+
+Layout under one cache directory::
+
+    <cache_dir>/
+        objects/<k[:2]>/<key>/     # one directory per entry
+            meta.json              # format tag, per-array checksums, meta
+            <name>.npy             # one plain npy per array (mmap-able)
+        tmp/                       # scratch dirs, renamed into objects/
+        locks/<key>.lock           # SharedFileStore advisory locks
+
+Writes follow the rename discipline of :mod:`repro.io.atomic`: the
+entry directory is fully materialised under ``tmp/`` and then renamed
+into ``objects/`` in one atomic step, so a reader can never observe a
+half-written entry — it sees the complete entry or a miss.  Losing a
+publish race discards the duplicate payload (content addressing makes
+both byte-identical).
+
+Reads memory-map the arrays by default: replaying a cached YLT costs a
+``meta.json`` parse plus page-table setup, and the page cache is shared
+across every process replaying the same analysis.  Each array's CRC32
+is verified on load (``verify=False`` skips this and keeps the mapping
+fully lazy); any damage — truncated npy, bad checksum, malformed or
+missing ``meta.json`` — demotes the entry to a miss, removes it, and
+bumps ``corrupt_misses``.  A corrupt cache can slow you down; it cannot
+change an answer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.io.atomic import (
+    array_crc32,
+    load_npy,
+    publish_dir,
+    remove_dir,
+    scratch_dir,
+    write_npy,
+)
+from repro.store.base import MemoryStore, ResultStore, StoreEntry, check_key
+
+try:  # POSIX advisory locks; absent on some platforms
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+PathLike = Union[str, Path]
+
+_META_NAME = "meta.json"
+_FORMAT = "repro-store-v1"
+
+#: default cache location; overridden by the ``REPRO_CACHE_DIR``
+#: environment variable or an explicit ``cache_dir`` argument.
+DEFAULT_CACHE_DIR = "~/.cache/repro-ara"
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def resolve_cache_dir(cache_dir: PathLike | None = None) -> Path:
+    """The cache root: explicit argument > ``$REPRO_CACHE_DIR`` > default."""
+    if cache_dir is None:
+        cache_dir = os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
+    return Path(cache_dir).expanduser()
+
+
+class FileStore(ResultStore):
+    """Durable backend under a cache directory.
+
+    Safe for concurrent readers and writers by construction (atomic
+    renames); :meth:`get_or_compute` deduplicates computations within
+    one process.  Use :class:`SharedFileStore` when several *processes*
+    may compute the same keys and the computation is expensive enough
+    to be worth a lock file.
+
+    Parameters
+    ----------
+    cache_dir:
+        Root directory (created on first write).  ``None`` resolves via
+        ``$REPRO_CACHE_DIR`` and the package default.
+    mmap:
+        Memory-map arrays on read (default) instead of loading copies.
+    verify:
+        Check each array's recorded CRC32 on read.  Costs one pass over
+        the bytes; disable to keep mmap reads fully lazy when the
+        filesystem is trusted.
+    """
+
+    def __init__(
+        self,
+        cache_dir: PathLike | None = None,
+        mmap: bool = True,
+        verify: bool = True,
+    ) -> None:
+        super().__init__()
+        self.cache_dir = resolve_cache_dir(cache_dir)
+        self.mmap = bool(mmap)
+        self.verify = bool(verify)
+
+    # -- paths ---------------------------------------------------------
+    @property
+    def _objects_dir(self) -> Path:
+        return self.cache_dir / "objects"
+
+    @property
+    def _tmp_dir(self) -> Path:
+        return self.cache_dir / "tmp"
+
+    @property
+    def _locks_dir(self) -> Path:
+        return self.cache_dir / "locks"
+
+    def entry_dir(self, key: str) -> Path:
+        """Final directory of one entry (two-level fan-out by prefix)."""
+        key = check_key(key)
+        return self._objects_dir / key[:2] / key
+
+    # -- backend hooks -------------------------------------------------
+    def _get(self, key: str) -> Optional[StoreEntry]:
+        path = self.entry_dir(key)
+        meta_path = path / _META_NAME
+        if not meta_path.is_file():
+            return None
+        try:
+            manifest = json.loads(meta_path.read_text())
+            if manifest.get("format") != _FORMAT:
+                raise ValueError(f"bad format tag: {manifest.get('format')}")
+            arrays: Dict[str, np.ndarray] = {}
+            for name, spec in manifest["arrays"].items():
+                array = load_npy(path / f"{name}.npy", mmap=self.mmap)
+                if array.nbytes != int(spec["nbytes"]):
+                    raise ValueError(
+                        f"array {name!r}: {array.nbytes} bytes on disk, "
+                        f"manifest says {spec['nbytes']}"
+                    )
+                if self.verify and array_crc32(array) != int(spec["crc32"]):
+                    raise ValueError(f"array {name!r}: checksum mismatch")
+                arrays[name] = array
+            return StoreEntry(arrays=arrays, meta=manifest.get("meta", {}))
+        except (OSError, ValueError, KeyError, TypeError):
+            # Truncated/garbled entries are a miss, never a wrong answer.
+            with self._lock:
+                self.corrupt_misses += 1
+            remove_dir(path)
+            return None
+
+    def _put(self, key: str, entry: StoreEntry) -> None:
+        tmp = scratch_dir(self._tmp_dir, prefix=key[:16])
+        try:
+            manifest = {
+                "format": _FORMAT,
+                "arrays": {},
+                "meta": dict(entry.meta),
+            }
+            for name, array in entry.arrays.items():
+                check_key(name)  # array names become file names
+                nbytes = write_npy(tmp / f"{name}.npy", array)
+                manifest["arrays"][name] = {
+                    "nbytes": nbytes,
+                    "crc32": array_crc32(array),
+                }
+            (tmp / _META_NAME).write_text(json.dumps(manifest, indent=1))
+        except BaseException:
+            remove_dir(tmp)
+            raise
+        publish_dir(tmp, self.entry_dir(key))
+
+    # -- bookkeeping ---------------------------------------------------
+    def _size_hint(self):
+        return None  # an exact count is a directory walk: len() only
+
+    def __len__(self) -> int:
+        if not self._objects_dir.is_dir():
+            return 0
+        return sum(
+            1
+            for prefix in self._objects_dir.iterdir()
+            if prefix.is_dir()
+            for entry in prefix.iterdir()
+            if (entry / _META_NAME).is_file()
+        )
+
+    def clear(self) -> None:
+        for sub in (self._objects_dir, self._tmp_dir, self._locks_dir):
+            remove_dir(sub)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(cache_dir={str(self.cache_dir)!r}, "
+            f"mmap={self.mmap}, verify={self.verify})"
+        )
+
+
+class SharedFileStore(FileStore):
+    """A :class:`FileStore` whose computations dedup across processes.
+
+    :meth:`get_or_compute` takes a per-key advisory lock
+    (``flock(2)`` on ``locks/<key>.lock``) around the miss path and
+    re-checks the entry after acquiring it, so N worker processes
+    racing on one fingerprint run the computation exactly once — the
+    cross-process analogue of the quote service's in-flight dedup.  On
+    platforms without ``fcntl`` it degrades to plain :class:`FileStore`
+    semantics (atomic writes still guarantee correctness; only the
+    duplicate work is possible).
+    """
+
+    @contextmanager
+    def _exclusive(self, key: str):
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        try:
+            self._locks_dir.mkdir(parents=True, exist_ok=True)
+            fd = os.open(
+                self._locks_dir / f"{key}.lock",
+                os.O_CREAT | os.O_RDWR,
+                0o644,
+            )
+        except OSError:
+            # An unlockable cache dir costs cross-process dedup, never
+            # the computation (in-process dedup still holds).
+            yield
+            return
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            finally:
+                os.close(fd)
+
+
+class TieredStore(ResultStore):
+    """Fast-over-durable composition of stores.
+
+    ``get`` consults tiers in order and *promotes* a hit into every
+    faster tier (so a file hit lands in memory for the next request);
+    ``put`` writes through to every tier.  The canonical serving shape
+    is ``TieredStore([MemoryStore(...), SharedFileStore(dir)])`` — hot
+    results at reference speed, warm results at page-cache speed, and
+    restart survival for free.  Miss-path exclusivity delegates to the
+    last (shared, slowest) tier, preserving its cross-process dedup.
+    """
+
+    def __init__(self, stores: Sequence[ResultStore]) -> None:
+        super().__init__()
+        if not stores:
+            raise ValueError("TieredStore needs at least one store")
+        self.stores = list(stores)
+
+    def _get(self, key: str) -> Optional[StoreEntry]:
+        for i, store in enumerate(self.stores):
+            entry = store._get(key)
+            if entry is not None:
+                for faster in self.stores[:i]:
+                    faster._put(key, entry)
+                return entry
+        return None
+
+    def _put(self, key: str, entry: StoreEntry) -> None:
+        for store in self.stores:
+            store._put(key, entry)
+
+    def _exclusive(self, key: str):
+        return self.stores[-1]._exclusive(key)
+
+    def _size_hint(self):
+        return self.stores[0]._size_hint()  # the hot tier's count
+
+    def __len__(self) -> int:
+        return max(len(store) for store in self.stores)
+
+    def clear(self) -> None:
+        for store in self.stores:
+            store.clear()
+
+
+def default_store(
+    cache_dir: PathLike | None = None,
+    memory_entries: int | None = 64,
+    mmap: bool = True,
+    verify: bool = True,
+) -> TieredStore:
+    """The standard serving store: memory LRU over a shared file store.
+
+    ``cache_dir`` resolution honours ``$REPRO_CACHE_DIR``; see
+    :func:`resolve_cache_dir`.
+    """
+    return TieredStore(
+        [
+            MemoryStore(max_entries=memory_entries),
+            SharedFileStore(cache_dir, mmap=mmap, verify=verify),
+        ]
+    )

@@ -1,0 +1,158 @@
+"""Content-addressed keys: canonical fingerprints of analysis inputs.
+
+The store's correctness rests on one property: *two keys are equal iff
+the stored bytes are interchangeable*.  This module derives keys by
+canonically serialising every input that can change a result and
+hashing with SHA-256:
+
+* :func:`fingerprint_digest` — deterministic digest of nested Python
+  values (ints, floats by bit pattern, strings, tuples, dicts, ...),
+  stable across processes and sessions (unlike ``hash()``, which is
+  randomised per interpreter);
+* :func:`analysis_key` — the whole-analysis key combining the
+  :meth:`~repro.plan.plan.ExecutionPlan.fingerprint` (task layout,
+  kernel, balance), the YET and per-layer ELT-set content fingerprints
+  of :mod:`repro.plan.cache`, the working dtype, the lookup kind, and
+  the secondary-uncertainty stream identity;
+* :func:`ylt_digest` — digest of a YLT's exact bytes, used by the
+  golden-YLT regression net and the replay benchmark's bit-for-bit
+  assertions.
+
+Invalidation is by construction: change any input and the key changes,
+so the old entry is simply never looked up again.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Any
+
+import numpy as np
+
+from repro.data.layer import Portfolio
+from repro.data.yet import YearEventTable
+from repro.data.ylt import YearLossTable
+from repro.plan.cache import elt_set_fingerprint, yet_fingerprint
+from repro.plan.plan import ExecutionPlan
+
+#: bump when key composition changes (old entries become unreachable,
+#: which is the only invalidation this design ever needs).
+KEY_SCHEMA = "repro-analysis-v1"
+
+
+def canonical_bytes(value: Any) -> bytes:
+    """Deterministic, type-tagged serialisation of nested plain values.
+
+    Tags keep distinct types distinct (``1``, ``1.0``, ``"1"`` and
+    ``True`` all serialise differently); floats use their IEEE-754 bit
+    pattern, so keys distinguish values that ``==`` would conflate
+    (``0.0`` vs ``-0.0``) and never depend on repr formatting.
+    """
+    out = bytearray()
+    _serialise(value, out)
+    return bytes(out)
+
+
+def _serialise(value: Any, out: bytearray) -> None:
+    if value is None:
+        out += b"N"
+    elif value is True:
+        out += b"T"
+    elif value is False:
+        out += b"F"
+    elif isinstance(value, (int, np.integer)):
+        payload = str(int(value)).encode("ascii")
+        out += b"I" + struct.pack("<I", len(payload)) + payload
+    elif isinstance(value, (float, np.floating)):
+        out += b"D" + struct.pack("<d", float(value))
+    elif isinstance(value, str):
+        payload = value.encode("utf-8")
+        out += b"S" + struct.pack("<I", len(payload)) + payload
+    elif isinstance(value, bytes):
+        out += b"B" + struct.pack("<I", len(value)) + value
+    elif isinstance(value, (tuple, list)):
+        out += b"L" + struct.pack("<I", len(value))
+        for item in value:
+            _serialise(item, out)
+    elif isinstance(value, dict):
+        items = sorted(value.items(), key=lambda kv: str(kv[0]))
+        out += b"M" + struct.pack("<I", len(items))
+        for key, item in items:
+            _serialise(key, out)
+            _serialise(item, out)
+    else:
+        raise TypeError(
+            f"cannot canonically serialise {type(value).__name__}: {value!r}"
+        )
+
+
+def fingerprint_digest(*parts: Any) -> str:
+    """SHA-256 hex digest of the canonical serialisation of ``parts``."""
+    return hashlib.sha256(canonical_bytes(tuple(parts))).hexdigest()
+
+
+def secondary_fingerprint(secondary, secondary_seed: int) -> tuple | None:
+    """Identity of the secondary-uncertainty stream (or ``None``).
+
+    Keyed by the Beta shape parameters and the *resolved* base seed —
+    exactly what the counter-based multiplier streams derive from.
+    """
+    if secondary is None:
+        return None
+    return (float(secondary.alpha), float(secondary.beta), int(secondary_seed))
+
+
+def portfolio_fingerprint(portfolio: Portfolio) -> tuple:
+    """Content fingerprint of a portfolio: per-layer terms + ELT sets.
+
+    Layer order matters (it fixes YLT row order); within a layer the
+    ELT declaration order matters (it fixes the accumulation order of
+    the combined loss vector) — both are preserved, not sorted.
+    """
+    return tuple(
+        (
+            int(layer.layer_id),
+            layer.terms.as_tuple(),
+            elt_set_fingerprint(portfolio.elts_of(layer)),
+        )
+        for layer in portfolio.layers
+    )
+
+
+def analysis_key(
+    plan: ExecutionPlan,
+    yet: YearEventTable,
+    portfolio: Portfolio,
+    dtype: str,
+    lookup_kind: str,
+    secondary=None,
+    secondary_seed: int = 0,
+) -> str:
+    """The whole-analysis store key for one planned run.
+
+    Covers everything that can change the YLT's bytes: the plan
+    fingerprint (task boundaries, kernel, balance — the dense secondary
+    path draws per-batch, so decomposition is part of result identity),
+    YET content, per-layer terms and ELT contents, working precision,
+    lookup representation, and the secondary stream.  Engine *name* is
+    deliberately absent: engines with identical numeric configuration
+    produce bit-identical YLTs and share replays.
+    """
+    return fingerprint_digest(
+        KEY_SCHEMA,
+        plan.fingerprint(),
+        yet_fingerprint(yet),
+        portfolio_fingerprint(portfolio),
+        str(np.dtype(dtype).str),
+        str(lookup_kind),
+        secondary_fingerprint(secondary, secondary_seed),
+    )
+
+
+def ylt_digest(ylt: YearLossTable) -> str:
+    """SHA-256 of a YLT's exact contents (layer ids + loss bytes)."""
+    digest = hashlib.sha256()
+    digest.update(canonical_bytes(tuple(ylt.layer_ids)))
+    digest.update(np.ascontiguousarray(ylt.losses).tobytes())
+    return digest.hexdigest()

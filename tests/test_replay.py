@@ -1,0 +1,172 @@
+"""Whole-analysis memoisation: plan-fingerprint replay through the store.
+
+The acceptance contract of the persistence layer: replaying an
+identical plan fingerprint returns a **bit-identical** YLT with **zero**
+engine task executions — measured here with the process-wide execution
+counter of :mod:`repro.engines.base`, not with timing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import AggregateRiskAnalysis
+from repro.core.secondary import SecondaryUncertainty
+from repro.engines.base import execution_count
+from repro.store import (
+    MemoryStore,
+    SharedFileStore,
+    TieredStore,
+    ylt_digest,
+)
+
+
+@pytest.fixture()
+def store():
+    return MemoryStore()
+
+
+def make_ara(workload, **kwargs) -> AggregateRiskAnalysis:
+    return AggregateRiskAnalysis(
+        workload.portfolio, workload.catalog.n_events, **kwargs
+    )
+
+
+def test_replay_is_bitwise_with_zero_executions(tiny_workload, store):
+    ara = make_ara(tiny_workload)
+    before = execution_count()
+    cold = ara.run(tiny_workload.yet, engine="sequential", store=store)
+    assert execution_count() == before + 1
+    assert cold.meta["replay"] == {
+        "hit": False,
+        "key": cold.meta["replay"]["key"],
+    }
+
+    warm = ara.run(tiny_workload.yet, engine="sequential", store=store)
+    assert execution_count() == before + 1  # zero additional executions
+    assert warm.meta["replay"]["hit"] is True
+    assert warm.meta["replay"]["key"] == cold.meta["replay"]["key"]
+    assert warm.meta["replay"]["computed_by"] == "sequential"
+    assert warm.ylt.layer_ids == cold.ylt.layer_ids
+    assert warm.ylt.losses.tobytes() == cold.ylt.losses.tobytes()
+
+
+def test_replay_survives_process_restart(tiny_workload, tmp_path):
+    ara = make_ara(tiny_workload)
+    cold = ara.run(
+        tiny_workload.yet,
+        engine="sequential",
+        store=TieredStore([MemoryStore(), SharedFileStore(tmp_path)]),
+    )
+    # a fresh store over the same directory simulates a new process
+    fresh = TieredStore([MemoryStore(), SharedFileStore(tmp_path)])
+    before = execution_count()
+    warm = ara.run(tiny_workload.yet, engine="sequential", store=fresh)
+    assert execution_count() == before
+    assert warm.meta["replay"]["hit"] is True
+    assert ylt_digest(warm.ylt) == ylt_digest(cold.ylt)
+
+
+def test_replay_shares_across_engines_with_identical_plans(
+    tiny_workload, store
+):
+    """Engine names are not part of the key: a single-lane multicore
+    run plans exactly like the sequential engine, so it replays the
+    sequential engine's stored YLT without executing."""
+    ara = make_ara(tiny_workload)
+    cold = ara.run(tiny_workload.yet, engine="sequential", store=store)
+    before = execution_count()
+    warm = ara.run(
+        tiny_workload.yet, engine="multicore", n_cores=1, store=store
+    )
+    assert execution_count() == before
+    assert warm.meta["replay"]["hit"] is True
+    assert warm.meta["replay"]["computed_by"] == "sequential"
+    assert warm.engine == "multicore"
+    assert warm.ylt.losses.tobytes() == cold.ylt.losses.tobytes()
+
+
+def test_different_configurations_never_replay_each_other(
+    tiny_workload, store
+):
+    ara = make_ara(tiny_workload)
+    ara.run(tiny_workload.yet, engine="sequential", store=store)
+    before = execution_count()
+    variants = [
+        dict(engine="sequential", kernel="dense"),
+        dict(engine="sequential", dtype=np.float32),
+        dict(engine="multicore", n_cores=2),  # different plan layout
+        dict(
+            engine="sequential",
+            secondary=SecondaryUncertainty(4.0, 4.0),
+            secondary_seed=1,
+        ),
+    ]
+    for options in variants:
+        result = ara.run(tiny_workload.yet, store=store, **options)
+        assert result.meta["replay"]["hit"] is False, options
+    assert execution_count() == before + len(variants)
+
+    # and a different secondary *seed* is a different stream entirely
+    su = SecondaryUncertainty(4.0, 4.0)
+    first = ara.run(
+        tiny_workload.yet,
+        engine="sequential",
+        secondary=su,
+        secondary_seed=1,
+        store=store,
+    )
+    other_seed = ara.run(
+        tiny_workload.yet,
+        engine="sequential",
+        secondary=su,
+        secondary_seed=2,
+        store=store,
+    )
+    assert first.meta["replay"]["hit"] is True  # seed 1 was stored above
+    assert other_seed.meta["replay"]["hit"] is False
+
+
+def test_analysis_level_default_store(tiny_workload, store):
+    """A store configured on the analysis applies to every run; a
+    per-run store overrides it."""
+    ara = make_ara(tiny_workload, store=store)
+    ara.run(tiny_workload.yet, engine="sequential")
+    warm = ara.run(tiny_workload.yet, engine="sequential")
+    assert warm.meta["replay"]["hit"] is True
+
+    override = MemoryStore()
+    cold = ara.run(tiny_workload.yet, engine="sequential", store=override)
+    assert cold.meta["replay"]["hit"] is False  # fresh store, fresh miss
+    assert len(override) == 1
+
+
+def test_run_many_replays_whole_batches(tiny_workload, multilayer_workload):
+    """run_many over a warmed store executes nothing: the sweep shape
+    (same portfolios re-analysed) collapses to hash lookups."""
+    store = MemoryStore()
+    ara = make_ara(multilayer_workload, store=store)
+    portfolios = [multilayer_workload.portfolio] * 3
+    first = ara.run_many(multilayer_workload.yet, portfolios, engine="sequential")
+    before = execution_count()
+    second = ara.run_many(multilayer_workload.yet, portfolios, engine="sequential")
+    assert execution_count() == before
+    for a, b in zip(first, second):
+        assert b.meta["replay"]["hit"] is True
+        assert a.ylt.losses.tobytes() == b.ylt.losses.tobytes()
+
+
+def test_replayed_result_supports_metrics(tiny_workload, store):
+    """A replayed (possibly mmap-backed) YLT behaves like a computed
+    one for downstream consumers."""
+    from repro.metrics.tvar import tail_value_at_risk
+
+    ara = make_ara(tiny_workload)
+    cold = ara.run(tiny_workload.yet, engine="sequential", store=store)
+    warm = ara.run(tiny_workload.yet, engine="sequential", store=store)
+    layer_id = tiny_workload.portfolio.layers[0].layer_id
+    assert warm.ylt.expected_loss(layer_id) == cold.ylt.expected_loss(layer_id)
+    assert tail_value_at_risk(
+        warm.ylt.portfolio_losses(), 0.95
+    ) == tail_value_at_risk(cold.ylt.portfolio_losses(), 0.95)
