@@ -1132,6 +1132,242 @@ def replay_ablation(
 # ----------------------------------------------------------------------
 # EXT-SECONDARY: the future-work extension
 # ----------------------------------------------------------------------
+# ----------------------------------------------------------------------
+# FLEET-ABLATE: distributed sweeps — scale-out and delta re-sweeps
+# ----------------------------------------------------------------------
+def fleet_bench_spec() -> WorkloadSpec:
+    """The fleet-sweep workload: enough segments for real scheduling.
+
+    Two layers over a shared pool and 8 segments per layer at the
+    benchmark's stride, so a fleet has 16 comparable jobs to pull — the
+    master-worker shape of the companion cluster paper, CI-sized.
+    """
+    return BENCH_SMALL.with_(
+        name="fleet-bench",
+        n_trials=16_000,
+        events_per_trial=150,
+        elts_per_layer=10,
+        n_layers=2,
+        shared_elt_pool=True,
+    )
+
+
+def fleet_ablation(
+    measured_spec: WorkloadSpec | None = None,
+    measure: bool = True,
+    n_workers: int = 4,
+    segment_trials: int = 1_000,
+    delta_fraction: float = 0.1,
+    repeats: int = 2,
+    cache_dir=None,
+) -> ExperimentReport:
+    """Fleet sweeps: worker scale-out and store-aware delta re-sweeps.
+
+    Five rows on one seeded workload:
+
+    * **monolithic** — a plain sequential ``Engine.run`` (the
+      no-queue baseline; fleet coordination overhead shows against it);
+    * **fleet-1 / fleet-N** — cold fleet sweeps (fresh store + queue)
+      drained by 1 and ``n_workers`` workers.  Measured wall seconds on
+      this host, plus *modeled makespans*: per-job compute seconds are
+      measured (each segment entry records them) and scheduled LPT-
+      greedy onto hypothetical fleets —
+      :func:`repro.fleet.sweep.modeled_makespan`, the fleet analogue of
+      the repository's simulated-GPU cost models, meaningful even on
+      single-core CI hosts where threads cannot physically overlap;
+    * **delta-cold / delta-resweep** — the workload extended by
+      ``delta_fraction`` new trials, swept against a fresh store vs
+      re-swept against the original sweep's store (only the new tail's
+      segments are jobs).  The ratio is the store-aware planning win.
+
+    Every row records the assembled YLT digest; the fleet digests must
+    equal the monolithic runs' (bit-for-bit assembly is asserted by the
+    benchmark's guards, not just eyeballed).
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.core.analysis import AggregateRiskAnalysis
+    from repro.data.yet import YearEventTable
+    from repro.engines.registry import create_engine
+    from repro.fleet.sweep import modeled_makespan
+    from repro.store import SharedFileStore
+    from repro.store.keys import ylt_digest
+
+    report = ExperimentReport(
+        exp_id="FLEET-ABLATE",
+        title="Fleet sweeps: distributed job queue + store-aware deltas",
+    )
+    if measured_spec is None:
+        measured_spec = fleet_bench_spec()
+    if not measure:
+        report.note("measure=False: nothing to report (no model rows).")
+        return report
+
+    workload = get_workload(measured_spec)
+    yet = workload.yet
+    ara = AggregateRiskAnalysis(workload.portfolio, workload.catalog.n_events)
+
+    tmp = None
+    if cache_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="fleet-ablate-")
+        cache_dir = tmp.name
+    cache_dir = Path(cache_dir)
+
+    try:
+        mono = min(
+            (ara.run(yet, engine="sequential") for _ in range(repeats)),
+            key=lambda r: r.wall_seconds,
+        )
+        report.add(
+            mode="monolithic",
+            workers=1,
+            measured_seconds=mono.wall_seconds,
+            ylt_digest=ylt_digest(mono.ylt),
+        )
+
+        def fleet_run(store, workers, label_yet=yet, analysis=ara):
+            return analysis.run_fleet(
+                label_yet,
+                engine="sequential",
+                n_workers=workers,
+                store=store,
+                segment_trials=segment_trials,
+            )
+
+        # -- cold sweeps at 1 and n workers ------------------------------
+        # A run warms its store, so each repeat gets a fresh one and
+        # min-of-repeats (the suite's standard noise rule) applies to
+        # the guarded fleet rows exactly as to the baselines.
+        def cold_fleet(label: str, workers: int):
+            runs = [
+                (
+                    fleet_run(
+                        SharedFileStore(cache_dir / f"{label}-{k}"), workers
+                    ),
+                    cache_dir / f"{label}-{k}",
+                )
+                for k in range(repeats)
+            ]
+            return min(runs, key=lambda rs: rs[0].wall_seconds)
+
+        fleet_1, store_1_dir = cold_fleet("fleet-1", 1)
+        store_1 = SharedFileStore(store_1_dir)
+        # per-job compute seconds, recorded by the workers in each
+        # segment entry: the modeled-makespan inputs.
+        engine_obj = create_engine("sequential")
+        delta_plan = engine_obj.plan_missing(
+            yet, workload.portfolio, None, segment_trials=segment_trials
+        )
+        job_seconds = [
+            float(store_1.get(record.key).meta["seconds"])
+            for record in delta_plan.segments
+        ]
+        makespan_1 = modeled_makespan(job_seconds, 1)
+        makespan_n = modeled_makespan(job_seconds, n_workers)
+        report.add(
+            mode="fleet-1",
+            workers=1,
+            measured_seconds=fleet_1.wall_seconds,
+            jobs=fleet_1.meta["fleet"]["jobs_submitted"],
+            reused=fleet_1.meta["fleet"]["segments_reused"],
+            modeled_makespan_seconds=makespan_1,
+            modeled_speedup=1.0,
+            ylt_digest=ylt_digest(fleet_1.ylt),
+        )
+
+        fleet_n, _store_n_dir = cold_fleet(f"fleet-{n_workers}", n_workers)
+        report.add(
+            mode=f"fleet-{n_workers}",
+            workers=n_workers,
+            measured_seconds=fleet_n.wall_seconds,
+            measured_speedup_vs_1=fleet_1.wall_seconds / fleet_n.wall_seconds,
+            jobs=fleet_n.meta["fleet"]["jobs_submitted"],
+            reused=fleet_n.meta["fleet"]["segments_reused"],
+            modeled_makespan_seconds=makespan_n,
+            modeled_speedup=makespan_1 / makespan_n if makespan_n else 0.0,
+            ylt_digest=ylt_digest(fleet_n.ylt),
+        )
+
+        # -- delta re-sweep: extend the YET by delta_fraction -----------
+        tail_trials = max(1, int(yet.n_trials * delta_fraction))
+        tail = get_workload(
+            measured_spec.with_(
+                name=f"{measured_spec.name}-tail",
+                n_trials=tail_trials,
+                seed=measured_spec.seed + 1,
+            )
+        ).yet
+        extended = YearEventTable.concatenate([yet, tail])
+
+        mono_ext = ara.run(extended, engine="sequential")
+        delta_cold = min(
+            (
+                fleet_run(
+                    SharedFileStore(cache_dir / f"delta-cold-{k}"),
+                    1,
+                    extended,
+                )
+                for k in range(repeats)
+            ),
+            key=lambda r: r.wall_seconds,
+        )
+        report.add(
+            mode="delta-cold",
+            workers=1,
+            measured_seconds=delta_cold.wall_seconds,
+            jobs=delta_cold.meta["fleet"]["jobs_submitted"],
+            reused=delta_cold.meta["fleet"]["segments_reused"],
+            ylt_digest=ylt_digest(delta_cold.ylt),
+        )
+        # The resweep reuses fleet-1's store, which holds the *base*
+        # workload's segments — only the appended tail is new work.  A
+        # run mutates its store (the tail lands in it), so each repeat
+        # gets a fresh copy of the warmed cache dir; min-of-repeats is
+        # the suite's standard noise rule.
+        import shutil
+
+        def resweep_once(k: int):
+            warmed = cache_dir / f"resweep-{k}"
+            shutil.copytree(store_1_dir, warmed)
+            return fleet_run(SharedFileStore(warmed), 1, extended)
+
+        resweep = min(
+            (resweep_once(k) for k in range(repeats)),
+            key=lambda r: r.wall_seconds,
+        )
+        report.add(
+            mode="delta-resweep",
+            workers=1,
+            measured_seconds=resweep.wall_seconds,
+            speedup_vs_cold=delta_cold.wall_seconds / resweep.wall_seconds,
+            jobs=resweep.meta["fleet"]["jobs_submitted"],
+            reused=resweep.meta["fleet"]["segments_reused"],
+            delta_fraction=delta_fraction,
+            ylt_digest=ylt_digest(resweep.ylt),
+            monolithic_extended_digest=ylt_digest(mono_ext.ylt),
+        )
+        report.note(
+            f"modeled fleet makespan (measured per-job seconds, LPT onto "
+            f"{n_workers} workers): {makespan_1:.3f}s -> {makespan_n:.3f}s "
+            f"({makespan_1 / makespan_n:.2f}x); measured wall speedup on "
+            f"this host: "
+            f"{fleet_1.wall_seconds / fleet_n.wall_seconds:.2f}x."
+        )
+        report.note(
+            f"store-aware delta: re-sweeping after a {delta_fraction:.0%} "
+            f"YET extension enqueued "
+            f"{resweep.meta['fleet']['jobs_submitted']} of "
+            f"{resweep.meta['fleet']['n_segments']} segments "
+            f"({delta_cold.wall_seconds / resweep.wall_seconds:.1f}x over a "
+            "cold sweep of the same extended input)."
+        )
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+    return report
+
+
 def ext_secondary(
     measured_spec: WorkloadSpec = DEFAULT_MEASURED, measure: bool = True
 ) -> ExperimentReport:
@@ -1198,6 +1434,7 @@ ALL_EXPERIMENTS = {
     "KERNEL-ABLATE-SECONDARY": kernel_ablation_secondary,
     "PLAN-ABLATE": plan_ablation,
     "REPLAY-ABLATE": replay_ablation,
+    "FLEET-ABLATE": fleet_ablation,
     "EXT-SECONDARY": ext_secondary,
 }
 """Experiment id → generator function (the per-experiment index)."""

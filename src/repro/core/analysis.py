@@ -197,6 +197,143 @@ class AggregateRiskAnalysis:
             store=self.store if store is None else store,
         )
 
+    def run_fleet(
+        self,
+        yet: YearEventTable,
+        engine: str = "sequential",
+        n_workers: int = 2,
+        store=None,
+        queue_dir=None,
+        segment_trials: int | None = None,
+        lease_seconds: float = 60.0,
+        workload_spec=None,
+        **engine_options: Any,
+    ) -> AnalysisResult:
+        """Run the analysis as a fleet sweep over a shared job queue.
+
+        The analysis is delta-planned against ``store`` (only segments
+        whose content-addressed keys are absent become jobs — a
+        re-sweep of a partially changed input computes only the delta),
+        drained by ``n_workers`` in-process worker threads, and
+        assembled from the store into a YLT **bit-for-bit identical**
+        to a monolithic :meth:`run` of the same numeric configuration
+        (the dense-secondary path additionally requires the engine's
+        own plan, the default here).  One documented exception: the
+        simulated-GPU engines' dense-secondary streams are seeded
+        engine-internally (``"gpu-dense-secondary"``), so for those
+        three configurations the fleet produces the *CPU-canonical*
+        bytes of the same plan (identical to ``execute_plan_cpu``)
+        rather than the GPU engine's private stream.
+
+        ``queue_dir`` makes the sweep durable and shareable: external
+        ``repro-fleet worker`` processes pointing at the same queue and
+        cache directories join the same sweep (crashed ones are
+        requeued after ``lease_seconds``).  External workers rebuild
+        the inputs from the sweep manifest, so joining additionally
+        requires ``workload_spec`` (the seeded
+        :class:`~repro.data.presets.WorkloadSpec` these inputs were
+        generated from) — without it only this call's in-process
+        workers can execute the jobs.  Omitted, a private throwaway
+        queue directory is used.
+
+        ``segment_trials`` switches to the fixed-stride segmentation —
+        the delta-stable shape for growing trial databases.
+
+        ``result.meta["fleet"]`` records the sweep id, segment/job
+        counts, reuse, per-worker stats, and the store's cache-
+        effectiveness counters.
+        """
+        import tempfile
+        import time as _time
+
+        from repro.fleet.assemble import FleetAssemblyError
+        from repro.fleet.jobs import JobQueue
+        from repro.fleet.sweep import (
+            context_for_engine,
+            gather_sweep,
+            run_workers,
+            submit_sweep,
+        )
+
+        effective_store = self.store if store is None else store
+        if effective_store is None:
+            raise ValueError(
+                "run_fleet needs a ResultStore (store=...) — the fleet "
+                "coordinates through content-addressed segments; use "
+                "repro.store.default_store() or SharedFileStore(cache_dir)"
+            )
+        started = _time.perf_counter()
+        engine_obj = self._engine(engine, **engine_options)
+        tmp_queue = None
+        if queue_dir is None:
+            tmp_queue = tempfile.TemporaryDirectory(prefix="repro-fleet-")
+            queue_dir = tmp_queue.name
+        try:
+            queue = JobQueue(queue_dir, lease_seconds=lease_seconds)
+            ctx = context_for_engine(
+                yet, self.portfolio, self.catalog_size, engine_obj
+            )
+            contexts = {}
+            worker_stats = []
+            gather_retries = 0
+            # A segment the delta plan saw as stored can vanish before
+            # gather (a GC pass collected it, or a corrupt entry
+            # self-healed into a miss on read).  Replanning against the
+            # store's current state sees the gap as missing work, so
+            # one more submit/drain round recomputes exactly the hole.
+            for attempt in range(3):
+                ticket = submit_sweep(
+                    queue,
+                    effective_store,
+                    yet,
+                    self.portfolio,
+                    self.catalog_size,
+                    engine_obj,
+                    segment_trials=segment_trials,
+                    workload_spec=workload_spec,
+                )
+                contexts[ticket.sweep_id] = ctx
+                worker_stats = run_workers(
+                    queue,
+                    effective_store,
+                    contexts=contexts,
+                    n_workers=n_workers,
+                    sweep_id=ticket.sweep_id,
+                )
+                try:
+                    ylt = gather_sweep(
+                        queue, effective_store, ticket.sweep_id
+                    )
+                    break
+                except FleetAssemblyError:
+                    if attempt == 2:
+                        raise
+                    gather_retries += 1
+        finally:
+            if tmp_queue is not None:
+                tmp_queue.cleanup()
+        wall = _time.perf_counter() - started
+        return AnalysisResult(
+            ylt=ylt,
+            profile=ActivityProfile(),
+            engine=f"fleet+{engine_obj.name}",
+            wall_seconds=wall,
+            modeled_seconds=None,
+            meta={
+                "plan": ticket.delta.plan.summary(),
+                "fleet": {
+                    "sweep_id": ticket.sweep_id,
+                    "n_workers": n_workers,
+                    "n_segments": ticket.delta.n_segments,
+                    "jobs_submitted": ticket.submitted,
+                    "segments_reused": ticket.reused,
+                    "gather_retries": gather_retries,
+                    "workers": [stats.as_dict() for stats in worker_stats],
+                    "store": effective_store.stats(),
+                },
+            },
+        )
+
     def run_many(
         self,
         yet: YearEventTable,

@@ -212,6 +212,28 @@ class YearEventTable:
             self.offsets[start : stop + 1] - lo,
         )
 
+    @staticmethod
+    def concatenate(parts: Sequence["YearEventTable"]) -> "YearEventTable":
+        """Stack trial databases end to end (trial order preserved).
+
+        The growing-YET workflow: an extended table's first trials are
+        byte-identical to the original's, so content-addressed segment
+        keys over the old ranges are preserved and a store-aware delta
+        plan re-computes only the appended tail.
+        """
+        if not parts:
+            raise ValueError("cannot concatenate zero YET parts")
+        offsets = [parts[0].offsets]
+        base = int(parts[0].offsets[-1])
+        for part in parts[1:]:
+            offsets.append(part.offsets[1:] + base)
+            base += int(part.offsets[-1])
+        return YearEventTable(
+            event_ids=np.concatenate([p.event_ids for p in parts]),
+            timestamps=np.concatenate([p.timestamps for p in parts]),
+            offsets=np.concatenate(offsets).astype(OFFSET_DTYPE),
+        )
+
     def to_dense(self, width: int | None = None) -> np.ndarray:
         """Rectangular ``(n_trials, width)`` id matrix padded with 0.
 

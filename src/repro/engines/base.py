@@ -131,6 +131,37 @@ class Engine(abc.ABC):
         """The :class:`ExecutionPlan` this engine would execute."""
         return Planner().plan(yet, portfolio, self.capabilities())
 
+    def plan_missing(
+        self,
+        yet: YearEventTable,
+        portfolio: Portfolio,
+        store: "ResultStore | None",
+        segment_trials: int | None = None,
+        plan: ExecutionPlan | None = None,
+    ):
+        """Store-aware delta plan under this engine's numeric config.
+
+        Every task of the plan (the engine-native :meth:`plan_for`
+        decomposition by default, or the fixed-stride segmentation when
+        ``segment_trials`` is given) is assigned its content-addressed
+        :func:`~repro.store.keys.segment_key` and probed against
+        ``store``; the returned :class:`~repro.plan.delta.DeltaPlan`
+        separates segments already computed (by any engine of the same
+        numeric configuration, any process, any sweep) from the missing
+        ones a fleet must execute.
+        """
+        return Planner().plan_missing(
+            yet,
+            portfolio,
+            self.capabilities(),
+            store,
+            lookup_kind=self.lookup_kind,
+            secondary=self.secondary,
+            secondary_seed=self._secondary_base_seed(),
+            segment_trials=segment_trials,
+            plan=plan,
+        )
+
     # ------------------------------------------------------------------
     def analysis_key(
         self,

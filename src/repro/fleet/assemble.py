@@ -1,0 +1,138 @@
+"""Segment-level result assembly: stored pieces → one exact YLT.
+
+The assembler is the read side of a fleet sweep: given a sweep's
+segment records (from a manifest or a
+:class:`~repro.plan.delta.DeltaPlan`), it pulls each segment's stored
+per-trial losses and writes them into the output rows at the segment's
+global trial range — the same slot-assignment rule every executor uses,
+so the assembled :class:`~repro.data.ylt.YearLossTable` is bit-for-bit
+identical to a monolithic run (segments store the exact ``float64``
+bytes a monolithic executor would have written; assembly is pure
+placement, no arithmetic).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.data.ylt import YearLossTable
+from repro.plan.delta import DeltaPlan
+from repro.store.base import ResultStore
+
+
+class FleetAssemblyError(RuntimeError):
+    """A sweep cannot be assembled (segments missing or inconsistent)."""
+
+
+#: the assembler's segment view: (key, layer_id, trial_start, trial_stop)
+SegmentSpec = Tuple[str, int, int, int]
+
+
+def _segment_specs(source) -> List[SegmentSpec]:
+    """Normalise a DeltaPlan / manifest / iterable into segment specs."""
+    if isinstance(source, DeltaPlan):
+        return [
+            (r.key, r.task.layer_id, r.task.trial_start, r.task.trial_stop)
+            for r in source.segments
+        ]
+    if isinstance(source, Mapping):  # a sweep manifest
+        return [
+            (
+                str(seg["key"]),
+                int(seg["layer_id"]),
+                int(seg["trial_start"]),
+                int(seg["trial_stop"]),
+            )
+            for seg in source["segments"]
+        ]
+    return [
+        (str(key), int(layer_id), int(start), int(stop))
+        for key, layer_id, start, stop in source
+    ]
+
+
+class ResultAssembler:
+    """Merge stored per-segment losses into the final YLT."""
+
+    def __init__(self, store: ResultStore) -> None:
+        self.store = store
+
+    # ------------------------------------------------------------------
+    def missing_keys(self, source) -> List[str]:
+        """Segment keys the store cannot currently serve."""
+        return [
+            key
+            for key, *_ in _segment_specs(source)
+            if not self.store.contains(key)
+        ]
+
+    def assemble(
+        self,
+        source: "DeltaPlan | Mapping[str, Any] | Iterable[SegmentSpec]",
+        n_trials: int | None = None,
+    ) -> YearLossTable:
+        """Build the YLT from stored segments.
+
+        ``source`` is a :class:`~repro.plan.delta.DeltaPlan`, a sweep
+        manifest dict, or an iterable of ``(key, layer_id, trial_start,
+        trial_stop)`` tuples.  Every layer's segments must tile
+        ``[0, n_trials)`` exactly once (``n_trials`` is inferred from
+        the source when omitted) and every key must be retrievable —
+        anything else raises :class:`FleetAssemblyError` naming the
+        problem, because a partially assembled YLT is a wrong answer,
+        not a degraded one.
+        """
+        specs = _segment_specs(source)
+        if not specs:
+            raise FleetAssemblyError("no segments to assemble")
+        if n_trials is None:
+            if isinstance(source, DeltaPlan):
+                n_trials = source.plan.n_trials
+            elif isinstance(source, Mapping):
+                n_trials = int(source["n_trials"])
+            else:
+                n_trials = max(stop for _, _, _, stop in specs)
+
+        per_layer: Dict[int, np.ndarray] = {}
+        covered: Dict[int, int] = {}
+        missing: List[str] = []
+        for key, layer_id, start, stop in sorted(
+            specs, key=lambda s: (s[1], s[2])
+        ):
+            out = per_layer.get(layer_id)
+            if out is None:
+                out = per_layer[layer_id] = np.empty(n_trials, dtype=np.float64)
+                covered[layer_id] = 0
+            if start != covered[layer_id] or stop > n_trials:
+                raise FleetAssemblyError(
+                    f"layer {layer_id}: segment coverage breaks at trial "
+                    f"{covered[layer_id]} (next segment spans "
+                    f"[{start}, {stop}) of {n_trials})"
+                )
+            entry = self.store.get(key)
+            if entry is None:
+                missing.append(key)
+            else:
+                losses = entry.arrays["losses"]
+                if losses.shape != (stop - start,):
+                    raise FleetAssemblyError(
+                        f"segment {key[:16]}… of layer {layer_id} holds "
+                        f"{losses.shape} losses for trials [{start}, {stop})"
+                    )
+                out[start:stop] = losses
+            covered[layer_id] = stop
+        if missing:
+            raise FleetAssemblyError(
+                f"{len(missing)} segment(s) not in store "
+                f"(first: {missing[0]}) — run workers (or requeue) before "
+                "gathering"
+            )
+        for layer_id, stop in covered.items():
+            if stop != n_trials:
+                raise FleetAssemblyError(
+                    f"layer {layer_id} covered only [0, {stop}) of "
+                    f"[0, {n_trials})"
+                )
+        return YearLossTable.from_dict(per_layer)

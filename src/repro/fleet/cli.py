@@ -1,0 +1,265 @@
+"""``repro-fleet`` command line: distributed sweeps from a shell.
+
+A sweep's coordination state is two directories — a queue dir and a
+store cache dir — so a "cluster" is any set of processes (or machines)
+that can see both.  Typical session::
+
+    repro-fleet submit --queue /tmp/q --store /tmp/c --n-trials 20000
+    repro-fleet worker --queue /tmp/q --store /tmp/c &   # repeat per core
+    repro-fleet status --queue /tmp/q
+    repro-fleet gather --queue /tmp/q --store /tmp/c --sweep <id> --out ylt.npz
+
+Workers regenerate the sweep's seeded workload from the manifest, so
+the only shared state is the filesystem; inputs (and therefore every
+content-addressed segment key) are byte-identical across the fleet.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+import time
+from typing import List
+
+from repro.data.presets import (
+    BENCH_DEFAULT,
+    BENCH_LARGE,
+    BENCH_SMALL,
+    WorkloadSpec,
+)
+
+_SCALES = {
+    "small": BENCH_SMALL,
+    "default": BENCH_DEFAULT,
+    "large": BENCH_LARGE,
+}
+
+#: spec fields adjustable from the command line.
+_SPEC_OVERRIDES = (
+    "n_trials",
+    "events_per_trial",
+    "catalog_size",
+    "elts_per_layer",
+    "losses_per_elt",
+    "n_layers",
+    "seed",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fleet",
+        description="Distributed aggregate-risk-analysis sweeps over a "
+        "shared job queue and result store.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p, store: bool = True):
+        p.add_argument("--queue", required=True, help="queue directory")
+        if store:
+            p.add_argument(
+                "--store",
+                default=None,
+                help="store cache dir (default: $REPRO_CACHE_DIR)",
+            )
+
+    submit = sub.add_parser("submit", help="delta-plan and enqueue a sweep")
+    add_common(submit)
+    submit.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="small",
+        help="base workload spec (default: small)",
+    )
+    for field in _SPEC_OVERRIDES:
+        submit.add_argument(
+            f"--{field.replace('_', '-')}", type=int, default=None
+        )
+    submit.add_argument("--engine", default="sequential")
+    submit.add_argument("--kernel", choices=("ragged", "dense"), default=None)
+    submit.add_argument(
+        "--segment-trials",
+        type=int,
+        default=None,
+        help="fixed segment stride (default: the engine's native plan)",
+    )
+    submit.add_argument(
+        "--secondary",
+        default=None,
+        metavar="ALPHA,BETA",
+        help="enable secondary uncertainty with Beta(alpha, beta)",
+    )
+    submit.add_argument("--secondary-seed", type=int, default=20130812)
+
+    worker = sub.add_parser("worker", help="claim and execute jobs")
+    add_common(worker)
+    worker.add_argument("--worker-id", default=None)
+    worker.add_argument("--max-jobs", type=int, default=None)
+    worker.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=60.0,
+        help="heartbeat patience before peers may requeue this worker's jobs",
+    )
+    worker.add_argument(
+        "--no-drain",
+        action="store_true",
+        help="exit at the first empty claim instead of waiting for "
+        "claimed jobs to resolve",
+    )
+
+    status = sub.add_parser("status", help="per-sweep job counts")
+    add_common(status, store=False)
+    status.add_argument("--sweep", default=None)
+
+    gather = sub.add_parser("gather", help="assemble a sweep's YLT")
+    add_common(gather)
+    gather.add_argument("--sweep", required=True)
+    gather.add_argument(
+        "--out", default=None, help="write the YLT to this .npz path"
+    )
+    gather.add_argument(
+        "--timeout",
+        type=float,
+        default=0.0,
+        help="wait up to this many seconds for open jobs to drain first",
+    )
+    return parser
+
+
+def _store_for(args):
+    from repro.store import SharedFileStore
+
+    return SharedFileStore(args.store)
+
+
+def _queue_for(args, **kwargs):
+    from repro.fleet.jobs import JobQueue
+
+    return JobQueue(args.queue, **kwargs)
+
+
+def _cmd_submit(args) -> int:
+    from repro.engines.registry import create_engine
+    from repro.fleet.sweep import submit_sweep
+
+    spec: WorkloadSpec = _SCALES[args.scale]
+    changes = {
+        field: getattr(args, field)
+        for field in _SPEC_OVERRIDES
+        if getattr(args, field) is not None
+    }
+    if changes:
+        spec = spec.with_(name=f"{spec.name}-custom", **changes)
+
+    from repro.data.generator import generate_workload
+
+    workload = generate_workload(spec)
+    secondary = None
+    if args.secondary:
+        from repro.core.secondary import SecondaryUncertainty
+
+        alpha, beta = (float(v) for v in args.secondary.split(","))
+        secondary = SecondaryUncertainty(alpha, beta)
+    engine_obj = create_engine(
+        args.engine,
+        kernel=args.kernel,
+        secondary=secondary,
+        secondary_seed=args.secondary_seed if secondary is not None else None,
+    )
+    ticket = submit_sweep(
+        _queue_for(args),
+        _store_for(args),
+        workload.yet,
+        workload.portfolio,
+        workload.catalog.n_events,
+        engine_obj,
+        segment_trials=args.segment_trials,
+        workload_spec=spec,
+    )
+    print(f"sweep:     {ticket.sweep_id}")
+    print(f"engine:    {args.engine} (kernel={engine_obj.kernel})")
+    print(f"workload:  {dataclasses.asdict(spec)}")
+    print(f"segments:  {ticket.delta.n_segments}")
+    print(f"enqueued:  {ticket.submitted}")
+    print(f"reused:    {ticket.reused} already in store")
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    from repro.fleet.worker import FleetWorker
+
+    queue = _queue_for(args, lease_seconds=args.lease_seconds)
+    worker = FleetWorker(queue, _store_for(args), worker_id=args.worker_id)
+    stats = worker.run(max_jobs=args.max_jobs, drain=not args.no_drain)
+    print(
+        f"{stats.worker_id}: claimed={stats.claimed} "
+        f"computed={stats.computed} reused={stats.reused} "
+        f"failed={stats.failed} compute_seconds={stats.compute_seconds:.3f}"
+    )
+    return 1 if stats.failed else 0
+
+
+def _cmd_status(args) -> int:
+    queue = _queue_for(args)
+    sweep_ids = [args.sweep] if args.sweep else queue.sweep_ids()
+    if not sweep_ids:
+        print("no sweeps")
+        return 0
+    for sweep_id in sweep_ids:
+        counts = queue.counts(sweep_id)
+        manifest = queue.load_sweep(sweep_id) or {}
+        reused = sum(
+            1 for seg in manifest.get("segments", ()) if seg.get("stored")
+        )
+        print(
+            f"{sweep_id}: pending={counts['pending']} "
+            f"claimed={counts['claimed']} done={counts['done']} "
+            f"failed={counts['failed']} reused={reused} "
+            f"engine={manifest.get('engine', '?')}"
+        )
+    return 0
+
+
+def _cmd_gather(args) -> int:
+    from repro.fleet.sweep import gather_sweep, wait_for_drain
+    from repro.store.keys import ylt_digest
+
+    queue = _queue_for(args)
+    if args.timeout > 0 and not wait_for_drain(
+        queue, args.sweep, timeout=args.timeout
+    ):
+        print(
+            f"timed out: {queue.active_count(args.sweep)} job(s) still open",
+            file=sys.stderr,
+        )
+        return 1
+    started = time.perf_counter()
+    ylt = gather_sweep(queue, _store_for(args), args.sweep)
+    seconds = time.perf_counter() - started
+    print(f"assembled {ylt.n_layers} layer(s) x {ylt.n_trials} trials "
+          f"in {seconds:.3f}s")
+    print(f"ylt digest: {ylt_digest(ylt)}")
+    for layer_id in ylt.layer_ids:
+        print(f"layer {layer_id}: expected loss {ylt.expected_loss(layer_id):,.2f}")
+    if args.out:
+        from repro.io.binary import save_ylt
+
+        save_ylt(ylt, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def main(argv: List[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return {
+        "submit": _cmd_submit,
+        "worker": _cmd_worker,
+        "status": _cmd_status,
+        "gather": _cmd_gather,
+    }[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,161 @@
+"""Fleet contexts: how a worker reconstructs a sweep's inputs.
+
+A sweep manifest names *what* to compute (segment keys + task
+coordinates) and *under which numeric configuration* (kernel, dtype,
+lookup kind, secondary stream); the context supplies the actual input
+arrays.  Two resolution paths:
+
+* **in-process** — the submitter registers its live
+  :class:`FleetContext` (YET/portfolio objects) with the workers it
+  spawns, paying nothing;
+* **cross-process** — the manifest carries a serialised
+  :class:`~repro.data.presets.WorkloadSpec`, and a worker in another
+  process (or on another machine sharing the cache dir) regenerates the
+  seeded workload deterministically — byte-identical inputs, therefore
+  identical content-addressed keys.  This is the same determinism the
+  REPLAY-ABLATE cross-process rows rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.core.secondary import SecondaryUncertainty, resolve_secondary_seed
+from repro.data.layer import Portfolio
+from repro.data.presets import WorkloadSpec
+from repro.data.yet import YearEventTable
+
+
+@dataclass
+class FleetContext:
+    """Everything a worker needs to execute one sweep's jobs.
+
+    ``elts`` (the quote pool) is derived from the portfolio and only
+    used by ``"quote"`` jobs.
+    """
+
+    yet: YearEventTable
+    portfolio: Portfolio
+    catalog_size: int
+    kernel: str = "ragged"
+    dtype: str = "<f8"
+    lookup_kind: str = "direct"
+    secondary: Optional[SecondaryUncertainty] = None
+    secondary_seed: int = 0
+    #: lazily built per-context QuoteService for "quote" jobs
+    _quote_service: Any = field(default=None, repr=False)
+
+    def quote_service(self, store):
+        """The context's store-backed QuoteService (built once)."""
+        from repro.pricing.realtime import QuoteService  # deferred import
+
+        if self._quote_service is None:
+            elts = list(self.portfolio.elts.values())
+            self._quote_service = QuoteService(
+                self.yet,
+                elts,
+                self.catalog_size,
+                max_workers=1,
+                lookup_kind=self.lookup_kind,
+                dtype=np.dtype(self.dtype),
+                secondary=self.secondary,
+                secondary_seed=(
+                    self.secondary_seed if self.secondary is not None else None
+                ),
+                store=store,
+            )
+        return self._quote_service
+
+
+def fleet_config(
+    kernel: str,
+    dtype,
+    lookup_kind: str,
+    catalog_size: int,
+    secondary: Optional[SecondaryUncertainty],
+    secondary_seed: int,
+) -> Dict[str, Any]:
+    """The manifest's ``config`` block — the ONE serialisation.
+
+    Both submission paths (analysis sweeps and quote sweeps) and the
+    worker-side :func:`context_from_manifest` go through this shape;
+    a second copy drifting by one field would silently shift every
+    worker-derived key away from the submitter's.
+    """
+    return {
+        "kernel": str(kernel),
+        "dtype": str(np.dtype(dtype).str),
+        "lookup_kind": str(lookup_kind),
+        "catalog_size": int(catalog_size),
+        "secondary": (
+            None
+            if secondary is None
+            else [float(secondary.alpha), float(secondary.beta)]
+        ),
+        "secondary_seed": int(secondary_seed),
+    }
+
+
+def config_from_context(ctx: FleetContext) -> Dict[str, Any]:
+    """The manifest's ``config`` block for a context."""
+    return fleet_config(
+        ctx.kernel,
+        ctx.dtype,
+        ctx.lookup_kind,
+        ctx.catalog_size,
+        ctx.secondary,
+        ctx.secondary_seed,
+    )
+
+
+def spec_dict(spec) -> Dict[str, Any]:
+    """A :class:`~repro.data.presets.WorkloadSpec` as manifest JSON."""
+    import dataclasses
+
+    return dataclasses.asdict(spec)
+
+
+def context_from_manifest(manifest: Dict[str, Any]) -> FleetContext:
+    """Rebuild a context from a manifest's workload spec + config.
+
+    Only usable for manifests submitted with a ``workload.spec`` block
+    (the CLI and example path); in-process fleets register their live
+    context instead.  Workload generation is deterministic given the
+    spec, so the rebuilt inputs — and every derived segment key — are
+    byte-identical to the submitter's.
+    """
+    workload_info = manifest.get("workload") or {}
+    spec_dict = workload_info.get("spec")
+    if spec_dict is None:
+        raise ValueError(
+            f"sweep {manifest.get('sweep_id')!r} carries no workload spec; "
+            "its jobs can only be executed by workers given the context "
+            "in-process"
+        )
+    from repro.data.generator import generate_workload  # deferred import
+
+    workload = generate_workload(WorkloadSpec(**spec_dict))
+    config = manifest.get("config") or {}
+    secondary_params = config.get("secondary")
+    secondary = (
+        None
+        if secondary_params is None
+        else SecondaryUncertainty(*[float(v) for v in secondary_params])
+    )
+    return FleetContext(
+        yet=workload.yet,
+        portfolio=workload.portfolio,
+        catalog_size=int(config.get("catalog_size", workload.catalog.n_events)),
+        kernel=str(config.get("kernel", "ragged")),
+        dtype=str(config.get("dtype", "<f8")),
+        lookup_kind=str(config.get("lookup_kind", "direct")),
+        secondary=secondary,
+        secondary_seed=resolve_secondary_seed(
+            int(config.get("secondary_seed", 0))
+        )
+        if secondary is not None
+        else 0,
+    )

@@ -1,0 +1,415 @@
+"""The durable job queue: segment-granular work shared by a fleet.
+
+A :class:`JobQueue` is a directory.  Each job is one JSON file that
+moves between state subdirectories by ``rename(2)`` — the one cheap
+atomic primitive POSIX gives us, and the same discipline the file store
+uses for entries::
+
+    <queue_dir>/
+        pending/<job_id>.json     # submitted, unowned
+        claimed/<job_id>.json     # leased to a worker (mtime = heartbeat)
+        done/<job_id>.json        # completed
+        failed/<job_id>.json      # exhausted max_attempts
+        locks/<job_id>.lock       # requeue-scan exclusivity (flock)
+        sweeps/<sweep_id>.json    # sweep manifests (what to assemble)
+
+Claiming is a rename from ``pending/`` to ``claimed/``: exactly one of
+N racing workers (threads *or* processes on a shared filesystem) wins,
+no lock required.  Leases are the claimed file's mtime: a worker
+heartbeats by touching it, and :meth:`requeue_expired` renames files
+whose heartbeat is older than ``lease_seconds`` back to ``pending/``
+(under a per-job flock so concurrent scanners don't double-count).
+
+Exactly-once *effects* do not depend on exactly-once job execution: a
+job's result lands in the content-addressed result store via
+``get_or_compute``, so a requeued job whose original worker already
+stored the segment becomes a store hit, and two workers racing on one
+segment compute it once per fleet (the store's cross-process lock).
+The queue only has to guarantee that every job is eventually completed
+by *someone* — which rename-based claims plus lease expiry give.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro.io.atomic import lock_file, read_json, touch, write_json_atomic
+
+PathLike = Union[str, Path]
+
+#: job lifecycle states == queue subdirectory names.
+JOB_STATES = ("pending", "claimed", "done", "failed")
+
+#: job kinds the fleet worker knows how to execute.
+JOB_KIND_SEGMENT = "segment"
+JOB_KIND_QUOTE = "quote"
+
+
+@dataclass
+class FleetJob:
+    """One unit of queued work.
+
+    Attributes
+    ----------
+    job_id:
+        Queue-unique id (``<sweep_id>.t<task_id>`` for segments); the
+        file name, so submission of an existing id is a no-op.
+    sweep_id:
+        The sweep manifest this job belongs to.
+    kind:
+        ``"segment"`` (one plan task) or ``"quote"`` (one candidate
+        layer's finished year-loss vector).
+    key:
+        Content-addressed store key the result must land under.
+    payload:
+        Kind-specific work description (task coordinates, quote terms).
+    attempts:
+        Times a worker has claimed this job (requeue increments).
+    owner:
+        Worker id of the current/last claimant.
+    error:
+        Last failure message, if any.
+    """
+
+    job_id: str
+    sweep_id: str
+    kind: str
+    key: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    attempts: int = 0
+    owner: Optional[str] = None
+    error: Optional[str] = None
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "sweep_id": self.sweep_id,
+            "kind": self.kind,
+            "key": self.key,
+            "payload": self.payload,
+            "attempts": self.attempts,
+            "owner": self.owner,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "FleetJob":
+        return cls(
+            job_id=str(data["job_id"]),
+            sweep_id=str(data["sweep_id"]),
+            kind=str(data["kind"]),
+            key=str(data["key"]),
+            payload=dict(data.get("payload") or {}),
+            attempts=int(data.get("attempts", 0)),
+            owner=data.get("owner"),
+            error=data.get("error"),
+        )
+
+
+class JobQueue:
+    """Durable, multi-process work queue under one directory.
+
+    Parameters
+    ----------
+    queue_dir:
+        Root directory (created on first use).  Workers on any machine
+        that can see this path — and the companion result store —
+        cooperate on the same sweeps.
+    lease_seconds:
+        Heartbeat patience: a claimed job whose file mtime is older
+        than this is presumed abandoned (crashed/stalled worker) and
+        eligible for :meth:`requeue_expired`.
+    max_attempts:
+        Claims before a repeatedly failing job moves to ``failed/``
+        instead of back to ``pending/``.
+    """
+
+    def __init__(
+        self,
+        queue_dir: PathLike,
+        lease_seconds: float = 60.0,
+        max_attempts: int = 5,
+    ) -> None:
+        if lease_seconds <= 0:
+            raise ValueError(f"lease_seconds must be > 0, got {lease_seconds}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.queue_dir = Path(queue_dir).expanduser()
+        self.lease_seconds = float(lease_seconds)
+        self.max_attempts = int(max_attempts)
+
+    # -- layout --------------------------------------------------------
+    def state_dir(self, state: str) -> Path:
+        if state not in JOB_STATES:
+            raise ValueError(f"unknown state {state!r}; expected {JOB_STATES}")
+        return self.queue_dir / state
+
+    @property
+    def _locks_dir(self) -> Path:
+        return self.queue_dir / "locks"
+
+    @property
+    def _sweeps_dir(self) -> Path:
+        return self.queue_dir / "sweeps"
+
+    def ensure(self) -> None:
+        for state in JOB_STATES:
+            self.state_dir(state).mkdir(parents=True, exist_ok=True)
+        self._locks_dir.mkdir(parents=True, exist_ok=True)
+        self._sweeps_dir.mkdir(parents=True, exist_ok=True)
+
+    def _job_path(self, state: str, job_id: str) -> Path:
+        return self.state_dir(state) / f"{job_id}.json"
+
+    def find(self, job_id: str) -> Optional[str]:
+        """The state currently holding ``job_id``, or ``None``."""
+        for state in JOB_STATES:
+            if self._job_path(state, job_id).is_file():
+                return state
+        return None
+
+    # -- submission ----------------------------------------------------
+    def submit(self, jobs: List[FleetJob]) -> int:
+        """Enqueue jobs; returns how many were actually added.
+
+        Idempotent by ``job_id``: a job already pending, claimed or
+        done is skipped, so resubmitting a sweep after a partial run
+        only fills the gaps.  A job found in ``failed/`` is *revived* —
+        its attempt counter resets and it returns to ``pending/`` — so
+        resubmission is the recovery path after fixing whatever
+        exhausted its attempts (the last error is kept on the job).
+        """
+        self.ensure()
+        added = 0
+        for job in jobs:
+            state = self.find(job.job_id)
+            if state == "failed":
+                revived = read_json(self._job_path("failed", job.job_id))
+                if revived is not None:
+                    job = FleetJob.from_json(revived)
+                    job.attempts = 0
+                try:
+                    os.remove(self._job_path("failed", job.job_id))
+                except OSError:
+                    continue  # a racing submitter revived it first
+            elif state is not None:
+                continue
+            write_json_atomic(self._job_path("pending", job.job_id), job.to_json())
+            added += 1
+        return added
+
+    # -- sweeps --------------------------------------------------------
+    def save_sweep(self, sweep_id: str, manifest: Dict[str, Any]) -> None:
+        self.ensure()
+        write_json_atomic(self._sweeps_dir / f"{sweep_id}.json", manifest)
+
+    def load_sweep(self, sweep_id: str) -> Optional[Dict[str, Any]]:
+        return read_json(self._sweeps_dir / f"{sweep_id}.json")
+
+    def sweep_ids(self) -> List[str]:
+        if not self._sweeps_dir.is_dir():
+            return []
+        return sorted(p.stem for p in self._sweeps_dir.glob("*.json"))
+
+    # -- claim / lease / complete --------------------------------------
+    def _list_state(self, state: str, sweep_id: str | None = None) -> List[Path]:
+        directory = self.state_dir(state)
+        if not directory.is_dir():
+            return []
+        paths = sorted(directory.glob("*.json"))
+        if sweep_id is not None:
+            prefix = f"{sweep_id}."
+            paths = [p for p in paths if p.name.startswith(prefix)]
+        return paths
+
+    def claim(
+        self, worker_id: str | None = None, sweep_id: str | None = None
+    ) -> Optional[FleetJob]:
+        """Atomically take one pending job, or ``None`` if none remain.
+
+        The claim is a ``rename(2)`` into ``claimed/`` — exactly one of
+        N racing claimants wins each job.  Workers start their scan at
+        an id-derived offset so a fleet doesn't stampede the same file.
+        The claimed file is rewritten with owner/attempt bookkeeping
+        (its mtime starts the lease).
+        """
+        self.ensure()
+        worker_id = worker_id or f"worker-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+        # Unsorted scandir: claims need *a* job, not the first job, and
+        # a 10k-segment sweep would otherwise pay an O(n log n) sort
+        # per claim.  The id-derived offset de-stampedes the fleet.
+        prefix = f"{sweep_id}." if sweep_id is not None else ""
+        try:
+            with os.scandir(self.state_dir("pending")) as it:
+                candidates = [
+                    Path(entry.path)
+                    for entry in it
+                    if entry.name.endswith(".json")
+                    and entry.name.startswith(prefix)
+                ]
+        except OSError:
+            return None
+        if not candidates:
+            return None
+        offset = hash(worker_id) % len(candidates)
+        for path in candidates[offset:] + candidates[:offset]:
+            target = self.state_dir("claimed") / path.name
+            try:
+                os.rename(path, target)
+            except OSError:
+                continue  # a racing worker won this one; try the next
+            # rename preserves the pending file's (stale) mtime; start
+            # the lease NOW so a job that waited longer than the lease
+            # in pending/ is not instantly "expired" for requeue scans.
+            touch(target)
+            data = read_json(target)
+            if data is None:
+                if not target.is_file():
+                    # The file vanished: a peer's requeue scan saw the
+                    # pre-touch stale mtime and sent the job back to
+                    # pending.  It is still live work — move on.
+                    continue
+                # Present but unreadable: poison, not a crash loop.
+                job = FleetJob(
+                    job_id=path.stem,
+                    sweep_id=(sweep_id or path.stem.split(".")[0]),
+                    kind="unknown",
+                    key="unreadable",
+                )
+                self.fail(job, "unreadable job file", requeue=False)
+                continue
+            job = FleetJob.from_json(data)
+            job.attempts += 1
+            job.owner = worker_id
+            write_json_atomic(target, job.to_json())
+            return job
+        return None
+
+    def heartbeat(self, job: FleetJob) -> bool:
+        """Refresh the lease on a claimed job (``False`` if lost)."""
+        return touch(self._job_path("claimed", job.job_id))
+
+    def complete(self, job: FleetJob) -> bool:
+        """Move a claimed job to ``done/`` (the terminal success state).
+
+        ``False`` when the claim was lost meanwhile (lease expired and
+        a peer requeued or finished the job) — the caller's result is
+        already safe in the store either way.
+        """
+        return self._move(job, "claimed", "done")
+
+    def fail(self, job: FleetJob, error: str, requeue: bool = True) -> str:
+        """Record a failure; requeue or retire the job.
+
+        Returns the state the job landed in: ``"pending"`` when it will
+        be retried, ``"failed"`` once ``max_attempts`` is exhausted (or
+        ``requeue=False``), ``"lost"`` when this worker no longer held
+        the claim (the job lives on elsewhere; nothing was recorded).
+        """
+        job.error = str(error)
+        state = (
+            "pending"
+            if requeue and job.attempts < self.max_attempts
+            else "failed"
+        )
+        return state if self._move(job, "claimed", state) else "lost"
+
+    def _move(self, job: FleetJob, src: str, dst: str) -> bool:
+        """Transition a job this caller owns; ``False`` if it doesn't.
+
+        Guarded by the job's flock (shared with :meth:`requeue_expired`)
+        and an under-lock existence check, so a worker whose lease
+        expired — its job requeued and possibly finished by a peer —
+        cannot re-materialise it in another state from a stale copy.
+        """
+        self.ensure()
+        source = self._job_path(src, job.job_id)
+        with lock_file(self._locks_dir / f"{job.job_id}.lock"):
+            if not source.is_file():
+                return False  # claim lost: the job moved on without us
+            write_json_atomic(source, job.to_json())
+            try:
+                os.replace(source, self._job_path(dst, job.job_id))
+            except OSError:
+                return False
+        return True
+
+    def requeue_expired(self, now: float | None = None) -> List[str]:
+        """Return crashed/stalled workers' jobs to ``pending/``.
+
+        A claimed file whose mtime (heartbeat) is older than
+        ``lease_seconds`` is renamed back under a per-job flock — two
+        concurrent scanners agree on one requeue, and a worker that
+        heartbeats between the check and the rename keeps its job only
+        if the heartbeat landed first (losing a heartbeat race costs a
+        duplicate *claim*, never a duplicate stored result: the store
+        dedups the compute).
+        """
+        now = time.time() if now is None else float(now)
+        requeued: List[str] = []
+        for path in self._list_state("claimed"):
+            try:
+                expired = now - path.stat().st_mtime > self.lease_seconds
+            except OSError:
+                continue  # completed meanwhile
+            if not expired:
+                continue
+            with lock_file(self._locks_dir / f"{path.stem}.lock"):
+                try:
+                    if now - path.stat().st_mtime <= self.lease_seconds:
+                        continue  # heartbeat arrived while we waited
+                    os.rename(path, self.state_dir("pending") / path.name)
+                except OSError:
+                    continue
+                requeued.append(path.stem)
+        return requeued
+
+    # -- introspection -------------------------------------------------
+    def _count_state(self, state: str, sweep_id: str | None = None) -> int:
+        """Unsorted scandir count of one state (the idle-loop path —
+        workers poll this dozens of times a second, so no globbing or
+        sorting of the ever-growing ``done/`` directory)."""
+        prefix = f"{sweep_id}." if sweep_id is not None else ""
+        try:
+            with os.scandir(self.state_dir(state)) as it:
+                return sum(
+                    1
+                    for entry in it
+                    if entry.name.endswith(".json")
+                    and entry.name.startswith(prefix)
+                )
+        except OSError:
+            return 0
+
+    def counts(self, sweep_id: str | None = None) -> Dict[str, int]:
+        """Jobs per state (optionally restricted to one sweep)."""
+        return {
+            state: self._count_state(state, sweep_id)
+            for state in JOB_STATES
+        }
+
+    def active_count(self, sweep_id: str | None = None) -> int:
+        """Jobs still pending or claimed (the sweep's open work)."""
+        return self._count_state("pending", sweep_id) + self._count_state(
+            "claimed", sweep_id
+        )
+
+    def jobs(
+        self, state: str, sweep_id: str | None = None
+    ) -> Iterator[FleetJob]:
+        """Iterate jobs currently in ``state`` (snapshot semantics)."""
+        for path in self._list_state(state, sweep_id):
+            data = read_json(path)
+            if data is not None:
+                yield FleetJob.from_json(data)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"JobQueue({str(self.queue_dir)!r}, "
+            f"lease_seconds={self.lease_seconds})"
+        )

@@ -1,0 +1,251 @@
+"""Sweep orchestration: submit, drain, gather.
+
+A *sweep* is one analysis decomposed into segment jobs.  Submission is
+store-aware end to end: the engine's
+:meth:`~repro.engines.base.Engine.plan_missing` derives every segment's
+content-addressed key, probes the store, and only the missing segments
+become queue jobs — a re-sweep of a partially changed input (extended
+YET, one re-termed layer) enqueues only the delta.  The manifest
+records *all* segments (stored and missing), which is exactly what the
+assembler needs to gather the final YLT.
+
+``run_fleet`` (the API behind
+:meth:`repro.core.analysis.AggregateRiskAnalysis.run_fleet`) wires the
+whole loop in-process: submit, spawn N worker threads against the
+shared queue/store, drain, assemble.  The same queue directory and
+cache dir serve subprocess workers (``repro-fleet worker``) unchanged —
+the example and the REPLAY-style benchmarks run both shapes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.data.layer import Portfolio
+from repro.data.yet import YearEventTable
+from repro.fleet.assemble import FleetAssemblyError, ResultAssembler
+from repro.fleet.context import FleetContext, config_from_context, spec_dict
+from repro.fleet.jobs import JOB_KIND_SEGMENT, FleetJob, JobQueue
+from repro.fleet.worker import FleetWorker, WorkerStats
+from repro.plan.delta import DeltaPlan
+from repro.plan.scheduler import Scheduler
+from repro.store.base import ResultStore
+
+
+@dataclass
+class SweepTicket:
+    """Receipt of a submitted sweep."""
+
+    sweep_id: str
+    delta: DeltaPlan
+    submitted: int
+    reused: int
+    manifest: Dict[str, Any]
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "sweep_id": self.sweep_id,
+            "submitted": self.submitted,
+            "reused": self.reused,
+            **self.delta.summary(),
+        }
+
+
+def context_for_engine(
+    yet: YearEventTable,
+    portfolio: Portfolio,
+    catalog_size: int,
+    engine_obj,
+) -> FleetContext:
+    """A :class:`FleetContext` matching an engine's numeric config."""
+    caps = engine_obj.capabilities()
+    return FleetContext(
+        yet=yet,
+        portfolio=portfolio,
+        catalog_size=int(catalog_size),
+        kernel=caps.kernel,
+        dtype=caps.dtype,
+        lookup_kind=engine_obj.lookup_kind,
+        secondary=engine_obj.secondary,
+        secondary_seed=engine_obj._secondary_base_seed(),
+    )
+
+
+def submit_sweep(
+    queue: JobQueue,
+    store: ResultStore,
+    yet: YearEventTable,
+    portfolio: Portfolio,
+    catalog_size: int,
+    engine_obj,
+    segment_trials: int | None = None,
+    plan=None,
+    workload_spec=None,
+    sweep_id: str | None = None,
+) -> SweepTicket:
+    """Delta-plan an analysis and enqueue its missing segments.
+
+    The sweep id defaults to a digest of the delta plan (decomposition
+    + segment keys), so resubmitting the identical sweep is idempotent:
+    job ids collide and the queue skips them.  ``workload_spec`` (a
+    :class:`~repro.data.presets.WorkloadSpec`) embeds the seeded
+    recipe for the inputs in the manifest so workers in other processes
+    can regenerate them; in-process fleets register their live context
+    instead and may omit it.
+    """
+    delta = engine_obj.plan_missing(
+        yet, portfolio, store, segment_trials=segment_trials, plan=plan
+    )
+    if sweep_id is None:
+        sweep_id = f"sweep-{delta.fingerprint()[:16]}"
+    ctx = context_for_engine(yet, portfolio, catalog_size, engine_obj)
+    manifest: Dict[str, Any] = {
+        "sweep_id": sweep_id,
+        "kind": "analysis",
+        "engine": engine_obj.name,
+        "config": config_from_context(ctx),
+        "workload": (
+            {"spec": spec_dict(workload_spec)}
+            if workload_spec is not None
+            else {}
+        ),
+        "n_trials": yet.n_trials,
+        "n_occurrences": yet.n_occurrences,
+        "layer_ids": [int(i) for i in delta.plan.layer_ids],
+        "plan_fingerprint": delta.plan.fingerprint(),
+        "delta_fingerprint": delta.fingerprint(),
+        "segments": [
+            {
+                "key": record.key,
+                "task_id": record.task.task_id,
+                "layer_id": record.task.layer_id,
+                "trial_start": record.task.trial_start,
+                "trial_stop": record.task.trial_stop,
+                "occ_start": record.task.occ_start,
+                "occ_stop": record.task.occ_stop,
+                "stored": record.stored,
+            }
+            for record in delta.segments
+        ],
+    }
+    queue.save_sweep(sweep_id, manifest)
+    jobs = [
+        FleetJob(
+            job_id=f"{sweep_id}.t{record.task.task_id:06d}",
+            sweep_id=sweep_id,
+            kind=JOB_KIND_SEGMENT,
+            key=record.key,
+            payload={
+                "task": {
+                    "task_id": record.task.task_id,
+                    "layer_id": record.task.layer_id,
+                    "slot": record.task.slot,
+                    "seq": record.task.seq,
+                    "trial_start": record.task.trial_start,
+                    "trial_stop": record.task.trial_stop,
+                    "occ_start": record.task.occ_start,
+                    "occ_stop": record.task.occ_stop,
+                }
+            },
+        )
+        for record in delta.missing
+    ]
+    submitted = queue.submit(jobs)
+    return SweepTicket(
+        sweep_id=sweep_id,
+        delta=delta,
+        submitted=submitted,
+        reused=delta.n_stored,
+        manifest=manifest,
+    )
+
+
+def run_workers(
+    queue: JobQueue,
+    store: ResultStore,
+    contexts: Optional[Dict[str, FleetContext]] = None,
+    n_workers: int = 2,
+    sweep_id: str | None = None,
+    poll_seconds: float = 0.02,
+) -> List[WorkerStats]:
+    """Drain a sweep with ``n_workers`` in-process worker threads.
+
+    NumPy kernels release the GIL, so threads genuinely overlap on
+    multi-core hosts; on any host, results are identical because
+    placement is fixed by global trial index and the store dedups the
+    compute.  Raises when jobs exhausted their attempts — a sweep with
+    ``failed/`` jobs must not silently assemble.
+    """
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    workers = [
+        FleetWorker(queue, store, contexts=contexts) for _ in range(n_workers)
+    ]
+    Scheduler(max_workers=n_workers).run_jobs(
+        [
+            (lambda w=worker: w.run(sweep_id=sweep_id, poll_seconds=poll_seconds))
+            for worker in workers
+        ]
+    )
+    failures = list(queue.jobs("failed", sweep_id))
+    if failures:
+        details = "; ".join(
+            f"{job.job_id}: {job.error}" for job in failures[:3]
+        )
+        raise FleetAssemblyError(
+            f"{len(failures)} job(s) exhausted their attempts ({details})"
+        )
+    return [worker.stats for worker in workers]
+
+
+def gather_sweep(
+    queue: JobQueue, store: ResultStore, sweep_id: str
+):
+    """Assemble a sweep's YLT from its manifest + the store."""
+    manifest = queue.load_sweep(sweep_id)
+    if manifest is None:
+        raise FleetAssemblyError(f"no manifest for sweep {sweep_id!r}")
+    return ResultAssembler(store).assemble(manifest)
+
+
+def modeled_makespan(job_seconds: Sequence[float], n_workers: int) -> float:
+    """Makespan of an LPT schedule of measured job times over a fleet.
+
+    The fleet analogue of the repository's simulated-GPU cost models:
+    per-job compute seconds are *measured* (stored by workers in each
+    segment's meta), and the wall-clock of a hypothetical ``n_workers``
+    fleet is the longest-processing-time-first greedy assignment — the
+    standard 4/3-competitive bound.  This is what the FLEET-ABLATE
+    benchmark reports alongside measured wall times, so the scaling
+    claim is meaningful even on single-core CI hosts.
+    """
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    loads = [0.0] * min(n_workers, max(1, len(job_seconds)))
+    heapq.heapify(loads)
+    for seconds in sorted((float(s) for s in job_seconds), reverse=True):
+        heapq.heappush(loads, heapq.heappop(loads) + seconds)
+    return max(loads) if loads else 0.0
+
+
+def wait_for_drain(
+    queue: JobQueue,
+    sweep_id: str | None = None,
+    timeout: float = 300.0,
+    poll_seconds: float = 0.1,
+) -> bool:
+    """Block until a sweep has no pending/claimed jobs (external workers).
+
+    Requeues expired leases while waiting (so a crashed external worker
+    cannot wedge the wait).  Returns ``False`` on timeout.
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if queue.active_count(sweep_id) == 0:
+            return True
+        queue.requeue_expired()
+        time.sleep(poll_seconds)
+    return queue.active_count(sweep_id) == 0

@@ -1,0 +1,259 @@
+"""The fleet worker: claim → compute → store → complete, forever.
+
+Workers are deliberately dumb loops.  All coordination lives in the
+queue (rename-based claims, mtime leases) and the result store
+(content-addressed ``get_or_compute`` with cross-process locks); the
+worker just moves jobs between them:
+
+1. claim a pending job (optionally restricted to one sweep);
+2. resolve the sweep's :class:`~repro.fleet.context.FleetContext`
+   (registered in-process, or regenerated from the manifest's seeded
+   workload spec);
+3. run the job's result through ``store.get_or_compute`` — if another
+   worker (any process in the fleet) already stored the key, this is a
+   read, not a compute;
+4. mark the job done.
+
+A heartbeat thread touches the claimed file while the compute runs, so
+long segments on slow workers are not stolen; a worker that dies
+mid-compute simply stops heartbeating and its job is requeued by any
+peer's :meth:`~repro.fleet.jobs.JobQueue.requeue_expired` scan.  Failed
+computes requeue up to the queue's ``max_attempts`` and then land in
+``failed/`` with the error recorded.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.fleet.context import FleetContext, context_from_manifest
+from repro.fleet.jobs import JOB_KIND_QUOTE, JOB_KIND_SEGMENT, FleetJob, JobQueue
+from repro.plan.execute import execute_segment_cpu
+from repro.plan.plan import PlanTask
+from repro.store.base import ResultStore, StoreEntry
+
+
+@dataclass
+class WorkerStats:
+    """What one worker did (fleet benchmarks and ``meta`` reporting)."""
+
+    worker_id: str
+    claimed: int = 0
+    computed: int = 0
+    reused: int = 0
+    failed: int = 0
+    requeued_for_peers: int = 0
+    compute_seconds: float = 0.0
+    errors: Dict[str, str] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "worker_id": self.worker_id,
+            "claimed": self.claimed,
+            "computed": self.computed,
+            "reused": self.reused,
+            "failed": self.failed,
+            "requeued_for_peers": self.requeued_for_peers,
+            "compute_seconds": self.compute_seconds,
+            "errors": dict(self.errors),
+        }
+
+
+class _Heartbeat:
+    """Background lease refresher for one claimed job."""
+
+    def __init__(self, queue: JobQueue, job: FleetJob, interval: float) -> None:
+        self._queue = queue
+        self._job = job
+        self._interval = max(0.01, float(interval))
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            self._queue.heartbeat(self._job)
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._stop.set()
+        self._thread.join()
+
+
+class FleetWorker:
+    """One worker process/thread draining a queue into a store.
+
+    Parameters
+    ----------
+    queue, store:
+        The shared coordination substrate.  Every worker of a fleet
+        points at the same queue directory and (for cross-process
+        fleets) a :class:`~repro.store.SharedFileStore`-backed store.
+    contexts:
+        Pre-registered ``{sweep_id: FleetContext}`` (in-process fleets).
+        Unknown sweeps fall back to the manifest's workload spec.
+    worker_id:
+        Stable identity for leases and stats (default: pid + random).
+    """
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        store: ResultStore,
+        contexts: Optional[Dict[str, FleetContext]] = None,
+        worker_id: str | None = None,
+    ) -> None:
+        self.queue = queue
+        self.store = store
+        self.contexts: Dict[str, FleetContext] = dict(contexts or {})
+        self.worker_id = (
+            worker_id or f"worker-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+        )
+        self.stats = WorkerStats(worker_id=self.worker_id)
+
+    # ------------------------------------------------------------------
+    def _context(self, sweep_id: str) -> FleetContext:
+        ctx = self.contexts.get(sweep_id)
+        if ctx is None:
+            manifest = self.queue.load_sweep(sweep_id)
+            if manifest is None:
+                raise ValueError(f"no manifest for sweep {sweep_id!r}")
+            ctx = context_from_manifest(manifest)
+            self.contexts[sweep_id] = ctx
+        return ctx
+
+    # ------------------------------------------------------------------
+    def _compute_segment(self, ctx: FleetContext, job: FleetJob) -> StoreEntry:
+        task = PlanTask(**{k: int(v) for k, v in job.payload["task"].items()})
+        started = time.perf_counter()
+        losses = execute_segment_cpu(
+            ctx.yet,
+            ctx.portfolio,
+            ctx.catalog_size,
+            task,
+            kernel=ctx.kernel,
+            lookup_kind=ctx.lookup_kind,
+            dtype=np.dtype(ctx.dtype),
+            secondary=ctx.secondary,
+            secondary_seed=ctx.secondary_seed,
+        )
+        seconds = time.perf_counter() - started
+        return StoreEntry(
+            arrays={"losses": losses},
+            meta={
+                "kind": JOB_KIND_SEGMENT,
+                "layer_id": task.layer_id,
+                "trial_start": task.trial_start,
+                "trial_stop": task.trial_stop,
+                "computed_by": self.worker_id,
+                "seconds": seconds,
+            },
+        )
+
+    def _run_job(self, job: FleetJob) -> None:
+        ctx = self._context(job.sweep_id)
+        if job.kind == JOB_KIND_SEGMENT:
+            computed = {}
+
+            def produce() -> StoreEntry:
+                entry = self._compute_segment(ctx, job)
+                computed["seconds"] = float(entry.meta["seconds"])
+                return entry
+
+            self.store.get_or_compute(job.key, produce)
+            if computed:
+                self.stats.computed += 1
+                self.stats.compute_seconds += computed["seconds"]
+            else:
+                self.stats.reused += 1
+        elif job.kind == JOB_KIND_QUOTE:
+            from repro.data.layer import LayerTerms  # deferred import
+
+            service = ctx.quote_service(self.store)
+            elt_ids = [int(e) for e in job.payload["elt_ids"]]
+            terms = LayerTerms(*[float(t) for t in job.payload["terms"]])
+            layer_id = int(job.payload.get("layer_id", 9999))
+            derived = service.loss_store_key(elt_ids, terms, layer_id)
+            if derived != job.key:
+                # Submitter/worker config drift: computing would store
+                # under the wrong address and the submitter's promised
+                # replay would silently never happen.  Fail loudly.
+                raise ValueError(
+                    f"quote job {job.job_id}: worker-derived store key "
+                    f"{derived[:16]}… != submitted {job.key[:16]}… — the "
+                    "manifest's workload/config does not reproduce the "
+                    "submitting service's inputs"
+                )
+            started = time.perf_counter()
+            before = service.cache_stats()["losses"]["store_hits"]
+            service.candidate_losses(elt_ids, terms, layer_id=layer_id)
+            after = service.cache_stats()["losses"]["store_hits"]
+            if after > before:
+                self.stats.reused += 1
+            else:
+                self.stats.computed += 1
+                self.stats.compute_seconds += time.perf_counter() - started
+        else:
+            raise ValueError(f"unknown job kind {job.kind!r}")
+
+    # ------------------------------------------------------------------
+    def run_one(self, sweep_id: str | None = None) -> bool:
+        """Claim and process a single job; ``False`` when none pending."""
+        job = self.queue.claim(self.worker_id, sweep_id=sweep_id)
+        if job is None:
+            return False
+        self.stats.claimed += 1
+        try:
+            with _Heartbeat(self.queue, job, self.queue.lease_seconds / 4):
+                self._run_job(job)
+        except (KeyboardInterrupt, SystemExit):
+            # A killed worker must stop, not eat the signal — hand the
+            # job straight back (the interruption is not the job's
+            # fault, so the attempt is not charged against it).
+            job.attempts = max(0, job.attempts - 1)
+            self.queue.fail(job, "worker interrupted", requeue=True)
+            raise
+        except Exception as exc:
+            state = self.queue.fail(job, repr(exc))
+            if state == "failed":
+                self.stats.failed += 1
+                self.stats.errors[job.job_id] = repr(exc)
+            return True
+        self.queue.complete(job)
+        return True
+
+    def run(
+        self,
+        sweep_id: str | None = None,
+        max_jobs: int | None = None,
+        drain: bool = True,
+        poll_seconds: float = 0.05,
+    ) -> WorkerStats:
+        """Process jobs until the sweep (or queue) has no open work.
+
+        ``drain=True`` keeps the worker alive while *other* workers
+        still hold claims — their jobs may yet expire back to pending,
+        and this worker requeues them (``requeue_expired``) as part of
+        its idle loop.  ``drain=False`` exits at the first empty claim.
+        ``max_jobs`` bounds the work taken (testing and fair-share
+        scenarios).
+        """
+        done = 0
+        while max_jobs is None or done < max_jobs:
+            if self.run_one(sweep_id=sweep_id):
+                done += 1
+                continue
+            self.stats.requeued_for_peers += len(self.queue.requeue_expired())
+            if self.queue.active_count(sweep_id) == 0 or not drain:
+                break
+            time.sleep(poll_seconds)
+        return self.stats

@@ -17,14 +17,21 @@ same analysis.
 
 from __future__ import annotations
 
+import json
 import os
 import shutil
 import uuid
 import zlib
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Union
+from typing import Any, Union
 
 import numpy as np
+
+try:  # POSIX advisory locks; absent on some platforms
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 PathLike = Union[str, Path]
 
@@ -114,3 +121,91 @@ def publish_dir(tmp: PathLike, final: PathLike) -> bool:
 def remove_dir(path: PathLike) -> None:
     """Best-effort recursive removal (corrupt-entry self-healing)."""
     shutil.rmtree(Path(path), ignore_errors=True)
+
+
+def touch(path: PathLike) -> bool:
+    """Set ``path``'s timestamps to now (best effort; ``False`` on failure).
+
+    The file store calls this on every entry read, so a directory's
+    mtime doubles as a last-access time that ``repro-store gc``'s LRU
+    policy can trust even on ``noatime`` mounts.
+    """
+    try:
+        os.utime(path, None)
+        return True
+    except OSError:
+        return False
+
+
+def write_json_atomic(path: PathLike, payload: Any) -> None:
+    """Serialise ``payload`` to ``path`` via the tmp + rename discipline.
+
+    Readers see the complete old document or the complete new one,
+    never a torn write — the property the fleet job queue's state files
+    rely on (``os.replace`` also *moves* files between queue state
+    directories atomically).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f".{path.name}.tmp-{os.getpid()}-{uuid.uuid4().hex}"
+    tmp.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+
+
+def read_json(path: PathLike) -> Any:
+    """Parse a JSON file, or ``None`` when missing/garbled.
+
+    A vanished file is normal under the queue's rename-based claims (a
+    racing worker moved it); a garbled one is treated the same way —
+    absence, never a wrong answer.
+    """
+    try:
+        return json.loads(Path(path).read_text())
+    except (OSError, ValueError):
+        return None
+
+
+@contextmanager
+def lock_file(path: PathLike, create: bool = True):
+    """Advisory exclusive lock on ``path`` (``flock(2)``), as a context.
+
+    Yields ``True`` while the lock is held.  This is the per-key
+    exclusivity primitive shared by :class:`~repro.store.SharedFileStore`
+    (one computation per key per fleet) and the fleet job queue's
+    requeue scan (one requeue per expired lease).  Degrades gracefully —
+    yields ``False`` without locking — on platforms without ``fcntl`` or
+    when the lock file cannot be created (read-only cache dir): callers
+    lose cross-process exclusivity, never correctness, because every
+    durable write behind the lock is idempotent by content addressing.
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX fallback
+        yield False
+        return
+    path = Path(path)
+    try:
+        if create:
+            path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(path, os.O_CREAT | os.O_RDWR, 0o644)
+    except OSError:
+        yield False
+        return
+    try:
+        fcntl.flock(fd, fcntl.LOCK_EX)
+        yield True
+    finally:
+        try:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)
+
+
+def dir_nbytes(path: PathLike) -> int:
+    """Total size in bytes of the regular files under ``path``."""
+    total = 0
+    for root, _dirs, files in os.walk(path):
+        for name in files:
+            try:
+                total += os.stat(os.path.join(root, name)).st_size
+            except OSError:
+                continue
+    return total

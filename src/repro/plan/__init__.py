@@ -24,9 +24,15 @@ from repro.plan.cache import (
     elt_set_fingerprint,
     yet_fingerprint,
 )
-from repro.plan.execute import execute_plan_cpu
+from repro.plan.delta import DeltaPlan, SegmentRecord
+from repro.plan.execute import (
+    execute_plan_cpu,
+    execute_segment_cpu,
+    task_losses,
+)
 from repro.plan.plan import ExecutionPlan, PlanTask
 from repro.plan.planner import (
+    DEFAULT_SEGMENT_TRIALS,
     DENSE_DEFAULT_BATCH_TRIALS,
     EngineCapabilities,
     Planner,
@@ -40,9 +46,14 @@ __all__ = [
     "EngineCapabilities",
     "Scheduler",
     "PlanResultCache",
+    "DeltaPlan",
+    "SegmentRecord",
     "execute_plan_cpu",
+    "execute_segment_cpu",
+    "task_losses",
     "elt_fingerprint",
     "elt_set_fingerprint",
     "yet_fingerprint",
     "DENSE_DEFAULT_BATCH_TRIALS",
+    "DEFAULT_SEGMENT_TRIALS",
 ]

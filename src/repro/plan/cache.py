@@ -123,7 +123,14 @@ class PlanResultCache:
         self.store_errors = 0
 
     # ------------------------------------------------------------------
-    def _store_key(self, key: Hashable) -> str:
+    def store_key(self, key: Hashable) -> str:
+        """The digested backing-store key of a cache key.
+
+        Public so other layers can address the same durable entries —
+        the fleet's quote jobs are keyed by exactly this digest, which
+        is how a worker process's write-through becomes the submitting
+        service's store hit.
+        """
         from repro.store.keys import fingerprint_digest  # deferred import
 
         return fingerprint_digest(self.namespace, key)
@@ -158,7 +165,7 @@ class PlanResultCache:
             return entry_from_array(value)
 
         try:
-            entry = self.store.get_or_compute(self._store_key(key), produce)
+            entry = self.store.get_or_compute(self.store_key(key), produce)
         except _Unstorable:
             return holder["value"]
         except BaseException:

@@ -229,3 +229,127 @@ def profile_merge_into(target: ActivityProfile, source: ActivityProfile) -> None
     for activity, seconds in source.seconds.items():
         if seconds:
             target.charge(activity, seconds)
+
+
+# ----------------------------------------------------------------------
+# Single-task execution (the fleet worker's unit of work)
+# ----------------------------------------------------------------------
+def task_losses(
+    yet: YearEventTable,
+    layer,
+    lookups,
+    stacked,
+    task: PlanTask,
+    kernel: str,
+    dtype: np.dtype | type = np.float64,
+    secondary=None,
+    base_seed: int = 0,
+    pool: ScratchBufferPool | None = None,
+    profile: ActivityProfile | None = None,
+) -> np.ndarray:
+    """Per-trial year losses of one plan task, on the CPU kernels.
+
+    This is the same kernel dispatch — arguments, stream keys, seeds —
+    as :func:`execute_plan_cpu`'s inner loops, exposed at single-task
+    granularity so a fleet worker computing one segment produces bytes
+    identical to a monolithic run of the containing plan.  (The full
+    executor keeps its own loop for the double-buffered fetch; any
+    change to the dispatch must land in both, and the golden-YLT and
+    fleet bitwise tests pin the equivalence.)
+    """
+    profile = profile if profile is not None else ActivityProfile()
+    pool = pool if pool is not None else ScratchBufferPool()
+    if kernel == KERNEL_RAGGED:
+        ids, offs = yet.csr_block(task.trial_start, task.trial_stop)
+        if secondary is not None:
+            return layer_trial_batch_secondary_ragged(
+                ids,
+                offs,
+                lookups,
+                layer.terms,
+                secondary,
+                layer_stream_key(base_seed, layer.layer_id),
+                stacked=stacked,
+                occ_base=task.occ_start,
+                profile=profile,
+                dtype=dtype,
+                pool=pool,
+            )
+        return layer_trial_batch_ragged(
+            ids,
+            offs,
+            lookups,
+            layer.terms,
+            stacked=stacked,
+            profile=profile,
+            dtype=dtype,
+            pool=pool,
+        )
+    dense = yet.slice_trials(task.trial_start, task.trial_stop).to_dense()
+    if secondary is not None:
+        return layer_trial_batch_secondary(
+            dense,
+            lookups,
+            layer.terms,
+            secondary,
+            seed=stable_hash_seed(
+                base_seed, "dense-secondary", layer.layer_id, task.trial_start
+            ),
+            profile=profile,
+            dtype=dtype,
+        )
+    return layer_trial_batch(
+        dense, lookups, layer.terms, profile=profile, dtype=dtype
+    )
+
+
+def execute_segment_cpu(
+    yet: YearEventTable,
+    portfolio: Portfolio,
+    catalog_size: int,
+    task: PlanTask,
+    kernel: str,
+    lookup_kind: str = "direct",
+    dtype: np.dtype | type = np.float64,
+    secondary=None,
+    secondary_seed=None,
+    cache=None,
+    pool: ScratchBufferPool | None = None,
+    profile: ActivityProfile | None = None,
+) -> np.ndarray:
+    """Self-contained segment execution: tables + :func:`task_losses`.
+
+    Returns the task's per-trial losses as ``float64`` — exactly the
+    bytes a monolithic executor would write into its output row for
+    this trial range, and therefore exactly what the fleet stores under
+    the segment's content-addressed key.
+    """
+    layer = portfolio.layer(task.layer_id)
+    profile = profile if profile is not None else ActivityProfile()
+    with profile.track(ACTIVITY_FETCH):
+        lookups, stacked, _ = build_layer_tables(
+            portfolio.elts_of(layer),
+            catalog_size,
+            lookup_kind,
+            dtype,
+            kernel,
+            cache=cache,
+        )
+    base_seed = (
+        resolve_secondary_seed(secondary_seed) if secondary is not None else 0
+    )
+    out = np.empty(task.n_trials, dtype=np.float64)
+    out[:] = task_losses(
+        yet,
+        layer,
+        lookups,
+        stacked,
+        task,
+        kernel,
+        dtype=dtype,
+        secondary=secondary,
+        base_seed=base_seed,
+        pool=pool,
+        profile=profile,
+    )
+    return out

@@ -48,6 +48,12 @@ from repro.utils.validation import check_positive
 #: legacy dense batch depth (the pre-plan sequential engine's default).
 DENSE_DEFAULT_BATCH_TRIALS = 8192
 
+#: default fixed stride of :meth:`Planner.plan_segments`.  A *constant*
+#: (not autotuned) on purpose: segment boundaries must depend on nothing
+#: but the stride, so extending a YET preserves every complete
+#: segment's trial range — and therefore its store key.
+DEFAULT_SEGMENT_TRIALS = 4096
+
 BALANCE_MODES = ("auto", "events", "trials")
 SLOT_BATCHING_MODES = ("batched", "whole")
 
@@ -217,3 +223,146 @@ class Planner:
         )
         plan.validate_coverage()
         return plan
+
+    # ------------------------------------------------------------------
+    # Store-aware planning
+    # ------------------------------------------------------------------
+    def plan_segments(
+        self,
+        yet: YearEventTable,
+        portfolio: Portfolio,
+        caps: EngineCapabilities,
+        segment_trials: int = DEFAULT_SEGMENT_TRIALS,
+    ) -> ExecutionPlan:
+        """Fixed-stride decomposition: the delta-stable segmentation.
+
+        Every layer is cut at multiples of ``segment_trials`` from
+        trial 0 — boundaries depend on the stride alone, not on lane
+        counts, autotuned batch depths, or the YET's total size.  Two
+        consequences make this the fleet's canonical sweep shape:
+
+        * **prefix stability** — appending trials to a YET leaves every
+          complete old segment's range (and so its content-addressed
+          store key) unchanged; only the new tail is new work;
+        * **uniform jobs** — each task is one queue job of comparable
+          size, so a fleet of workers load-balances by pulling.
+
+        Each segment gets its own ``slot`` (they are mutually
+        independent), so the plan also executes directly on any engine
+        or scheduler, with results bit-for-bit identical to the
+        engine's native decomposition on the ragged and dense-primary
+        paths (dense *secondary* draws are keyed by task start, making
+        decomposition part of result identity — use the engine's own
+        plan when replaying those).
+        """
+        check_positive("segment_trials", segment_trials)
+        if yet.n_trials == 0:
+            raise ValueError("cannot plan over a YET with no trials")
+        portfolio.validate()
+        offsets = yet.offsets
+        stride = int(segment_trials)
+        tasks: List[PlanTask] = []
+        for layer in portfolio.layers:
+            for seq, t0 in enumerate(range(0, yet.n_trials, stride)):
+                t1 = min(t0 + stride, yet.n_trials)
+                tasks.append(
+                    PlanTask(
+                        task_id=len(tasks),
+                        layer_id=layer.layer_id,
+                        slot=seq,
+                        seq=0,
+                        trial_start=t0,
+                        trial_stop=t1,
+                        occ_start=int(offsets[t0]),
+                        occ_stop=int(offsets[t1]),
+                    )
+                )
+        n_slots = -(-yet.n_trials // stride)
+        plan = ExecutionPlan(
+            n_trials=yet.n_trials,
+            n_occurrences=yet.n_occurrences,
+            layer_ids=tuple(layer.layer_id for layer in portfolio.layers),
+            n_slots=n_slots,
+            kernel=caps.kernel,
+            balance="trials",
+            tasks=tuple(tasks),
+            meta={
+                "engine": caps.engine,
+                "slot_batching": "segments",
+                "segment_trials": stride,
+                "requested_slots": n_slots,
+            },
+        )
+        plan.validate_coverage()
+        return plan
+
+    def plan_missing(
+        self,
+        yet: YearEventTable,
+        portfolio: Portfolio,
+        caps: EngineCapabilities,
+        store,
+        lookup_kind: str = "direct",
+        secondary=None,
+        secondary_seed: int = 0,
+        segment_trials: int | None = None,
+        plan: ExecutionPlan | None = None,
+    ):
+        """Store-aware delta planning: mark what is already computed.
+
+        Derives each task's content-addressed segment key
+        (:func:`repro.store.keys.segment_key`) and probes ``store`` for
+        it, returning a :class:`~repro.plan.delta.DeltaPlan` whose
+        :meth:`~repro.plan.delta.DeltaPlan.missing_plan` covers only
+        the absent segments.  The plan defaults to the engine-native
+        decomposition (:meth:`plan`), or the fixed-stride
+        :meth:`plan_segments` when ``segment_trials`` is given — the
+        delta-friendly choice for growing trial databases.
+
+        ``secondary_seed`` is the *resolved* base seed (engines resolve
+        theirs via ``_secondary_base_seed``); ``store=None`` marks every
+        segment missing (a cold plan).
+        """
+        from repro.plan.delta import DeltaPlan, SegmentRecord
+        from repro.store.keys import (  # deferred imports
+            layer_fingerprint,
+            segment_key,
+        )
+
+        if plan is None:
+            if segment_trials is not None:
+                plan = self.plan_segments(
+                    yet, portfolio, caps, segment_trials
+                )
+            else:
+                plan = self.plan(yet, portfolio, caps)
+        layer_fps = {
+            layer.layer_id: layer_fingerprint(portfolio, layer)
+            for layer in portfolio.layers
+        }
+        records = []
+        for task in plan.tasks:
+            key = segment_key(
+                yet,
+                portfolio,
+                task.layer_id,
+                task.trial_start,
+                task.trial_stop,
+                task.occ_start,
+                kernel=plan.kernel,
+                dtype=caps.dtype,
+                lookup_kind=lookup_kind,
+                secondary=secondary,
+                secondary_seed=secondary_seed,
+                layer_fp=layer_fps[task.layer_id],
+            )
+            records.append(
+                SegmentRecord(
+                    task=task,
+                    key=key,
+                    stored=store is not None and store.contains(key),
+                )
+            )
+        delta = DeltaPlan(plan=plan, segments=tuple(records))
+        delta.validate_coverage()
+        return delta

@@ -41,13 +41,18 @@ from repro.store.filestore import (
     default_store,
     resolve_cache_dir,
 )
+from repro.store.gc import GCReport, collect_garbage, scan_entries
 from repro.store.keys import (
     KEY_SCHEMA,
+    SEGMENT_SCHEMA,
     analysis_key,
     canonical_bytes,
     fingerprint_digest,
+    layer_fingerprint,
     portfolio_fingerprint,
     secondary_fingerprint,
+    segment_key,
+    yet_slice_fingerprint,
     ylt_digest,
 )
 
@@ -72,6 +77,13 @@ __all__ = [
     "canonical_bytes",
     "portfolio_fingerprint",
     "secondary_fingerprint",
+    "segment_key",
+    "layer_fingerprint",
+    "yet_slice_fingerprint",
     "ylt_digest",
     "KEY_SCHEMA",
+    "SEGMENT_SCHEMA",
+    "GCReport",
+    "collect_garbage",
+    "scan_entries",
 ]

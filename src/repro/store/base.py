@@ -141,8 +141,19 @@ class ResultStore(abc.ABC):
         with self._lock:
             self.puts += 1
 
-    def __contains__(self, key: str) -> bool:
+    def contains(self, key: str) -> bool:
+        """Cheap existence probe (no payload read, no hit/miss counting).
+
+        The base implementation falls back to a full ``_get``;
+        directory-backed stores override it with a stat call.  Used by
+        the store-aware planner, which probes every segment of a sweep:
+        a ``True`` from a store whose entry later proves corrupt costs
+        one requeued job, never a wrong answer.
+        """
         return self._get(check_key(key)) is not None
+
+    def __contains__(self, key: str) -> bool:
+        return self.contains(key)
 
     def get_or_compute(
         self, key: str, compute: Callable[[], StoreEntry]

@@ -39,17 +39,14 @@ import numpy as np
 from repro.io.atomic import (
     array_crc32,
     load_npy,
+    lock_file,
     publish_dir,
     remove_dir,
     scratch_dir,
+    touch,
     write_npy,
 )
 from repro.store.base import MemoryStore, ResultStore, StoreEntry, check_key
-
-try:  # POSIX advisory locks; absent on some platforms
-    import fcntl
-except ImportError:  # pragma: no cover - non-POSIX fallback
-    fcntl = None  # type: ignore[assignment]
 
 PathLike = Union[str, Path]
 
@@ -89,6 +86,11 @@ class FileStore(ResultStore):
         Check each array's recorded CRC32 on read.  Costs one pass over
         the bytes; disable to keep mmap reads fully lazy when the
         filesystem is trusted.
+    track_access:
+        Touch each entry directory's mtime on successful read (one
+        ``utime`` syscall), giving ``repro-store gc``'s LRU policy a
+        last-access time that survives ``noatime`` mounts.  Disable for
+        read-only cache dirs.
     """
 
     def __init__(
@@ -96,11 +98,13 @@ class FileStore(ResultStore):
         cache_dir: PathLike | None = None,
         mmap: bool = True,
         verify: bool = True,
+        track_access: bool = True,
     ) -> None:
         super().__init__()
         self.cache_dir = resolve_cache_dir(cache_dir)
         self.mmap = bool(mmap)
         self.verify = bool(verify)
+        self.track_access = bool(track_access)
 
     # -- paths ---------------------------------------------------------
     @property
@@ -141,6 +145,8 @@ class FileStore(ResultStore):
                 if self.verify and array_crc32(array) != int(spec["crc32"]):
                     raise ValueError(f"array {name!r}: checksum mismatch")
                 arrays[name] = array
+            if self.track_access:
+                touch(path)
             return StoreEntry(arrays=arrays, meta=manifest.get("meta", {}))
         except (OSError, ValueError, KeyError, TypeError):
             # Truncated/garbled entries are a miss, never a wrong answer.
@@ -169,6 +175,10 @@ class FileStore(ResultStore):
             remove_dir(tmp)
             raise
         publish_dir(tmp, self.entry_dir(key))
+
+    def contains(self, key: str) -> bool:
+        """Existence = a published ``meta.json`` (one stat, no read)."""
+        return (self.entry_dir(key) / _META_NAME).is_file()
 
     # -- bookkeeping ---------------------------------------------------
     def _size_hint(self):
@@ -211,29 +221,11 @@ class SharedFileStore(FileStore):
 
     @contextmanager
     def _exclusive(self, key: str):
-        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+        # An unlockable cache dir costs cross-process dedup, never the
+        # computation (lock_file degrades to an unlocked pass-through
+        # and in-process dedup still holds).
+        with lock_file(self._locks_dir / f"{key}.lock"):
             yield
-            return
-        try:
-            self._locks_dir.mkdir(parents=True, exist_ok=True)
-            fd = os.open(
-                self._locks_dir / f"{key}.lock",
-                os.O_CREAT | os.O_RDWR,
-                0o644,
-            )
-        except OSError:
-            # An unlockable cache dir costs cross-process dedup, never
-            # the computation (in-process dedup still holds).
-            yield
-            return
-        try:
-            fcntl.flock(fd, fcntl.LOCK_EX)
-            yield
-        finally:
-            try:
-                fcntl.flock(fd, fcntl.LOCK_UN)
-            finally:
-                os.close(fd)
 
 
 class TieredStore(ResultStore):
@@ -269,6 +261,29 @@ class TieredStore(ResultStore):
 
     def _exclusive(self, key: str):
         return self.stores[-1]._exclusive(key)
+
+    def contains(self, key: str) -> bool:
+        return any(store.contains(key) for store in self.stores)
+
+    def stats(self) -> Dict[str, object]:
+        """Aggregated counters plus the per-tier breakdown.
+
+        Top-level ``hits``/``misses`` count requests against the tiered
+        view; counters that only ever tick *inside* a tier — capacity
+        ``evictions`` (memory LRU), ``corrupt_misses`` (file damage),
+        ``put_errors`` (failed write-throughs) — are summed into the
+        aggregate so every :class:`ResultStore` backend reports the
+        same shape, and ``tiers`` carries each tier's own view in
+        order (fleet workers log this to show cache effectiveness).
+        """
+        aggregated: Dict[str, object] = super().stats()
+        tiers = [store.stats() for store in self.stores]
+        for field in ("evictions", "corrupt_misses", "put_errors"):
+            aggregated[field] = int(aggregated[field]) + sum(
+                int(tier[field]) for tier in tiers
+            )
+        aggregated["tiers"] = tiers
+        return aggregated
 
     def _size_hint(self):
         return self.stores[0]._size_hint()  # the hot tier's count

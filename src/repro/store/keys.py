@@ -26,11 +26,12 @@ from __future__ import annotations
 
 import hashlib
 import struct
+import zlib
 from typing import Any
 
 import numpy as np
 
-from repro.data.layer import Portfolio
+from repro.data.layer import Layer, Portfolio
 from repro.data.yet import YearEventTable
 from repro.data.ylt import YearLossTable
 from repro.plan.cache import elt_set_fingerprint, yet_fingerprint
@@ -39,6 +40,9 @@ from repro.plan.plan import ExecutionPlan
 #: bump when key composition changes (old entries become unreachable,
 #: which is the only invalidation this design ever needs).
 KEY_SCHEMA = "repro-analysis-v1"
+
+#: schema of per-segment keys (the fleet's unit of stored work).
+SEGMENT_SCHEMA = "repro-segment-v1"
 
 
 def canonical_bytes(value: Any) -> bytes:
@@ -147,6 +151,97 @@ def analysis_key(
         str(np.dtype(dtype).str),
         str(lookup_kind),
         secondary_fingerprint(secondary, secondary_seed),
+    )
+
+
+def yet_slice_fingerprint(
+    yet: YearEventTable, start: int, stop: int
+) -> tuple:
+    """Content fingerprint of trials ``[start, stop)`` of a YET.
+
+    Deliberately *position-free*: the offsets are rebased to the slice,
+    so an identical run of trials fingerprints the same wherever it
+    sits in the table.  That is what makes segment keys stable when a
+    trial database is extended — the old trials' segments keep their
+    keys and a delta plan re-computes only the new tail.  (Stream
+    position *is* part of result identity for stochastic kernels; the
+    secondary-uncertainty components of :func:`segment_key` add it back
+    exactly where the draws depend on it.)
+    """
+    ids, offsets = yet.csr_block(start, stop)
+    return (
+        int(stop - start),
+        int(ids.size),
+        zlib.crc32(np.ascontiguousarray(ids).tobytes()),
+        zlib.crc32(np.ascontiguousarray(offsets).tobytes()),
+    )
+
+
+def layer_fingerprint(portfolio: Portfolio, layer: Layer) -> tuple:
+    """Content fingerprint of one layer: id, terms, and ELT contents."""
+    return (
+        int(layer.layer_id),
+        layer.terms.as_tuple(),
+        elt_set_fingerprint(portfolio.elts_of(layer)),
+    )
+
+
+def segment_key(
+    yet: YearEventTable,
+    portfolio: Portfolio,
+    layer_id: int,
+    trial_start: int,
+    trial_stop: int,
+    occ_start: int,
+    kernel: str,
+    dtype: str,
+    lookup_kind: str,
+    secondary=None,
+    secondary_seed: int = 0,
+    layer_fp: tuple | None = None,
+) -> str:
+    """The store key of one segment: a (layer, trial-range) of work.
+
+    This is the fleet's unit of memoisation — one
+    :class:`~repro.plan.plan.PlanTask` worth of per-trial year losses.
+    The key covers the trial slice's *content* (not its position), the
+    layer's full numeric identity, and the kernel/precision/lookup
+    configuration; deterministic configurations therefore share
+    segments across sweeps, across portfolio perturbations that leave a
+    layer untouched, and across YET extensions that leave a trial range
+    untouched.
+
+    Stochastic state re-introduces position exactly where the kernels
+    consume it: the ragged secondary path draws by *global occurrence
+    index* (``occ_start`` joins the key), the dense secondary path by
+    the task's *trial start* (``trial_start`` joins the key).  Primary
+    segments carry neither, so a repeated block of trials is recognised
+    as the same work wherever it lands.
+
+    ``layer_fp`` lets a caller deriving many keys of one layer pass the
+    precomputed :func:`layer_fingerprint` (the planner fingerprints
+    each layer once per delta plan, not once per segment).
+    """
+    stream = None
+    if secondary is not None:
+        position = (
+            int(trial_start) if kernel == "dense" else int(occ_start)
+        )
+        stream = (
+            str(kernel),
+            secondary_fingerprint(secondary, secondary_seed),
+            position,
+        )
+    if layer_fp is None:
+        layer_fp = layer_fingerprint(portfolio, portfolio.layer(layer_id))
+    return fingerprint_digest(
+        SEGMENT_SCHEMA,
+        str(kernel),
+        yet_slice_fingerprint(yet, trial_start, trial_stop),
+        layer_fp,
+        str(np.dtype(dtype).str),
+        str(lookup_kind),
+        stream,
     )
 
 
