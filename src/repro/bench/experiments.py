@@ -1368,6 +1368,215 @@ def fleet_ablation(
     return report
 
 
+# ----------------------------------------------------------------------
+# CHAOS-ABLATE: fleet sweeps under injected faults
+# ----------------------------------------------------------------------
+def chaos_bench_spec() -> WorkloadSpec:
+    """The chaos workload: the fleet bench at half the trial count.
+
+    Same two-layer shared-pool shape as :func:`fleet_bench_spec` (so
+    chaos rows are comparable to fleet rows), sized so a baseline
+    sweep is long enough for a lease expiry to be *recoverable within*
+    the run — the kill row's inflation bound is meaningful — while the
+    whole experiment stays CI-sized.
+    """
+    return fleet_bench_spec().with_(name="chaos-bench", n_trials=8_000)
+
+
+def chaos_ablation(
+    measured_spec: WorkloadSpec | None = None,
+    measure: bool = True,
+    n_workers: int = 4,
+    segment_trials: int = 1_000,
+    lease_seconds: float = 0.25,
+    repeats: int = 2,
+    seed: int = 2013,
+    base_dir=None,
+) -> ExperimentReport:
+    """Fleet sweeps under injected faults: same bytes, bounded slowdown.
+
+    Four rows, one seeded workload, every sweep through the same
+    chaos harness (:class:`~repro.faults.runner.ChaosRunner`, so the
+    baseline carries identical wrapper overhead):
+
+    * **baseline** — an empty fault plan;
+    * **kill-1** — 1 of ``n_workers`` dies at its first claim (no
+      cleanup; peers must requeue the lease).  Guarded: digest equal
+      to baseline, makespan inflation ≤ 2x;
+    * **store-faults** — a torn write, transient read corruption,
+      transient get IO errors and one dropped put.  Guarded: digest
+      equal, zero duplicate-compute leaks (every extra compute is
+      accounted to an invalidated entry or a dropped put);
+    * **split-brain** — stalled heartbeats (seeded coin flips), a
+      duplicate claim, injected read latency.  Guarded: digest equal,
+      zero leaks (the dedup machinery absorbs the double claims).
+
+    Timing rows are min-of-``repeats``; digest equality must hold on
+    *every* repeat (a single mismatching run is a correctness bug, not
+    noise).
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.engines.registry import create_engine
+    from repro.faults import (
+        KIND_CORRUPT,
+        KIND_DUPLICATE_CLAIM,
+        KIND_IO_ERROR,
+        KIND_KILL,
+        KIND_LATENCY,
+        KIND_STALL_HEARTBEAT,
+        KIND_TORN_WRITE,
+        OP_CLAIM,
+        OP_GET,
+        OP_HEARTBEAT,
+        OP_PUT,
+        ChaosRunner,
+        FaultPlan,
+        FaultSpec,
+        no_faults,
+    )
+
+    report = ExperimentReport(
+        exp_id="CHAOS-ABLATE",
+        title="Chaos-hardened fleet: digest equality under injected faults",
+    )
+    if measured_spec is None:
+        measured_spec = chaos_bench_spec()
+    if not measure:
+        report.note("measure=False: nothing to report (no model rows).")
+        return report
+
+    workload = get_workload(measured_spec)
+    tmp = None
+    if base_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="chaos-ablate-")
+        base_dir = tmp.name
+    base_dir = Path(base_dir)
+
+    plans = {
+        "kill-1": lambda: FaultPlan(
+            seed,
+            [FaultSpec(kind=KIND_KILL, op=OP_CLAIM, at=1, times=1)],
+        ),
+        "store-faults": lambda: FaultPlan(
+            seed,
+            [
+                FaultSpec(kind=KIND_TORN_WRITE, op=OP_PUT, at=2, times=1),
+                FaultSpec(kind=KIND_CORRUPT, op=OP_GET, every=7, times=2),
+                FaultSpec(kind=KIND_IO_ERROR, op=OP_GET, every=5, times=4),
+                FaultSpec(kind=KIND_IO_ERROR, op=OP_PUT, at=4, times=1),
+            ],
+        ),
+        "split-brain": lambda: FaultPlan(
+            seed,
+            [
+                FaultSpec(
+                    kind=KIND_STALL_HEARTBEAT,
+                    op=OP_HEARTBEAT,
+                    probability=0.6,
+                ),
+                FaultSpec(
+                    kind=KIND_DUPLICATE_CLAIM, op=OP_CLAIM, at=2, times=1
+                ),
+                FaultSpec(
+                    kind=KIND_LATENCY,
+                    op=OP_GET,
+                    every=4,
+                    latency_seconds=0.005,
+                ),
+            ],
+        ),
+    }
+
+    try:
+        runner = ChaosRunner(
+            workload.yet,
+            workload.portfolio,
+            workload.catalog.n_events,
+            create_engine("sequential"),
+            base_dir,
+            segment_trials=segment_trials,
+            n_workers=n_workers,
+            lease_seconds=lease_seconds,
+        )
+
+        def best_of(label: str, plan_factory) -> "tuple":
+            """Min-seconds run; every repeat's digest collected."""
+            runs = [
+                runner.run(plan_factory(), label=f"{label}-{k}")
+                for k in range(repeats)
+            ]
+            return (
+                min(runs, key=lambda r: r.seconds),
+                sorted({r.digest for r in runs}),
+            )
+
+        baseline, base_digests = best_of(
+            "baseline", lambda: no_faults(seed)
+        )
+        if len(base_digests) != 1:
+            raise AssertionError(
+                f"fault-free chaos baseline not deterministic: "
+                f"{base_digests}"
+            )
+        report.add(
+            mode="baseline",
+            workers=n_workers,
+            measured_seconds=baseline.seconds,
+            rounds=baseline.rounds,
+            computed=baseline.computed,
+            speculated=baseline.speculated,
+            duplicate_compute_leaks=baseline.duplicate_compute_leaks,
+            ylt_digest=baseline.digest,
+        )
+
+        for mode, plan_factory in plans.items():
+            result, digests = best_of(mode, plan_factory)
+            report.add(
+                mode=mode,
+                workers=n_workers,
+                measured_seconds=result.seconds,
+                inflation_vs_baseline=(
+                    result.seconds / baseline.seconds
+                    if baseline.seconds
+                    else 1.0
+                ),
+                rounds=result.rounds,
+                computed=result.computed,
+                speculated=result.speculated,
+                store_retries=result.store_retries,
+                requeued=result.requeued,
+                invalidated=result.invalidated,
+                dropped_puts=result.dropped_puts,
+                duplicate_compute_leaks=result.duplicate_compute_leaks,
+                workers_killed=len(result.killed_workers),
+                fault_counts=dict(result.fault_counts),
+                ylt_digest=result.digest,
+                digest_matches_baseline=(
+                    digests == [baseline.digest]
+                ),
+            )
+
+        kill_row = next(r for r in report.rows if r["mode"] == "kill-1")
+        report.note(
+            f"digest equality held under every fault plan "
+            f"({', '.join(plans)}): injected kills, torn writes, "
+            "corruption, IO errors, stalled heartbeats and duplicate "
+            "claims change wall-clock, never bytes."
+        )
+        report.note(
+            f"killing 1 of {n_workers} workers at its first claim "
+            f"inflated the sweep {kill_row['inflation_vs_baseline']:.2f}x "
+            f"(lease {lease_seconds}s; peers requeued the orphaned lease "
+            "and speculation back-filled stragglers)."
+        )
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+    return report
+
+
 def ext_secondary(
     measured_spec: WorkloadSpec = DEFAULT_MEASURED, measure: bool = True
 ) -> ExperimentReport:
@@ -1435,6 +1644,7 @@ ALL_EXPERIMENTS = {
     "PLAN-ABLATE": plan_ablation,
     "REPLAY-ABLATE": replay_ablation,
     "FLEET-ABLATE": fleet_ablation,
+    "CHAOS-ABLATE": chaos_ablation,
     "EXT-SECONDARY": ext_secondary,
 }
 """Experiment id → generator function (the per-experiment index)."""

@@ -1,0 +1,75 @@
+"""Seeded fault injection for the fleet tier (the chaos harness).
+
+The subsystem that *earns* the robustness claims the fleet makes:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`, reproducible fault
+  schedules (SHA-256 draws keyed on seed, rule, operation count, key;
+  never wall-clock), so every chaos failure replays;
+* :mod:`repro.faults.store` — :class:`FaultyStore`, injecting corrupt
+  reads, torn writes, transient IO errors and latency into any
+  :class:`~repro.store.base.ResultStore`;
+* :mod:`repro.faults.queue` — :class:`FaultyQueue`, injecting worker
+  kills at claim, stalled heartbeats and duplicate claims into the
+  :class:`~repro.fleet.jobs.JobQueue`;
+* :mod:`repro.faults.runner` — :class:`ChaosRunner`, full fleet sweeps
+  under a plan, hard-asserting YLT digest equality against the
+  fault-free run (the CHAOS-ABLATE experiment's engine).
+"""
+
+from repro.faults.plan import (
+    KIND_CORRUPT,
+    KIND_DUPLICATE_CLAIM,
+    KIND_IO_ERROR,
+    KIND_KILL,
+    KIND_LATENCY,
+    KIND_POISON,
+    KIND_STALL_HEARTBEAT,
+    KIND_TORN_WRITE,
+    OP_CLAIM,
+    OP_COMPUTE,
+    OP_GET,
+    OP_HEARTBEAT,
+    OP_PUT,
+    FaultEvent,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    WorkerKilled,
+    no_faults,
+)
+from repro.faults.queue import FaultyQueue
+from repro.faults.runner import (
+    ChaosDigestMismatch,
+    ChaosReport,
+    ChaosRunner,
+    ChaosRunResult,
+)
+from repro.faults.store import FaultyStore
+
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "FaultEvent",
+    "InjectedFault",
+    "WorkerKilled",
+    "no_faults",
+    "FaultyStore",
+    "FaultyQueue",
+    "ChaosRunner",
+    "ChaosReport",
+    "ChaosRunResult",
+    "ChaosDigestMismatch",
+    "KIND_IO_ERROR",
+    "KIND_CORRUPT",
+    "KIND_TORN_WRITE",
+    "KIND_LATENCY",
+    "KIND_KILL",
+    "KIND_STALL_HEARTBEAT",
+    "KIND_DUPLICATE_CLAIM",
+    "KIND_POISON",
+    "OP_GET",
+    "OP_PUT",
+    "OP_CLAIM",
+    "OP_HEARTBEAT",
+    "OP_COMPUTE",
+]

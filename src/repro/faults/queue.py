@@ -1,0 +1,85 @@
+"""FaultyQueue: a job queue that kills, stalls and double-deals.
+
+A :class:`~repro.fleet.jobs.JobQueue` subclass consulting a
+:class:`~repro.faults.plan.FaultPlan` at the queue's two coordination
+points:
+
+* ``kill`` on ``claim`` — after the rename lands (the job is genuinely
+  claimed, exactly like a real crash window) the claiming worker dies
+  with :class:`~repro.faults.plan.WorkerKilled`.  Nothing cleans up:
+  the job sits in ``claimed/`` until the lease expires and a *peer*
+  requeues it;
+* ``stall_heartbeat`` on ``heartbeat`` — the heartbeat reports success
+  but never touches the file, so a live worker looks dead to the
+  fleet and its job gets requeued out from under it (the duplicate
+  compute is harmless: the store dedups, and the slow worker's
+  ``complete`` simply reports the claim lost);
+* ``duplicate_claim`` on ``claim`` — the job just claimed is *also*
+  handed to the next claimer, simulating a split-brain double claim.
+  Both workers execute; content addressing makes the race benign, and
+  exactly one ``complete`` wins.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from typing import List, Optional
+
+from repro.faults.plan import (
+    KIND_DUPLICATE_CLAIM,
+    KIND_KILL,
+    KIND_STALL_HEARTBEAT,
+    OP_CLAIM,
+    OP_HEARTBEAT,
+    FaultPlan,
+    WorkerKilled,
+)
+from repro.fleet.jobs import FleetJob, JobQueue
+
+
+class FaultyQueue(JobQueue):
+    """A fault-injecting job queue (drop-in for :class:`JobQueue`)."""
+
+    def __init__(self, queue_dir, fault_plan: FaultPlan, **kwargs) -> None:
+        super().__init__(queue_dir, **kwargs)
+        self.fault_plan = fault_plan
+        self._dup_lock = threading.Lock()
+        self._dup_jobs: List[FleetJob] = []
+        #: workers this queue has killed (chaos-report bookkeeping)
+        self.killed_workers: List[str] = []
+
+    def claim(
+        self, worker_id: str | None = None, sweep_id: str | None = None
+    ) -> Optional[FleetJob]:
+        with self._dup_lock:
+            if self._dup_jobs:
+                # Hand out a duplicate of an already-claimed job: this
+                # claimer now believes it owns work a peer also owns.
+                return copy.deepcopy(self._dup_jobs.pop(0))
+        job = super().claim(worker_id, sweep_id=sweep_id)
+        if job is None:
+            return None
+        fired = self.fault_plan.fire(
+            OP_CLAIM, key=job.job_id, worker=worker_id
+        )
+        for spec in fired:
+            if spec.kind == KIND_DUPLICATE_CLAIM:
+                with self._dup_lock:
+                    self._dup_jobs.append(copy.deepcopy(job))
+        for spec in fired:
+            if spec.kind == KIND_KILL:
+                with self._dup_lock:
+                    self.killed_workers.append(worker_id or "?")
+                raise WorkerKilled(
+                    f"injected death of {worker_id!r} holding {job.job_id}"
+                )
+        return job
+
+    def heartbeat(self, job: FleetJob) -> bool:
+        fired = self.fault_plan.fire(
+            OP_HEARTBEAT, key=job.job_id, worker=job.owner
+        )
+        if any(spec.kind == KIND_STALL_HEARTBEAT for spec in fired):
+            return True  # the worker believes the lease was refreshed
+        return super().heartbeat(job)

@@ -1,0 +1,327 @@
+"""ChaosRunner: full fleet sweeps under a fault plan, digest-checked.
+
+The chaos harness's top level: run the same analysis twice through the
+*same* in-process fleet machinery — once fault-free, once under a
+:class:`~repro.faults.plan.FaultPlan` — and compare the assembled YLT
+digests.  The hard claim is the paper-repro invariant extended to a
+hostile substrate: killed workers, stalled heartbeats, duplicate
+claims, torn writes, corrupted reads and transient IO errors must
+change *wall-clock*, never *bytes*.
+
+Both runs go through :class:`~repro.faults.store.FaultyStore` and
+:class:`~repro.faults.queue.FaultyQueue` (the baseline just carries an
+empty plan), so measured overheads are comparable and the makespan
+inflation reported by :meth:`ChaosRunner.compare` isolates the cost of
+the faults themselves.
+
+Recovery is the production loop, not a chaos special case: drain with
+worker threads (a :class:`~repro.faults.plan.WorkerKilled` unwinds one
+thread and the *peers* requeue its lease), gather through the
+verifying assembler (durably damaged segments are deleted and surface
+as missing), then replan — ``submit_sweep`` under the same sweep id
+re-probes the store and enqueues exactly the holes, reviving failed
+jobs — and drain again, up to ``max_rounds`` times.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.data.layer import Portfolio
+from repro.data.yet import YearEventTable
+from repro.faults.plan import FaultPlan, WorkerKilled, no_faults
+from repro.faults.queue import FaultyQueue
+from repro.faults.store import FaultyStore
+from repro.fleet.assemble import FleetAssemblyError
+from repro.fleet.sweep import context_for_engine, gather_sweep, submit_sweep
+from repro.fleet.worker import FleetWorker
+from repro.store.base import MemoryStore, ResultStore
+from repro.store.keys import ylt_digest
+
+
+class ChaosDigestMismatch(AssertionError):
+    """The chaos run's YLT differs from the fault-free run's — a real bug."""
+
+
+@dataclass
+class ChaosRunResult:
+    """One sweep executed under one fault plan."""
+
+    sweep_id: str
+    digest: str
+    seconds: float
+    rounds: int
+    n_segments: int
+    initial_missing: int
+    computed: int
+    reused: int
+    speculated: int
+    store_retries: int
+    requeued: int
+    failed: int
+    invalidated: int  #: durably damaged entries deleted by verification
+    dropped_puts: int  #: computed entries whose put never landed
+    killed_workers: List[str] = field(default_factory=list)
+    fault_counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def duplicate_compute_leaks(self) -> int:
+        """Computes beyond what the fault schedule *requires*.
+
+        Every initially missing segment must be produced once; every
+        invalidated (deleted) entry and every dropped put forces
+        exactly one legitimate recompute.  Total produce invocations
+        are claim-side ``computed`` plus speculative ``speculated``
+        (a speculative produce *is* the key's one compute — the
+        owner's claim then reuses it).  Anything above the requirement
+        is a dedup leak — two workers both ran ``produce`` for one
+        key — which the exactly-once machinery promises never happens
+        in-process.
+        """
+        return (self.computed + self.speculated) - (
+            self.initial_missing + self.invalidated + self.dropped_puts
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "sweep_id": self.sweep_id,
+            "digest": self.digest,
+            "seconds": self.seconds,
+            "rounds": self.rounds,
+            "n_segments": self.n_segments,
+            "initial_missing": self.initial_missing,
+            "computed": self.computed,
+            "reused": self.reused,
+            "speculated": self.speculated,
+            "store_retries": self.store_retries,
+            "requeued": self.requeued,
+            "failed": self.failed,
+            "invalidated": self.invalidated,
+            "dropped_puts": self.dropped_puts,
+            "duplicate_compute_leaks": self.duplicate_compute_leaks,
+            "killed_workers": list(self.killed_workers),
+            "fault_counts": dict(self.fault_counts),
+        }
+
+
+@dataclass
+class ChaosReport:
+    """Baseline vs chaos: the digest-equality and inflation verdict."""
+
+    baseline: ChaosRunResult
+    chaos: ChaosRunResult
+
+    @property
+    def digests_match(self) -> bool:
+        return self.baseline.digest == self.chaos.digest
+
+    @property
+    def inflation(self) -> float:
+        """Chaos wall-clock relative to the fault-free run."""
+        if self.baseline.seconds <= 0.0:
+            return 1.0
+        return self.chaos.seconds / self.baseline.seconds
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "digests_match": self.digests_match,
+            "inflation": self.inflation,
+            "baseline": self.baseline.as_dict(),
+            "chaos": self.chaos.as_dict(),
+        }
+
+
+class ChaosRunner:
+    """Run fleet sweeps of one analysis under injected fault plans.
+
+    ``base_dir`` hosts each run's queue directory (runs are isolated:
+    a fresh queue dir and a fresh store per :meth:`run`).  The store
+    defaults to in-memory — fault injection lives in the wrappers, so
+    chaos tests stay fast; pass ``store_factory`` to chaos a real
+    :class:`~repro.store.filestore.SharedFileStore` instead.
+    """
+
+    def __init__(
+        self,
+        yet: YearEventTable,
+        portfolio: Portfolio,
+        catalog_size: int,
+        engine_obj,
+        base_dir: "str | Path",
+        segment_trials: int | None = None,
+        n_workers: int = 2,
+        lease_seconds: float = 0.5,
+        max_rounds: int = 4,
+        poll_seconds: float = 0.01,
+        store_factory=None,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.yet = yet
+        self.portfolio = portfolio
+        self.catalog_size = int(catalog_size)
+        self.engine_obj = engine_obj
+        self.base_dir = Path(base_dir)
+        self.segment_trials = segment_trials
+        self.n_workers = n_workers
+        self.lease_seconds = lease_seconds
+        self.max_rounds = max_rounds
+        self.poll_seconds = poll_seconds
+        self.store_factory = store_factory or (lambda name: MemoryStore())
+        self._run_seq = 0
+
+    # ------------------------------------------------------------------
+    def _drain(
+        self,
+        queue: FaultyQueue,
+        store: ResultStore,
+        contexts,
+        sweep_id: str,
+        fault_plan: FaultPlan,
+        round_index: int,
+    ) -> List[FleetWorker]:
+        """One drain round: spawn workers, survive injected deaths."""
+        workers = [
+            FleetWorker(
+                queue,
+                store,
+                contexts=contexts,
+                worker_id=f"chaos-r{round_index}-w{i}",
+                fault_plan=fault_plan,
+            )
+            for i in range(self.n_workers)
+        ]
+
+        def target(worker: FleetWorker) -> None:
+            try:
+                worker.run(sweep_id=sweep_id, poll_seconds=self.poll_seconds)
+            except WorkerKilled:
+                pass  # the injected death: no cleanup, peers recover
+
+        threads = [
+            threading.Thread(target=target, args=(w,), daemon=True)
+            for w in workers
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return workers
+
+    def run(
+        self,
+        fault_plan: Optional[FaultPlan] = None,
+        label: str = "run",
+    ) -> ChaosRunResult:
+        """Execute one full sweep under ``fault_plan`` and assemble it."""
+        fault_plan = fault_plan if fault_plan is not None else no_faults()
+        self._run_seq += 1
+        run_dir = self.base_dir / f"{label}-{self._run_seq:03d}"
+        queue = FaultyQueue(
+            run_dir / "queue", fault_plan, lease_seconds=self.lease_seconds
+        )
+        store = FaultyStore(self.store_factory(label), fault_plan)
+
+        started = time.perf_counter()
+        ticket = submit_sweep(
+            queue,
+            store,
+            self.yet,
+            self.portfolio,
+            self.catalog_size,
+            self.engine_obj,
+            segment_trials=self.segment_trials,
+        )
+        ctx = context_for_engine(
+            self.yet, self.portfolio, self.catalog_size, self.engine_obj
+        )
+        contexts = {ticket.sweep_id: ctx}
+
+        all_workers: List[FleetWorker] = []
+        ylt = None
+        rounds = 0
+        round_ticket = ticket
+        last_error: Optional[Exception] = None
+        for round_index in range(self.max_rounds):
+            rounds += 1
+            all_workers.extend(
+                self._drain(
+                    queue, store, contexts, round_ticket.sweep_id,
+                    fault_plan, round_index,
+                )
+            )
+            try:
+                ylt = gather_sweep(queue, store, round_ticket.sweep_id)
+                break
+            except FleetAssemblyError as exc:
+                last_error = exc
+                # Replan against the store's *current* state (exactly
+                # as ``run_fleet`` does): healed-away and never-stored
+                # segments are the new delta, and the changed delta
+                # fingerprint yields a fresh sweep id so the recompute
+                # jobs cannot collide with already-``done/`` job ids.
+                round_ticket = submit_sweep(
+                    queue,
+                    store,
+                    self.yet,
+                    self.portfolio,
+                    self.catalog_size,
+                    self.engine_obj,
+                    segment_trials=self.segment_trials,
+                )
+                contexts[round_ticket.sweep_id] = ctx
+        if ylt is None:
+            raise FleetAssemblyError(
+                f"sweep {ticket.sweep_id} did not converge in "
+                f"{self.max_rounds} round(s)"
+            ) from last_error
+        seconds = time.perf_counter() - started
+
+        stats = [w.stats for w in all_workers]
+        store_stats = store.stats()
+        return ChaosRunResult(
+            sweep_id=ticket.sweep_id,
+            digest=ylt_digest(ylt),
+            seconds=seconds,
+            rounds=rounds,
+            n_segments=ticket.delta.n_segments,
+            initial_missing=ticket.submitted,
+            computed=sum(s.computed for s in stats),
+            reused=sum(s.reused for s in stats),
+            speculated=sum(s.speculated for s in stats),
+            store_retries=sum(s.store_retries for s in stats),
+            requeued=sum(s.requeued_for_peers for s in stats),
+            failed=sum(s.failed for s in stats),
+            invalidated=int(store_stats.get("corrupt_misses", 0)),
+            dropped_puts=int(store_stats.get("put_errors", 0)),
+            killed_workers=list(queue.killed_workers),
+            fault_counts=fault_plan.fired_counts(),
+        )
+
+    def compare(
+        self,
+        fault_plan: FaultPlan,
+        strict: bool = True,
+    ) -> ChaosReport:
+        """Baseline (no faults) vs chaos run; assert digest equality.
+
+        Both runs execute through the identical faulty-wrapper stack,
+        so the reported inflation is attributable to the fault plan
+        and not to harness overhead.  With ``strict`` (the default) a
+        digest mismatch raises :class:`ChaosDigestMismatch` — under no
+        injected fault schedule may the fleet produce different bytes.
+        """
+        baseline = self.run(no_faults(fault_plan.seed), label="baseline")
+        chaos = self.run(fault_plan, label="chaos")
+        report = ChaosReport(baseline=baseline, chaos=chaos)
+        if strict and not report.digests_match:
+            raise ChaosDigestMismatch(
+                f"chaos digest {chaos.digest[:16]}… != baseline "
+                f"{baseline.digest[:16]}… under faults "
+                f"{chaos.fault_counts} (kills: {chaos.killed_workers})"
+            )
+        return report

@@ -1,0 +1,160 @@
+"""FaultyStore: a result-store wrapper that injects planned failures.
+
+Wraps any :class:`~repro.store.base.ResultStore` and consults a
+:class:`~repro.faults.plan.FaultPlan` on every backend operation:
+
+* ``io_error`` on ``get``/``put`` — raises :class:`OSError` *instead*
+  of performing the operation (a flaky disk / network tier);
+* ``latency`` on ``get``/``put`` — sleeps before proceeding (a slow
+  tier; what the lock-contention and straggler tests lean on);
+* ``corrupt`` on ``get`` — the read succeeds but one array's bytes are
+  flipped in the returned copy (damage past the backend's own CRC,
+  caught only by end-to-end checksums —
+  :func:`repro.store.verify.fetch_verified`);
+* ``torn_write`` on ``put`` — the entry is persisted with one array
+  truncated (a partial write the backend believes is complete; durable
+  damage that verification must detect and delete).
+
+The wrapper is itself a full ``ResultStore`` (its own hit/miss
+counters, in-flight dedup), and delegates ``_exclusive`` to the inner
+store so :class:`~repro.store.filestore.SharedFileStore` cross-process
+dedup still holds under injection.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.faults.plan import (
+    KIND_CORRUPT,
+    KIND_IO_ERROR,
+    KIND_LATENCY,
+    KIND_TORN_WRITE,
+    OP_GET,
+    OP_PUT,
+    FaultPlan,
+)
+from repro.store.base import ResultStore, StoreEntry
+
+
+def _corrupted_copy(entry: StoreEntry) -> StoreEntry:
+    """The entry with the first array's first element bit-flipped."""
+    arrays = {}
+    damaged = False
+    for name in sorted(entry.arrays):
+        array = np.array(entry.arrays[name], copy=True)
+        if not damaged and array.size:
+            view = array.reshape(-1).view(np.uint8)
+            view[0] ^= 0xFF
+            damaged = True
+        arrays[name] = array
+    return StoreEntry(arrays=arrays, meta=dict(entry.meta))
+
+
+def _torn_copy(entry: StoreEntry) -> StoreEntry:
+    """The entry with the first array truncated by one element.
+
+    The entry's *metadata* (including any end-to-end checksums the
+    producer attached) is preserved verbatim — exactly the signature of
+    a partial write: the manifest promises bytes the payload no longer
+    has.
+    """
+    arrays = dict(entry.arrays)
+    for name in sorted(arrays):
+        array = arrays[name]
+        if array.size:
+            arrays[name] = np.array(array.reshape(-1)[:-1], copy=True)
+            break
+    return StoreEntry(arrays=arrays, meta=dict(entry.meta))
+
+
+class FaultyStore(ResultStore):
+    """A fault-injecting view over an inner result store."""
+
+    def __init__(
+        self,
+        inner: ResultStore,
+        fault_plan: FaultPlan,
+        sleep=time.sleep,
+    ) -> None:
+        super().__init__()
+        self.inner = inner
+        self.fault_plan = fault_plan
+        self._sleep = sleep
+        #: injection tallies (what this wrapper actually did)
+        self.injected_errors = 0
+        self.injected_corruptions = 0
+        self.injected_torn_writes = 0
+        self.injected_latency_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    def _apply(self, op: str, key: str):
+        """Fire the plan for ``op`` and apply raise/sleep kinds."""
+        fired = self.fault_plan.fire(op, key=key)
+        for spec in fired:
+            if spec.kind == KIND_LATENCY:
+                with self._lock:
+                    self.injected_latency_seconds += spec.latency_seconds
+                self._sleep(spec.latency_seconds)
+        for spec in fired:
+            if spec.kind == KIND_IO_ERROR:
+                with self._lock:
+                    self.injected_errors += 1
+                raise OSError(
+                    f"injected transient IO error on {op}({key[:16]}…)"
+                )
+        return fired
+
+    def _get(self, key: str) -> Optional[StoreEntry]:
+        fired = self._apply(OP_GET, key)
+        entry = self.inner._get(key)
+        if entry is not None and any(
+            spec.kind == KIND_CORRUPT for spec in fired
+        ):
+            with self._lock:
+                self.injected_corruptions += 1
+            entry = _corrupted_copy(entry)
+        return entry
+
+    def _put(self, key: str, entry: StoreEntry) -> None:
+        fired = self._apply(OP_PUT, key)
+        if any(spec.kind == KIND_TORN_WRITE for spec in fired):
+            with self._lock:
+                self.injected_torn_writes += 1
+            entry = _torn_copy(entry)
+        self.inner._put(key, entry)
+
+    # -- pass-throughs -------------------------------------------------
+    def _exclusive(self, key: str):
+        return self.inner._exclusive(key)
+
+    def contains(self, key: str) -> bool:
+        return self.inner.contains(key)
+
+    def _delete(self, key: str) -> bool:
+        return self.inner._delete(key)
+
+    def _size_hint(self):
+        return self.inner._size_hint()
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def clear(self) -> None:
+        self.inner.clear()
+
+    def stats(self):
+        stats = super().stats()
+        stats["inner"] = self.inner.stats()
+        with self._lock:
+            stats["injected_errors"] = self.injected_errors
+            stats["injected_corruptions"] = self.injected_corruptions
+            stats["injected_torn_writes"] = self.injected_torn_writes
+            stats["injected_latency_seconds"] = self.injected_latency_seconds
+        return stats
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FaultyStore({self.inner!r}, plan={self.fault_plan!r})"

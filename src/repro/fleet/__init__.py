@@ -20,6 +20,11 @@ tasks and the store's once-per-fleet compute guarantee.
 * :class:`~repro.fleet.assemble.ResultAssembler` — merges stored
   segments into a YLT bit-for-bit identical to a monolithic
   ``Engine.run``;
+* resilience throughout — store calls retried under
+  :class:`~repro.utils.retry.RetryPolicy`, segment fetches digest-
+  verified (:func:`~repro.store.verify.fetch_verified`), stragglers
+  speculatively re-executed, failure provenance persisted with failed
+  jobs, and the whole stack chaos-tested by :mod:`repro.faults`;
 * ``repro-fleet`` (:mod:`repro.fleet.cli`) — ``submit`` / ``worker`` /
   ``status`` / ``gather`` for shell-driven fleets, and
   :meth:`repro.core.analysis.AggregateRiskAnalysis.run_fleet` /

@@ -20,6 +20,8 @@ import numpy as np
 from repro.data.ylt import YearLossTable
 from repro.plan.delta import DeltaPlan
 from repro.store.base import ResultStore
+from repro.store.verify import fetch_verified
+from repro.utils.retry import STORE_FETCH_POLICY, RetryPolicy
 
 
 class FleetAssemblyError(RuntimeError):
@@ -54,10 +56,23 @@ def _segment_specs(source) -> List[SegmentSpec]:
 
 
 class ResultAssembler:
-    """Merge stored per-segment losses into the final YLT."""
+    """Merge stored per-segment losses into the final YLT.
 
-    def __init__(self, store: ResultStore) -> None:
+    Segment fetches go through
+    :func:`~repro.store.verify.fetch_verified`: transient read errors
+    and transient corruption are retried under ``retry_policy``, and a
+    durably damaged entry is deleted from the store and reported as
+    *missing* — so the caller's normal recovery path (requeue the
+    missing segments, recompute, gather again) also heals corruption.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        retry_policy: RetryPolicy = STORE_FETCH_POLICY,
+    ) -> None:
         self.store = store
+        self.retry_policy = retry_policy
 
     # ------------------------------------------------------------------
     def missing_keys(self, source) -> List[str]:
@@ -111,7 +126,7 @@ class ResultAssembler:
                     f"{covered[layer_id]} (next segment spans "
                     f"[{start}, {stop}) of {n_trials})"
                 )
-            entry = self.store.get(key)
+            entry = fetch_verified(self.store, key, policy=self.retry_policy)
             if entry is None:
                 missing.append(key)
             else:

@@ -112,6 +112,12 @@ def build_parser() -> argparse.ArgumentParser:
     status = sub.add_parser("status", help="per-sweep job counts")
     add_common(status, store=False)
     status.add_argument("--sweep", default=None)
+    status.add_argument(
+        "--failed",
+        action="store_true",
+        help="also print each failed job's failure provenance "
+        "(per-attempt worker, error and exception chain)",
+    )
 
     gather = sub.add_parser("gather", help="assemble a sweep's YLT")
     add_common(gather)
@@ -219,6 +225,18 @@ def _cmd_status(args) -> int:
             f"failed={counts['failed']} reused={reused} "
             f"engine={manifest.get('engine', '?')}"
         )
+        if args.failed:
+            for job in queue.jobs("failed", sweep_id):
+                print(f"  failed {job.job_id} ({job.kind}, "
+                      f"{job.attempts} attempt(s)):")
+                for record in job.history:
+                    print(
+                        f"    attempt {record.get('attempt', '?')} "
+                        f"on {record.get('worker') or '?'}: "
+                        f"{record.get('error', '?')}"
+                    )
+                    for link in record.get("chain", ()):
+                        print(f"      caused by: {link}")
     return 0
 
 

@@ -74,6 +74,12 @@ class FleetJob:
         Worker id of the current/last claimant.
     error:
         Last failure message, if any.
+    history:
+        Failure provenance: one record per failed attempt —
+        ``{"attempt", "worker", "exc_type", "error", "chain"}`` where
+        ``chain`` is the exception cause chain outermost-first.  Rides
+        with the job into ``failed/``, so a poison job explains itself
+        (``repro-fleet status --failed``).
     """
 
     job_id: str
@@ -84,6 +90,7 @@ class FleetJob:
     attempts: int = 0
     owner: Optional[str] = None
     error: Optional[str] = None
+    history: List[Dict[str, Any]] = field(default_factory=list)
 
     def to_json(self) -> Dict[str, Any]:
         return {
@@ -95,6 +102,7 @@ class FleetJob:
             "attempts": self.attempts,
             "owner": self.owner,
             "error": self.error,
+            "history": self.history,
         }
 
     @classmethod
@@ -108,7 +116,24 @@ class FleetJob:
             attempts=int(data.get("attempts", 0)),
             owner=data.get("owner"),
             error=data.get("error"),
+            history=list(data.get("history") or []),
         )
+
+
+def exception_chain(exc: BaseException) -> List[str]:
+    """The cause/context chain as ``"Type: message"`` strings,
+    outermost first — what failure provenance persists in place of a
+    traceback (JSON-able, stable across Python versions)."""
+    chain: List[str] = []
+    seen: set = set()
+    current: Optional[BaseException] = exc
+    while current is not None and id(current) not in seen:
+        seen.add(id(current))
+        chain.append(f"{type(current).__name__}: {current}")
+        current = current.__cause__ or (
+            current.__context__ if not current.__suppress_context__ else None
+        )
+    return chain
 
 
 class JobQueue:
@@ -303,15 +328,36 @@ class JobQueue:
         """
         return self._move(job, "claimed", "done")
 
-    def fail(self, job: FleetJob, error: str, requeue: bool = True) -> str:
-        """Record a failure; requeue or retire the job.
+    def fail(
+        self,
+        job: FleetJob,
+        error: str,
+        requeue: bool = True,
+        exc: BaseException | None = None,
+    ) -> str:
+        """Record a failure (with provenance); requeue or retire the job.
 
         Returns the state the job landed in: ``"pending"`` when it will
         be retried, ``"failed"`` once ``max_attempts`` is exhausted (or
         ``requeue=False``), ``"lost"`` when this worker no longer held
         the claim (the job lives on elsewhere; nothing was recorded).
+
+        ``exc`` (when the failure was an exception) enriches the job's
+        provenance ``history`` with the exception type and full cause
+        chain; the record travels with the job through every requeue
+        and into ``failed/``, where ``repro-fleet status --failed``
+        reads it back.
         """
         job.error = str(error)
+        job.history.append(
+            {
+                "attempt": job.attempts,
+                "worker": job.owner,
+                "exc_type": type(exc).__name__ if exc is not None else None,
+                "error": str(error),
+                "chain": exception_chain(exc) if exc is not None else [],
+            }
+        )
         state = (
             "pending"
             if requeue and job.attempts < self.max_attempts
@@ -339,35 +385,89 @@ class JobQueue:
                 return False
         return True
 
+    def _lease_age(self, path: Path, now: float) -> float:
+        """Monotonic-safe lease age of a claimed file, in seconds.
+
+        The heartbeat clock is the file's mtime, which may come from a
+        *different machine's* wall clock on a shared filesystem.  A
+        skewed (future) mtime must not make the job look fresh forever:
+        the age is clamped to ``>= 0``, and an mtime further in the
+        future than one lease period is normalised to *now* (one
+        ``utime``), so from this scan onward the lease ages normally
+        and can expire.  May raise ``OSError`` (file completed
+        meanwhile) — callers skip.
+        """
+        age = now - path.stat().st_mtime
+        if age < -self.lease_seconds:
+            touch(path)  # clock skew beyond tolerance: restart the lease
+            return 0.0
+        return max(0.0, age)
+
     def requeue_expired(self, now: float | None = None) -> List[str]:
         """Return crashed/stalled workers' jobs to ``pending/``.
 
-        A claimed file whose mtime (heartbeat) is older than
-        ``lease_seconds`` is renamed back under a per-job flock — two
-        concurrent scanners agree on one requeue, and a worker that
-        heartbeats between the check and the rename keeps its job only
-        if the heartbeat landed first (losing a heartbeat race costs a
-        duplicate *claim*, never a duplicate stored result: the store
-        dedups the compute).
+        A claimed file whose heartbeat (lease age, clock-skew-clamped
+        by :meth:`_lease_age`) is at least ``lease_seconds`` old is
+        renamed back under a per-job flock — two concurrent scanners
+        agree on one requeue, and a worker that heartbeats between the
+        check and the rename keeps its job only if the heartbeat landed
+        first (losing a heartbeat race costs a duplicate *claim*, never
+        a duplicate stored result: the store dedups the compute).
         """
         now = time.time() if now is None else float(now)
         requeued: List[str] = []
         for path in self._list_state("claimed"):
             try:
-                expired = now - path.stat().st_mtime > self.lease_seconds
+                expired = self._lease_age(path, now) >= self.lease_seconds
             except OSError:
                 continue  # completed meanwhile
             if not expired:
                 continue
             with lock_file(self._locks_dir / f"{path.stem}.lock"):
                 try:
-                    if now - path.stat().st_mtime <= self.lease_seconds:
+                    if self._lease_age(path, now) < self.lease_seconds:
                         continue  # heartbeat arrived while we waited
                     os.rename(path, self.state_dir("pending") / path.name)
                 except OSError:
                     continue
                 requeued.append(path.stem)
         return requeued
+
+    def stragglers(
+        self,
+        min_age_fraction: float = 0.5,
+        sweep_id: str | None = None,
+        now: float | None = None,
+    ) -> List[FleetJob]:
+        """Claimed jobs whose lease age passed a fraction of the lease.
+
+        The speculation feed: a job claimed long ago but not yet done
+        is *probably* on a struggling worker.  Idle peers re-execute
+        its computation through ``get_or_compute`` — if the owner was
+        merely slow, one of the two computes is a harmless duplicate
+        deduped by the store; if the owner is dead, the result is
+        already stored when the lease finally expires and the requeued
+        claim becomes a pure store hit.  Oldest first.
+        """
+        if not 0.0 < min_age_fraction <= 1.0:
+            raise ValueError(
+                f"min_age_fraction must be in (0, 1], got {min_age_fraction}"
+            )
+        now = time.time() if now is None else float(now)
+        threshold = min_age_fraction * self.lease_seconds
+        aged: List[tuple] = []
+        for path in self._list_state("claimed", sweep_id):
+            try:
+                age = self._lease_age(path, now)
+            except OSError:
+                continue
+            if age < threshold:
+                continue
+            data = read_json(path)
+            if data is not None:
+                aged.append((age, FleetJob.from_json(data)))
+        aged.sort(key=lambda pair: -pair[0])
+        return [job for _, job in aged]
 
     # -- introspection -------------------------------------------------
     def _count_state(self, state: str, sweep_id: str | None = None) -> int:

@@ -19,7 +19,23 @@ long segments on slow workers are not stolen; a worker that dies
 mid-compute simply stops heartbeating and its job is requeued by any
 peer's :meth:`~repro.fleet.jobs.JobQueue.requeue_expired` scan.  Failed
 computes requeue up to the queue's ``max_attempts`` and then land in
-``failed/`` with the error recorded.
+``failed/`` with the error *and its provenance* (exception chain +
+attempt history) recorded.
+
+Resilience knobs (all on by default):
+
+* store operations run under a bounded
+  :class:`~repro.utils.retry.RetryPolicy` — a transient IO error costs
+  a backoff, not a failed attempt;
+* segment entries carry end-to-end checksums
+  (:func:`repro.store.verify.attach_checksums`), so corruption
+  anywhere between this worker's write and the assembler's read is
+  detected, retried and recomputed instead of silently assembled;
+* an idle worker **speculates** on straggling peers' segments
+  (:meth:`FleetWorker.speculate_one`): lease age past half the lease
+  means the owner may be dead or stalled, so the segment is recomputed
+  into the store — a harmless duplicate via ``get_or_compute`` — and
+  the eventual requeue becomes a store hit.
 """
 
 from __future__ import annotations
@@ -29,7 +45,7 @@ import threading
 import time
 import uuid
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Set
 
 import numpy as np
 
@@ -38,6 +54,8 @@ from repro.fleet.jobs import JOB_KIND_QUOTE, JOB_KIND_SEGMENT, FleetJob, JobQueu
 from repro.plan.execute import execute_segment_cpu
 from repro.plan.plan import PlanTask
 from repro.store.base import ResultStore, StoreEntry
+from repro.store.verify import attach_checksums
+from repro.utils.retry import DEFAULT_RETRY_POLICY, RetryPolicy, retry_call
 
 
 @dataclass
@@ -50,6 +68,8 @@ class WorkerStats:
     reused: int = 0
     failed: int = 0
     requeued_for_peers: int = 0
+    speculated: int = 0
+    store_retries: int = 0
     compute_seconds: float = 0.0
     errors: Dict[str, str] = field(default_factory=dict)
 
@@ -61,6 +81,8 @@ class WorkerStats:
             "reused": self.reused,
             "failed": self.failed,
             "requeued_for_peers": self.requeued_for_peers,
+            "speculated": self.speculated,
+            "store_retries": self.store_retries,
             "compute_seconds": self.compute_seconds,
             "errors": dict(self.errors),
         }
@@ -103,6 +125,21 @@ class FleetWorker:
         Unknown sweeps fall back to the manifest's workload spec.
     worker_id:
         Stable identity for leases and stats (default: pid + random).
+    retry_policy:
+        Bounds retries of transient store errors around
+        ``get_or_compute`` (default:
+        :data:`~repro.utils.retry.DEFAULT_RETRY_POLICY`).
+    fault_plan:
+        Optional :class:`~repro.faults.plan.FaultPlan` hook: consulted
+        once per executed job (op ``"compute"``, keyed by job id) so
+        chaos runs can poison specific segments
+        (:class:`~repro.faults.plan.InjectedFault` → the normal
+        fail/requeue path) or kill this worker mid-compute
+        (:class:`~repro.faults.plan.WorkerKilled` → unwinds like a
+        crash, job left claimed).  Production fleets leave it ``None``.
+    speculate:
+        Allow idle-loop speculative re-execution of straggling peers'
+        segments (see :meth:`speculate_one`).
     """
 
     def __init__(
@@ -111,6 +148,10 @@ class FleetWorker:
         store: ResultStore,
         contexts: Optional[Dict[str, FleetContext]] = None,
         worker_id: str | None = None,
+        retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
+        fault_plan=None,
+        speculate: bool = True,
+        speculation_age_fraction: float = 0.5,
     ) -> None:
         self.queue = queue
         self.store = store
@@ -118,7 +159,22 @@ class FleetWorker:
         self.worker_id = (
             worker_id or f"worker-{os.getpid()}-{uuid.uuid4().hex[:6]}"
         )
+        self.retry_policy = retry_policy
+        self.fault_plan = fault_plan
+        self.speculate = bool(speculate)
+        self.speculation_age_fraction = float(speculation_age_fraction)
+        self._speculated_ids: Set[str] = set()
         self.stats = WorkerStats(worker_id=self.worker_id)
+
+    # ------------------------------------------------------------------
+    def _count_retry(self, attempt, exc, delay) -> None:
+        self.stats.store_retries += 1
+
+    def _store_call(self, fn):
+        """Run a store operation under the worker's retry policy."""
+        return retry_call(
+            fn, self.retry_policy, on_retry=self._count_retry
+        )
 
     # ------------------------------------------------------------------
     def _context(self, sweep_id: str) -> FleetContext:
@@ -147,19 +203,45 @@ class FleetWorker:
             secondary_seed=ctx.secondary_seed,
         )
         seconds = time.perf_counter() - started
-        return StoreEntry(
-            arrays={"losses": losses},
-            meta={
-                "kind": JOB_KIND_SEGMENT,
-                "layer_id": task.layer_id,
-                "trial_start": task.trial_start,
-                "trial_stop": task.trial_stop,
-                "computed_by": self.worker_id,
-                "seconds": seconds,
-            },
+        # End-to-end checksums in the entry *meta*: verified by the
+        # assembler on read, catching damage past the backend's own CRC
+        # (network tiers, injected corruption).
+        return attach_checksums(
+            StoreEntry(
+                arrays={"losses": losses},
+                meta={
+                    "kind": JOB_KIND_SEGMENT,
+                    "layer_id": task.layer_id,
+                    "trial_start": task.trial_start,
+                    "trial_stop": task.trial_stop,
+                    "computed_by": self.worker_id,
+                    "seconds": seconds,
+                },
+            )
         )
 
     def _run_job(self, job: FleetJob) -> None:
+        if self.fault_plan is not None:
+            from repro.faults.plan import (  # deferred: chaos-only path
+                KIND_KILL,
+                KIND_POISON,
+                OP_COMPUTE,
+                InjectedFault,
+                WorkerKilled,
+            )
+
+            for spec in self.fault_plan.fire(
+                OP_COMPUTE, key=job.job_id, worker=self.worker_id
+            ):
+                if spec.kind == KIND_KILL:
+                    raise WorkerKilled(
+                        f"injected death of {self.worker_id!r} computing "
+                        f"{job.job_id}"
+                    )
+                if spec.kind == KIND_POISON:
+                    raise InjectedFault(
+                        f"injected poison on segment {job.job_id}"
+                    )
         ctx = self._context(job.sweep_id)
         if job.kind == JOB_KIND_SEGMENT:
             computed = {}
@@ -169,7 +251,9 @@ class FleetWorker:
                 computed["seconds"] = float(entry.meta["seconds"])
                 return entry
 
-            self.store.get_or_compute(job.key, produce)
+            self._store_call(
+                lambda: self.store.get_or_compute(job.key, produce)
+            )
             if computed:
                 self.stats.computed += 1
                 self.stats.compute_seconds += computed["seconds"]
@@ -223,13 +307,59 @@ class FleetWorker:
             self.queue.fail(job, "worker interrupted", requeue=True)
             raise
         except Exception as exc:
-            state = self.queue.fail(job, repr(exc))
+            state = self.queue.fail(job, repr(exc), exc=exc)
             if state == "failed":
                 self.stats.failed += 1
                 self.stats.errors[job.job_id] = repr(exc)
             return True
         self.queue.complete(job)
         return True
+
+    def speculate_one(self, sweep_id: str | None = None) -> bool:
+        """Re-execute one straggling peer's segment into the store.
+
+        Picks the oldest claimed job (not this worker's own, not one
+        already speculated on) whose lease age passed
+        ``speculation_age_fraction`` of the lease, and runs its
+        computation through ``get_or_compute`` — without touching the
+        queue state at all.  If the owner was merely slow, the store
+        dedups and one compute is wasted; if the owner is dead, the
+        requeued claim finds the result already stored.  Returns
+        whether a speculation ran.
+        """
+        if not self.speculate:
+            return False
+        for job in self.queue.stragglers(
+            self.speculation_age_fraction, sweep_id=sweep_id
+        ):
+            if job.kind != JOB_KIND_SEGMENT:
+                continue
+            if job.owner == self.worker_id:
+                continue
+            if job.job_id in self._speculated_ids:
+                continue
+            self._speculated_ids.add(job.job_id)
+            try:
+                ctx = self._context(job.sweep_id)
+                computed = {}
+
+                def produce() -> StoreEntry:
+                    entry = self._compute_segment(ctx, job)
+                    computed["seconds"] = float(entry.meta["seconds"])
+                    return entry
+
+                self._store_call(
+                    lambda: self.store.get_or_compute(job.key, produce)
+                )
+            except Exception:
+                return False  # speculation is best-effort by definition
+            if computed:
+                # Counted separately from ``computed``: a speculative
+                # produce is work the *owner's* claim will reuse.
+                self.stats.speculated += 1
+                self.stats.compute_seconds += computed["seconds"]
+            return True
+        return False
 
     def run(
         self,
@@ -242,10 +372,11 @@ class FleetWorker:
 
         ``drain=True`` keeps the worker alive while *other* workers
         still hold claims — their jobs may yet expire back to pending,
-        and this worker requeues them (``requeue_expired``) as part of
-        its idle loop.  ``drain=False`` exits at the first empty claim.
-        ``max_jobs`` bounds the work taken (testing and fair-share
-        scenarios).
+        and this worker requeues them (``requeue_expired``) and
+        *speculates* on their segments (:meth:`speculate_one`) as part
+        of its idle loop.  ``drain=False`` exits at the first empty
+        claim.  ``max_jobs`` bounds the work taken (testing and
+        fair-share scenarios).
         """
         done = 0
         while max_jobs is None or done < max_jobs:
@@ -255,5 +386,6 @@ class FleetWorker:
             self.stats.requeued_for_peers += len(self.queue.requeue_expired())
             if self.queue.active_count(sweep_id) == 0 or not drain:
                 break
-            time.sleep(poll_seconds)
+            if not self.speculate_one(sweep_id=sweep_id):
+                time.sleep(poll_seconds)
         return self.stats

@@ -42,6 +42,12 @@ from repro.store.filestore import (
     resolve_cache_dir,
 )
 from repro.store.gc import GCReport, collect_garbage, scan_entries
+from repro.store.verify import (
+    attach_checksums,
+    entry_checksums,
+    fetch_verified,
+    verify_entry,
+)
 from repro.store.keys import (
     KEY_SCHEMA,
     SEGMENT_SCHEMA,
@@ -86,4 +92,8 @@ __all__ = [
     "GCReport",
     "collect_garbage",
     "scan_entries",
+    "attach_checksums",
+    "entry_checksums",
+    "fetch_verified",
+    "verify_entry",
 ]

@@ -20,6 +20,7 @@ guarantee across processes with advisory file locks.
 from __future__ import annotations
 
 import abc
+import logging
 import re
 import threading
 from collections import OrderedDict
@@ -27,6 +28,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Mapping, Optional
 
 import numpy as np
+
+logger = logging.getLogger("repro.store")
 
 #: keys must be path- and lock-file-safe: digests, or readable test ids.
 _KEY_RE = re.compile(r"^[A-Za-z0-9._-]{1,200}$")
@@ -154,6 +157,38 @@ class ResultStore(abc.ABC):
 
     def __contains__(self, key: str) -> bool:
         return self.contains(key)
+
+    def delete(self, key: str) -> bool:
+        """Remove ``key`` if present; ``True`` when an entry was removed.
+
+        Deleting is always safe — entries are content-addressed, so the
+        worst outcome is a future miss and a recompute.  Consumers use
+        it to retire entries whose payload failed end-to-end
+        verification (:func:`repro.store.verify.fetch_verified`), so a
+        store-aware replan sees the damaged key as *missing* instead of
+        trusting ``contains``.
+        """
+        return self._delete(check_key(key))
+
+    def _delete(self, key: str) -> bool:
+        """Backend removal hook (best effort; default: no storage)."""
+        return False
+
+    def note_corrupt(self, key: str, reason: str = "") -> None:
+        """Count (and log) one observed-corrupt entry.
+
+        Every path that demotes a damaged entry to a miss — backend
+        self-healing, end-to-end checksum failures — funnels through
+        here, so chaos runs can assert corruption was *seen*, never
+        silently skipped.
+        """
+        with self._lock:
+            self.corrupt_misses += 1
+        logger.warning(
+            "corrupt store entry %s treated as a miss%s",
+            key,
+            f": {reason}" if reason else "",
+        )
 
     def get_or_compute(
         self, key: str, compute: Callable[[], StoreEntry]
@@ -303,6 +338,14 @@ class MemoryStore(ResultStore):
         if self.max_entries is not None and len(self._entries) > self.max_entries:
             return True
         return self.max_bytes is not None and self._nbytes > self.max_bytes
+
+    def _delete(self, key: str) -> bool:
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                return False
+            self._nbytes -= entry.nbytes
+            return True
 
     @property
     def nbytes(self) -> int:

@@ -46,7 +46,14 @@ from repro.io.atomic import (
     touch,
     write_npy,
 )
-from repro.store.base import MemoryStore, ResultStore, StoreEntry, check_key
+from repro.store.base import (
+    MemoryStore,
+    ResultStore,
+    StoreEntry,
+    check_key,
+    logger,
+)
+from repro.utils.retry import CircuitBreaker
 
 PathLike = Union[str, Path]
 
@@ -129,6 +136,14 @@ class FileStore(ResultStore):
         path = self.entry_dir(key)
         meta_path = path / _META_NAME
         if not meta_path.is_file():
+            if path.is_dir():
+                # Entry directory without its manifest: damage (the
+                # publish rename is atomic, so a live entry always has
+                # one).  Heal it *audibly* — counted and logged, never
+                # silently skipped — so chaos runs can assert the
+                # corruption was seen.
+                self.note_corrupt(key, "entry directory lost meta.json")
+                remove_dir(path)
             return None
         try:
             manifest = json.loads(meta_path.read_text())
@@ -148,10 +163,9 @@ class FileStore(ResultStore):
             if self.track_access:
                 touch(path)
             return StoreEntry(arrays=arrays, meta=manifest.get("meta", {}))
-        except (OSError, ValueError, KeyError, TypeError):
+        except (OSError, ValueError, KeyError, TypeError) as exc:
             # Truncated/garbled entries are a miss, never a wrong answer.
-            with self._lock:
-                self.corrupt_misses += 1
+            self.note_corrupt(key, repr(exc))
             remove_dir(path)
             return None
 
@@ -179,6 +193,12 @@ class FileStore(ResultStore):
     def contains(self, key: str) -> bool:
         """Existence = a published ``meta.json`` (one stat, no read)."""
         return (self.entry_dir(key) / _META_NAME).is_file()
+
+    def _delete(self, key: str) -> bool:
+        path = self.entry_dir(key)
+        existed = (path / _META_NAME).is_file()
+        remove_dir(path)
+        return existed
 
     # -- bookkeeping ---------------------------------------------------
     def _size_hint(self):
@@ -229,7 +249,7 @@ class SharedFileStore(FileStore):
 
 
 class TieredStore(ResultStore):
-    """Fast-over-durable composition of stores.
+    """Fast-over-durable composition of stores, with tier quarantine.
 
     ``get`` consults tiers in order and *promotes* a hit into every
     faster tier (so a file hit lands in memory for the next request);
@@ -238,32 +258,131 @@ class TieredStore(ResultStore):
     results at reference speed, warm results at page-cache speed, and
     restart survival for free.  Miss-path exclusivity delegates to the
     last (shared, slowest) tier, preserving its cross-process dedup.
+
+    Each tier sits behind a :class:`~repro.utils.retry.CircuitBreaker`:
+    a tier whose operations keep *raising* (a network tier mid-outage,
+    a cache dir on a dying disk) is quarantined for
+    ``breaker_cooldown_seconds`` after ``breaker_threshold``
+    consecutive failures, and traffic falls through to the remaining
+    tiers — degraded (slower, less durable), never wrong.  After the
+    cooldown one probe request is let through; success closes the
+    breaker.  Per-tier breaker state and error counts are surfaced in
+    :meth:`stats`.  A ``put`` that fails on *every* tier still raises
+    (there is nothing left to degrade to), which
+    ``get_or_compute`` converts into ``put_errors`` + a served answer.
     """
 
-    def __init__(self, stores: Sequence[ResultStore]) -> None:
+    def __init__(
+        self,
+        stores: Sequence[ResultStore],
+        breaker_threshold: int = 5,
+        breaker_cooldown_seconds: float = 30.0,
+        clock=None,
+    ) -> None:
         super().__init__()
         if not stores:
             raise ValueError("TieredStore needs at least one store")
         self.stores = list(stores)
+        import time as _time
+
+        clock = clock or _time.monotonic
+        self._breakers = [
+            CircuitBreaker(
+                failure_threshold=breaker_threshold,
+                cooldown_seconds=breaker_cooldown_seconds,
+                clock=clock,
+            )
+            for _ in self.stores
+        ]
+        #: exceptions swallowed while degrading around a tier
+        self.tier_errors = 0
+
+    # -- breaker plumbing ---------------------------------------------
+    def _tier_allowed(self, index: int) -> bool:
+        with self._lock:
+            return self._breakers[index].allow()
+
+    def _tier_result(self, index: int, ok: bool, key: str, op: str, exc=None):
+        with self._lock:
+            breaker = self._breakers[index]
+            if ok:
+                breaker.record_success()
+                return
+            breaker.record_failure()
+            self.tier_errors += 1
+            tripped = breaker.state == "open"
+        logger.warning(
+            "store tier %d failed %s(%s): %r%s",
+            index,
+            op,
+            key[:16],
+            exc,
+            " — tier quarantined" if tripped else "",
+        )
 
     def _get(self, key: str) -> Optional[StoreEntry]:
         for i, store in enumerate(self.stores):
-            entry = store._get(key)
+            if not self._tier_allowed(i):
+                continue
+            try:
+                entry = store._get(key)
+            except Exception as exc:
+                self._tier_result(i, False, key, "get", exc)
+                continue
+            self._tier_result(i, True, key, "get")
             if entry is not None:
-                for faster in self.stores[:i]:
-                    faster._put(key, entry)
+                for j, faster in enumerate(self.stores[:i]):
+                    if not self._tier_allowed(j):
+                        continue
+                    try:
+                        faster._put(key, entry)
+                        self._tier_result(j, True, key, "promote")
+                    except Exception as exc:
+                        self._tier_result(j, False, key, "promote", exc)
                 return entry
         return None
 
     def _put(self, key: str, entry: StoreEntry) -> None:
-        for store in self.stores:
-            store._put(key, entry)
+        stored = 0
+        last_error: Exception | None = None
+        for i, store in enumerate(self.stores):
+            if not self._tier_allowed(i):
+                continue
+            try:
+                store._put(key, entry)
+                self._tier_result(i, True, key, "put")
+                stored += 1
+            except Exception as exc:
+                self._tier_result(i, False, key, "put", exc)
+                last_error = exc
+        if stored == 0:
+            # Nothing accepted the write: degrade no further, surface it.
+            raise last_error if last_error is not None else OSError(
+                f"every tier quarantined; cannot store {key[:16]}"
+            )
 
     def _exclusive(self, key: str):
         return self.stores[-1]._exclusive(key)
 
     def contains(self, key: str) -> bool:
-        return any(store.contains(key) for store in self.stores)
+        for i, store in enumerate(self.stores):
+            if not self._tier_allowed(i):
+                continue
+            try:
+                if store.contains(key):
+                    return True
+            except Exception as exc:
+                self._tier_result(i, False, key, "contains", exc)
+        return False
+
+    def _delete(self, key: str) -> bool:
+        deleted = False
+        for store in self.stores:
+            try:
+                deleted = store._delete(key) or deleted
+            except Exception:
+                continue
+        return deleted
 
     def stats(self) -> Dict[str, object]:
         """Aggregated counters plus the per-tier breakdown.
@@ -275,9 +394,19 @@ class TieredStore(ResultStore):
         aggregate so every :class:`ResultStore` backend reports the
         same shape, and ``tiers`` carries each tier's own view in
         order (fleet workers log this to show cache effectiveness).
+        Each tier's view additionally carries its circuit ``breaker``
+        state, and the aggregate counts ``tier_errors`` (exceptions
+        degraded around) and ``breaker_trips``.
         """
         aggregated: Dict[str, object] = super().stats()
         tiers = [store.stats() for store in self.stores]
+        with self._lock:
+            for tier, breaker in zip(tiers, self._breakers):
+                tier["breaker"] = breaker.as_dict()
+            aggregated["tier_errors"] = self.tier_errors
+            aggregated["breaker_trips"] = sum(
+                b.trips for b in self._breakers
+            )
         for field in ("evictions", "corrupt_misses", "put_errors"):
             aggregated[field] = int(aggregated[field]) + sum(
                 int(tier[field]) for tier in tiers

@@ -1,0 +1,125 @@
+"""Digest-checked store reads: verify, retry, then recompute.
+
+The file store already checks each array's CRC against its on-disk
+manifest, but that only proves the *backend* read what the backend
+wrote.  Once entries cross wrapper layers (fault injection today, a
+network tier tomorrow), the payload can be damaged after the backend's
+own check passed — so producers attach end-to-end checksums to the
+entry *metadata* (:func:`attach_checksums`) and consumers verify them
+on every fetch (:func:`fetch_verified`).
+
+The consumer protocol is deliberately gentle with transient damage:
+
+1. fetch; if the entry verifies, serve it;
+2. on mismatch, **retry** under a :class:`~repro.utils.retry.RetryPolicy`
+   — a torn read or an injected corruption usually heals on the next
+   attempt;
+3. only when every attempt returns damaged bytes is the entry judged
+   *durably* corrupt: it is deleted (so store-aware planners see the
+   key as missing) and the caller falls back to **recompute**.
+
+Entries without recorded checksums verify trivially — old producers
+and foreign entries keep working; they just don't get the end-to-end
+guarantee.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Dict, Optional
+
+from repro.io.atomic import array_crc32
+from repro.store.base import ResultStore, StoreEntry
+from repro.utils.retry import STORE_FETCH_POLICY, RetryPolicy, retry_call
+
+logger = logging.getLogger("repro.store")
+
+#: meta key carrying the per-array end-to-end checksums.
+CHECKSUM_META_KEY = "crc32s"
+
+
+def entry_checksums(entry: StoreEntry) -> Dict[str, int]:
+    """CRC32 of each array's raw bytes, keyed by array name."""
+    return {
+        name: array_crc32(array) for name, array in entry.arrays.items()
+    }
+
+
+def attach_checksums(entry: StoreEntry) -> StoreEntry:
+    """A copy of ``entry`` whose meta records end-to-end checksums."""
+    return StoreEntry(
+        arrays=entry.arrays,
+        meta={**dict(entry.meta), CHECKSUM_META_KEY: entry_checksums(entry)},
+    )
+
+
+def verify_entry(entry: StoreEntry) -> bool:
+    """Does the entry match its recorded checksums?
+
+    ``True`` when every recorded array checksum matches the bytes (and
+    every recorded array is present); also ``True`` when no checksums
+    were recorded — absence of the guarantee is not damage.
+    """
+    recorded = dict(entry.meta).get(CHECKSUM_META_KEY)
+    if not recorded:
+        return True
+    for name, crc in recorded.items():
+        array = entry.arrays.get(name)
+        if array is None or array_crc32(array) != int(crc):
+            return False
+    return True
+
+
+def fetch_verified(
+    store: ResultStore,
+    key: str,
+    policy: RetryPolicy = STORE_FETCH_POLICY,
+    **retry_kwargs,
+) -> Optional[StoreEntry]:
+    """Digest-checked ``store.get``: retry damage, delete what persists.
+
+    Returns the first entry that passes :func:`verify_entry`, or
+    ``None`` when the key is missing or every attempt under ``policy``
+    returned damaged bytes (the durably corrupt entry is deleted and
+    counted via :meth:`~repro.store.base.ResultStore.note_corrupt`, so
+    replanning sees the key as missing and recomputes it).  Transient
+    IO errors from the store retry under the same policy.
+    """
+
+    class _Damaged(OSError):
+        pass
+
+    saw_damage = False
+
+    def attempt() -> Optional[StoreEntry]:
+        nonlocal saw_damage
+        entry = store.get(key)
+        if entry is None:
+            return None
+        if not verify_entry(entry):
+            saw_damage = True
+            raise _Damaged(f"checksum mismatch reading {key}")
+        return entry
+
+    damage_policy = policy.with_(retry_on=policy.retry_on + (_Damaged,))
+    try:
+        return retry_call(attempt, damage_policy, **retry_kwargs)
+    except _Damaged:
+        store.note_corrupt(key, "end-to-end checksum mismatch persisted")
+        store.delete(key)
+        return None
+    except policy.retry_on as exc:
+        if saw_damage:
+            # The budget ran out on a transient error, but at least one
+            # read returned damaged bytes and none verified.  If the
+            # damage is durable, leaving the entry in place wedges
+            # store-aware replanning forever (``contains`` says present,
+            # every fetch says bad) — so treat it as corrupt.  Worst
+            # case a transiently-damaged entry costs one recompute.
+            store.note_corrupt(
+                key, "checksum mismatch unresolved within retry budget"
+            )
+            store.delete(key)
+            return None
+        logger.warning("store fetch of %s failed after retries: %r", key, exc)
+        return None

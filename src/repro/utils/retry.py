@@ -1,0 +1,242 @@
+"""Bounded retries with exponential backoff and decorrelated jitter.
+
+One retry policy for the whole execution stack: store fetches, worker
+``get_or_compute`` calls and assembler reads all fail the same ways
+(transient IO errors, torn reads healing into misses) and should all
+recover the same way — a few bounded attempts, spaced by exponential
+backoff with *decorrelated jitter* (each delay is drawn uniformly from
+``[base, 3 * previous]``, the AWS architecture-blog variant that avoids
+synchronised retry storms better than plain full jitter), capped per
+attempt and by an overall deadline.
+
+Determinism matters here as much as in the kernels: a
+:class:`RetryPolicy` accepts an injectable ``rng`` and ``sleep`` so
+tests (and the seeded chaos harness) can fix the jitter sequence and
+run without wall-clock waits.  The policy object is frozen and
+reusable; per-call state lives in :func:`retry_call`.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, replace
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times, how long apart, and on which errors to retry.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries (first call included); ``1`` disables retrying.
+    base_delay:
+        Lower bound of every backoff draw, seconds.
+    max_delay:
+        Upper cap of any single backoff draw, seconds.
+    deadline_seconds:
+        Overall per-operation budget: once elapsed time plus the next
+        planned delay would exceed it, the last error is raised instead
+        of sleeping again.  ``None`` means attempts alone bound the
+        operation.
+    retry_on:
+        Exception types that trigger a retry; anything else propagates
+        immediately (a ``ValueError`` from a bad key is not transient).
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.02
+    max_delay: float = 1.0
+    deadline_seconds: Optional[float] = None
+    retry_on: Tuple[Type[BaseException], ...] = (OSError,)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise ValueError(
+                f"need 0 <= base_delay <= max_delay, got "
+                f"{self.base_delay}/{self.max_delay}"
+            )
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ValueError(
+                f"deadline_seconds must be > 0, got {self.deadline_seconds}"
+            )
+
+    def with_(self, **changes) -> "RetryPolicy":
+        """A copy with ``changes`` applied (policies are frozen)."""
+        return replace(self, **changes)
+
+    def delays(self, rng: random.Random) -> "list[float]":
+        """The full backoff schedule one call would draw from ``rng``.
+
+        Decorrelated jitter: ``d_0 = base``, then each
+        ``d_i ~ Uniform(base, 3 * d_{i-1})`` clamped to ``max_delay``.
+        Exposed for tests asserting the schedule's bounds.
+        """
+        delays = []
+        previous = self.base_delay
+        for _ in range(self.max_attempts - 1):
+            drawn = min(
+                self.max_delay,
+                rng.uniform(self.base_delay, max(self.base_delay, previous * 3)),
+            )
+            delays.append(drawn)
+            previous = drawn
+        return delays
+
+
+#: the stack-wide default: 3 attempts, 20ms-1s decorrelated backoff.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+#: store-fetch flavour: one extra attempt, tighter deadline — a fetch
+#: that cannot be served in a few hundred ms should fall back to
+#: recompute, not stall the assembler.
+STORE_FETCH_POLICY = RetryPolicy(
+    max_attempts=4, base_delay=0.01, max_delay=0.25, deadline_seconds=5.0
+)
+
+
+def retry_call(
+    fn: Callable[[], T],
+    policy: RetryPolicy = DEFAULT_RETRY_POLICY,
+    sleep: Callable[[float], None] = time.sleep,
+    rng: random.Random | None = None,
+    clock: Callable[[], float] = time.monotonic,
+    on_retry: Callable[[int, BaseException, float], None] | None = None,
+) -> T:
+    """Call ``fn`` under ``policy``; return its value or raise its last error.
+
+    ``on_retry(attempt, error, delay)`` fires before each backoff sleep
+    (attempt is 1-based), letting callers count retries in their stats.
+    ``rng`` defaults to a fresh unseeded generator; pass a seeded
+    ``random.Random`` for reproducible jitter.
+    """
+    rng = rng if rng is not None else random.Random()
+    started = clock()
+    previous_delay = policy.base_delay
+    for attempt in range(1, policy.max_attempts + 1):
+        try:
+            return fn()
+        except policy.retry_on as exc:
+            if attempt >= policy.max_attempts:
+                raise
+            delay = min(
+                policy.max_delay,
+                rng.uniform(
+                    policy.base_delay,
+                    max(policy.base_delay, previous_delay * 3),
+                ),
+            )
+            if (
+                policy.deadline_seconds is not None
+                and clock() - started + delay > policy.deadline_seconds
+            ):
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc, delay)
+            sleep(delay)
+            previous_delay = delay
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def retrying(
+    policy: RetryPolicy = DEFAULT_RETRY_POLICY,
+    **call_kwargs,
+) -> Callable[[Callable[..., T]], Callable[..., T]]:
+    """Decorator form of :func:`retry_call` for fixed-policy helpers."""
+
+    def decorate(fn: Callable[..., T]) -> Callable[..., T]:
+        def wrapper(*args, **kwargs) -> T:
+            return retry_call(
+                lambda: fn(*args, **kwargs), policy, **call_kwargs
+            )
+
+        wrapper.__name__ = getattr(fn, "__name__", "retrying")
+        wrapper.__doc__ = fn.__doc__
+        return wrapper
+
+    return decorate
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker (one per protected resource).
+
+    After ``failure_threshold`` consecutive failures the breaker
+    *opens* for ``cooldown_seconds``: :meth:`allow` answers ``False``
+    and the caller routes around the resource (the
+    :class:`~repro.store.filestore.TieredStore` skips the tier).  After
+    the cooldown one probe call is allowed through (half-open); success
+    closes the breaker, failure re-opens it for another cooldown.
+
+    ``clock`` is injectable so tests advance time explicitly.  Not
+    thread-safe by itself — callers serialise through their own lock
+    (the stores already hold one for stats).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown_seconds: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown_seconds <= 0:
+            raise ValueError(
+                f"cooldown_seconds must be > 0, got {cooldown_seconds}"
+            )
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown_seconds = float(cooldown_seconds)
+        self._clock = clock
+        self.consecutive_failures = 0
+        self.total_failures = 0
+        self.trips = 0
+        self._open_until: float | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        if self._open_until is None:
+            return "closed"
+        if self._clock() >= self._open_until:
+            return "half-open"
+        return "open"
+
+    def allow(self) -> bool:
+        """May the caller use the resource right now?"""
+        return self.state != "open"
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self._open_until = None
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        self.total_failures += 1
+        if self.consecutive_failures >= self.failure_threshold:
+            if self.state != "open":
+                self.trips += 1
+            self._open_until = self._clock() + self.cooldown_seconds
+
+    def as_dict(self) -> dict:
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "total_failures": self.total_failures,
+            "trips": self.trips,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CircuitBreaker(state={self.state!r}, "
+            f"failures={self.consecutive_failures}/{self.failure_threshold})"
+        )

@@ -88,7 +88,7 @@ class TestExperiments:
             "SEQ-SCALE", "FIG-1a", "FIG-1b", "FIG-2", "FIG-3", "FIG-4",
             "FIG-5", "FIG-6", "DS-TABLE", "OPT-ABLATE", "KERNEL-ABLATE",
             "KERNEL-ABLATE-SECONDARY", "PLAN-ABLATE", "REPLAY-ABLATE",
-            "FLEET-ABLATE", "EXT-SECONDARY",
+            "FLEET-ABLATE", "CHAOS-ABLATE", "EXT-SECONDARY",
         }
 
     @pytest.mark.parametrize("exp_id", sorted(ALL_EXPERIMENTS))
@@ -105,6 +105,7 @@ class TestExperiments:
             "PLAN-ABLATE",
             "REPLAY-ABLATE",
             "FLEET-ABLATE",
+            "CHAOS-ABLATE",
         ):
             assert report.rows
 

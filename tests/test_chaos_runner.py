@@ -1,0 +1,80 @@
+"""ChaosRunner end-to-end: same bytes with and without injected faults.
+
+A fast, unmarked cousin of the chaos benchmark: one tiny workload, one
+mixed fault plan, the full drain → gather → replan loop.  Tier-1 runs
+this on every push; the heavyweight parameter sweeps stay behind the
+``chaos`` marker in ``benchmarks/test_chaos_bench.py``.
+"""
+
+import pytest
+
+from repro.engines.registry import create_engine
+from repro.faults import (
+    KIND_CORRUPT,
+    KIND_IO_ERROR,
+    KIND_KILL,
+    KIND_TORN_WRITE,
+    OP_CLAIM,
+    OP_GET,
+    OP_PUT,
+    ChaosDigestMismatch,
+    ChaosRunner,
+    FaultPlan,
+    FaultSpec,
+)
+
+
+@pytest.fixture(scope="module")
+def runner(tmp_path_factory, tiny_workload):
+    return ChaosRunner(
+        tiny_workload.yet,
+        tiny_workload.portfolio,
+        tiny_workload.catalog.n_events,
+        create_engine("sequential"),
+        base_dir=tmp_path_factory.mktemp("chaos-runner"),
+        segment_trials=30,
+        n_workers=2,
+        lease_seconds=0.3,
+    )
+
+
+def test_fault_free_runs_are_deterministic(runner):
+    first = runner.run(label="det-a")
+    second = runner.run(label="det-b")
+    assert first.digest == second.digest
+    assert first.sweep_id == second.sweep_id  # same input, same plan
+    assert first.duplicate_compute_leaks == 0
+    assert first.failed == 0 and first.requeued == 0
+
+
+def test_mixed_fault_plan_preserves_the_digest(runner):
+    plan = FaultPlan(
+        99,
+        [
+            FaultSpec(kind=KIND_KILL, op=OP_CLAIM, at=1, times=1),
+            FaultSpec(kind=KIND_TORN_WRITE, op=OP_PUT, at=2, times=1),
+            FaultSpec(kind=KIND_IO_ERROR, op=OP_GET, every=5, times=2),
+            FaultSpec(kind=KIND_CORRUPT, op=OP_GET, at=7, times=1),
+        ],
+    )
+    report = runner.compare(plan)
+    assert report.digests_match
+    assert report.chaos.killed_workers  # the kill really happened
+    assert report.chaos.fault_counts.get("torn_write") == 1
+    assert report.chaos.duplicate_compute_leaks == 0
+    assert report.baseline.duplicate_compute_leaks == 0
+
+
+def test_compare_strict_raises_on_mismatch(runner, monkeypatch):
+    plan = FaultPlan(1, [])
+    real_run = runner.run
+
+    def lying_run(fault_plan=None, label="run"):
+        result = real_run(fault_plan=fault_plan, label=label)
+        if label == "chaos":
+            object.__setattr__(result, "digest", "deadbeef")
+        return result
+
+    monkeypatch.setattr(runner, "run", lying_run)
+    with pytest.raises(ChaosDigestMismatch):
+        runner.compare(plan)
