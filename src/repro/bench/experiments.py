@@ -1628,6 +1628,327 @@ def ext_secondary(
     return report
 
 
+# ----------------------------------------------------------------------
+# SERVE-ABLATE: SLO-grade serving under overload and injected latency
+# ----------------------------------------------------------------------
+def serve_bench_spec() -> WorkloadSpec:
+    """The serving workload of SERVE-ABLATE.
+
+    Sized so one layer-terms finish is milliseconds (a realistic quote
+    tail once the base vector is shared) while the whole ablation stays
+    CI-sized.
+    """
+    return BENCH_SMALL.with_(
+        n_trials=20_000, events_per_trial=100, elts_per_layer=8
+    )
+
+
+def serve_requests(workload, n: int, offset: int = 0) -> list:
+    """``n`` unique candidate quote requests over the first ELT set.
+
+    Terms vary per index through three coprime cycles, so requests are
+    pairwise distinct for any CI-scale ``n`` — every admitted quote
+    pays a real layer-terms finish instead of a loss-cache hit, and
+    disjoint ``offset`` ranges keep benchmark phases from warming each
+    other.  Deterministic (terms derive only from the seeded workload),
+    so store prewarms address the exact entries serving will fetch.
+    """
+    from repro.data.layer import LayerTerms
+    from repro.pricing.realtime import QuoteRequest
+
+    layer = workload.portfolio.layers[0]
+    elts = workload.portfolio.elts_of(layer)
+    elt_ids = tuple(elt.elt_id for elt in elts)
+    typical = float(np.mean([float(elt.losses.mean()) for elt in elts]))
+    requests = []
+    for k in range(n):
+        i = offset + k
+        requests.append(
+            QuoteRequest(
+                elt_ids=elt_ids,
+                terms=LayerTerms(
+                    occ_retention=(0.2 + 0.01 * (i % 97)) * typical,
+                    occ_limit=(4.0 + 0.05 * (i % 211)) * typical,
+                    agg_retention=0.0,
+                    agg_limit=(12.0 + 0.1 * (i % 307)) * typical,
+                ),
+                label=f"serve-{i}",
+            )
+        )
+    return requests
+
+
+def serve_ablation(
+    measured_spec: WorkloadSpec | None = None,
+    measure: bool = True,
+    max_workers: int = 2,
+    load_factors: Sequence[float] = (0.5, 1.0, 2.0),
+    duration_seconds: float = 1.5,
+    capacity_requests: int = 64,
+    hedge_requests: int = 40,
+    seed: int = 2013,
+    base_dir=None,
+) -> ExperimentReport:
+    """Quote serving under overload: typed sheds, bounded tails, hedges.
+
+    Three phases, one seeded workload:
+
+    1. **capacity** — closed-loop quotes/sec of the bare
+       :class:`~repro.pricing.realtime.QuoteService` (the anchor all
+       offered rates scale from, so the rows measure *relative*
+       overload on any machine);
+    2. **open loop** — an admission-controlled
+       :class:`~repro.serve.QuoteFrontEnd` offered 0.5x/1x/2x capacity
+       with per-request deadlines.  Rows record goodput, shed rate
+       (typed, by reason), p50/p95/p99 of *admitted* requests and the
+       brownout state reached — at 2x the gate sheds roughly half the
+       offered load and the admitted half stays inside the SLO;
+    3. **hedged store reads** — the same prewarmed two-tier store
+       behind a latency-injecting
+       :class:`~repro.faults.store.FaultyStore` on tier 0 (same seeded
+       :class:`~repro.faults.plan.FaultPlan` both modes), quoted with
+       hedging off then on.  Hedging routes around the injected tier-0
+       stalls, cutting p99, while every served loss vector stays
+       bit-for-bit equal to a direct sequential-engine run.
+    """
+    import tempfile
+    import zlib
+    from pathlib import Path
+
+    from repro.core.analysis import AggregateRiskAnalysis
+    from repro.data.layer import Layer, Portfolio
+    from repro.faults import (
+        KIND_LATENCY,
+        OP_GET,
+        FaultPlan,
+        FaultSpec,
+        FaultyStore,
+    )
+    from repro.pricing.realtime import QuoteService
+    from repro.serve import QuoteFrontEnd, measure_capacity, run_open_loop
+    from repro.serve.brownout import BrownoutController
+    from repro.store import SharedFileStore, TieredStore
+    from repro.utils.latency import percentile
+
+    report = ExperimentReport(
+        exp_id="SERVE-ABLATE",
+        title="SLO-grade quote serving: admission, deadlines, hedged reads",
+    )
+    if measured_spec is None:
+        measured_spec = serve_bench_spec()
+    if not measure:
+        report.note("measure=False: nothing to report (no model rows).")
+        return report
+
+    workload = get_workload(measured_spec)
+    yet = workload.yet
+    catalog_size = workload.catalog.n_events
+    layer = workload.portfolio.layers[0]
+    elts = workload.portfolio.elts_of(layer)
+
+    # ---- phase 1: closed-loop capacity anchor -------------------------
+    service = QuoteService(
+        yet, elts, catalog_size, max_workers=max_workers, cache_size=4
+    )
+    with service:
+        # First quote pays the shared base pass; capacity measures the
+        # steady state (per-candidate finishes), like a warm server.
+        service.quote_many(serve_requests(workload, 1, offset=90_000))
+        capacity_qps = measure_capacity(
+            service, serve_requests(workload, capacity_requests, offset=0)
+        )
+        mean_service_seconds = 1.0 / max(capacity_qps, 1e-9)
+        slo_seconds = max(0.25, 40.0 * mean_service_seconds)
+        report.add(
+            mode="capacity",
+            workers=max_workers,
+            capacity_qps=capacity_qps,
+            mean_service_seconds=mean_service_seconds,
+            slo_seconds=slo_seconds,
+        )
+
+        # ---- phase 2: open-loop offered load ------------------------
+        offset = 1_000
+        for factor in load_factors:
+            rate = max(capacity_qps * factor, 1.0)
+            offered = min(int(rate * duration_seconds), 4_000)
+            frontend = QuoteFrontEnd(
+                service,
+                max_inflight=2 * max_workers,
+                brownout=BrownoutController(
+                    window_seconds=1.0,
+                    min_dwell_seconds=0.25,
+                    min_samples=20,
+                ),
+            )
+            load = run_open_loop(
+                frontend,
+                serve_requests(workload, offered, offset=offset),
+                rate_qps=rate,
+                timeout=slo_seconds,
+            )
+            offset += offered
+            stats = frontend.stats()
+            report.add(
+                mode=f"open-loop-{factor:g}x",
+                workers=max_workers,
+                load_factor=factor,
+                slo_seconds=slo_seconds,
+                brownout_state=stats["brownout"]["state"],
+                brownout_transitions=len(
+                    stats["brownout"]["transitions"]
+                ),
+                coalesced=stats["requests"]["coalesced"],
+                **load.as_row(),
+            )
+
+    # ---- phase 3: hedged reads vs injected tier-0 latency -------------
+    tmp = None
+    if base_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="serve-ablate-")
+        base_dir = tmp.name
+    base_dir = Path(base_dir)
+    requests = serve_requests(workload, hedge_requests, offset=50_000)
+    latency_specs = [
+        FaultSpec(
+            kind=KIND_LATENCY, op=OP_GET, every=3, latency_seconds=0.05
+        )
+    ]
+    try:
+        # Prewarm both tiers (writes go through every tier) so the
+        # serving phase below is pure store reads.
+        warm = TieredStore(
+            [SharedFileStore(base_dir / "a"), SharedFileStore(base_dir / "b")]
+        )
+        with QuoteService(
+            yet, elts, catalog_size, max_workers=max_workers, store=warm
+        ) as prewarmer:
+            prewarmer.quote_many(requests)
+
+        def digest_of(svc) -> int:
+            crc = 0
+            for request in requests[:4]:
+                losses = svc.candidate_losses(
+                    request.elt_ids, request.terms
+                )
+                crc = zlib.crc32(losses.tobytes(), crc)
+            return crc
+
+        hedge_rows = {}
+        for hedge_on in (False, True):
+            tiered = TieredStore(
+                [
+                    FaultyStore(
+                        SharedFileStore(base_dir / "a"),
+                        FaultPlan(seed, list(latency_specs)),
+                    ),
+                    SharedFileStore(base_dir / "b"),
+                ],
+                hedge=hedge_on,
+                hedge_min_delay=0.002,
+                hedge_max_delay=0.02,
+            )
+            with QuoteService(
+                yet,
+                elts,
+                catalog_size,
+                max_workers=max_workers,
+                store=tiered,
+                cache_size=1,  # tiny LRU: every quote reads the store
+            ) as served:
+                samples = []
+                for request in requests:
+                    started = time.perf_counter()
+                    served.quote(
+                        request.elt_ids,
+                        request.terms,
+                        layer_id=request.layer_id,
+                    )
+                    samples.append(time.perf_counter() - started)
+                digest = digest_of(served)
+            hedge = tiered.stats()["hedge"]
+            mode = "store-hedge-on" if hedge_on else "store-hedge-off"
+            hedge_rows[mode] = {
+                "p50": percentile(samples, 0.50),
+                "p99": percentile(samples, 0.99),
+                "digest": digest,
+            }
+            report.add(
+                mode=mode,
+                workers=max_workers,
+                requests=len(requests),
+                injected_every=3,
+                injected_latency_seconds=0.05,
+                p50_seconds=hedge_rows[mode]["p50"],
+                p99_seconds=hedge_rows[mode]["p99"],
+                hedges_issued=hedge["issued"],
+                hedge_wins=hedge["wins"],
+                hedge_losses=hedge["losses"],
+                losses_crc32=digest,
+            )
+
+        # Served bytes must equal a direct sequential-engine run of the
+        # same candidates — hedging and injected latency included.
+        direct_crc = 0
+        for request in requests[:4]:
+            candidate = Layer(
+                layer_id=request.layer_id,
+                elt_ids=request.elt_ids,
+                terms=request.terms,
+            )
+            portfolio = Portfolio()
+            for elt in elts:
+                portfolio.add_elt(elt)
+            portfolio.add_layer(candidate)
+            result = AggregateRiskAnalysis(portfolio, catalog_size).run(
+                yet, engine="sequential"
+            )
+            direct_crc = zlib.crc32(
+                result.ylt.layer_losses(request.layer_id).tobytes(),
+                direct_crc,
+            )
+        for mode, row in hedge_rows.items():
+            if row["digest"] != direct_crc:
+                raise AssertionError(
+                    f"{mode}: served losses diverge from the direct "
+                    f"engine run ({row['digest']:#x} != {direct_crc:#x})"
+                )
+        report.add(
+            mode="digest-check",
+            requests_checked=4,
+            losses_crc32=direct_crc,
+            digests_match_direct=True,
+        )
+        off, on = (
+            hedge_rows["store-hedge-off"],
+            hedge_rows["store-hedge-on"],
+        )
+        report.note(
+            f"hedged reads cut p99 store-backed quote latency from "
+            f"{off['p99'] * 1e3:.1f} ms to {on['p99'] * 1e3:.1f} ms under "
+            "50 ms tier-0 latency injection (every 3rd get), with served "
+            "bytes identical to a direct sequential-engine run."
+        )
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+
+    two_x = next(
+        (r for r in report.rows if r.get("load_factor") == 2.0), None
+    )
+    if two_x is not None:
+        report.note(
+            f"at 2x capacity the gate shed {two_x['shed_rate']:.0%} of "
+            f"offered load (typed Overloaded, reasons "
+            f"{two_x['shed_reasons']}) while goodput held "
+            f"{two_x['goodput_qps']:.0f}/{capacity_qps:.0f} qps and "
+            f"admitted p99 stayed at {two_x['p99_seconds']:.3f} s "
+            f"(SLO {slo_seconds:.2f} s, brownout state "
+            f"{two_x['brownout_state']})."
+        )
+    return report
+
+
 ALL_EXPERIMENTS = {
     "SEQ-SCALE": seq_scaling,
     "FIG-1a": fig1a,
@@ -1645,6 +1966,7 @@ ALL_EXPERIMENTS = {
     "REPLAY-ABLATE": replay_ablation,
     "FLEET-ABLATE": fleet_ablation,
     "CHAOS-ABLATE": chaos_ablation,
+    "SERVE-ABLATE": serve_ablation,
     "EXT-SECONDARY": ext_secondary,
 }
 """Experiment id → generator function (the per-experiment index)."""

@@ -27,6 +27,8 @@ from repro.faults.plan import (
     KIND_TORN_WRITE,
     OP_CLAIM,
     OP_COMPUTE,
+    OP_CONTAINS,
+    OP_DELETE,
     OP_GET,
     OP_HEARTBEAT,
     OP_PUT,
@@ -69,6 +71,8 @@ __all__ = [
     "KIND_POISON",
     "OP_GET",
     "OP_PUT",
+    "OP_CONTAINS",
+    "OP_DELETE",
     "OP_CLAIM",
     "OP_HEARTBEAT",
     "OP_COMPUTE",

@@ -38,6 +38,8 @@ KIND_POISON = "poison"  # the compute raises
 #: operations fault specs can attach to
 OP_GET = "get"
 OP_PUT = "put"
+OP_CONTAINS = "contains"
+OP_DELETE = "delete"
 OP_CLAIM = "claim"
 OP_HEARTBEAT = "heartbeat"
 OP_COMPUTE = "compute"

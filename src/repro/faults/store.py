@@ -3,10 +3,15 @@
 Wraps any :class:`~repro.store.base.ResultStore` and consults a
 :class:`~repro.faults.plan.FaultPlan` on every backend operation:
 
-* ``io_error`` on ``get``/``put`` — raises :class:`OSError` *instead*
-  of performing the operation (a flaky disk / network tier);
-* ``latency`` on ``get``/``put`` — sleeps before proceeding (a slow
-  tier; what the lock-contention and straggler tests lean on);
+* ``io_error`` on ``get``/``put``/``contains``/``delete`` — raises
+  :class:`OSError` *instead* of performing the operation (a flaky disk
+  / network tier);
+* ``latency`` on ``get``/``put``/``contains``/``delete`` — sleeps
+  before proceeding (a slow tier; what the lock-contention, straggler
+  and hedged-read tests lean on).  Existence probes and invalidations
+  matter to the *serving* tier: store-aware admission checks ride
+  ``contains`` and corrupt-entry retirement rides ``delete``, so chaos
+  must be able to slow or fail both;
 * ``corrupt`` on ``get`` — the read succeeds but one array's bytes are
   flipped in the returned copy (damage past the backend's own CRC,
   caught only by end-to-end checksums —
@@ -33,6 +38,8 @@ from repro.faults.plan import (
     KIND_IO_ERROR,
     KIND_LATENCY,
     KIND_TORN_WRITE,
+    OP_CONTAINS,
+    OP_DELETE,
     OP_GET,
     OP_PUT,
     FaultPlan,
@@ -127,15 +134,17 @@ class FaultyStore(ResultStore):
             entry = _torn_copy(entry)
         self.inner._put(key, entry)
 
-    # -- pass-throughs -------------------------------------------------
-    def _exclusive(self, key: str):
-        return self.inner._exclusive(key)
-
     def contains(self, key: str) -> bool:
+        self._apply(OP_CONTAINS, key)
         return self.inner.contains(key)
 
     def _delete(self, key: str) -> bool:
+        self._apply(OP_DELETE, key)
         return self.inner._delete(key)
+
+    # -- pass-throughs -------------------------------------------------
+    def _exclusive(self, key: str):
+        return self.inner._exclusive(key)
 
     def _size_hint(self):
         return self.inner._size_hint()

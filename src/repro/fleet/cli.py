@@ -109,8 +109,10 @@ def build_parser() -> argparse.ArgumentParser:
         "claimed jobs to resolve",
     )
 
-    status = sub.add_parser("status", help="per-sweep job counts")
-    add_common(status, store=False)
+    status = sub.add_parser(
+        "status", help="per-sweep job counts (and store health)"
+    )
+    add_common(status)
     status.add_argument("--sweep", default=None)
     status.add_argument(
         "--failed",
@@ -210,6 +212,23 @@ def _cmd_worker(args) -> int:
 def _cmd_status(args) -> int:
     queue = _queue_for(args)
     sweep_ids = [args.sweep] if args.sweep else queue.sweep_ids()
+    if getattr(args, "store", None):
+        # Fold the store's degradation picture — breaker states,
+        # corruption/retry counters, hedged-read wins — into the same
+        # screen as the job counts (one place to look during an outage).
+        from repro.store.health import format_health, store_health
+
+        store = _store_for(args)
+        health = store_health(store)
+        if health["entries"] is None:
+            # Op counters are process-local (all zero in a fresh CLI);
+            # a one-off directory walk gives the on-disk truth.
+            try:
+                health["entries"] = len(store)
+            except TypeError:
+                pass
+        for line in format_health(health):
+            print(line)
     if not sweep_ids:
         print("no sweeps")
         return 0

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.data.elt import EventLossTable
 from repro.data.yet import YearEventTable
+from repro.utils.retry import DeadlineExceeded
 
 T = TypeVar("T")
 
@@ -135,7 +136,9 @@ class PlanResultCache:
 
         return fingerprint_digest(self.namespace, key)
 
-    def _compute_via_store(self, key: Hashable, compute: Callable[[], T]) -> T:
+    def _compute_via_store(
+        self, key: Hashable, compute: Callable[[], T], deadline=None
+    ) -> T:
         """Run the miss path *through* the backing store.
 
         ``store.get_or_compute`` supplies the durable lookup, the
@@ -165,9 +168,13 @@ class PlanResultCache:
             return entry_from_array(value)
 
         try:
-            entry = self.store.get_or_compute(self.store_key(key), produce)
+            entry = self.store.get_or_compute(
+                self.store_key(key), produce, deadline=deadline
+            )
         except _Unstorable:
             return holder["value"]
+        except DeadlineExceeded:
+            raise  # the caller's budget: typed, never absorbed
         except BaseException:
             if "error" in holder:
                 raise  # compute itself failed: the caller's problem
@@ -185,7 +192,18 @@ class PlanResultCache:
         return array_from_entry(entry)  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
-    def get_or_compute(self, key: Hashable, compute: Callable[[], T]) -> T:
+    def get_or_compute(
+        self, key: Hashable, compute: Callable[[], T], deadline=None
+    ) -> T:
+        """The cached value for ``key``, computed at most once in-flight.
+
+        ``deadline`` (a :class:`~repro.utils.retry.Deadline`) bounds the
+        wait on another requester's in-flight computation and gates the
+        start of a fresh one — expired requests raise the typed
+        :class:`~repro.utils.retry.DeadlineExceeded` *before* computing,
+        and the budget threads through the backing store's own
+        ``get_or_compute`` so no nested layer overruns it either.
+        """
         while True:
             with self._lock:
                 if key in self._entries:
@@ -200,10 +218,17 @@ class PlanResultCache:
                 self.inflight_hits += 1
             # Another thread is computing this key: wait, then re-check
             # (the computation may have failed, in which case we retry).
-            event.wait()
+            if deadline is None:
+                event.wait()
+            elif not event.wait(timeout=deadline.remaining()):
+                raise DeadlineExceeded(
+                    "gave up waiting on an in-flight cache computation"
+                )
         try:
+            if deadline is not None:
+                deadline.check("cached computation")
             if self.store is not None:
-                value = self._compute_via_store(key, compute)
+                value = self._compute_via_store(key, compute, deadline)
             else:
                 value = compute()
         except BaseException:

@@ -64,6 +64,7 @@ from repro.plan.scheduler import Scheduler
 from repro.pricing.pricer import LayerQuote, PricingAssumptions, price_layer
 from repro.utils.bufpool import ScratchBufferPool
 from repro.utils.parallel import available_cpu_count
+from repro.utils.retry import Deadline
 
 
 @dataclass
@@ -363,7 +364,10 @@ class QuoteService(_PricingSessionBase):
     # The shared base vector (steps 1–2 of Algorithm 1)
     # ------------------------------------------------------------------
     def _base_vector(
-        self, elts: Sequence[EventLossTable], stream_key: int
+        self,
+        elts: Sequence[EventLossTable],
+        stream_key: int,
+        deadline: Deadline | None = None,
     ) -> np.ndarray:
         """Combined per-occurrence losses for an ELT set (cached).
 
@@ -376,7 +380,9 @@ class QuoteService(_PricingSessionBase):
         """
         key = self._base_key(elts, stream_key)
         return self._base_cache.get_or_compute(
-            key, lambda: self._compute_base(list(elts), stream_key)
+            key,
+            lambda: self._compute_base(list(elts), stream_key),
+            deadline=deadline,
         )
 
     def _compute_base(
@@ -427,32 +433,43 @@ class QuoteService(_PricingSessionBase):
         elts: Sequence[EventLossTable],
         terms: LayerTerms,
         stream_key: int,
+        deadline: Deadline | None = None,
     ) -> np.ndarray:
         """Cached year losses for (ELT set, layer terms, stream)."""
         key = ("losses", self._base_key(elts, stream_key), terms.as_tuple())
 
         def compute() -> np.ndarray:
-            base = self._base_vector(elts, stream_key)
+            base = self._base_vector(elts, stream_key, deadline=deadline)
             scratch = base.copy()  # finish mutates (occurrence clamp)
             year = finish_layer_losses(scratch, self.yet.offsets, terms)
             year.flags.writeable = False
             return year
 
-        return self._loss_cache.get_or_compute(key, compute)
+        return self._loss_cache.get_or_compute(
+            key, compute, deadline=deadline
+        )
 
     def candidate_losses(
         self,
         elt_ids: Sequence[int],
         terms: LayerTerms,
         layer_id: int = 9999,
+        deadline: Deadline | None = None,
     ) -> np.ndarray:
         """Per-trial year losses of a candidate layer (cached, frozen).
 
         Bit-for-bit what a sequential-engine run of the same
-        single-layer portfolio produces.
+        single-layer portfolio produces.  ``deadline`` propagates the
+        caller's end-to-end budget into the cache waits and store
+        fetches below; expired work raises the typed
+        :class:`~repro.utils.retry.DeadlineExceeded` instead of
+        computing.
         """
         return self._losses_for(
-            self._resolve_elts(elt_ids), terms, self._stream_key(layer_id)
+            self._resolve_elts(elt_ids),
+            terms,
+            self._stream_key(layer_id),
+            deadline=deadline,
         )
 
     # ------------------------------------------------------------------
@@ -502,29 +519,38 @@ class QuoteService(_PricingSessionBase):
         elt_ids: Sequence[int],
         terms: LayerTerms,
         layer_id: int = 9999,
+        deadline: Deadline | None = None,
     ) -> QuoteRecord:
         """Price one candidate layer through the shared caches."""
         request = QuoteRequest(
             elt_ids=tuple(elt_ids), terms=terms, layer_id=layer_id
         )
-        return self._quote_one(request)
+        return self._quote_one(request, deadline=deadline)
 
     def quote_async(
         self,
         elt_ids: Sequence[int],
         terms: LayerTerms,
         layer_id: int = 9999,
+        deadline: Deadline | None = None,
     ) -> "Future[QuoteRecord]":
         """Schedule a quote on the worker pool; returns a future.
 
         Concurrent quotes sharing an ELT set dedupe their base pass
         through the in-flight cache — N marginal re-quotes cost one
         expensive pass plus N cheap finishes.
+
+        ``deadline`` rides along to the worker thread: a request whose
+        budget expires while still queued behind busy lanes is
+        abandoned (typed ``DeadlineExceeded`` on the future) *before*
+        any kernel work runs.
         """
         request = QuoteRequest(
             elt_ids=tuple(elt_ids), terms=terms, layer_id=layer_id
         )
-        return self._pool_executor().submit(self._quote_one, request)
+        return self._pool_executor().submit(
+            self._quote_one, request, deadline
+        )
 
     def quote_many(
         self, requests: Iterable[QuoteRequest | Tuple],
@@ -550,7 +576,14 @@ class QuoteService(_PricingSessionBase):
         futures = [executor.submit(self._quote_one, r) for r in normalised]
         return [future.result() for future in futures]
 
-    def _quote_one(self, request: QuoteRequest) -> QuoteRecord:
+    def _quote_one(
+        self,
+        request: QuoteRequest,
+        deadline: Deadline | None = None,
+    ) -> QuoteRecord:
+        if deadline is not None:
+            # Expired while queued: cancelled, never computed.
+            deadline.check(f"quote of {request.label or request.elt_ids}")
         candidate = Layer(
             layer_id=request.layer_id,
             elt_ids=request.elt_ids,
@@ -571,7 +604,10 @@ class QuoteService(_PricingSessionBase):
 
         started = time.perf_counter()
         losses = self.candidate_losses(
-            request.elt_ids, request.terms, layer_id=request.layer_id
+            request.elt_ids,
+            request.terms,
+            layer_id=request.layer_id,
+            deadline=deadline,
         )
         quote = price_layer(candidate, losses, self.assumptions)
         marginal: float | None = None

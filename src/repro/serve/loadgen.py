@@ -1,0 +1,184 @@
+"""Open-loop load generation against the quote front-end.
+
+A *closed-loop* driver (issue, wait, issue) can never overload the
+system under test — its arrival rate collapses to the service rate, and
+the measured "latency" flatters the server exactly when it is slowest.
+SLO numbers therefore come from an **open-loop** generator: arrivals
+are scheduled at absolute timestamps from the offered rate alone, and a
+late generator fires immediately rather than silently stretching the
+schedule (coordinated omission would under-count the tail otherwise).
+
+:func:`run_open_loop` drives a :class:`~repro.serve.service.
+QuoteFrontEnd` at a fixed offered rate and classifies every outcome —
+served, shed (typed :class:`~repro.serve.admission.Overloaded`, by
+reason), deadline-missed, errored — then summarises the *admitted*
+latency distribution (p50/p95/p99) and goodput.  Shed requests are
+excluded from the latency percentiles by construction: they are the
+price of keeping the admitted ones inside the SLO.
+
+:func:`measure_capacity` is the closed-loop complement: it saturates
+the service's own pool with a batch and reports sustained quotes/sec,
+the anchor the bench's 0.5x/1x/2x offered-load points scale from.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.pricing.realtime import QuoteRequest, QuoteService
+from repro.serve.admission import LANE_INTERACTIVE, Overloaded
+from repro.serve.service import QuoteFrontEnd
+from repro.utils.latency import percentile
+from repro.utils.retry import DeadlineExceeded
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one open-loop run at a fixed offered rate."""
+
+    offered: int
+    served: int
+    shed: int
+    deadline_missed: int
+    errored: int
+    seconds: float
+    offered_qps: float
+    shed_reasons: Dict[str, int] = field(default_factory=dict)
+    #: per-served-request latencies (seconds, arrival to completion)
+    latencies: List[float] = field(default_factory=list)
+
+    @property
+    def goodput_qps(self) -> float:
+        """Served requests per second of wall time."""
+        if self.seconds <= 0:
+            return 0.0
+        return self.served / self.seconds
+
+    @property
+    def shed_rate(self) -> float:
+        if self.offered == 0:
+            return 0.0
+        return self.shed / self.offered
+
+    def latency_quantile(self, q: float) -> float | None:
+        if not self.latencies:
+            return None
+        return percentile(self.latencies, q)
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat JSON-able summary (one benchmark-report row)."""
+        return {
+            "offered": self.offered,
+            "served": self.served,
+            "shed": self.shed,
+            "deadline_missed": self.deadline_missed,
+            "errored": self.errored,
+            "seconds": round(self.seconds, 4),
+            "offered_qps": round(self.offered_qps, 2),
+            "goodput_qps": round(self.goodput_qps, 2),
+            "shed_rate": round(self.shed_rate, 4),
+            "shed_reasons": dict(self.shed_reasons),
+            "p50_seconds": self.latency_quantile(0.50),
+            "p95_seconds": self.latency_quantile(0.95),
+            "p99_seconds": self.latency_quantile(0.99),
+        }
+
+
+async def _drive(
+    frontend: QuoteFrontEnd,
+    requests: Sequence[QuoteRequest],
+    rate_qps: float,
+    lane: str,
+    timeout: float | None,
+    clock,
+) -> LoadReport:
+    report = LoadReport(
+        offered=len(requests),
+        served=0,
+        shed=0,
+        deadline_missed=0,
+        errored=0,
+        seconds=0.0,
+        offered_qps=rate_qps,
+    )
+
+    async def one(request: QuoteRequest) -> None:
+        arrived = clock()
+        try:
+            await frontend.quote_request(
+                request, lane=lane, timeout=timeout
+            )
+        except Overloaded as exc:
+            report.shed += 1
+            report.shed_reasons[exc.reason] = (
+                report.shed_reasons.get(exc.reason, 0) + 1
+            )
+        except DeadlineExceeded:
+            report.deadline_missed += 1
+        except Exception:
+            report.errored += 1
+        else:
+            report.served += 1
+            report.latencies.append(clock() - arrived)
+
+    started = clock()
+    tasks = []
+    for index, request in enumerate(requests):
+        # Absolute-timestamp schedule: arrival i is due at started +
+        # i/rate regardless of how request i-1 fared.  A late generator
+        # fires immediately (no sleep), never stretches the schedule.
+        due = started + index / rate_qps
+        delay = due - clock()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        tasks.append(asyncio.ensure_future(one(request)))
+    if tasks:
+        await asyncio.gather(*tasks)
+    report.seconds = max(clock() - started, 1e-9)
+    return report
+
+
+def run_open_loop(
+    frontend: QuoteFrontEnd,
+    requests: Sequence[QuoteRequest],
+    rate_qps: float,
+    lane: str = LANE_INTERACTIVE,
+    timeout: float | None = None,
+    clock=time.perf_counter,
+) -> LoadReport:
+    """Offer ``requests`` at ``rate_qps`` (open loop) and classify
+    every outcome.
+
+    ``timeout`` (seconds) gives each request its own deadline from its
+    arrival instant — the budget then propagates end-to-end through the
+    quote stack.  Runs its own event loop; call from synchronous test
+    and benchmark code.
+    """
+    if rate_qps <= 0:
+        raise ValueError(f"rate_qps must be > 0, got {rate_qps}")
+    return asyncio.run(
+        _drive(frontend, list(requests), rate_qps, lane, timeout, clock)
+    )
+
+
+def measure_capacity(
+    service: QuoteService,
+    requests: Sequence[QuoteRequest],
+    clock=time.perf_counter,
+) -> float:
+    """Closed-loop sustained capacity of the service, in quotes/sec.
+
+    Saturates the service's own worker pool with the whole batch and
+    divides by wall time.  Used to anchor the open-loop offered rates
+    (0.5x/1x/2x capacity) so the bench measures *relative* overload,
+    independent of the machine it runs on.
+    """
+    if not requests:
+        raise ValueError("need at least one request to measure capacity")
+    started = clock()
+    service.quote_many(list(requests))
+    seconds = max(clock() - started, 1e-9)
+    return len(requests) / seconds

@@ -191,7 +191,7 @@ class ResultStore(abc.ABC):
         )
 
     def get_or_compute(
-        self, key: str, compute: Callable[[], StoreEntry]
+        self, key: str, compute: Callable[[], StoreEntry], deadline=None
     ) -> StoreEntry:
         """Return the stored entry, computing (and storing) it at most
         once per key across concurrent in-process callers.
@@ -206,7 +206,17 @@ class ResultStore(abc.ABC):
         counted in ``put_errors`` and the freshly computed entry is
         returned anyway: persistence failures cost durability, never
         the answer.
+
+        ``deadline`` (a :class:`~repro.utils.retry.Deadline`) bounds
+        how long this caller will *wait* — on another requester's
+        in-flight computation, or before starting its own — raising
+        the typed :class:`~repro.utils.retry.DeadlineExceeded` instead
+        of computing expired work.  The computation itself, once
+        started, runs to completion (its value is shared by every
+        waiter, so abandoning it would waste the others' wait).
         """
+        from repro.utils.retry import DeadlineExceeded  # deferred import
+
         check_key(key)
         while True:
             entry = self.get(key)
@@ -218,8 +228,15 @@ class ResultStore(abc.ABC):
                     self._pending[key] = threading.Event()
                     break
                 self.inflight_hits += 1
-            event.wait()
+            if deadline is None:
+                event.wait()
+            elif not event.wait(timeout=deadline.remaining()):
+                raise DeadlineExceeded(
+                    f"gave up waiting on in-flight compute of {key[:16]}…"
+                )
         try:
+            if deadline is not None:
+                deadline.check(f"store compute of {key[:16]}")
             with self._exclusive(key):
                 entry = self._get(key)  # may have landed cross-process
                 if entry is None:

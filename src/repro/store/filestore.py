@@ -30,9 +30,10 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Dict, Optional, Sequence, Union
+from typing import Callable, Dict, Optional, Sequence, Union
 
 import numpy as np
 
@@ -53,6 +54,7 @@ from repro.store.base import (
     check_key,
     logger,
 )
+from repro.utils.latency import LatencyTracker
 from repro.utils.retry import CircuitBreaker
 
 PathLike = Union[str, Path]
@@ -270,6 +272,20 @@ class TieredStore(ResultStore):
     :meth:`stats`.  A ``put`` that fails on *every* tier still raises
     (there is nothing left to degrade to), which
     ``get_or_compute`` converts into ``put_errors`` + a served answer.
+
+    **Hedged reads** (``hedge=True``): breakers quarantine a tier that
+    *errors*; hedging routes around a tier that is merely *slow*.  Each
+    tier's ``get`` latencies feed a :class:`~repro.utils.latency.
+    LatencyTracker`; when the first tier's read has outlived that
+    tier's tracked ``hedge_quantile`` (clamped to
+    ``[hedge_min_delay, hedge_max_delay]``), a hedge request is issued
+    against the *remaining* tiers and the first useful result wins —
+    the straggling primary read is abandoned (its daemon thread
+    finishes harmlessly).  ``hedged_get`` additionally accepts a
+    ``validate`` predicate so consumers can take the first *verified*
+    result (:func:`repro.store.verify.fetch_verified` passes its
+    end-to-end checksum check).  Wins/losses are counted in
+    :meth:`stats` under ``hedge``.
     """
 
     def __init__(
@@ -278,24 +294,47 @@ class TieredStore(ResultStore):
         breaker_threshold: int = 5,
         breaker_cooldown_seconds: float = 30.0,
         clock=None,
+        hedge: bool = False,
+        hedge_quantile: float = 0.95,
+        hedge_min_delay: float = 0.002,
+        hedge_max_delay: float = 0.25,
     ) -> None:
         super().__init__()
         if not stores:
             raise ValueError("TieredStore needs at least one store")
+        if not 0.0 < hedge_quantile <= 1.0:
+            raise ValueError(
+                f"hedge_quantile must be in (0, 1], got {hedge_quantile}"
+            )
+        if not 0.0 < hedge_min_delay <= hedge_max_delay:
+            raise ValueError(
+                f"need 0 < hedge_min_delay <= hedge_max_delay, got "
+                f"{hedge_min_delay}/{hedge_max_delay}"
+            )
         self.stores = list(stores)
         import time as _time
 
-        clock = clock or _time.monotonic
+        self._clock = clock or _time.monotonic
         self._breakers = [
             CircuitBreaker(
                 failure_threshold=breaker_threshold,
                 cooldown_seconds=breaker_cooldown_seconds,
-                clock=clock,
+                clock=self._clock,
             )
             for _ in self.stores
         ]
+        self.hedge = bool(hedge) and len(self.stores) > 1
+        self.hedge_quantile = float(hedge_quantile)
+        self.hedge_min_delay = float(hedge_min_delay)
+        self.hedge_max_delay = float(hedge_max_delay)
+        self._trackers = [LatencyTracker() for _ in self.stores]
         #: exceptions swallowed while degrading around a tier
         self.tier_errors = 0
+        #: hedge requests actually launched / won by the hedge / won by
+        #: the primary read despite the hedge
+        self.hedges_issued = 0
+        self.hedge_wins = 0
+        self.hedge_losses = 0
 
     # -- breaker plumbing ---------------------------------------------
     def _tier_allowed(self, index: int) -> bool:
@@ -320,27 +359,155 @@ class TieredStore(ResultStore):
             " — tier quarantined" if tripped else "",
         )
 
-    def _get(self, key: str) -> Optional[StoreEntry]:
-        for i, store in enumerate(self.stores):
+    def _get_sequential(
+        self,
+        key: str,
+        tier_indices: Sequence[int],
+        validate: Callable[[StoreEntry], bool] | None = None,
+    ) -> Optional[StoreEntry]:
+        """The ordered waterfall over ``tier_indices``.
+
+        Hits are promoted into every faster tier; each tier's read
+        latency feeds its hedge tracker.  With ``validate``, an entry
+        failing the predicate is remembered but the scan continues — a
+        deeper tier may hold an undamaged replica — and the last
+        invalid entry is returned only when nothing valid surfaced (so
+        the caller's corruption handling still sees the damage).
+        """
+        invalid: Optional[StoreEntry] = None
+        for i in tier_indices:
             if not self._tier_allowed(i):
                 continue
+            store = self.stores[i]
+            started = self._clock()
             try:
                 entry = store._get(key)
             except Exception as exc:
                 self._tier_result(i, False, key, "get", exc)
                 continue
+            self._trackers[i].record(self._clock() - started)
             self._tier_result(i, True, key, "get")
-            if entry is not None:
-                for j, faster in enumerate(self.stores[:i]):
-                    if not self._tier_allowed(j):
-                        continue
-                    try:
-                        faster._put(key, entry)
-                        self._tier_result(j, True, key, "promote")
-                    except Exception as exc:
-                        self._tier_result(j, False, key, "promote", exc)
-                return entry
-        return None
+            if entry is None:
+                continue
+            if validate is not None and not validate(entry):
+                invalid = entry
+                continue
+            for j, faster in enumerate(self.stores[:i]):
+                if not self._tier_allowed(j):
+                    continue
+                try:
+                    faster._put(key, entry)
+                    self._tier_result(j, True, key, "promote")
+                except Exception as exc:
+                    self._tier_result(j, False, key, "promote", exc)
+            return entry
+        return invalid
+
+    def _get(self, key: str) -> Optional[StoreEntry]:
+        if self.hedge:
+            return self._hedged_lookup(key, None)
+        return self._get_sequential(key, range(len(self.stores)))
+
+    # -- hedged reads --------------------------------------------------
+    def hedge_delay(self) -> float:
+        """Seconds the primary read may run before a hedge launches.
+
+        The first tier's tracked ``hedge_quantile`` latency, clamped to
+        ``[hedge_min_delay, hedge_max_delay]`` — so a healthy fast tier
+        hedges only its own tail, and an untracked (cold) store hedges
+        eagerly at the floor rather than never.
+        """
+        tracked = self._trackers[0].quantile(self.hedge_quantile)
+        if tracked is None:
+            tracked = self.hedge_min_delay
+        return min(self.hedge_max_delay, max(self.hedge_min_delay, tracked))
+
+    def hedged_get(
+        self,
+        key: str,
+        validate: Callable[[StoreEntry], bool] | None = None,
+    ) -> Optional[StoreEntry]:
+        """Counted lookup that hedges a slow first tier.
+
+        Like :meth:`get`, but when the primary waterfall has not
+        answered within :meth:`hedge_delay`, a second waterfall is
+        launched that *skips the first tier*, and the first useful
+        result (``validate``-passing when a predicate is given) is
+        served.  Falls back to a plain sequential read when the store
+        has a single tier.
+        """
+        entry = self._hedged_lookup(check_key(key), validate)
+        with self._lock:
+            if entry is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+        return entry
+
+    def _hedged_lookup(
+        self,
+        key: str,
+        validate: Callable[[StoreEntry], bool] | None,
+    ) -> Optional[StoreEntry]:
+        if len(self.stores) < 2:
+            return self._get_sequential(key, range(len(self.stores)), validate)
+
+        arrived = threading.Condition()
+        outcomes: Dict[str, Optional[StoreEntry]] = {}
+
+        def lookup(label: str, tier_indices: Sequence[int]) -> None:
+            try:
+                found = self._get_sequential(key, tier_indices, validate)
+            except Exception:  # degraded tiers already counted
+                found = None
+            with arrived:
+                outcomes[label] = found
+                arrived.notify_all()
+
+        def usable(entry: Optional[StoreEntry]) -> bool:
+            return entry is not None and (
+                validate is None or validate(entry)
+            )
+
+        primary = threading.Thread(
+            target=lookup,
+            args=("primary", range(len(self.stores))),
+            name="tiered-get",
+            daemon=True,
+        )
+        primary.start()
+        primary.join(self.hedge_delay())
+        with arrived:
+            if "primary" in outcomes:
+                return outcomes["primary"]
+        # The primary read has outlived the hedge trigger: race the
+        # remaining tiers against it and serve whichever answers first.
+        with self._lock:
+            self.hedges_issued += 1
+        hedge = threading.Thread(
+            target=lookup,
+            args=("hedge", range(1, len(self.stores))),
+            name="tiered-get-hedge",
+            daemon=True,
+        )
+        hedge.start()
+        with arrived:
+            while True:
+                for label in ("primary", "hedge"):
+                    if usable(outcomes.get(label)):
+                        with self._lock:
+                            if label == "hedge":
+                                self.hedge_wins += 1
+                            else:
+                                self.hedge_losses += 1
+                        return outcomes[label]
+                if len(outcomes) == 2:
+                    # Neither produced a valid entry; surface whatever
+                    # invalid payload exists so corruption handling runs.
+                    with self._lock:
+                        self.hedge_losses += 1
+                    return outcomes["primary"] or outcomes["hedge"]
+                arrived.wait()
 
     def _put(self, key: str, entry: StoreEntry) -> None:
         stored = 0
@@ -400,13 +567,23 @@ class TieredStore(ResultStore):
         """
         aggregated: Dict[str, object] = super().stats()
         tiers = [store.stats() for store in self.stores]
+        latencies = [tracker.summary() for tracker in self._trackers]
         with self._lock:
-            for tier, breaker in zip(tiers, self._breakers):
+            for tier, breaker, latency in zip(
+                tiers, self._breakers, latencies
+            ):
                 tier["breaker"] = breaker.as_dict()
+                tier["get_latency"] = latency
             aggregated["tier_errors"] = self.tier_errors
             aggregated["breaker_trips"] = sum(
                 b.trips for b in self._breakers
             )
+            aggregated["hedge"] = {
+                "enabled": self.hedge,
+                "issued": self.hedges_issued,
+                "wins": self.hedge_wins,
+                "losses": self.hedge_losses,
+            }
         for field in ("evictions", "corrupt_misses", "put_errors"):
             aggregated[field] = int(aggregated[field]) + sum(
                 int(tier[field]) for tier in tiers

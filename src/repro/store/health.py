@@ -1,0 +1,105 @@
+"""One-glance store health: breakers, retries, hedging, corruption.
+
+The degradation machinery is spread across layers by design — circuit
+breakers live in :class:`~repro.store.filestore.TieredStore`, retry
+counters in the fleet worker, hedge outcomes in the tiered read path,
+corruption counters in every backend.  Operating the service needs all
+of it in *one place*: this module folds any store's :meth:`stats` dict
+into a flat health summary, shared by ``repro-fleet status --store``
+and :meth:`repro.serve.QuoteFrontEnd.stats`.
+
+The input is the stats *dict*, not the store object, so the same
+summariser works on live stores, JSON-roundtripped benchmark artifacts,
+and worker reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping
+
+
+def health_from_stats(stats: Mapping[str, object]) -> Dict[str, object]:
+    """Fold a :meth:`~repro.store.base.ResultStore.stats` dict into a
+    flat health summary.
+
+    Always present: request counters (``hits``/``misses``/``puts`` —
+    process-local, so a fresh CLI process reports zeros), degradation
+    counters (``corrupt_misses``, ``put_errors``), and ``entries``
+    (the backend's stored-entry count, ``None`` when unreported —
+    unlike the op counters this reflects the store on disk).  When the
+    stats came from a :class:`~repro.store.filestore.TieredStore` the
+    summary adds ``tier_errors``, ``breaker_trips``, per-tier breaker
+    ``breakers`` (state + trips, in tier order) and the ``hedge``
+    win/loss record; plain backends report those as empty/zero, so
+    consumers need no isinstance checks.
+    """
+    tiers = stats.get("tiers") or []
+    breakers: List[Dict[str, object]] = []
+    for index, tier in enumerate(tiers):
+        breaker = dict(tier.get("breaker") or {})
+        breakers.append(
+            {
+                "tier": index,
+                "state": breaker.get("state", "closed"),
+                "trips": int(breaker.get("trips", 0)),
+                "consecutive_failures": int(
+                    breaker.get("consecutive_failures", 0)
+                ),
+            }
+        )
+    hedge = dict(stats.get("hedge") or {})
+    size = stats.get("size")
+    return {
+        "entries": int(size) if size is not None else None,
+        "hits": int(stats.get("hits", 0)),
+        "misses": int(stats.get("misses", 0)),
+        "puts": int(stats.get("puts", 0)),
+        "corrupt_misses": int(stats.get("corrupt_misses", 0)),
+        "put_errors": int(stats.get("put_errors", 0)),
+        "tier_errors": int(stats.get("tier_errors", 0)),
+        "breaker_trips": int(stats.get("breaker_trips", 0)),
+        "breakers": breakers,
+        "open_breakers": sum(
+            1 for b in breakers if b["state"] != "closed"
+        ),
+        "hedge": {
+            "enabled": bool(hedge.get("enabled", False)),
+            "issued": int(hedge.get("issued", 0)),
+            "wins": int(hedge.get("wins", 0)),
+            "losses": int(hedge.get("losses", 0)),
+        },
+    }
+
+
+def store_health(store) -> Dict[str, object]:
+    """:func:`health_from_stats` over a live store."""
+    return health_from_stats(store.stats())
+
+
+def format_health(health: Mapping[str, object]) -> List[str]:
+    """Human-readable lines for the CLI (``repro-fleet status``)."""
+    hedge = health["hedge"]
+    entries = health.get("entries")
+    entries_part = f"entries={entries} " if entries is not None else ""
+    lines = [
+        f"store: {entries_part}"
+        + "hits={hits} misses={misses} puts={puts} "
+        "corrupt_misses={corrupt_misses} put_errors={put_errors}".format(
+            **health
+        ),
+        f"degradation: tier_errors={health['tier_errors']} "
+        f"breaker_trips={health['breaker_trips']} "
+        f"open_breakers={health['open_breakers']}",
+    ]
+    for breaker in health["breakers"]:
+        lines.append(
+            f"  tier {breaker['tier']}: breaker={breaker['state']} "
+            f"trips={breaker['trips']} "
+            f"consecutive_failures={breaker['consecutive_failures']}"
+        )
+    if hedge["enabled"]:
+        lines.append(
+            f"hedged reads: issued={hedge['issued']} "
+            f"wins={hedge['wins']} losses={hedge['losses']}"
+        )
+    return lines

@@ -30,7 +30,13 @@ from typing import Dict, Optional
 
 from repro.io.atomic import array_crc32
 from repro.store.base import ResultStore, StoreEntry
-from repro.utils.retry import STORE_FETCH_POLICY, RetryPolicy, retry_call
+from repro.utils.retry import (
+    STORE_FETCH_POLICY,
+    Deadline,
+    DeadlineExceeded,
+    RetryPolicy,
+    retry_call,
+)
 
 logger = logging.getLogger("repro.store")
 
@@ -74,6 +80,8 @@ def fetch_verified(
     store: ResultStore,
     key: str,
     policy: RetryPolicy = STORE_FETCH_POLICY,
+    deadline: Deadline | None = None,
+    hedged: bool | None = None,
     **retry_kwargs,
 ) -> Optional[StoreEntry]:
     """Digest-checked ``store.get``: retry damage, delete what persists.
@@ -84,16 +92,31 @@ def fetch_verified(
     counted via :meth:`~repro.store.base.ResultStore.note_corrupt`, so
     replanning sees the key as missing and recomputes it).  Transient
     IO errors from the store retry under the same policy.
+
+    ``deadline`` threads the caller's end-to-end budget into the retry
+    loop (no sleep past it).  On a hedging-enabled
+    :class:`~repro.store.filestore.TieredStore` the fetch rides
+    ``hedged_get`` with :func:`verify_entry` as the validator, so the
+    *first verified* tier result wins — a slow first tier costs its
+    hedge delay, not its tail latency; pass ``hedged=False`` to force a
+    plain sequential read (or ``True`` to require hedging support).
     """
 
     class _Damaged(OSError):
         pass
 
+    if hedged is None:
+        hedged = bool(getattr(store, "hedge", False))
+    fetch = (
+        (lambda: store.hedged_get(key, validate=verify_entry))
+        if hedged and hasattr(store, "hedged_get")
+        else (lambda: store.get(key))
+    )
     saw_damage = False
 
     def attempt() -> Optional[StoreEntry]:
         nonlocal saw_damage
-        entry = store.get(key)
+        entry = fetch()
         if entry is None:
             return None
         if not verify_entry(entry):
@@ -103,7 +126,11 @@ def fetch_verified(
 
     damage_policy = policy.with_(retry_on=policy.retry_on + (_Damaged,))
     try:
-        return retry_call(attempt, damage_policy, **retry_kwargs)
+        return retry_call(
+            attempt, damage_policy, deadline=deadline, **retry_kwargs
+        )
+    except DeadlineExceeded:
+        raise  # the caller's budget, not a fetch failure: propagate typed
     except _Damaged:
         store.note_corrupt(key, "end-to-end checksum mismatch persisted")
         store.delete(key)

@@ -1,0 +1,91 @@
+"""Latency percentile tracking: the signal behind hedging and SLOs.
+
+Two small, dependency-free pieces shared by the serving tier and the
+store:
+
+* :func:`percentile` — nearest-rank percentile over a sample list (the
+  convention open-loop load reports use: p99 of 100 samples is the
+  99th-ranked observation, not an interpolation that can invent values
+  no request ever saw);
+* :class:`LatencyTracker` — a thread-safe ring buffer of recent
+  latencies with percentile queries.  :class:`~repro.store.filestore.
+  TieredStore` keeps one per tier and uses the tracked percentile as
+  its hedge trigger ("this get has outlived p95 — issue a hedge to the
+  next tier"), and the serve front-end keeps one per lane for its
+  ``stats()`` surface.
+
+Bounded by construction: the ring keeps the last ``maxlen`` samples,
+so a long-lived service tracks *recent* behaviour (a tier that got
+slow an hour ago and recovered stops biasing the trigger).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from typing import Dict, Optional, Sequence
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``samples`` (``q`` in (0, 1])."""
+    if not samples:
+        raise ValueError("percentile of an empty sample set")
+    if not 0.0 < q <= 1.0:
+        raise ValueError(f"q must be in (0, 1], got {q}")
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return float(ordered[rank - 1])
+
+
+class LatencyTracker:
+    """Ring buffer of recent operation latencies with percentile queries.
+
+    Thread-safe; ``record`` is one deque append under a lock, cheap
+    enough to sit on every store ``get``.
+    """
+
+    def __init__(self, maxlen: int = 256) -> None:
+        if maxlen < 1:
+            raise ValueError(f"maxlen must be >= 1, got {maxlen}")
+        self._samples: "deque[float]" = deque(maxlen=int(maxlen))
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self._samples.append(float(seconds))
+            self.count += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Nearest-rank percentile of the retained window, or ``None``
+        when nothing has been recorded yet."""
+        with self._lock:
+            if not self._samples:
+                return None
+            samples = list(self._samples)
+        return percentile(samples, q)
+
+    def summary(self) -> Dict[str, float]:
+        """p50/p95/p99 + mean/max over the retained window (stats surface)."""
+        with self._lock:
+            samples = list(self._samples)
+            count = self.count
+        if not samples:
+            return {"count": count, "window": 0}
+        return {
+            "count": count,
+            "window": len(samples),
+            "mean_seconds": sum(samples) / len(samples),
+            "p50_seconds": percentile(samples, 0.50),
+            "p95_seconds": percentile(samples, 0.95),
+            "p99_seconds": percentile(samples, 0.99),
+            "max_seconds": max(samples),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LatencyTracker(window={len(self)}, count={self.count})"

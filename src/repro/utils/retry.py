@@ -14,6 +14,13 @@ Determinism matters here as much as in the kernels: a
 tests (and the seeded chaos harness) can fix the jitter sequence and
 run without wall-clock waits.  The policy object is frozen and
 reusable; per-call state lives in :func:`retry_call`.
+
+End-to-end budgets are a separate object: a :class:`Deadline` is
+created once at the request boundary (the serving tier) and threaded
+through every nested layer — quote scheduling, plan caches, store
+fetches, retries — so no layer retries or sleeps past the *caller's*
+budget, and expired work raises the typed :class:`DeadlineExceeded`
+instead of being computed.
 """
 
 from __future__ import annotations
@@ -24,6 +31,79 @@ from dataclasses import dataclass, replace
 from typing import Callable, Optional, Tuple, Type, TypeVar
 
 T = TypeVar("T")
+
+
+class DeadlineExceeded(TimeoutError):
+    """A caller's end-to-end budget ran out before the work completed.
+
+    Typed — never a silent timeout: every layer that gives up on a
+    deadline raises (or records) this, so a shed request is always
+    distinguishable from a crashed one.
+    """
+
+
+class Deadline:
+    """A monotonic end-to-end budget shared by every nested layer.
+
+    Unlike :attr:`RetryPolicy.deadline_seconds` (which restarts at each
+    ``retry_call``), a ``Deadline`` is created once at the request
+    boundary and *passed down* — through ``quote_async``, the plan
+    caches, store fetches and nested retries — so the sum of all sleeps
+    and waits below never exceeds the caller's budget.
+
+    ``clock`` is injectable (monotonic seconds) so tests advance time
+    explicitly; :meth:`remaining` never goes negative.
+    """
+
+    __slots__ = ("total_seconds", "_expires_at", "_clock")
+
+    def __init__(
+        self,
+        seconds: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if seconds <= 0:
+            raise ValueError(f"deadline seconds must be > 0, got {seconds}")
+        self.total_seconds = float(seconds)
+        self._clock = clock
+        self._expires_at = clock() + self.total_seconds
+
+    @classmethod
+    def after(
+        cls, seconds: float, clock: Callable[[], float] = time.monotonic
+    ) -> "Deadline":
+        """A deadline ``seconds`` from now (readable call-site spelling)."""
+        return cls(seconds, clock=clock)
+
+    def remaining(self) -> float:
+        """Seconds left in the budget (clamped at 0.0)."""
+        return max(0.0, self._expires_at - self._clock())
+
+    @property
+    def expired(self) -> bool:
+        return self._clock() >= self._expires_at
+
+    def check(self, what: str = "operation") -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is spent.
+
+        Layers call this *before* starting expensive work, so expired
+        requests are cancelled rather than computed.
+        """
+        if self.expired:
+            raise DeadlineExceeded(
+                f"{what} abandoned: deadline of {self.total_seconds:.3f}s "
+                "exhausted"
+            )
+
+    def clamp(self, seconds: float) -> float:
+        """``seconds`` bounded by the remaining budget (for sleeps/waits)."""
+        return min(float(seconds), self.remaining())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Deadline(total={self.total_seconds:.3f}s, "
+            f"remaining={self.remaining():.3f}s)"
+        )
 
 
 @dataclass(frozen=True)
@@ -110,6 +190,7 @@ def retry_call(
     rng: random.Random | None = None,
     clock: Callable[[], float] = time.monotonic,
     on_retry: Callable[[int, BaseException, float], None] | None = None,
+    deadline: Deadline | None = None,
 ) -> T:
     """Call ``fn`` under ``policy``; return its value or raise its last error.
 
@@ -117,7 +198,16 @@ def retry_call(
     (attempt is 1-based), letting callers count retries in their stats.
     ``rng`` defaults to a fresh unseeded generator; pass a seeded
     ``random.Random`` for reproducible jitter.
+
+    ``deadline`` is the caller's *shared* end-to-end budget: nested
+    retries all draw from the same :class:`Deadline` instead of each
+    restarting a fresh ``policy.deadline_seconds``.  An already-expired
+    deadline raises :class:`DeadlineExceeded` without calling ``fn``;
+    once a planned backoff would sleep past it, the last error is
+    raised immediately — this function never sleeps past either budget.
     """
+    if deadline is not None:
+        deadline.check("retried call")
     rng = rng if rng is not None else random.Random()
     started = clock()
     previous_delay = policy.base_delay
@@ -125,6 +215,8 @@ def retry_call(
         try:
             return fn()
         except policy.retry_on as exc:
+            if isinstance(exc, DeadlineExceeded):
+                raise  # an exhausted budget below us is never transient
             if attempt >= policy.max_attempts:
                 raise
             delay = min(
@@ -138,6 +230,8 @@ def retry_call(
                 policy.deadline_seconds is not None
                 and clock() - started + delay > policy.deadline_seconds
             ):
+                raise
+            if deadline is not None and delay > deadline.remaining():
                 raise
             if on_retry is not None:
                 on_retry(attempt, exc, delay)

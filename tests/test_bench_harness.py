@@ -88,7 +88,7 @@ class TestExperiments:
             "SEQ-SCALE", "FIG-1a", "FIG-1b", "FIG-2", "FIG-3", "FIG-4",
             "FIG-5", "FIG-6", "DS-TABLE", "OPT-ABLATE", "KERNEL-ABLATE",
             "KERNEL-ABLATE-SECONDARY", "PLAN-ABLATE", "REPLAY-ABLATE",
-            "FLEET-ABLATE", "CHAOS-ABLATE", "EXT-SECONDARY",
+            "FLEET-ABLATE", "CHAOS-ABLATE", "SERVE-ABLATE", "EXT-SECONDARY",
         }
 
     @pytest.mark.parametrize("exp_id", sorted(ALL_EXPERIMENTS))
@@ -106,6 +106,7 @@ class TestExperiments:
             "REPLAY-ABLATE",
             "FLEET-ABLATE",
             "CHAOS-ABLATE",
+            "SERVE-ABLATE",
         ):
             assert report.rows
 

@@ -37,6 +37,8 @@ from repro.faults import (
     KIND_TORN_WRITE,
     OP_CLAIM,
     OP_COMPUTE,
+    OP_CONTAINS,
+    OP_DELETE,
     OP_GET,
     OP_HEARTBEAT,
     OP_PUT,
@@ -792,3 +794,82 @@ class TestSharedStoreContention:
             "lock failed to serialise the miss path"
         )
         assert all(shape == (3,) for shape in results)
+
+
+# ----------------------------------------------------------------------
+# FaultyStore: injection on existence probes and invalidations
+# ----------------------------------------------------------------------
+class TestFaultyStoreProbesAndDeletes:
+    """The serving tier rides ``contains`` (store-aware admission) and
+    ``delete`` (corrupt-entry retirement); chaos must reach both."""
+
+    def test_latency_injected_on_contains_and_delete(self):
+        plan = FaultPlan(
+            3,
+            [
+                FaultSpec(
+                    kind=KIND_LATENCY,
+                    op=OP_CONTAINS,
+                    every=1,
+                    latency_seconds=0.05,
+                ),
+                FaultSpec(
+                    kind=KIND_LATENCY,
+                    op=OP_DELETE,
+                    every=1,
+                    latency_seconds=0.07,
+                ),
+            ],
+        )
+        slept = []
+        store = FaultyStore(MemoryStore(), plan, sleep=slept.append)
+        store.put("k1", entry_of([1.0, 2.0]))
+        assert store.contains("k1")
+        assert store.delete("k1") is True
+        assert not store.contains("k1")
+        assert slept == [0.05, 0.07, 0.05]
+        assert store.stats()["injected_latency_seconds"] == pytest.approx(
+            0.17
+        )
+
+    def test_io_error_on_contains_then_clears(self):
+        plan = FaultPlan(
+            3,
+            [FaultSpec(kind=KIND_IO_ERROR, op=OP_CONTAINS, at=1, times=1)],
+        )
+        store = FaultyStore(MemoryStore(), plan)
+        store.put("k1", entry_of([1.0]))
+        with pytest.raises(OSError):
+            store.contains("k1")
+        assert store.contains("k1")  # the schedule's `times` is spent
+        assert store.stats()["injected_errors"] == 1
+
+    def test_io_error_on_delete_leaves_entry(self):
+        plan = FaultPlan(
+            3, [FaultSpec(kind=KIND_IO_ERROR, op=OP_DELETE, at=1, times=1)]
+        )
+        store = FaultyStore(MemoryStore(), plan)
+        store.put("k1", entry_of([1.0]))
+        with pytest.raises(OSError):
+            store.delete("k1")
+        assert store.contains("k1")  # failed invalidation removed nothing
+        assert store.delete("k1") is True
+
+    def test_tiered_contains_degrades_around_probe_errors(self):
+        """A tier whose existence probes keep failing is routed around,
+        exactly like a tier whose reads fail."""
+        plan = FaultPlan(
+            5,
+            [
+                FaultSpec(
+                    kind=KIND_IO_ERROR, op=OP_CONTAINS, probability=1.0
+                )
+            ],
+        )
+        tiered = TieredStore(
+            [FaultyStore(MemoryStore(), plan), MemoryStore()],
+            breaker_threshold=2,
+        )
+        tiered.put("k1", entry_of([1.0]))
+        assert tiered.contains("k1")  # tier 1 answers despite tier 0
+        assert tiered.stats()["tier_errors"] >= 1

@@ -309,3 +309,104 @@ class TestPersistentStore:
             stats = svc.cache_stats()
         assert stats["losses"]["store_hits"] == 1
         assert stats["base"]["misses"] == 0
+
+
+class TestOverloadEdges:
+    """Satellite guards: the pool under more work than workers, queued
+    cancellation, and exception propagation without pool poisoning."""
+
+    def test_quote_many_with_more_batches_than_workers(self, session_data):
+        catalog, yet, elts = session_data
+        requests = [
+            QuoteRequest(
+                elt_ids=(0, 1),
+                terms=LayerTerms(occ_retention=7.0 * k, occ_limit=4_000.0),
+                label=f"wave-{k}",
+            )
+            for k in range(12)
+        ]
+        with QuoteService(yet, elts, catalog.n_events, max_workers=2) as svc:
+            records = svc.quote_many(requests)
+        assert [r.meta["label"] for r in records] == [
+            f"wave-{k}" for k in range(12)
+        ]
+        # every record completed with a real quote despite 6x oversubmit
+        assert all(r.quote.expected_loss >= 0.0 for r in records)
+        assert len(svc.history) == 12
+
+    def test_cancel_queued_futures_pool_stays_healthy(
+        self, session_data, tmp_path
+    ):
+        from repro.faults import (
+            FaultPlan,
+            FaultSpec,
+            FaultyStore,
+            KIND_LATENCY,
+            OP_PUT,
+        )
+        from repro.store import SharedFileStore
+
+        catalog, yet, elts = session_data
+        # 200 ms injected on every store put keeps the single worker
+        # busy on the head-of-line quote while we cancel the queue.
+        slow = FaultyStore(
+            SharedFileStore(tmp_path),
+            FaultPlan(
+                seed=7,
+                specs=[
+                    FaultSpec(
+                        kind=KIND_LATENCY,
+                        op=OP_PUT,
+                        every=1,
+                        latency_seconds=0.2,
+                    )
+                ],
+            ),
+        )
+        with QuoteService(
+            yet, elts, catalog.n_events, max_workers=1, store=slow
+        ) as svc:
+            head = svc.quote_async(
+                elt_ids=(0, 1), terms=LayerTerms(occ_retention=1.0)
+            )
+            queued = [
+                svc.quote_async(
+                    elt_ids=(2, 3), terms=LayerTerms(occ_retention=2.0 * k)
+                )
+                for k in range(1, 5)
+            ]
+            cancelled = [f.cancel() for f in queued]
+            assert all(cancelled)
+            assert all(f.cancelled() for f in queued)
+            # the in-flight head is past cancellation and completes
+            assert head.result(timeout=30).quote.expected_loss >= 0.0
+            # the pool is not poisoned: fresh work still runs
+            fresh = svc.quote(elt_ids=(4, 5), terms=LayerTerms())
+        assert fresh.quote.expected_loss >= 0.0
+
+    def test_quote_many_exception_propagates_without_poisoning_pool(
+        self, session_data
+    ):
+        catalog, yet, elts = session_data
+        bad = [
+            QuoteRequest(elt_ids=(0, 1), terms=LayerTerms(), label="ok"),
+            QuoteRequest(elt_ids=(999,), terms=LayerTerms(), label="bad"),
+        ]
+        with QuoteService(yet, elts, catalog.n_events, max_workers=2) as svc:
+            with pytest.raises(KeyError):
+                svc.quote_many(bad)
+            # the raising worker did not take the pool down with it
+            after = svc.quote_many(
+                [
+                    QuoteRequest(
+                        elt_ids=(0, 1, 2),
+                        terms=LayerTerms(occ_limit=8_000.0),
+                        label=f"after-{k}",
+                    )
+                    for k in range(4)
+                ]
+            )
+        assert [r.meta["label"] for r in after] == [
+            f"after-{k}" for k in range(4)
+        ]
+        assert all(r.quote.premium >= 0.0 for r in after)
