@@ -17,6 +17,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro.backends import available_backends, get_backend
 from repro.core.kernels import dense_intermediate_bytes, run_ragged
 from repro.core.secondary import SecondaryUncertainty
 from repro.core.vectorized import run_vectorized
@@ -85,6 +86,52 @@ def fusion_rows(workload, spec):
 
 
 @pytest.fixture(scope="module")
+def backend_rows(workload, spec):
+    """KERNEL-BACKENDS: the fused ragged pass per kernel backend.
+
+    One row per (backend, dtype) with the speedup over the numpy
+    oracle's ragged time measured in the same process.  On a numpy-only
+    install this is a single-backend table — the artifact's shape is
+    stable either way, so the CI floor below can key off it.
+    """
+    yet, portfolio = workload.yet, workload.portfolio
+    catalog = workload.catalog.n_events
+    rows = []
+    for dtype_label, dtype in (("float64", np.float64), ("float32", np.float32)):
+        numpy_s = None
+        for name in sorted(available_backends()):
+            backend = get_backend(name)
+            pool = ScratchBufferPool()
+            run_ragged(
+                yet, portfolio, catalog, dtype=dtype, pool=pool, backend=backend
+            )  # warm pool + JIT compile
+            seconds = _best_seconds(
+                lambda: run_ragged(
+                    yet,
+                    portfolio,
+                    catalog,
+                    dtype=dtype,
+                    pool=pool,
+                    backend=backend,
+                )
+            )
+            if name == "numpy":
+                numpy_s = seconds
+            rows.append(
+                {
+                    "backend": name,
+                    "compiled": bool(backend.compiled),
+                    "dtype": dtype_label,
+                    "ragged_seconds": seconds,
+                }
+            )
+        for row in rows:
+            if row["dtype"] == dtype_label:
+                row["speedup_vs_numpy"] = numpy_s / row["ragged_seconds"]
+    return rows
+
+
+@pytest.fixture(scope="module")
 def secondary_rows(workload, spec):
     """KERNEL-ABLATE-SECONDARY: dense vs fused ragged secondary kernel."""
     yet, portfolio = workload.yet, workload.portfolio
@@ -146,7 +193,7 @@ def secondary_rows(workload, spec):
 
 
 @pytest.fixture(scope="module")
-def artifact_data(fusion_rows, secondary_rows, workload, spec):
+def artifact_data(fusion_rows, secondary_rows, backend_rows, workload, spec):
     yet = workload.yet
     artifact = {
         "benchmark": "kernel_fusion",
@@ -157,6 +204,8 @@ def artifact_data(fusion_rows, secondary_rows, workload, spec):
         "pinned_l2_bytes": PINNED_L2_BYTES,
         "rows": fusion_rows,
         "secondary_rows": secondary_rows,
+        "backend_rows": backend_rows,
+        "backends_available": sorted(available_backends()),
     }
     ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
     return artifact
@@ -167,6 +216,23 @@ def test_artifact_written(artifact_data):
     assert data["benchmark"] == "kernel_fusion"
     assert len(data["rows"]) == 2
     assert len(data["secondary_rows"]) == 2
+    # One backend row per (available backend, dtype); numpy is always
+    # available, so the table is never empty.
+    assert len(data["backend_rows"]) == 2 * len(data["backends_available"])
+    assert "numpy" in data["backends_available"]
+
+
+def test_compiled_backend_speedup_floor(backend_rows):
+    """CI floor: the numba-compiled fused pass must beat the numpy
+    ragged oracle by >= 1.3x on BENCH_SMALL (the issue's acceptance
+    bar).  Skips, loudly, when no compiled backend is installed — the
+    tier-1 matrix runs numpy-only on purpose; the compiled-bench CI job
+    installs ``repro[compiled]`` and enforces this."""
+    compiled = [r for r in backend_rows if r["backend"] == "numba"]
+    if not compiled:
+        pytest.skip("numba not installed: compiled speedup floor not enforced")
+    for row in compiled:
+        assert row["speedup_vs_numpy"] >= 1.3, row
 
 
 @pytest.mark.parametrize("dtype_label", ["float64", "float32"])

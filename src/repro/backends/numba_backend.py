@@ -1,0 +1,287 @@
+"""Numba backend: the fused ragged hot loop as one ``@njit`` pass.
+
+The numpy oracle's stacked-direct path runs four vectorised stages per
+occurrence chunk — fused gather, broadcast financial terms, column sum,
+then (per batch) the occurrence clamp and ``reduceat`` segment sums —
+each a separate trip through the interpreter with its own scratch
+traffic.  This backend collapses all of it into **one**
+``@njit(parallel=True)`` pass over the CSR block: for each trial (a
+``prange`` lane) it walks the trial's occurrences, and per occurrence
+walks the stacked table's ELT rows applying each ELT's financial terms
+scalar-wise, clamps the combined value by the occurrence terms, and
+accumulates the float64 year total, finishing with the aggregate clamp.
+No intermediate block — not even the gathered ``(n_elts, chunk)``
+scratch — is ever materialised.
+
+Bit-for-bit parity with the oracle is a design goal, not an accident:
+
+* the combined per-occurrence loss accumulates across ELT rows
+  *sequentially in the working dtype*, matching ``np.sum(block, axis=0)``
+  over a C-contiguous block (whose outer-axis reduction is sequential,
+  not pairwise);
+* each financial term rounds in the working dtype in the oracle's
+  operation order (``v*fx; v-ret; max 0; min lim; v*share``), with the
+  same identity-skip flags, which are numeric no-ops but are mirrored
+  anyway;
+* occurrence retention/limit are pre-cast to the working dtype (what
+  NEP-50 weak-scalar promotion does inside the numpy ufunc calls);
+* segment sums accumulate the working-dtype values into float64
+  sequentially (``np.add.reduceat(..., dtype=np.float64)``'s loop), and
+  the aggregate clamp runs in float64.
+
+Parallelism is *across trials only* (independent output slots), so
+results are deterministic for any thread count.  The parity suite still
+pins the backend to a tiny tolerance (see :meth:`NumbaBackend.tolerance`)
+as policy rather than relying on the bit-exactness argument.
+
+The module imports cleanly without Numba installed; compilation is
+deferred to first dispatch and any failure (missing package, LLVM
+mismatch, unsupported signature) is reported once via
+:mod:`warnings` and turns every subsequent call into a decline — the
+caller's numpy fallback keeps results correct.
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+
+import numpy as np
+
+from repro.backends.base import KernelBackend
+
+_KERNEL_SOURCE_DOC = """Compiled lazily on first dispatch; see _build_kernels."""
+
+
+def _build_kernels():
+    """Compile and return the njit kernels (raises if Numba is unusable)."""
+    from numba import njit, prange  # deferred: optional dependency
+
+    @njit(parallel=True, fastmath=False, cache=False)
+    def fused_layer(
+        ids,
+        offsets,
+        table,
+        fx,
+        ret,
+        lim,
+        share,
+        use_fx,
+        use_ret,
+        use_lim,
+        use_share,
+        occ_ret,
+        occ_lim,
+        use_occ_lim,
+        agg_ret,
+        agg_lim,
+        use_agg_lim,
+        zero,
+        year,
+    ):
+        n_trials = offsets.shape[0] - 1
+        n_elts = table.shape[0]
+        for t in prange(n_trials):
+            agg = 0.0
+            for k in range(offsets[t], offsets[t + 1]):
+                eid = ids[k]
+                comb = zero
+                for e in range(n_elts):
+                    v = table[e, eid]
+                    if use_fx:
+                        v = v * fx[e]
+                    if use_ret:
+                        v = v - ret[e]
+                        if v < zero:
+                            v = zero
+                    if use_lim and v > lim[e]:
+                        v = lim[e]
+                    if use_share:
+                        v = v * share[e]
+                    comb = comb + v
+                comb = comb - occ_ret
+                if comb < zero:
+                    comb = zero
+                if use_occ_lim and comb > occ_lim:
+                    comb = occ_lim
+                agg = agg + comb
+            a = agg - agg_ret
+            if a < 0.0:
+                a = 0.0
+            if use_agg_lim and a > agg_lim:
+                a = agg_lim
+            year[t] = a
+        return year
+
+    @njit(parallel=True, fastmath=False, cache=False)
+    def fill_combined(
+        ids,
+        table,
+        fx,
+        ret,
+        lim,
+        share,
+        use_fx,
+        use_ret,
+        use_lim,
+        use_share,
+        zero,
+        out,
+    ):
+        n_elts = table.shape[0]
+        for k in prange(ids.shape[0]):
+            eid = ids[k]
+            comb = zero
+            for e in range(n_elts):
+                v = table[e, eid]
+                if use_fx:
+                    v = v * fx[e]
+                if use_ret:
+                    v = v - ret[e]
+                    if v < zero:
+                        v = zero
+                if use_lim and v > lim[e]:
+                    v = lim[e]
+                if use_share:
+                    v = v * share[e]
+                comb = comb + v
+            out[k] = comb
+        return out
+
+    return fused_layer, fill_combined
+
+
+class NumbaBackend(KernelBackend):
+    """JIT-compiled fused kernel over the stacked-direct ragged path."""
+
+    name = "numba"
+    compiled = True
+    priority = 10
+
+    def __init__(self) -> None:
+        self._kernels = None
+        self._broken: str | None = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def available(cls) -> bool:
+        try:
+            import numba  # noqa: F401  (availability probe only)
+        except Exception:
+            return False
+        return True
+
+    @classmethod
+    def unavailable_reason(cls) -> str | None:
+        try:
+            import numba  # noqa: F401
+        except Exception as exc:
+            return f"numba import failed: {exc!r} (pip install 'repro[compiled]')"
+        return None
+
+    def tolerance(self, dtype: np.dtype | type):
+        # Designed bit-exact (see module docstring); the pinned policy
+        # tolerance leaves last-ulp slack per working precision.
+        if np.dtype(dtype) == np.float32:
+            return (1e-6, 0.0)
+        return (1e-12, 0.0)
+
+    # ------------------------------------------------------------------
+    def _compiled(self):
+        """The kernel pair, compiling on first use; None once broken."""
+        if self._broken is not None:
+            return None
+        if self._kernels is None:
+            try:
+                self._kernels = _build_kernels()
+            except Exception as exc:  # pragma: no cover - env specific
+                self._broken = repr(exc)
+                warnings.warn(
+                    "numba kernel backend failed to compile and is "
+                    f"disabled for this process ({self._broken}); "
+                    "falling back to the numpy oracle",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                return None
+        return self._kernels
+
+    @staticmethod
+    def _term_args(stacked, work: np.dtype):
+        table, fx, ret, lim, share, flags = stacked.broadcast_arrays()
+        use_fx, use_ret, use_lim, use_share = flags
+        return (
+            table,
+            fx,
+            ret,
+            lim,
+            share,
+            use_fx,
+            use_ret,
+            use_lim,
+            use_share,
+        )
+
+    def layer_losses(self, event_ids, offsets, stacked, layer_terms):
+        kernels = self._compiled()
+        if kernels is None:
+            return None
+        fused_layer, _ = kernels
+        work = stacked.dtype
+        zero = work.type(0.0)
+        # Occurrence terms round in the working dtype (the oracle's
+        # ufunc calls cast these weak scalars the same way); aggregate
+        # terms stay float64 (applied to the float64 segment sums).
+        occ_ret = work.type(layer_terms.occ_retention)
+        use_occ_lim = math.isfinite(layer_terms.occ_limit)
+        occ_lim = work.type(layer_terms.occ_limit if use_occ_lim else 0.0)
+        use_agg_lim = math.isfinite(layer_terms.agg_limit)
+        agg_lim = float(layer_terms.agg_limit if use_agg_lim else 0.0)
+        year = np.empty(offsets.shape[0] - 1, dtype=np.float64)
+        try:
+            return fused_layer(
+                np.ascontiguousarray(event_ids),
+                np.ascontiguousarray(offsets),
+                *self._term_args(stacked, work),
+                occ_ret,
+                occ_lim,
+                use_occ_lim,
+                float(layer_terms.agg_retention),
+                agg_lim,
+                use_agg_lim,
+                zero,
+                year,
+            )
+        except Exception as exc:  # pragma: no cover - env specific
+            self._broken = repr(exc)
+            warnings.warn(
+                "numba fused kernel raised and is disabled for this "
+                f"process ({self._broken}); falling back to numpy",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+
+    def fill_combined(self, event_ids, stacked, out):
+        kernels = self._compiled()
+        if kernels is None:
+            return False
+        _, fill = kernels
+        work = stacked.dtype
+        try:
+            fill(
+                np.ascontiguousarray(event_ids),
+                *self._term_args(stacked, work),
+                work.type(0.0),
+                out,
+            )
+        except Exception as exc:  # pragma: no cover - env specific
+            self._broken = repr(exc)
+            warnings.warn(
+                "numba fill-combined kernel raised and is disabled for "
+                f"this process ({self._broken}); falling back to numpy",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return False
+        return True

@@ -101,6 +101,14 @@ class AggregateRiskAnalysis:
         kernel on every engine.
     secondary_seed:
         Seed of the multiplier streams (ignored without ``secondary``).
+    backend:
+        Kernel backend the ragged path dispatches through on every run
+        — a registry name (``"numpy"``/``"numba"``/``"cupy"``/
+        ``"auto"``), a backend instance, or None to follow the
+        ``REPRO_KERNEL_BACKEND``-then-numpy precedence of
+        :func:`repro.backends.resolve_backend`.  Backend choice never
+        changes results (backends are pinned to the numpy oracle) or
+        store keys; the resolved name is in ``result.meta["backend"]``.
     store:
         Optional :class:`~repro.store.base.ResultStore` memoising whole
         analyses: a run whose content-addressed
@@ -119,6 +127,7 @@ class AggregateRiskAnalysis:
         kernel: str | None = None,
         secondary=None,
         secondary_seed=None,
+        backend=None,
         store=None,
     ) -> None:
         from repro.core.kernels import DEFAULT_KERNEL, check_kernel
@@ -132,6 +141,7 @@ class AggregateRiskAnalysis:
         self.kernel = check_kernel(DEFAULT_KERNEL if kernel is None else kernel)
         self.secondary = secondary
         self.secondary_seed = secondary_seed
+        self.backend = backend
         self.store = store
 
     def _engine(self, engine: str, **engine_options: Any):
@@ -143,6 +153,7 @@ class AggregateRiskAnalysis:
             "kernel": self.kernel,
             "secondary": self.secondary,
             "secondary_seed": self.secondary_seed,
+            "backend": self.backend,
         }
         options.update(engine_options)  # per-run overrides win
         return create_engine(engine, **options)
@@ -299,6 +310,7 @@ class AggregateRiskAnalysis:
                     contexts=contexts,
                     n_workers=n_workers,
                     sweep_id=ticket.sweep_id,
+                    backend=engine_obj.backend,
                 )
                 try:
                     ylt = gather_sweep(

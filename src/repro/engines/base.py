@@ -80,6 +80,16 @@ class Engine(abc.ABC):
         dense path draws per batch.
     secondary_seed:
         Seed of the multiplier streams (ignored without ``secondary``).
+    backend:
+        Kernel backend the ragged path dispatches through — a registry
+        name (``"numpy"``/``"numba"``/``"cupy"``/``"auto"``), a
+        :class:`~repro.backends.base.KernelBackend` instance, or None
+        to follow the ``REPRO_KERNEL_BACKEND``-then-numpy precedence of
+        :func:`repro.backends.resolve_backend`.  Deliberately absent
+        from :meth:`capabilities`, plan fingerprints and store keys:
+        backends are held to the oracle's results, so backend choice
+        never changes what a run *is*, only how fast it gets there.
+        The resolved name is surfaced in ``result.meta["backend"]``.
     """
 
     #: registry name, overridden by subclasses
@@ -92,6 +102,7 @@ class Engine(abc.ABC):
         kernel: str | None = None,
         secondary=None,
         secondary_seed=None,
+        backend=None,
     ) -> None:
         from repro.core.kernels import DEFAULT_KERNEL, check_kernel
 
@@ -100,6 +111,13 @@ class Engine(abc.ABC):
         self.kernel = check_kernel(DEFAULT_KERNEL if kernel is None else kernel)
         self.secondary = secondary
         self.secondary_seed = secondary_seed
+        self.backend = backend
+
+    def backend_name(self) -> str:
+        """The kernel backend this engine's runs dispatch to (resolved)."""
+        from repro.backends import active_backend_name
+
+        return active_backend_name(self.backend)
 
     def _secondary_base_seed(self) -> int:
         """Resolve ``secondary_seed`` to one integer base key (or 0)."""
@@ -239,6 +257,7 @@ class Engine(abc.ABC):
         _record_execution()
         wall = time.perf_counter() - started
         meta.setdefault("plan", plan.summary())
+        meta.setdefault("backend", self.backend_name())
         return AnalysisResult(
             ylt=ylt,
             profile=profile,
@@ -313,6 +332,7 @@ class Engine(abc.ABC):
         meta = computed["meta"]
         meta.setdefault("replay", {"hit": False, "key": replay_key})
         meta.setdefault("plan", plan.summary())
+        meta.setdefault("backend", self.backend_name())
         return AnalysisResult(
             ylt=computed["ylt"],
             profile=computed["profile"],

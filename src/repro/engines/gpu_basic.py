@@ -58,6 +58,7 @@ class GPUBasicEngine(Engine):
         kernel: str | None = None,
         secondary=None,
         secondary_seed=None,
+        backend=None,
     ) -> None:
         super().__init__(
             lookup_kind=lookup_kind,
@@ -65,6 +66,7 @@ class GPUBasicEngine(Engine):
             kernel=kernel,
             secondary=secondary,
             secondary_seed=secondary_seed,
+            backend=backend,
         )
         check_positive("threads_per_block", threads_per_block)
         check_positive("batch_blocks", batch_blocks)
@@ -152,6 +154,7 @@ class GPUBasicEngine(Engine):
                     base_seed, layer.layer_id
                 ),
                 occ_origin=task.occ_start,
+                backend=self.backend,
             )
             result = device.launch(
                 kernel,

@@ -380,6 +380,7 @@ class _ARAKernelBase(SimKernel):
         secondary: SecondaryUncertainty | None = None,
         secondary_stream_key: int = 0,
         occ_origin: int = 0,
+        backend=None,
     ) -> None:
         if out.shape != (yet.n_trials,):
             raise ValueError(
@@ -394,6 +395,9 @@ class _ARAKernelBase(SimKernel):
         self.stacked = stacked
         self.secondary = secondary
         self.secondary_stream_key = int(secondary_stream_key)
+        # Kernel backend the host-side functional compute dispatches
+        # through (the traffic ledger never depends on it).
+        self.backend = backend
         # Global occurrence index of this (sub-)YET's first occurrence:
         # multi-device engines pass their slice's origin so the ragged
         # path's counter-based secondary draws stay decomposition-
@@ -430,6 +434,7 @@ class _ARAKernelBase(SimKernel):
                     occ_base=self.occ_origin + int(self.yet.offsets[start]),
                     dtype=self.dtype,
                     pool=self._pool,
+                    backend=self.backend,
                 )
             else:
                 year = layer_trial_batch_ragged(
@@ -440,6 +445,7 @@ class _ARAKernelBase(SimKernel):
                     stacked=self.stacked,
                     dtype=self.dtype,
                     pool=self._pool,
+                    backend=self.backend,
                 )
             self.out[start:stop] = year
             return year, ids.size
@@ -535,6 +541,7 @@ class ARAOptimizedKernel(_ARAKernelBase):
         secondary: SecondaryUncertainty | None = None,
         secondary_stream_key: int = 0,
         occ_origin: int = 0,
+        backend=None,
     ) -> None:
         super().__init__(
             yet,
@@ -547,6 +554,7 @@ class ARAOptimizedKernel(_ARAKernelBase):
             secondary=secondary,
             secondary_stream_key=secondary_stream_key,
             occ_origin=occ_origin,
+            backend=backend,
         )
         if chunk_events < 1:
             raise ValueError(f"chunk_events must be >= 1, got {chunk_events}")

@@ -65,6 +65,7 @@ class GPUOptimizedEngine(Engine):
         kernel: str | None = None,
         secondary=None,
         secondary_seed=None,
+        backend=None,
     ) -> None:
         super().__init__(
             lookup_kind=lookup_kind,
@@ -72,6 +73,7 @@ class GPUOptimizedEngine(Engine):
             kernel=kernel,
             secondary=secondary,
             secondary_seed=secondary_seed,
+            backend=backend,
         )
         check_positive("threads_per_block", threads_per_block)
         check_positive("chunk_events", chunk_events)
@@ -168,6 +170,7 @@ class GPUOptimizedEngine(Engine):
                     base_seed, layer.layer_id
                 ),
                 occ_origin=task.occ_start,
+                backend=self.backend,
             )
             result = device.launch(
                 kernel,

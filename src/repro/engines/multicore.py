@@ -65,6 +65,7 @@ class MulticoreEngine(Engine):
         kernel: str | None = None,
         secondary=None,
         secondary_seed=None,
+        backend=None,
     ) -> None:
         super().__init__(
             lookup_kind=lookup_kind,
@@ -72,6 +73,7 @@ class MulticoreEngine(Engine):
             kernel=kernel,
             secondary=secondary,
             secondary_seed=secondary_seed,
+            backend=backend,
         )
         self.n_cores = int(n_cores) if n_cores else available_cpu_count()
         check_positive("n_cores", self.n_cores)
@@ -118,6 +120,7 @@ class MulticoreEngine(Engine):
             secondary_seed=self.secondary_seed,
             profile=profile,
             scheduler=Scheduler(max_workers=self.n_cores),
+            backend=self.backend,
         )
         meta = {
             "n_cores": self.n_cores,

@@ -55,6 +55,7 @@ class SequentialEngine(Engine):
         kernel: str | None = None,
         secondary=None,
         secondary_seed=None,
+        backend=None,
     ) -> None:
         super().__init__(
             lookup_kind=lookup_kind,
@@ -62,6 +63,7 @@ class SequentialEngine(Engine):
             kernel=kernel,
             secondary=secondary,
             secondary_seed=secondary_seed,
+            backend=backend,
         )
         if batch_trials is not None and batch_trials < 1:
             raise ValueError(f"batch_trials must be >= 1, got {batch_trials}")
@@ -97,6 +99,7 @@ class SequentialEngine(Engine):
             secondary_seed=self.secondary_seed,
             profile=profile,
             scheduler=Scheduler(max_workers=1),
+            backend=self.backend,
         )
         meta = {
             "batch_trials": self.batch_trials,
@@ -150,5 +153,11 @@ class ReferenceEngine(Engine):
                         )
                     )
                 per_layer[layer.layer_id] = out
-        meta = {"scalar": True, "secondary": self.secondary is not None}
+        # The scalar oracle never dispatches through the backend
+        # registry, whatever was requested.
+        meta = {
+            "scalar": True,
+            "secondary": self.secondary is not None,
+            "backend": "numpy",
+        }
         return YearLossTable.from_dict(per_layer), profile, None, meta

@@ -63,6 +63,7 @@ class WorkerStats:
     """What one worker did (fleet benchmarks and ``meta`` reporting)."""
 
     worker_id: str
+    backend: str = "numpy"
     claimed: int = 0
     computed: int = 0
     reused: int = 0
@@ -76,6 +77,7 @@ class WorkerStats:
     def as_dict(self) -> Dict[str, object]:
         return {
             "worker_id": self.worker_id,
+            "backend": self.backend,
             "claimed": self.claimed,
             "computed": self.computed,
             "reused": self.reused,
@@ -140,6 +142,15 @@ class FleetWorker:
     speculate:
         Allow idle-loop speculative re-execution of straggling peers'
         segments (see :meth:`speculate_one`).
+    backend:
+        Kernel backend this worker's segment computes dispatch through
+        (a registry name, instance, or None for the
+        ``REPRO_KERNEL_BACKEND``-then-numpy default).  Deliberately
+        absent from segment store keys: a fleet may mix numpy and
+        compiled workers and still assemble digest-identical YLTs.  The
+        resolved name is recorded per worker (stats) and per computed
+        segment (entry meta), so provenance survives even when results
+        are interchangeable.
     """
 
     def __init__(
@@ -152,7 +163,10 @@ class FleetWorker:
         fault_plan=None,
         speculate: bool = True,
         speculation_age_fraction: float = 0.5,
+        backend=None,
     ) -> None:
+        from repro.backends import active_backend_name
+
         self.queue = queue
         self.store = store
         self.contexts: Dict[str, FleetContext] = dict(contexts or {})
@@ -163,8 +177,12 @@ class FleetWorker:
         self.fault_plan = fault_plan
         self.speculate = bool(speculate)
         self.speculation_age_fraction = float(speculation_age_fraction)
+        self.backend = backend
+        self.backend_name = active_backend_name(backend)
         self._speculated_ids: Set[str] = set()
-        self.stats = WorkerStats(worker_id=self.worker_id)
+        self.stats = WorkerStats(
+            worker_id=self.worker_id, backend=self.backend_name
+        )
 
     # ------------------------------------------------------------------
     def _count_retry(self, attempt, exc, delay) -> None:
@@ -201,6 +219,7 @@ class FleetWorker:
             dtype=np.dtype(ctx.dtype),
             secondary=ctx.secondary,
             secondary_seed=ctx.secondary_seed,
+            backend=self.backend,
         )
         seconds = time.perf_counter() - started
         # End-to-end checksums in the entry *meta*: verified by the
@@ -215,6 +234,7 @@ class FleetWorker:
                     "trial_start": task.trial_start,
                     "trial_stop": task.trial_stop,
                     "computed_by": self.worker_id,
+                    "backend": self.backend_name,
                     "seconds": seconds,
                 },
             )

@@ -225,6 +225,32 @@ class StackedDirectTable:
             np.multiply(gross, self._share, out=gross)
         return gross
 
+    def broadcast_arrays(self):
+        """Raw arrays for compiled kernel backends (read-only contract).
+
+        Returns ``(table, fx, retention, limit, share, flags)``: the
+        ``(n_elts, catalog + 1)`` loss matrix, the four per-ELT term
+        vectors as 1-D arrays in the table's dtype, and the
+        ``(any_fx, any_retention, any_limit, any_share)`` identity-skip
+        flags — everything a backend needs to replicate
+        :meth:`apply_terms_inplace` scalar-wise.  Callers must treat
+        the arrays as frozen (they are shared with every concurrent
+        reader of this table).
+        """
+        return (
+            self._table,
+            self._fx[:, 0],
+            self._retention[:, 0],
+            self._limit[:, 0],
+            self._share[:, 0],
+            (
+                self._any_fx,
+                self._any_retention,
+                self._any_limit,
+                self._any_share,
+            ),
+        )
+
     def mean_accesses_per_lookup(self) -> float:
         # Row-per-ELT layout keeps the direct table's defining property:
         # one array read per (event, ELT) query.

@@ -28,6 +28,11 @@ from repro.gpusim.memory import DeviceCounters
 from repro.gpusim.occupancy import compute_occupancy
 from repro.gpusim.transfer import TransferModel
 from repro.perfmodel.result import PerfPrediction
+from repro.plan.staging import (
+    STAGING_OVERLAP,
+    check_staging,
+    overlap_pipeline_seconds,
+)
 from repro.utils.timer import ACTIVITY_OTHER
 from repro.utils.validation import check_positive
 
@@ -39,14 +44,26 @@ def predict_multi_gpu(
     threads_per_block: int = 32,
     chunk_events: int = 96,
     flags: OptimizationFlags | None = None,
+    staging: str = "serial",
+    shared_tables: bool = False,
 ) -> PerfPrediction:
     """Modeled time of the optimised kernel over ``n_devices`` GPUs.
 
     Raises ``ValueError`` for infeasible block sizes (shared-memory
     overflow), which is how the Figure 4 sweep's truncation beyond 64
     threads per block is represented.
+
+    ``staging="overlap"`` prices the plan-level transfer schedule
+    instead of the paper's stage-then-compute baseline: each device
+    streams the next layer's tables while the current layer's kernel
+    runs (:func:`repro.plan.staging.overlap_pipeline_seconds`).
+    ``shared_tables`` additionally models a portfolio whose layers all
+    reference one ELT set, so the broadcast is deduped to a single
+    staged table block (``staging="serial"`` restages per layer
+    regardless, matching the simulated engine's serial mode).
     """
     check_positive("n_devices", n_devices)
+    check_staging(staging)
     flags = flags if flags is not None else OptimizationFlags.all()
     word_bytes = 4 if flags.float32 else 8
 
@@ -92,14 +109,43 @@ def predict_multi_gpu(
 
     # Per-device staging: full tables + its YET slice in, its YLT out.
     transfers = TransferModel(device=device)
-    table_bytes = (
-        (spec.catalog_size + 1) * word_bytes * spec.elts_per_layer
-    ) * spec.n_layers
-    transfers.h2d(table_bytes, "elt_tables")
-    transfers.h2d(spec.n_occurrences * 4 * trial_fraction, "yet_slice")
-    transfers.d2h(spec.n_trials * 8 * trial_fraction * spec.n_layers, "ylt_slice")
-
-    total = cost.total + transfers.total_seconds
+    table_bytes_layer = (
+        spec.catalog_size + 1
+    ) * word_bytes * spec.elts_per_layer
+    table_bytes = table_bytes_layer * spec.n_layers
+    n_staged = spec.n_layers
+    if staging == STAGING_OVERLAP:
+        # Plan-level schedule: the YET slice lands first, then each
+        # layer's table broadcast streams behind the previous layer's
+        # kernel (per-layer ops, so each broadcast pays its own PCIe
+        # latency); shared_tables dedupes to one staged block.
+        n_staged = 1 if shared_tables else spec.n_layers
+        yet_seconds = transfers.h2d(
+            spec.n_occurrences * 4 * trial_fraction, "yet_slice"
+        )
+        kernel_layer = cost.total / spec.n_layers
+        stage: List[float] = []
+        compute: List[float] = []
+        for i in range(spec.n_layers):
+            stage.append(
+                transfers.h2d(table_bytes_layer, f"elt_tables_layer{i}")
+                if i < n_staged
+                else 0.0
+            )
+            compute.append(
+                kernel_layer
+                + transfers.d2h(
+                    spec.n_trials * 8 * trial_fraction, f"ylt_layer{i}"
+                )
+            )
+        total = yet_seconds + overlap_pipeline_seconds(stage, compute)
+    else:
+        transfers.h2d(table_bytes, "elt_tables")
+        transfers.h2d(spec.n_occurrences * 4 * trial_fraction, "yet_slice")
+        transfers.d2h(
+            spec.n_trials * 8 * trial_fraction * spec.n_layers, "ylt_slice"
+        )
+        total = cost.total + transfers.total_seconds
     profile = modeled_activity_profile(
         counters, cost.bandwidth_s, cost.compute_s
     )
@@ -119,6 +165,9 @@ def predict_multi_gpu(
         "limiting_resource": cost.occupancy.limiting_resource,
         "kernel_seconds": cost.total,
         "transfer_seconds": transfers.total_seconds,
+        "staging": staging,
+        "tables_staged": n_staged,
+        "tables_deduped": spec.n_layers - n_staged,
     }
     return PerfPrediction(
         implementation="multi-gpu",

@@ -27,6 +27,7 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
+from repro.backends import KernelBackend, resolve_backend
 from repro.core.kernels import (
     KERNEL_RAGGED,
     build_layer_tables,
@@ -62,6 +63,7 @@ def execute_plan_cpu(
     scheduler: Scheduler | None = None,
     pools: Sequence[ScratchBufferPool] | None = None,
     cache=None,
+    backend: KernelBackend | str | None = None,
 ) -> YearLossTable:
     """Execute ``plan`` on the CPU kernels; returns the YLT.
 
@@ -83,6 +85,12 @@ def execute_plan_cpu(
         Wall-clock activity profile.  Per-slot compute and fetch charges
         are accumulated in worker-private profiles and folded in after
         each layer barrier, so the sums are CPU seconds across workers.
+    backend:
+        Kernel backend the ragged tasks dispatch through (resolved once
+        here via :func:`repro.backends.resolve_backend`, then handed to
+        every kernel call).  Excluded from the plan fingerprint: a
+        backend is held to the oracle's results, not a different
+        decomposition.
     """
     if plan.n_trials != yet.n_trials or plan.n_occurrences != yet.n_occurrences:
         raise ValueError(
@@ -106,6 +114,7 @@ def execute_plan_cpu(
         resolve_secondary_seed(secondary_seed) if secondary is not None else 0
     )
     ragged = plan.kernel == KERNEL_RAGGED
+    backend_obj = resolve_backend(backend)
 
     per_layer: Dict[int, np.ndarray] = {}
     for layer in portfolio.layers:
@@ -157,6 +166,7 @@ def execute_plan_cpu(
                                 profile=wp,
                                 dtype=dtype,
                                 pool=pool,
+                                backend=backend_obj,
                             )
                         )
                     else:
@@ -170,6 +180,7 @@ def execute_plan_cpu(
                                 profile=wp,
                                 dtype=dtype,
                                 pool=pool,
+                                backend=backend_obj,
                             )
                         )
                 return
@@ -246,6 +257,7 @@ def task_losses(
     base_seed: int = 0,
     pool: ScratchBufferPool | None = None,
     profile: ActivityProfile | None = None,
+    backend: KernelBackend | str | None = None,
 ) -> np.ndarray:
     """Per-trial year losses of one plan task, on the CPU kernels.
 
@@ -254,8 +266,9 @@ def task_losses(
     granularity so a fleet worker computing one segment produces bytes
     identical to a monolithic run of the containing plan.  (The full
     executor keeps its own loop for the double-buffered fetch; any
-    change to the dispatch must land in both, and the golden-YLT and
-    fleet bitwise tests pin the equivalence.)
+    change to the dispatch — including the ``backend`` threading — must
+    land in both, and the golden-YLT and fleet bitwise tests pin the
+    equivalence.)
     """
     profile = profile if profile is not None else ActivityProfile()
     pool = pool if pool is not None else ScratchBufferPool()
@@ -274,6 +287,7 @@ def task_losses(
                 profile=profile,
                 dtype=dtype,
                 pool=pool,
+                backend=backend,
             )
         return layer_trial_batch_ragged(
             ids,
@@ -284,6 +298,7 @@ def task_losses(
             profile=profile,
             dtype=dtype,
             pool=pool,
+            backend=backend,
         )
     dense = yet.slice_trials(task.trial_start, task.trial_stop).to_dense()
     if secondary is not None:
@@ -316,13 +331,18 @@ def execute_segment_cpu(
     cache=None,
     pool: ScratchBufferPool | None = None,
     profile: ActivityProfile | None = None,
+    backend: KernelBackend | str | None = None,
 ) -> np.ndarray:
     """Self-contained segment execution: tables + :func:`task_losses`.
 
     Returns the task's per-trial losses as ``float64`` — exactly the
     bytes a monolithic executor would write into its output row for
     this trial range, and therefore exactly what the fleet stores under
-    the segment's content-addressed key.
+    the segment's content-addressed key.  ``backend`` selects the
+    kernel backend for *this worker only*: segment keys are
+    backend-free (backends are held to the oracle's bytes), so a fleet
+    may mix backends per worker and still assemble digest-identical
+    YLTs.
     """
     layer = portfolio.layer(task.layer_id)
     profile = profile if profile is not None else ActivityProfile()
@@ -351,5 +371,6 @@ def execute_segment_cpu(
         base_seed=base_seed,
         pool=pool,
         profile=profile,
+        backend=backend,
     )
     return out

@@ -257,6 +257,12 @@ class QuoteService(_PricingSessionBase):
         like the engines, so seeded service quotes equal seeded engine
         runs.  (Candidates with different ``layer_id`` draw independent
         streams and therefore cannot share a base vector.)
+    backend:
+        Kernel backend the base-vector gather dispatches through (a
+        registry name, instance, or None for the
+        ``REPRO_KERNEL_BACKEND``-then-numpy default).  Excluded from
+        every cache key — backends are held to the numpy oracle's
+        results, so quotes are interchangeable across backends.
     cache_size:
         LRU capacity of the base-vector cache (entries are one word per
         YET occurrence each); the finished-loss cache holds
@@ -285,6 +291,7 @@ class QuoteService(_PricingSessionBase):
         dtype: np.dtype | type = np.float64,
         secondary=None,
         secondary_seed=None,
+        backend=None,
         cache_size: int = 16,
         store=None,
     ) -> None:
@@ -299,6 +306,9 @@ class QuoteService(_PricingSessionBase):
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         self.lookup_kind = lookup_kind
         self.dtype = np.dtype(dtype)
+        # Kernel backend for the base-vector gather (never part of
+        # cache keys: backends are pinned to the oracle's results).
+        self.backend = backend
         self.secondary = secondary
         self._secondary_base_seed = (
             resolve_secondary_seed(secondary_seed)
@@ -344,6 +354,12 @@ class QuoteService(_PricingSessionBase):
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+    def backend_name(self) -> str:
+        """Resolved kernel-backend name quotes dispatch to."""
+        from repro.backends import active_backend_name
+
+        return active_backend_name(self.backend)
 
     def _stream_key(self, layer_id: int) -> int:
         if self.secondary is None:
@@ -419,6 +435,7 @@ class QuoteService(_PricingSessionBase):
                     secondary=self.secondary,
                     stream_key=stream_key,
                     occ_base=task.occ_start,
+                    backend=self.backend,
                 )
 
         self._scheduler.run_layer(plan, probe.layers[0].layer_id, run_slot)

@@ -245,14 +245,15 @@ class QuoteFrontEnd:
     def stats(self) -> Dict[str, object]:
         """The whole serving picture in one dict.
 
-        Gate occupancy and sheds, brownout state and transitions,
-        request outcomes and admitted-latency percentiles, the plan
-        caches, and — when the service is store-backed — the flattened
+        The active kernel backend, gate occupancy and sheds, brownout
+        state and transitions, request outcomes and admitted-latency
+        percentiles, the plan caches, and — when store-backed — the flattened
         store health (breaker states, degradation counters, hedged-read
         wins/losses via :func:`repro.store.health.health_from_stats`).
         """
         cache = self.service.cache_stats()
         out: Dict[str, object] = {
+            "backend": self.service.backend_name(),
             "gate": self.gate.stats(),
             "brownout": self.brownout.stats(),
             "requests": {

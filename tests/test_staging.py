@@ -1,0 +1,223 @@
+"""Plan-level transfer staging: dedupe, pipeline pricing, engine overlap.
+
+`repro/plan/staging` owns two facts the engines and the perf model both
+consume: *which* broadcast table blocks actually need staging (layers
+sharing an ELT set stage once — :class:`TransferSchedule`), and *what a
+copy/compute pipeline costs* (:func:`overlap_pipeline_seconds`).  The
+hard constraint throughout: ``staging="overlap"`` only re-times the
+modeled transfers — the YLT bytes are identical to the serial default,
+and the serial default is bit-identical to the paper-pinned numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.layer import Layer, LayerTerms, Portfolio
+from repro.data.presets import BENCH_SMALL
+from repro.engines.registry import create_engine
+from repro.perfmodel.multigpu import predict_multi_gpu
+from repro.plan.staging import (
+    STAGING_MODES,
+    STAGING_OVERLAP,
+    STAGING_SERIAL,
+    TransferSchedule,
+    check_staging,
+    overlap_pipeline_seconds,
+    serial_pipeline_seconds,
+)
+
+#: a multi-layer spec for the perf model's overlap pricing.
+MULTI_SPEC = BENCH_SMALL.with_(name="staging-multi", n_layers=4)
+
+
+@pytest.fixture()
+def shared_book(small_workload):
+    """Three candidate layers over the *same* ELT set (a quoting book):
+    the canonical dedupe case — one staged table block serves all."""
+    base = small_workload.portfolio
+    book = Portfolio()
+    for elt in base.elts.values():
+        book.add_elt(elt)
+    ids = tuple(sorted(base.elts))
+    for layer_id, terms in enumerate(
+        (
+            LayerTerms(occ_retention=100.0, occ_limit=5_000.0),
+            LayerTerms(occ_retention=250.0, occ_limit=5_000.0),
+            LayerTerms(occ_retention=100.0, agg_limit=40_000.0),
+        )
+    ):
+        book.add_layer(Layer(layer_id=layer_id, elt_ids=ids, terms=terms))
+    return book
+
+
+class TestTransferSchedule:
+    def test_shared_book_stages_once(self, shared_book):
+        schedule = TransferSchedule.for_portfolio(shared_book, np.float64)
+        assert schedule.n_layers == 3
+        assert schedule.n_fresh == 1
+        assert schedule.n_deduped == 2
+        assert schedule.is_fresh(0)
+        assert not schedule.is_fresh(1)
+        assert not schedule.is_fresh(2)
+        assert schedule.summary() == {
+            "layers": 3,
+            "tables_staged": 1,
+            "tables_deduped": 2,
+        }
+
+    def test_disjoint_layers_all_fresh(self, multilayer_workload):
+        """Layers drawing different subsets of a shared pool have
+        different stacked tables — nothing to dedupe."""
+        portfolio = multilayer_workload.portfolio
+        elt_sets = {tuple(sorted(l.elt_ids)) for l in portfolio.layers}
+        schedule = TransferSchedule.for_portfolio(portfolio, np.float64)
+        assert schedule.n_fresh == len(elt_sets)
+        assert schedule.n_deduped == portfolio.n_layers - len(elt_sets)
+
+    def test_elt_order_is_normalised(self, small_workload):
+        """Two layers listing the same ELTs in different order share a
+        table (the stacked block is keyed by the *set*)."""
+        base = small_workload.portfolio
+        p = Portfolio()
+        for elt in base.elts.values():
+            p.add_elt(elt)
+        ids = tuple(sorted(base.elts))
+        p.add_layer(Layer(layer_id=0, elt_ids=ids))
+        p.add_layer(Layer(layer_id=1, elt_ids=ids[::-1]))
+        schedule = TransferSchedule.for_portfolio(p, np.float64)
+        assert schedule.n_fresh == 1
+        assert schedule.n_deduped == 1
+
+    def test_dtype_is_part_of_the_key(self, shared_book):
+        """A float32 schedule and a float64 schedule stage different
+        blocks; within one schedule the dtype is uniform."""
+        f64 = TransferSchedule.for_portfolio(shared_book, np.float64)
+        f32 = TransferSchedule.for_portfolio(shared_book, np.float32)
+        keys64 = {op.key for op in f64.ops}
+        keys32 = {op.key for op in f32.ops}
+        assert keys64.isdisjoint(keys32)
+
+
+class TestPipelineMath:
+    def test_modes(self):
+        assert check_staging(STAGING_SERIAL) == "serial"
+        assert check_staging(STAGING_OVERLAP) == "overlap"
+        assert set(STAGING_MODES) == {"serial", "overlap"}
+        with pytest.raises(ValueError, match="staging"):
+            check_staging("pipelined")
+
+    def test_hand_computed_example(self):
+        stage = [2.0, 1.0, 1.0]
+        compute = [3.0, 3.0, 3.0]
+        # 2 + max(3,1) + max(3,1) + 3: legs 2 and 3 stage under compute.
+        assert overlap_pipeline_seconds(stage, compute) == 11.0
+        assert serial_pipeline_seconds(stage, compute) == 13.0
+
+    def test_stage_bound_pipeline(self):
+        # Staging dominates: nothing to hide behind, overlap ~= serial.
+        stage = [5.0, 5.0]
+        compute = [1.0, 1.0]
+        assert overlap_pipeline_seconds(stage, compute) == 5 + 5 + 1
+        assert serial_pipeline_seconds(stage, compute) == 12.0
+
+    def test_overlap_never_worse_than_serial(self, rng):
+        for _ in range(50):
+            n = int(rng.integers(1, 8))
+            stage = rng.random(n).tolist()
+            compute = rng.random(n).tolist()
+            po = overlap_pipeline_seconds(stage, compute)
+            ps = serial_pipeline_seconds(stage, compute)
+            assert po <= ps + 1e-12
+            # and never better than the compute-only lower bound
+            assert po >= sum(compute) - 1e-12
+
+    def test_empty_and_mismatch(self):
+        assert overlap_pipeline_seconds([], []) == 0.0
+        assert serial_pipeline_seconds([], []) == 0.0
+        with pytest.raises(ValueError):
+            overlap_pipeline_seconds([1.0], [1.0, 2.0])
+
+
+class TestEngineOverlap:
+    def run(self, workload_or_book, yet, catalog, staging):
+        engine = create_engine(
+            "multi-gpu", n_devices=4, staging=staging
+        )
+        return engine.run(yet, workload_or_book, catalog)
+
+    def test_bad_staging_mode_raises(self):
+        with pytest.raises(ValueError, match="staging"):
+            create_engine("multi-gpu", staging="pipelined")
+
+    def test_overlap_bit_identical_and_faster(self, small_workload, shared_book):
+        yet = small_workload.yet
+        catalog = small_workload.catalog.n_events
+        serial = self.run(shared_book, yet, catalog, STAGING_SERIAL)
+        overlap = self.run(shared_book, yet, catalog, STAGING_OVERLAP)
+        # the whole point: a *scheduling* change, not a numeric one
+        assert np.array_equal(serial.ylt.losses, overlap.ylt.losses)
+        # >= 2 layers per device with nonzero staging: strictly faster
+        assert overlap.modeled_seconds < serial.modeled_seconds
+
+    def test_meta_records_schedule(self, small_workload, shared_book):
+        yet = small_workload.yet
+        catalog = small_workload.catalog.n_events
+        serial = self.run(shared_book, yet, catalog, STAGING_SERIAL)
+        assert serial.meta["staging"] == "serial"
+        assert "transfer_schedule" not in serial.meta
+        overlap = self.run(shared_book, yet, catalog, STAGING_OVERLAP)
+        assert overlap.meta["staging"] == "overlap"
+        assert overlap.meta["transfer_schedule"] == {
+            "layers": 3,
+            "tables_staged": 1,
+            "tables_deduped": 2,
+        }
+
+    def test_single_layer_overlap_is_safe(self, small_workload):
+        """One layer has no adjacent transfers to hide; overlap must
+        still produce identical bytes and a no-worse modeled time."""
+        yet = small_workload.yet
+        portfolio = small_workload.portfolio
+        catalog = small_workload.catalog.n_events
+        serial = self.run(portfolio, yet, catalog, STAGING_SERIAL)
+        overlap = self.run(portfolio, yet, catalog, STAGING_OVERLAP)
+        assert np.array_equal(serial.ylt.losses, overlap.ylt.losses)
+        assert overlap.modeled_seconds <= serial.modeled_seconds + 1e-12
+
+
+class TestPerfModelOverlap:
+    def test_overlap_beats_serial_on_multilayer(self):
+        ps = predict_multi_gpu(MULTI_SPEC, n_devices=4).total_seconds
+        po = predict_multi_gpu(
+            MULTI_SPEC, n_devices=4, staging="overlap"
+        ).total_seconds
+        pd = predict_multi_gpu(
+            MULTI_SPEC, n_devices=4, staging="overlap", shared_tables=True
+        ).total_seconds
+        # dedupe can tie overlap when staging hides fully under compute,
+        # but overlap strictly beats serial with >= 2 layers
+        assert pd <= po < ps
+
+    def test_serial_meta_and_default_unchanged(self):
+        """The default prediction must not shift: the pinned paper
+        numbers (test_perfmodel_paper_numbers) run through this path."""
+        base = predict_multi_gpu(MULTI_SPEC, n_devices=4)
+        explicit = predict_multi_gpu(
+            MULTI_SPEC, n_devices=4, staging="serial"
+        )
+        assert base.total_seconds == explicit.total_seconds
+        assert base.meta["staging"] == "serial"
+
+    def test_overlap_meta_counts_tables(self):
+        pred = predict_multi_gpu(
+            MULTI_SPEC, n_devices=4, staging="overlap", shared_tables=True
+        )
+        assert pred.meta["staging"] == "overlap"
+        assert pred.meta["tables_staged"] == 1
+        assert pred.meta["tables_deduped"] == MULTI_SPEC.n_layers - 1
+
+    def test_bad_mode_raises(self):
+        with pytest.raises(ValueError, match="staging"):
+            predict_multi_gpu(MULTI_SPEC, staging="pipelined")
