@@ -1949,6 +1949,360 @@ def serve_ablation(
     return report
 
 
+# ----------------------------------------------------------------------
+# NET-ABLATE: the fleet over the wire — remote tiers + shuffle assembly
+# ----------------------------------------------------------------------
+def net_bench_spec() -> WorkloadSpec:
+    """The network workload: the fleet bench at half the trial count.
+
+    Same two-layer shared-pool shape as :func:`fleet_bench_spec` (so
+    network rows compare against fleet rows), segmented finely by the
+    benchmark (250-trial stride → 64 segments) so per-segment assembly
+    has a real fetch bill for partition/shuffle assembly to beat.
+    """
+    return fleet_bench_spec().with_(name="net-bench", n_trials=8_000)
+
+
+def net_ablation(
+    measured_spec: WorkloadSpec | None = None,
+    measure: bool = True,
+    n_workers: int = 3,
+    segment_trials: int = 250,
+    n_partitions: int = 8,
+    repeats: int = 2,
+    seed: int = 2013,
+    base_dir=None,
+) -> ExperimentReport:
+    """The fleet over localhost sockets: what the network tier costs.
+
+    Six rows, one seeded workload, every remote row through the real
+    wire protocol (``NetServer`` + ``RemoteStore``/``RemoteJobQueue``
+    on loopback — serialization, framing, CRCs and retries are all
+    real; only propagation delay is missing):
+
+    * **monolithic** — a plain sequential ``Engine.run`` (the digest
+      reference for every other row);
+    * **warm-local / warm-remote** — warm replay of a fully stored
+      sweep (submit finds zero missing segments, gather re-reads the
+      store) against the local file tier vs the *same directory*
+      served over the wire.  The ratio is the network tax on the
+      replay path;
+    * **assemble-segments / assemble-partials** — cold sweeps over the
+      wire, classic per-segment assembly vs partition/shuffle
+      (``n_partitions`` reduce jobs folding partial YLTs).  Each row
+      records the *store fetches issued at assembly* on a dedicated
+      gather client — S gets vs P gets, the sublinearity the
+      benchmark's hard gate pins;
+    * **wire-faults** — a cold sweep with injected wire latency and
+      connection drops on the surviving workers and 1 of ``n_workers``
+      killed at its first compute (lease expiry + peer requeue must
+      recover).  Guarded: digest equal to monolithic.
+
+    Timing rows are min-of-``repeats``; digest equality must hold on
+    *every* run (one mismatch is a correctness bug, not noise).
+    """
+    import tempfile
+    import threading
+    from pathlib import Path
+
+    from repro.core.analysis import AggregateRiskAnalysis
+    from repro.engines.registry import create_engine
+    from repro.faults.plan import (
+        KIND_KILL,
+        OP_COMPUTE,
+        FaultPlan,
+        FaultSpec,
+        WorkerKilled,
+    )
+    from repro.faults.wire import wire_chaos_plan
+    from repro.fleet import (
+        FleetWorker,
+        JobQueue,
+        context_for_engine,
+        gather_sweep,
+        run_workers,
+        submit_sweep,
+    )
+    from repro.net.client import RemoteStore
+    from repro.net.queue import RemoteJobQueue
+    from repro.net.server import NetServer, ServerThread
+    from repro.store import SharedFileStore
+    from repro.store.keys import ylt_digest
+    from repro.utils.retry import RetryPolicy
+
+    report = ExperimentReport(
+        exp_id="NET-ABLATE",
+        title="Network fleet: remote store/queue + partition assembly",
+    )
+    if measured_spec is None:
+        measured_spec = net_bench_spec()
+    if not measure:
+        report.note("measure=False: nothing to report (no model rows).")
+        return report
+
+    workload = get_workload(measured_spec)
+    yet, portfolio = workload.yet, workload.portfolio
+    n_events = workload.catalog.n_events
+    ara = AggregateRiskAnalysis(portfolio, n_events)
+    engine_obj = create_engine("sequential")
+    ctx = context_for_engine(yet, portfolio, n_events, engine_obj)
+    retry = RetryPolicy(
+        max_attempts=4, base_delay=0.005, max_delay=0.05,
+        deadline_seconds=10.0,
+    )
+
+    tmp = None
+    if base_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="net-ablate-")
+        base_dir = tmp.name
+    base_dir = Path(base_dir)
+
+    def remote_pair(host, port, fault_plan=None):
+        return (
+            RemoteStore(
+                host, port, retry_policy=retry, fault_plan=fault_plan
+            ),
+            RemoteJobQueue(host, port, retry_policy=retry),
+        )
+
+    def submit(queue, store, partitions=None):
+        return submit_sweep(
+            queue, store, yet, portfolio, n_events, engine_obj,
+            segment_trials=segment_trials, n_partitions=partitions,
+        )
+
+    def replay(store, queue):
+        """Warm path: submit (zero missing) + gather, timed together."""
+        t0 = time.perf_counter()
+        ticket = submit(queue, store)
+        ylt = gather_sweep(queue, store, ticket.sweep_id)
+        return time.perf_counter() - t0, ticket, ylt_digest(ylt)
+
+    def drain(host, port, ticket, worker_specs):
+        """Run one FleetWorker thread per spec, each on its own pair.
+
+        ``worker_specs``: (name, store_plan, kill_plan) tuples; workers
+        whose kill plan is set run (and die) *before* the survivors
+        start, so the recovery path — lease expiry, peer requeue — is
+        deterministically exercised.
+        """
+        workers, deaths = [], []
+        for name, store_plan, kill_plan in worker_specs:
+            w_store, w_queue = remote_pair(host, port, fault_plan=store_plan)
+            workers.append(
+                FleetWorker(
+                    w_queue,
+                    w_store,
+                    contexts={ticket.sweep_id: ctx},
+                    worker_id=name,
+                    fault_plan=kill_plan,
+                    speculate=False,
+                )
+            )
+
+        def drive(worker):
+            try:
+                worker.run(sweep_id=ticket.sweep_id, poll_seconds=0.02)
+            except WorkerKilled:
+                deaths.append(worker.worker_id)
+
+        doomed = [w for w, s in zip(workers, worker_specs) if s[2] is not None]
+        survivors = [w for w in workers if w not in doomed]
+        for worker in doomed:
+            thread = threading.Thread(target=drive, args=(worker,))
+            thread.start()
+            thread.join(timeout=120.0)
+        threads = [
+            threading.Thread(target=drive, args=(w,)) for w in survivors
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=600.0)
+        for w in workers:
+            w.store.close()
+            w.queue.close()
+        return workers, deaths
+
+    def cold_wire_sweep(label, lease_seconds, partitions, worker_specs):
+        """A full cold sweep over the wire; returns the row dict."""
+        store_dir = base_dir / f"{label}-cache"
+        queue = JobQueue(
+            base_dir / f"{label}-q", lease_seconds=lease_seconds,
+            max_attempts=5,
+        )
+        server = NetServer(SharedFileStore(store_dir), queue=queue)
+        with ServerThread(server) as (host, port):
+            s_store, s_queue = remote_pair(host, port)
+            t0 = time.perf_counter()
+            ticket = submit(s_queue, s_store, partitions=partitions)
+            workers, deaths = drain(host, port, ticket, worker_specs)
+            counts = s_queue.counts(ticket.sweep_id)
+            if counts["failed"] or counts["pending"] or counts["claimed"]:
+                raise AssertionError(
+                    f"{label}: sweep did not drain cleanly: {counts}"
+                )
+            # assembly fetches on a *dedicated* gather client: its
+            # store transport carries nothing but the gather's gets.
+            g_store, g_queue = remote_pair(host, port)
+            ylt = gather_sweep(g_queue, g_store, ticket.sweep_id)
+            seconds = time.perf_counter() - t0
+            row = {
+                "measured_seconds": seconds,
+                "segments": ticket.delta.n_segments,
+                "jobs": ticket.submitted,
+                "assembly_fetches": g_store.transport.requests,
+                "computed": sum(w.stats.computed for w in workers),
+                "rpc_retries": sum(
+                    w.store.stats()["rpc_retries"] for w in workers
+                ),
+                "workers_killed": len(deaths),
+                "ylt_digest": ylt_digest(ylt),
+            }
+            for client in (s_store, s_queue, g_store, g_queue):
+                client.close()
+        return row
+
+    try:
+        mono = min(
+            (ara.run(yet, engine="sequential") for _ in range(repeats)),
+            key=lambda r: r.wall_seconds,
+        )
+        mono_digest = ylt_digest(mono.ylt)
+        report.add(
+            mode="monolithic",
+            measured_seconds=mono.wall_seconds,
+            ylt_digest=mono_digest,
+        )
+
+        # -- warm one shared store locally, then replay it twice --------
+        warm_dir = base_dir / "warm-cache"
+        local_store = SharedFileStore(warm_dir)
+        local_queue = JobQueue(base_dir / "warm-q", lease_seconds=60.0)
+        warm_ticket = submit(local_queue, local_store)
+        n_segments = warm_ticket.delta.n_segments
+        run_workers(
+            local_queue,
+            local_store,
+            contexts={warm_ticket.sweep_id: ctx},
+            n_workers=n_workers,
+            sweep_id=warm_ticket.sweep_id,
+        )
+
+        local_runs = [replay(local_store, local_queue) for _ in range(repeats)]
+        local_seconds = min(r[0] for r in local_runs)
+        digests = {r[2] for r in local_runs}
+        report.add(
+            mode="warm-local",
+            measured_seconds=local_seconds,
+            segments=n_segments,
+            jobs=sum(r[1].submitted for r in local_runs),
+            ylt_digest=digests.pop() if len(digests) == 1 else sorted(digests),
+        )
+
+        remote_queue_dir = JobQueue(
+            base_dir / "warm-remote-q", lease_seconds=60.0
+        )
+        server = NetServer(SharedFileStore(warm_dir), queue=remote_queue_dir)
+        with ServerThread(server) as (host, port):
+
+            def remote_replay():
+                store, queue = remote_pair(host, port)
+                try:
+                    seconds, ticket, digest = replay(store, queue)
+                    return seconds, ticket, digest, store.transport.requests
+                finally:
+                    store.close()
+                    queue.close()
+
+            remote_runs = [remote_replay() for _ in range(repeats)]
+        remote_seconds = min(r[0] for r in remote_runs)
+        report.add(
+            mode="warm-remote",
+            measured_seconds=remote_seconds,
+            segments=n_segments,
+            jobs=sum(r[1].submitted for r in remote_runs),
+            rpc_requests=remote_runs[0][3],
+            overhead_vs_local=remote_seconds / local_seconds,
+            ylt_digest=remote_runs[0][2],
+        )
+
+        # -- cold sweeps over the wire: S-fetch vs P-fetch assembly -----
+        plain = [(f"w{i}", None, None) for i in range(n_workers)]
+        seg_row = cold_wire_sweep("segments", 60.0, None, plain)
+        report.add(mode="assemble-segments", workers=n_workers, **seg_row)
+        part_row = cold_wire_sweep("partials", 60.0, n_partitions, plain)
+        report.add(
+            mode="assemble-partials",
+            workers=n_workers,
+            n_partitions=n_partitions,
+            **part_row,
+        )
+
+        # -- wire faults + a worker kill --------------------------------
+        kill_plan = FaultPlan(
+            seed,
+            [
+                FaultSpec(
+                    kind=KIND_KILL,
+                    op=OP_COMPUTE,
+                    at=1,
+                    worker_substring="w-doomed",
+                )
+            ],
+        )
+        chaotic = [
+            (
+                f"w{i}",
+                wire_chaos_plan(
+                    seed + i,
+                    latency_seconds=0.002,
+                    latency_probability=0.2,
+                    drop_every=40,
+                    drop_times=3,
+                ),
+                None,
+            )
+            for i in range(n_workers - 1)
+        ]
+        chaotic.append(("w-doomed", None, kill_plan))
+        fault_row = cold_wire_sweep("faults", 1.0, None, chaotic)
+        report.add(mode="wire-faults", workers=n_workers, **fault_row)
+
+        wire_rows = [
+            r for r in report.rows if r["mode"] != "monolithic"
+        ]
+        if any(r["ylt_digest"] != mono_digest for r in wire_rows):
+            raise AssertionError(
+                "a network row diverged from the monolithic digest: "
+                + str(
+                    [(r["mode"], r["ylt_digest"]) for r in wire_rows]
+                )
+            )
+        report.note(
+            f"warm replay of {n_segments} segments: "
+            f"{local_seconds:.3f}s local file tier vs "
+            f"{remote_seconds:.3f}s over the wire "
+            f"({remote_seconds / local_seconds:.2f}x, "
+            f"{remote_runs[0][3]} RPCs)."
+        )
+        report.note(
+            f"assembly fetches: {seg_row['assembly_fetches']} per-segment "
+            f"gets vs {part_row['assembly_fetches']} partial-YLT gets at "
+            f"{n_partitions} partitions of {n_segments} segments — the "
+            "shuffle makes gather O(P), not O(S)."
+        )
+        report.note(
+            f"wire-faults row: {fault_row['workers_killed']} worker killed, "
+            f"{fault_row['rpc_retries']} RPCs retried; digest bit-identical "
+            "to the monolithic run."
+        )
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+    return report
+
+
 ALL_EXPERIMENTS = {
     "SEQ-SCALE": seq_scaling,
     "FIG-1a": fig1a,
@@ -1967,6 +2321,7 @@ ALL_EXPERIMENTS = {
     "FLEET-ABLATE": fleet_ablation,
     "CHAOS-ABLATE": chaos_ablation,
     "SERVE-ABLATE": serve_ablation,
+    "NET-ABLATE": net_ablation,
     "EXT-SECONDARY": ext_secondary,
 }
 """Experiment id → generator function (the per-experiment index)."""

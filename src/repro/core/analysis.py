@@ -218,6 +218,7 @@ class AggregateRiskAnalysis:
         segment_trials: int | None = None,
         lease_seconds: float = 60.0,
         workload_spec=None,
+        n_partitions: int | None = None,
         **engine_options: Any,
     ) -> AnalysisResult:
         """Run the analysis as a fleet sweep over a shared job queue.
@@ -249,6 +250,12 @@ class AggregateRiskAnalysis:
 
         ``segment_trials`` switches to the fixed-stride segmentation —
         the delta-stable shape for growing trial databases.
+
+        ``n_partitions`` runs the sweep in partition/shuffle mode
+        (:mod:`repro.fleet.partition`): workers fold their segments
+        into partial YLTs and gather merges the partials — the
+        assembly shape for network-backed stores, bit-identical
+        either way.
 
         ``result.meta["fleet"]`` records the sweep id, segment/job
         counts, reuse, per-worker stats, and the store's cache-
@@ -302,6 +309,7 @@ class AggregateRiskAnalysis:
                     engine_obj,
                     segment_trials=segment_trials,
                     workload_spec=workload_spec,
+                    n_partitions=n_partitions,
                 )
                 contexts[ticket.sweep_id] = ctx
                 worker_stats = run_workers(

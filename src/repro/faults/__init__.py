@@ -13,11 +13,16 @@ The subsystem that *earns* the robustness claims the fleet makes:
   :class:`~repro.fleet.jobs.JobQueue`;
 * :mod:`repro.faults.runner` — :class:`ChaosRunner`, full fleet sweeps
   under a plan, hard-asserting YLT digest equality against the
-  fault-free run (the CHAOS-ABLATE experiment's engine).
+  fault-free run (the CHAOS-ABLATE experiment's engine);
+* :mod:`repro.faults.wire` — :func:`wire_chaos_plan`, latency /
+  connection-drop / IO-error schedules for the network transport
+  (:class:`~repro.net.client.WireTransport` fires ``OP_SEND`` /
+  ``OP_RECV`` against them).
 """
 
 from repro.faults.plan import (
     KIND_CORRUPT,
+    KIND_DROP,
     KIND_DUPLICATE_CLAIM,
     KIND_IO_ERROR,
     KIND_KILL,
@@ -32,6 +37,8 @@ from repro.faults.plan import (
     OP_GET,
     OP_HEARTBEAT,
     OP_PUT,
+    OP_RECV,
+    OP_SEND,
     FaultEvent,
     FaultPlan,
     FaultSpec,
@@ -47,6 +54,7 @@ from repro.faults.runner import (
     ChaosRunResult,
 )
 from repro.faults.store import FaultyStore
+from repro.faults.wire import wire_chaos_plan
 
 __all__ = [
     "FaultPlan",
@@ -69,6 +77,8 @@ __all__ = [
     "KIND_STALL_HEARTBEAT",
     "KIND_DUPLICATE_CLAIM",
     "KIND_POISON",
+    "KIND_DROP",
+    "wire_chaos_plan",
     "OP_GET",
     "OP_PUT",
     "OP_CONTAINS",
@@ -76,4 +86,6 @@ __all__ = [
     "OP_CLAIM",
     "OP_HEARTBEAT",
     "OP_COMPUTE",
+    "OP_SEND",
+    "OP_RECV",
 ]

@@ -34,6 +34,7 @@ KIND_KILL = "kill"  # the worker dies on the spot (no cleanup)
 KIND_STALL_HEARTBEAT = "stall_heartbeat"  # heartbeats stop landing
 KIND_DUPLICATE_CLAIM = "duplicate_claim"  # a claimed job is handed out again
 KIND_POISON = "poison"  # the compute raises
+KIND_DROP = "drop"  # the connection is severed mid-RPC
 
 #: operations fault specs can attach to
 OP_GET = "get"
@@ -43,6 +44,8 @@ OP_DELETE = "delete"
 OP_CLAIM = "claim"
 OP_HEARTBEAT = "heartbeat"
 OP_COMPUTE = "compute"
+OP_SEND = "send"  # wire: client about to transmit a request
+OP_RECV = "recv"  # wire: client about to read a response
 
 
 class InjectedFault(RuntimeError):

@@ -1,0 +1,89 @@
+"""Wire-level chaos: fault plans for the network transport.
+
+The :class:`~repro.net.client.WireTransport` consults its
+:class:`~repro.faults.plan.FaultPlan` before every send (``OP_SEND``)
+and receive (``OP_RECV``); this module provides the plan shapes the net
+tests and the NET-ABLATE benchmark run under:
+
+* ``latency`` — sleep before the operation (slow links, congested
+  servers);
+* ``io_error`` — raise a :class:`~repro.net.protocol.WireProtocolError`
+  without touching the socket (the transient failure the retry policy
+  is for);
+* ``drop`` — sever the TCP connection mid-RPC (a network partition;
+  the pending read fails and the retry dials a fresh socket).
+
+All three are *transient by construction* against a content-addressed
+store and a lease-based queue: a retried GET/PUT is idempotent, a
+dropped claim reply leaks at most one lease that expires back to
+pending.  The chaos invariant — YLT digests identical to the fault-free
+run, one compute per segment — is what the tests pin.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.faults.plan import (
+    KIND_DROP,
+    KIND_IO_ERROR,
+    KIND_LATENCY,
+    OP_RECV,
+    OP_SEND,
+    FaultPlan,
+    FaultSpec,
+)
+
+
+def wire_chaos_plan(
+    seed: int,
+    latency_seconds: float = 0.0,
+    latency_probability: float = 0.0,
+    drop_every: Optional[int] = None,
+    drop_times: Optional[int] = None,
+    io_error_every: Optional[int] = None,
+    io_error_times: Optional[int] = None,
+    key_substring: Optional[str] = None,
+) -> FaultPlan:
+    """A seeded plan of wire trouble for one transport.
+
+    ``latency_*`` fires on sends (requests stall on the way out);
+    ``drop_every`` severs the connection on every Nth receive (the
+    reply is lost *after* the server acted — the nastier half of the
+    partition space); ``io_error_every`` raises before every Nth send
+    (the request never reaches the server).  ``*_times`` bound each
+    rule so a short test cannot drown in faults; ``key_substring``
+    narrows the blast radius to matching store keys / job ids.
+    """
+    specs: List[FaultSpec] = []
+    if latency_probability > 0.0:
+        specs.append(
+            FaultSpec(
+                kind=KIND_LATENCY,
+                op=OP_SEND,
+                probability=latency_probability,
+                latency_seconds=latency_seconds,
+                key_substring=key_substring,
+            )
+        )
+    if drop_every is not None:
+        specs.append(
+            FaultSpec(
+                kind=KIND_DROP,
+                op=OP_RECV,
+                every=drop_every,
+                times=drop_times,
+                key_substring=key_substring,
+            )
+        )
+    if io_error_every is not None:
+        specs.append(
+            FaultSpec(
+                kind=KIND_IO_ERROR,
+                op=OP_SEND,
+                every=io_error_every,
+                times=io_error_times,
+                key_substring=key_substring,
+            )
+        )
+    return FaultPlan(seed, specs)

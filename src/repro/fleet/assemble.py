@@ -151,3 +151,77 @@ class ResultAssembler:
                     f"[0, {n_trials})"
                 )
         return YearLossTable.from_dict(per_layer)
+
+    def assemble_partials(
+        self, manifest: Mapping[str, Any], n_trials: int | None = None
+    ) -> YearLossTable:
+        """Build the YLT from a sweep's partial-YLT entries.
+
+        The partition/shuffle read path: fetch the ``P`` partition
+        entries named by ``manifest["partitions"]`` (instead of the
+        ``S`` member segments), unpack each partial's blocks and place
+        them by global trial index — ``P`` store round trips for the
+        whole sweep.  Coverage and placement rules are identical to
+        :meth:`assemble`, and since partials concatenate the exact
+        segment bytes, so is the assembled YLT.
+
+        Raises :class:`FleetAssemblyError` when the manifest has no
+        partitions or any partial is missing/damaged — callers fall
+        back to per-segment assembly (which can heal by recompute).
+        """
+        from repro.fleet.partition import partial_blocks  # deferred
+
+        partitions = manifest.get("partitions")
+        if not partitions:
+            raise FleetAssemblyError(
+                "manifest has no partitions — submitted without "
+                "partition/shuffle mode"
+            )
+        if n_trials is None:
+            n_trials = int(manifest["n_trials"])
+
+        blocks: List[Tuple[int, int, int, np.ndarray]] = []
+        missing: List[str] = []
+        for partition in partitions:
+            key = str(partition["key"])
+            entry = fetch_verified(self.store, key, policy=self.retry_policy)
+            if entry is None:
+                missing.append(key)
+                continue
+            try:
+                blocks.extend(partial_blocks(entry))
+            except ValueError as exc:
+                raise FleetAssemblyError(
+                    f"partial {key[:16]}… is internally inconsistent: {exc}"
+                ) from exc
+        if missing:
+            raise FleetAssemblyError(
+                f"{len(missing)} partial(s) not in store "
+                f"(first: {missing[0]}) — run reduce workers before "
+                "gathering"
+            )
+
+        per_layer: Dict[int, np.ndarray] = {}
+        covered: Dict[int, int] = {}
+        for layer_id, start, stop, losses in sorted(
+            blocks, key=lambda b: (b[0], b[1])
+        ):
+            out = per_layer.get(layer_id)
+            if out is None:
+                out = per_layer[layer_id] = np.empty(n_trials, dtype=np.float64)
+                covered[layer_id] = 0
+            if start != covered[layer_id] or stop > n_trials:
+                raise FleetAssemblyError(
+                    f"layer {layer_id}: partial coverage breaks at trial "
+                    f"{covered[layer_id]} (next block spans "
+                    f"[{start}, {stop}) of {n_trials})"
+                )
+            out[start:stop] = losses
+            covered[layer_id] = stop
+        for layer_id, stop in covered.items():
+            if stop != n_trials:
+                raise FleetAssemblyError(
+                    f"layer {layer_id} covered only [0, {stop}) of "
+                    f"[0, {n_trials})"
+                )
+        return YearLossTable.from_dict(per_layer)

@@ -56,12 +56,17 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_common(p, store: bool = True):
-        p.add_argument("--queue", required=True, help="queue directory")
+        p.add_argument(
+            "--queue",
+            required=True,
+            help="queue directory, or tcp://host:port of a repro-kv-server",
+        )
         if store:
             p.add_argument(
                 "--store",
                 default=None,
-                help="store cache dir (default: $REPRO_CACHE_DIR)",
+                help="store cache dir or tcp://host:port (default: "
+                "$REPRO_STORE_URL, then $REPRO_CACHE_DIR)",
             )
 
     submit = sub.add_parser("submit", help="delta-plan and enqueue a sweep")
@@ -91,6 +96,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable secondary uncertainty with Beta(alpha, beta)",
     )
     submit.add_argument("--secondary-seed", type=int, default=20130812)
+    submit.add_argument(
+        "--partitions",
+        type=int,
+        default=None,
+        metavar="N",
+        help="partition/shuffle mode: enqueue N reduce jobs (workers "
+        "fold their segments into partial YLTs; gather merges N "
+        "partials instead of every segment)",
+    )
 
     worker = sub.add_parser("worker", help="claim and execute jobs")
     add_common(worker)
@@ -144,15 +158,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _store_for(args):
-    from repro.store import SharedFileStore
+    # Directory path or tcp:// URL (multi-machine fleets); None falls
+    # back to $REPRO_STORE_URL, then the default shared cache dir.
+    from repro.net.url import store_from_url
 
-    return SharedFileStore(args.store)
+    return store_from_url(args.store)
 
 
 def _queue_for(args, **kwargs):
-    from repro.fleet.jobs import JobQueue
+    from repro.net.url import queue_from_url
 
-    return JobQueue(args.queue, **kwargs)
+    return queue_from_url(args.queue, **kwargs)
 
 
 def _cmd_submit(args) -> int:
@@ -192,6 +208,7 @@ def _cmd_submit(args) -> int:
         engine_obj,
         segment_trials=args.segment_trials,
         workload_spec=spec,
+        n_partitions=args.partitions,
     )
     print(f"sweep:     {ticket.sweep_id}")
     print(f"engine:    {args.engine} (kernel={engine_obj.kernel})")

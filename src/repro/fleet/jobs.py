@@ -48,6 +48,7 @@ JOB_STATES = ("pending", "claimed", "done", "failed")
 #: job kinds the fleet worker knows how to execute.
 JOB_KIND_SEGMENT = "segment"
 JOB_KIND_QUOTE = "quote"
+JOB_KIND_REDUCE = "reduce"
 
 
 @dataclass
@@ -334,6 +335,8 @@ class JobQueue:
         error: str,
         requeue: bool = True,
         exc: BaseException | None = None,
+        exc_type: str | None = None,
+        chain: List[str] | None = None,
     ) -> str:
         """Record a failure (with provenance); requeue or retire the job.
 
@@ -346,16 +349,21 @@ class JobQueue:
         provenance ``history`` with the exception type and full cause
         chain; the record travels with the job through every requeue
         and into ``failed/``, where ``repro-fleet status --failed``
-        reads it back.
+        reads it back.  ``exc_type``/``chain`` carry the same
+        provenance pre-serialised — the network transport's path, where
+        the exception object itself cannot cross the wire.
         """
         job.error = str(error)
+        if exc is not None:
+            exc_type = type(exc).__name__
+            chain = exception_chain(exc)
         job.history.append(
             {
                 "attempt": job.attempts,
                 "worker": job.owner,
-                "exc_type": type(exc).__name__ if exc is not None else None,
+                "exc_type": exc_type,
                 "error": str(error),
-                "chain": exception_chain(exc) if exc is not None else [],
+                "chain": list(chain or []),
             }
         )
         state = (

@@ -1,0 +1,258 @@
+"""Partition/shuffle reduction: per-worker partial YLTs, merged once.
+
+Per-segment assembly fetches every segment of a sweep from the store —
+S fetches for S segments, each a round trip when the store is a network
+tier.  The MapReduce-shaped alternative (the Hadoop risk-aggregation
+design of PAPERS.md, arXiv:1311.5686): group the plan's segments into
+``P`` contiguous *partitions*, have each reduce job fold its
+partition's segments into one **partial YLT** entry, and let the
+assembler merge ``P`` partials instead of ``S`` segments — assembly
+cost scales with the partition count, not the segment count.
+
+The shapes:
+
+* a **partition** is a contiguous chunk of the sweep's segments in
+  ``(layer_id, trial_start)`` order; its store key is a fingerprint of
+  the member segment keys (content-addressed all the way down: the
+  partition entry is reusable iff every member segment is);
+* a **reduce job** (:data:`~repro.fleet.jobs.JOB_KIND_REDUCE`) carries
+  its members' full task coordinates, so the worker *computes* any
+  segment the store is missing (via ``get_or_compute`` — the
+  once-per-fleet guarantee is unchanged) and then concatenates the
+  member loss vectors into one entry whose meta records the block
+  layout;
+* a **partial entry** holds one ``losses`` array plus
+  ``meta["blocks"]`` — ``{layer_id, trial_start, trial_stop, offset}``
+  per member — everything
+  :meth:`~repro.fleet.assemble.ResultAssembler.assemble_partials`
+  needs for pure placement.
+
+Bit-identity is preserved by construction: workers store the exact
+``float64`` bytes a monolithic executor would produce, concatenation
+reorders nothing, and placement is by global trial index — the digest
+equality the NET-ABLATE benchmark pins.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.fleet.jobs import JOB_KIND_REDUCE, FleetJob
+from repro.store.base import StoreEntry
+from repro.store.keys import fingerprint_digest
+
+#: bump when partition key composition or partial layout changes.
+PARTITION_SCHEMA = "repro-partition-v1"
+
+
+def _member_view(task) -> Dict[str, int]:
+    """The assembly-facing view of one member segment."""
+    return {
+        "layer_id": int(task.layer_id),
+        "trial_start": int(task.trial_start),
+        "trial_stop": int(task.trial_stop),
+    }
+
+
+def partition_key(members: Sequence[Tuple[str, int, int, int]]) -> str:
+    """Content-addressed key of one partition.
+
+    ``members`` are ``(segment_key, layer_id, trial_start, trial_stop)``
+    tuples in partition order.  Segment keys already cover every input
+    that can change the stored bytes, so fingerprinting them (plus the
+    placement coordinates and schema) makes the partial entry exactly
+    as reusable as its members: change one segment's inputs and the
+    partition key moves with it.
+    """
+    return fingerprint_digest(
+        PARTITION_SCHEMA,
+        tuple(
+            (str(key), int(layer), int(start), int(stop))
+            for key, layer, start, stop in members
+        ),
+    )
+
+
+def build_partitions(
+    records: Sequence, n_partitions: int
+) -> List[Dict[str, Any]]:
+    """Chunk a delta plan's segment records into partition specs.
+
+    ``records`` are :class:`~repro.plan.delta.SegmentRecord`-shaped
+    (``.key``, ``.task``).  Segments are sorted by
+    ``(layer_id, trial_start)`` — the assembler's placement order — and
+    split into ``n_partitions`` contiguous, near-equal chunks, so each
+    partial's blocks are already in merge order and a layer's trial
+    ranges stay contiguous across partition boundaries.
+
+    Each spec carries two views of its members: ``segments`` (the
+    assembly view persisted in the manifest) and ``tasks`` (full task
+    coordinates, riding in the reduce job payload so a worker can
+    compute missing segments itself).
+    """
+    if n_partitions < 1:
+        raise ValueError(f"n_partitions must be >= 1, got {n_partitions}")
+    ordered = sorted(
+        records, key=lambda r: (r.task.layer_id, r.task.trial_start)
+    )
+    n_partitions = min(n_partitions, len(ordered))
+    bounds = np.linspace(0, len(ordered), n_partitions + 1).astype(int)
+    partitions: List[Dict[str, Any]] = []
+    for pid in range(n_partitions):
+        chunk = ordered[bounds[pid] : bounds[pid + 1]]
+        members = [
+            (
+                r.key,
+                r.task.layer_id,
+                r.task.trial_start,
+                r.task.trial_stop,
+            )
+            for r in chunk
+        ]
+        partitions.append(
+            {
+                "partition_id": pid,
+                "key": partition_key(members),
+                "segments": [
+                    {"key": r.key, **_member_view(r.task)} for r in chunk
+                ],
+                "tasks": [
+                    {
+                        "key": r.key,
+                        "task": {
+                            "task_id": r.task.task_id,
+                            "layer_id": r.task.layer_id,
+                            "slot": r.task.slot,
+                            "seq": r.task.seq,
+                            "trial_start": r.task.trial_start,
+                            "trial_stop": r.task.trial_stop,
+                            "occ_start": r.task.occ_start,
+                            "occ_stop": r.task.occ_stop,
+                        },
+                    }
+                    for r in chunk
+                ],
+            }
+        )
+    return partitions
+
+
+def manifest_partitions(
+    partitions: Sequence[Dict[str, Any]]
+) -> List[Dict[str, Any]]:
+    """The manifest-persisted view (no task payloads — the assembler
+    only places, never computes)."""
+    return [
+        {
+            "partition_id": p["partition_id"],
+            "key": p["key"],
+            "segments": p["segments"],
+        }
+        for p in partitions
+    ]
+
+
+def reduce_jobs(
+    sweep_id: str, partitions: Sequence[Dict[str, Any]]
+) -> List[FleetJob]:
+    """One :data:`JOB_KIND_REDUCE` job per partition."""
+    return [
+        FleetJob(
+            job_id=f"{sweep_id}.p{p['partition_id']:04d}",
+            sweep_id=sweep_id,
+            kind=JOB_KIND_REDUCE,
+            key=p["key"],
+            payload={
+                "partition_id": p["partition_id"],
+                "segments": p["tasks"],
+            },
+        )
+        for p in partitions
+    ]
+
+
+def build_partial(
+    members: Sequence[Tuple[Dict[str, Any], np.ndarray]],
+    meta: Dict[str, Any] | None = None,
+) -> StoreEntry:
+    """Fold member segments into one partial-YLT entry.
+
+    ``members`` pairs each member's spec (``layer_id``/``trial_start``/
+    ``trial_stop``, as produced by :func:`build_partitions`) with its
+    per-trial losses, in partition order.  The entry concatenates the
+    loss vectors verbatim — no arithmetic, so bit-identity survives —
+    and records the block layout in meta for pure placement on the
+    other side.
+    """
+    if not members:
+        raise ValueError("a partial needs at least one member segment")
+    blocks: List[Dict[str, int]] = []
+    chunks: List[np.ndarray] = []
+    offset = 0
+    for spec, losses in members:
+        start, stop = int(spec["trial_start"]), int(spec["trial_stop"])
+        losses = np.ascontiguousarray(losses, dtype=np.float64)
+        if losses.shape != (stop - start,):
+            raise ValueError(
+                f"member of layer {spec['layer_id']} holds {losses.shape} "
+                f"losses for trials [{start}, {stop})"
+            )
+        blocks.append(
+            {
+                "layer_id": int(spec["layer_id"]),
+                "trial_start": start,
+                "trial_stop": stop,
+                "offset": offset,
+            }
+        )
+        chunks.append(losses)
+        offset += stop - start
+    return StoreEntry(
+        arrays={"losses": np.concatenate(chunks)},
+        meta={
+            "kind": "partial",
+            "schema": PARTITION_SCHEMA,
+            "blocks": blocks,
+            **(meta or {}),
+        },
+    )
+
+
+def partial_blocks(
+    entry: StoreEntry,
+) -> List[Tuple[int, int, int, np.ndarray]]:
+    """Unpack a partial entry into ``(layer, start, stop, losses)`` blocks.
+
+    Validates the block layout against the concatenated array — a
+    partial whose meta and bytes disagree raises ``ValueError`` rather
+    than placing wrong trial ranges.
+    """
+    blocks = list(entry.meta.get("blocks") or [])
+    if not blocks:
+        raise ValueError("entry is not a partial: no blocks in meta")
+    losses = entry.arrays["losses"]
+    out: List[Tuple[int, int, int, np.ndarray]] = []
+    expected = 0
+    for block in blocks:
+        start = int(block["trial_start"])
+        stop = int(block["trial_stop"])
+        offset = int(block["offset"])
+        if offset != expected or stop < start:
+            raise ValueError(f"partial block layout is inconsistent: {block}")
+        expected = offset + (stop - start)
+        out.append(
+            (
+                int(block["layer_id"]),
+                start,
+                stop,
+                losses[offset : offset + (stop - start)],
+            )
+        )
+    if expected != losses.shape[0]:
+        raise ValueError(
+            f"partial holds {losses.shape[0]} losses but blocks describe "
+            f"{expected}"
+        )
+    return out

@@ -85,6 +85,7 @@ def submit_sweep(
     plan=None,
     workload_spec=None,
     sweep_id: str | None = None,
+    n_partitions: int | None = None,
 ) -> SweepTicket:
     """Delta-plan an analysis and enqueue its missing segments.
 
@@ -95,6 +96,16 @@ def submit_sweep(
     recipe for the inputs in the manifest so workers in other processes
     can regenerate them; in-process fleets register their live context
     instead and may omit it.
+
+    ``n_partitions`` switches the sweep to **partition/shuffle** mode
+    (:mod:`repro.fleet.partition`): instead of one job per missing
+    segment, the queue gets one *reduce* job per partition of the full
+    segment list.  Reduce workers fetch-or-compute their members (the
+    per-segment store dedup is unchanged) and store one partial-YLT
+    entry each, and :func:`gather_sweep` merges the partials — P store
+    reads at assembly instead of S.  Partitions whose partial is
+    already stored are skipped entirely (the delta principle, one
+    level up).
     """
     delta = engine_obj.plan_missing(
         yet, portfolio, store, segment_trials=segment_trials, plan=plan
@@ -131,6 +142,27 @@ def submit_sweep(
             for record in delta.segments
         ],
     }
+    if n_partitions is not None:
+        from repro.fleet.partition import (
+            build_partitions,
+            manifest_partitions,
+            reduce_jobs,
+        )
+
+        partitions = build_partitions(delta.segments, n_partitions)
+        manifest["partitions"] = manifest_partitions(partitions)
+        queue.save_sweep(sweep_id, manifest)
+        todo = [
+            p for p in partitions if not store.contains(p["key"])
+        ]
+        submitted = queue.submit(reduce_jobs(sweep_id, todo))
+        return SweepTicket(
+            sweep_id=sweep_id,
+            delta=delta,
+            submitted=submitted,
+            reused=len(partitions) - len(todo),
+            manifest=manifest,
+        )
     queue.save_sweep(sweep_id, manifest)
     jobs = [
         FleetJob(
@@ -219,11 +251,24 @@ def run_workers(
 def gather_sweep(
     queue: JobQueue, store: ResultStore, sweep_id: str
 ):
-    """Assemble a sweep's YLT from its manifest + the store."""
+    """Assemble a sweep's YLT from its manifest + the store.
+
+    A partition/shuffle sweep assembles from its P partial-YLT entries;
+    when any partial is missing or damaged, assembly falls back to the
+    per-segment path (S fetches, but able to heal by recompute) before
+    giving up — a degraded gather beats a failed one, and both paths
+    produce bit-identical YLTs.
+    """
     manifest = queue.load_sweep(sweep_id)
     if manifest is None:
         raise FleetAssemblyError(f"no manifest for sweep {sweep_id!r}")
-    return ResultAssembler(store).assemble(manifest)
+    assembler = ResultAssembler(store)
+    if manifest.get("partitions"):
+        try:
+            return assembler.assemble_partials(manifest)
+        except FleetAssemblyError:
+            pass  # degraded: fall through to per-segment assembly
+    return assembler.assemble(manifest)
 
 
 def modeled_makespan(job_seconds: Sequence[float], n_workers: int) -> float:

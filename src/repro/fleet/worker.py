@@ -50,7 +50,13 @@ from typing import Dict, Optional, Set
 import numpy as np
 
 from repro.fleet.context import FleetContext, context_from_manifest
-from repro.fleet.jobs import JOB_KIND_QUOTE, JOB_KIND_SEGMENT, FleetJob, JobQueue
+from repro.fleet.jobs import (
+    JOB_KIND_QUOTE,
+    JOB_KIND_REDUCE,
+    JOB_KIND_SEGMENT,
+    FleetJob,
+    JobQueue,
+)
 from repro.plan.execute import execute_segment_cpu
 from repro.plan.plan import PlanTask
 from repro.store.base import ResultStore, StoreEntry
@@ -206,8 +212,11 @@ class FleetWorker:
         return ctx
 
     # ------------------------------------------------------------------
-    def _compute_segment(self, ctx: FleetContext, job: FleetJob) -> StoreEntry:
-        task = PlanTask(**{k: int(v) for k, v in job.payload["task"].items()})
+    @staticmethod
+    def _task_from(payload: Dict[str, object]) -> PlanTask:
+        return PlanTask(**{k: int(v) for k, v in payload.items()})
+
+    def _compute_segment(self, ctx: FleetContext, task: PlanTask) -> StoreEntry:
         started = time.perf_counter()
         losses = execute_segment_cpu(
             ctx.yet,
@@ -240,6 +249,73 @@ class FleetWorker:
             )
         )
 
+    def _ensure_segment(self, ctx: FleetContext, key: str, task: PlanTask) -> StoreEntry:
+        """``get_or_compute`` one segment, counting computed vs reused."""
+        computed = {}
+
+        def produce() -> StoreEntry:
+            entry = self._compute_segment(ctx, task)
+            computed["seconds"] = float(entry.meta["seconds"])
+            return entry
+
+        entry = self._store_call(
+            lambda: self.store.get_or_compute(key, produce)
+        )
+        if computed:
+            self.stats.computed += 1
+            self.stats.compute_seconds += computed["seconds"]
+        else:
+            self.stats.reused += 1
+        return entry
+
+    def _run_reduce(self, ctx: FleetContext, job: FleetJob) -> None:
+        """Fold one partition's segments into a partial-YLT entry.
+
+        The map and combine of the partition/shuffle mode, fused: each
+        member segment is fetched-or-computed through the store (the
+        once-per-fleet guarantee and computed/reused accounting are the
+        segment path's, unchanged), then the loss vectors concatenate
+        into one entry under the partition's content-addressed key.
+        """
+        from repro.fleet.partition import build_partial
+        from repro.store.verify import verify_entry
+
+        if self._store_call(lambda: self.store.contains(job.key)):
+            return  # partial already reduced by a peer (or a past sweep)
+        members = []
+        for member in job.payload["segments"]:
+            key = str(member["key"])
+            task = self._task_from(member["task"])
+            entry = self._ensure_segment(ctx, key, task)
+            if not verify_entry(entry):
+                # A damaged stored segment must not be folded into the
+                # partial: retire it and compute a fresh one.
+                self.store.note_corrupt(key, "damaged segment in reduce")
+                self._store_call(lambda k=key: self.store.delete(k))
+                entry = self._ensure_segment(ctx, key, task)
+            members.append(
+                (
+                    {
+                        "layer_id": task.layer_id,
+                        "trial_start": task.trial_start,
+                        "trial_stop": task.trial_stop,
+                    },
+                    entry.arrays["losses"],
+                )
+            )
+        partial = attach_checksums(
+            build_partial(
+                members,
+                meta={
+                    "computed_by": self.worker_id,
+                    "backend": self.backend_name,
+                },
+            )
+        )
+        self._store_call(
+            lambda: self.store.get_or_compute(job.key, lambda: partial)
+        )
+
     def _run_job(self, job: FleetJob) -> None:
         if self.fault_plan is not None:
             from repro.faults.plan import (  # deferred: chaos-only path
@@ -264,21 +340,11 @@ class FleetWorker:
                     )
         ctx = self._context(job.sweep_id)
         if job.kind == JOB_KIND_SEGMENT:
-            computed = {}
-
-            def produce() -> StoreEntry:
-                entry = self._compute_segment(ctx, job)
-                computed["seconds"] = float(entry.meta["seconds"])
-                return entry
-
-            self._store_call(
-                lambda: self.store.get_or_compute(job.key, produce)
+            self._ensure_segment(
+                ctx, job.key, self._task_from(job.payload["task"])
             )
-            if computed:
-                self.stats.computed += 1
-                self.stats.compute_seconds += computed["seconds"]
-            else:
-                self.stats.reused += 1
+        elif job.kind == JOB_KIND_REDUCE:
+            self._run_reduce(ctx, job)
         elif job.kind == JOB_KIND_QUOTE:
             from repro.data.layer import LayerTerms  # deferred import
 
@@ -361,10 +427,11 @@ class FleetWorker:
             self._speculated_ids.add(job.job_id)
             try:
                 ctx = self._context(job.sweep_id)
+                task = self._task_from(job.payload["task"])
                 computed = {}
 
                 def produce() -> StoreEntry:
-                    entry = self._compute_segment(ctx, job)
+                    entry = self._compute_segment(ctx, task)
                     computed["seconds"] = float(entry.meta["seconds"])
                     return entry
 

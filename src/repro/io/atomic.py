@@ -199,6 +199,42 @@ def lock_file(path: PathLike, create: bool = True):
             os.close(fd)
 
 
+@contextmanager
+def try_lock_file(path: PathLike):
+    """Non-blocking variant of :func:`lock_file`.
+
+    Yields ``True`` only when the exclusive ``flock`` was acquired
+    *immediately*; ``False`` when another holder (any process — or
+    another fd in this one) has it, when the file cannot be opened, or
+    on platforms without ``fcntl``.  This is the probe the garbage
+    collector uses before unlinking a lock file: a writer that still
+    holds the lock keeps its file.  Never creates parent directories —
+    a missing lock dir means there is nothing to contend for.
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX fallback
+        yield False
+        return
+    try:
+        fd = os.open(Path(path), os.O_CREAT | os.O_RDWR, 0o644)
+    except OSError:
+        yield False
+        return
+    locked = False
+    try:
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            locked = True
+        except OSError:
+            pass
+        yield locked
+    finally:
+        try:
+            if locked:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)
+
+
 def dir_nbytes(path: PathLike) -> int:
     """Total size in bytes of the regular files under ``path``."""
     total = 0

@@ -1,0 +1,79 @@
+"""Network transports: the store and queue contracts over a socket.
+
+Everything the fleet coordinates through — the content-addressed
+:class:`~repro.store.base.ResultStore` and the
+:class:`~repro.fleet.jobs.JobQueue` — was designed against a narrow
+contract (key → array bundle; claim/heartbeat/complete/requeue), and
+this package carries both contracts over TCP so a fleet stops being
+"processes that share a filesystem" and becomes "machines that share a
+server":
+
+* :mod:`repro.net.protocol` — a small length-prefixed binary wire
+  format: JSON headers for control, raw array blobs with per-blob
+  CRC32s for payloads (the same checksums the file store keeps on
+  disk), one framing for every RPC;
+* :mod:`repro.net.server` — the reference asyncio server
+  (``repro-kv-server``): a dumb KV front over any local
+  :class:`~repro.store.base.ResultStore` plus a queue front over a
+  server-local :class:`~repro.fleet.jobs.JobQueue` whose lease clock is
+  the **server's** — heartbeats and requeue scans never depend on a
+  worker machine's wall clock.  It is deliberately simple: the spec an
+  adapter for a real Redis/S3-style backend must match, and the test
+  double every net test runs against;
+* :mod:`repro.net.client` — :class:`~repro.net.client.RemoteStore`, a
+  full ``ResultStore`` over the wire (connect/read timeouts, bounded
+  retries, a fail-fast circuit breaker, server-side lock leases for
+  cross-machine ``get_or_compute`` dedup) that slots under
+  :class:`~repro.store.filestore.TieredStore` as a network tier and
+  inherits hedged reads, digest-verified fetches and quarantine for
+  free;
+* :mod:`repro.net.queue` — :class:`~repro.net.queue.RemoteJobQueue`, a
+  drop-in ``JobQueue`` client speaking the same framing, preserving
+  rename-atomic claims, server-clock leases and the once-per-fleet
+  compute guarantee for workers on different machines;
+* :mod:`repro.net.url` — ``tcp://host:port`` vs directory-path
+  resolution (``$REPRO_STORE_URL`` / ``$REPRO_QUEUE_URL``) shared by
+  the CLIs.
+
+Chaos coverage rides the existing seeded harness:
+:mod:`repro.faults.wire` injects latency, connection drops and IO
+errors on every RPC, and the NET-ABLATE benchmark pins digest equality
+through all of it.
+"""
+
+from repro.net.client import RemoteStore
+from repro.net.protocol import (
+    WireProtocolError,
+    RemoteServerError,
+    decode_entry,
+    encode_entry,
+    pack_message,
+    unpack_payload,
+)
+from repro.net.queue import RemoteJobQueue
+from repro.net.server import NetServer, ServerThread
+from repro.net.url import (
+    QUEUE_URL_ENV,
+    STORE_URL_ENV,
+    parse_tcp_url,
+    queue_from_url,
+    store_from_url,
+)
+
+__all__ = [
+    "RemoteStore",
+    "RemoteJobQueue",
+    "NetServer",
+    "ServerThread",
+    "WireProtocolError",
+    "RemoteServerError",
+    "pack_message",
+    "unpack_payload",
+    "encode_entry",
+    "decode_entry",
+    "parse_tcp_url",
+    "store_from_url",
+    "queue_from_url",
+    "STORE_URL_ENV",
+    "QUEUE_URL_ENV",
+]

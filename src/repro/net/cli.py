@@ -1,0 +1,123 @@
+"""``repro-kv-server``: run the reference store/queue server.
+
+Typical multi-machine session (see README "Running a multi-machine
+fleet")::
+
+    # on the server box
+    repro-kv-server --host 0.0.0.0 --port 9410 \
+        --store-dir /srv/repro/cache --queue-dir /srv/repro/queue
+
+    # on each worker box
+    export REPRO_STORE_URL=tcp://server:9410
+    export REPRO_QUEUE_URL=tcp://server:9410
+    repro-fleet worker --queue "$REPRO_QUEUE_URL" --store "$REPRO_STORE_URL"
+
+The server owns the durable state: its ``--store-dir`` is the fleet's
+shared result store and its ``--queue-dir`` the shared job queue, both
+living on *its* disk with *its* clock driving every lease.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import logging
+import sys
+from typing import List
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-kv-server",
+        description="Reference wire-protocol server fronting a local "
+        "result store and job queue for multi-machine fleets.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=9410)
+    parser.add_argument(
+        "--store-dir",
+        default=None,
+        help="backing store directory (default: $REPRO_CACHE_DIR); "
+        "--memory overrides",
+    )
+    parser.add_argument(
+        "--memory",
+        action="store_true",
+        help="back the store with an in-memory LRU instead of a "
+        "directory (tests, throwaway fleets)",
+    )
+    parser.add_argument(
+        "--max-entries",
+        type=int,
+        default=1024,
+        help="entry cap for --memory stores",
+    )
+    parser.add_argument(
+        "--queue-dir",
+        default=None,
+        help="job queue directory; omit to serve the KV front only",
+    )
+    parser.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=60.0,
+        help="job lease patience (the fleet-wide value: aged on this "
+        "server's clock)",
+    )
+    parser.add_argument("--max-attempts", type=int, default=5)
+    parser.add_argument(
+        "--lock-lease-seconds",
+        type=float,
+        default=30.0,
+        help="lease on get_or_compute locks (a crashed holder blocks "
+        "peers at most this long)",
+    )
+    parser.add_argument("-v", "--verbose", action="store_true")
+    return parser
+
+
+def main(argv: List[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    logging.basicConfig(
+        level=logging.DEBUG if args.verbose else logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+
+    from repro.net.server import NetServer
+
+    if args.memory:
+        from repro.store.base import MemoryStore
+
+        store = MemoryStore(max_entries=args.max_entries)
+    else:
+        from repro.store import SharedFileStore
+
+        store = SharedFileStore(args.store_dir)
+
+    queue = None
+    if args.queue_dir is not None:
+        from repro.fleet.jobs import JobQueue
+
+        queue = JobQueue(
+            args.queue_dir,
+            lease_seconds=args.lease_seconds,
+            max_attempts=args.max_attempts,
+        )
+        queue.ensure()
+
+    server = NetServer(
+        store,
+        queue,
+        host=args.host,
+        port=args.port,
+        lock_lease_seconds=args.lock_lease_seconds,
+    )
+    try:
+        asyncio.run(server.serve_forever())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

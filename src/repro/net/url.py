@@ -1,0 +1,89 @@
+"""URL resolution: one spelling for local directories and tcp servers.
+
+Every CLI that takes ``--store`` / ``--queue`` accepts either a
+directory path (the single-machine fleet: shared filesystem) or a
+``tcp://host:port`` URL (the multi-machine fleet: a ``repro-kv-server``),
+and the environment variables ``$REPRO_STORE_URL`` / ``$REPRO_QUEUE_URL``
+supply fleet-wide defaults so a worker machine needs no flags at all::
+
+    export REPRO_STORE_URL=tcp://10.0.0.5:9410
+    export REPRO_QUEUE_URL=tcp://10.0.0.5:9410
+    repro-fleet worker --queue "$REPRO_QUEUE_URL"
+
+Both URLs usually name the same server (the reference server fronts
+store and queue on one port); keeping them separate env vars leaves
+room for split deployments.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple
+
+STORE_URL_ENV = "REPRO_STORE_URL"
+QUEUE_URL_ENV = "REPRO_QUEUE_URL"
+
+_TCP_SCHEME = "tcp://"
+
+
+def parse_tcp_url(url: str) -> Tuple[str, int]:
+    """``tcp://host:port`` → ``(host, port)``; raises on anything else."""
+    if not url.startswith(_TCP_SCHEME):
+        raise ValueError(f"not a tcp:// URL: {url!r}")
+    rest = url[len(_TCP_SCHEME):].rstrip("/")
+    host, sep, port = rest.rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise ValueError(
+            f"tcp URL must be tcp://host:port, got {url!r}"
+        )
+    return host, int(port)
+
+
+def is_tcp_url(value: Optional[str]) -> bool:
+    return isinstance(value, str) and value.startswith(_TCP_SCHEME)
+
+
+def store_from_url(url: Optional[str] = None, **remote_kwargs):
+    """Resolve a store target: tcp URL → :class:`RemoteStore`, path →
+    :class:`~repro.store.filestore.SharedFileStore`.
+
+    ``url=None`` falls back to ``$REPRO_STORE_URL``, then to the shared
+    file store's own default cache directory.  ``remote_kwargs`` reach
+    the :class:`RemoteStore` constructor (timeouts, retry policy) and
+    are ignored for directory stores.
+    """
+    url = url if url is not None else os.environ.get(STORE_URL_ENV)
+    if is_tcp_url(url):
+        from repro.net.client import RemoteStore
+
+        host, port = parse_tcp_url(url)
+        return RemoteStore(host, port, **remote_kwargs)
+    from repro.store import SharedFileStore
+
+    return SharedFileStore(url)
+
+
+def queue_from_url(url: Optional[str] = None, **local_kwargs):
+    """Resolve a queue target: tcp URL → :class:`RemoteJobQueue`, path →
+    :class:`~repro.fleet.jobs.JobQueue`.
+
+    ``url=None`` falls back to ``$REPRO_QUEUE_URL`` (there is no
+    directory default — a queue path must be explicit).
+    ``local_kwargs`` (``lease_seconds``, ``max_attempts``) configure a
+    *local* directory queue; for a remote queue those are the server's
+    settings and client-side values are ignored.
+    """
+    url = url if url is not None else os.environ.get(QUEUE_URL_ENV)
+    if url is None:
+        raise ValueError(
+            f"no queue target: pass a directory or tcp:// URL, or set "
+            f"${QUEUE_URL_ENV}"
+        )
+    if is_tcp_url(url):
+        from repro.net.queue import RemoteJobQueue
+
+        host, port = parse_tcp_url(url)
+        return RemoteJobQueue(host, port)
+    from repro.fleet.jobs import JobQueue
+
+    return JobQueue(url, **local_kwargs)

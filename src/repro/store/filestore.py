@@ -335,6 +335,7 @@ class TieredStore(ResultStore):
         self.hedges_issued = 0
         self.hedge_wins = 0
         self.hedge_losses = 0
+        self.hedge_misses = 0
 
     # -- breaker plumbing ---------------------------------------------
     def _tier_allowed(self, index: int) -> bool:
@@ -503,9 +504,11 @@ class TieredStore(ResultStore):
                         return outcomes[label]
                 if len(outcomes) == 2:
                     # Neither produced a valid entry; surface whatever
-                    # invalid payload exists so corruption handling runs.
+                    # invalid payload exists so corruption handling
+                    # runs.  A both-miss is not a hedge *loss* — the
+                    # primary did not beat the hedge; nobody won.
                     with self._lock:
-                        self.hedge_losses += 1
+                        self.hedge_misses += 1
                     return outcomes["primary"] or outcomes["hedge"]
                 arrived.wait()
 
@@ -543,12 +546,19 @@ class TieredStore(ResultStore):
         return False
 
     def _delete(self, key: str) -> bool:
+        # Deletes ride the same degradation machinery as every other
+        # op: a quarantined tier is skipped (its copy is swept when the
+        # breaker re-admits it), and a failing tier's exception feeds
+        # its breaker instead of vanishing.
         deleted = False
-        for store in self.stores:
+        for i, store in enumerate(self.stores):
+            if not self._tier_allowed(i):
+                continue
             try:
                 deleted = store._delete(key) or deleted
-            except Exception:
-                continue
+                self._tier_result(i, True, key, "delete")
+            except Exception as exc:
+                self._tier_result(i, False, key, "delete", exc)
         return deleted
 
     def stats(self) -> Dict[str, object]:
@@ -583,6 +593,7 @@ class TieredStore(ResultStore):
                 "issued": self.hedges_issued,
                 "wins": self.hedge_wins,
                 "losses": self.hedge_losses,
+                "misses": self.hedge_misses,
             }
         for field in ("evictions", "corrupt_misses", "put_errors"):
             aggregated[field] = int(aggregated[field]) + sum(

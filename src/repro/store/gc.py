@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import List, Union
 
-from repro.io.atomic import dir_nbytes, remove_dir
+from repro.io.atomic import dir_nbytes, remove_dir, try_lock_file
 from repro.store.filestore import resolve_cache_dir
 
 PathLike = Union[str, Path]
@@ -114,7 +114,10 @@ def collect_garbage(
 
     Concurrency: removal races benignly with readers (they see a miss
     and recompute) and with writers (an entry re-published after
-    removal is simply a fresh entry).  No locks are taken.
+    removal is simply a fresh entry).  Entry removal takes no locks;
+    lock-*file* removal probes each file with a non-blocking ``flock``
+    and skips any still held by a live writer, so per-key exclusivity
+    is never silently split across two lock files.
     """
     if max_bytes < 0:
         raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
@@ -130,10 +133,20 @@ def collect_garbage(
             break
         if not dry_run:
             remove_dir(info.path)
-            try:
-                (root / "locks" / f"{info.key}.lock").unlink()
-            except OSError:
-                pass
+            # Unlink the entry's lock file only while *holding* its
+            # flock: a writer in get_or_compute may hold this very
+            # lock right now, and unlinking under it would let a
+            # second writer lock a fresh file of the same name —
+            # two "exclusive" computations for one key.  A held lock
+            # simply keeps its file (a later pass sweeps it).
+            lock_path = root / "locks" / f"{info.key}.lock"
+            if lock_path.exists():
+                with try_lock_file(lock_path) as locked:
+                    if locked:
+                        try:
+                            lock_path.unlink()
+                        except OSError:
+                            pass
         report.removed_entries += 1
         report.removed_bytes += info.nbytes
         report.removed_keys.append(info.key)

@@ -67,6 +67,9 @@ def health_from_stats(stats: Mapping[str, object]) -> Dict[str, object]:
             "issued": int(hedge.get("issued", 0)),
             "wins": int(hedge.get("wins", 0)),
             "losses": int(hedge.get("losses", 0)),
+            # Both waterfalls came back empty: not a loss (the
+            # primary didn't beat the hedge), a miss.
+            "misses": int(hedge.get("misses", 0)),
         },
     }
 
@@ -100,6 +103,7 @@ def format_health(health: Mapping[str, object]) -> List[str]:
     if hedge["enabled"]:
         lines.append(
             f"hedged reads: issued={hedge['issued']} "
-            f"wins={hedge['wins']} losses={hedge['losses']}"
+            f"wins={hedge['wins']} losses={hedge['losses']} "
+            f"misses={hedge['misses']}"
         )
     return lines

@@ -88,7 +88,8 @@ class TestExperiments:
             "SEQ-SCALE", "FIG-1a", "FIG-1b", "FIG-2", "FIG-3", "FIG-4",
             "FIG-5", "FIG-6", "DS-TABLE", "OPT-ABLATE", "KERNEL-ABLATE",
             "KERNEL-ABLATE-SECONDARY", "PLAN-ABLATE", "REPLAY-ABLATE",
-            "FLEET-ABLATE", "CHAOS-ABLATE", "SERVE-ABLATE", "EXT-SECONDARY",
+            "FLEET-ABLATE", "CHAOS-ABLATE", "SERVE-ABLATE", "NET-ABLATE",
+            "EXT-SECONDARY",
         }
 
     @pytest.mark.parametrize("exp_id", sorted(ALL_EXPERIMENTS))
@@ -107,6 +108,7 @@ class TestExperiments:
             "FLEET-ABLATE",
             "CHAOS-ABLATE",
             "SERVE-ABLATE",
+            "NET-ABLATE",
         ):
             assert report.rows
 

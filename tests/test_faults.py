@@ -516,6 +516,36 @@ class TestTieredStoreBreaker:
         assert tiered.get("k1") is not None
         assert tiered.stats()["tier_errors"] == errors_before
 
+    def test_delete_respects_quarantine_and_feeds_the_breaker(self):
+        # Regression: _delete used to bypass the breakers entirely —
+        # hammering a quarantined tier and swallowing its errors
+        # without scoring them.
+        class BrokenDelete(MemoryStore):
+            def _delete(self, key):
+                raise OSError("tier down")
+
+        clock = {"t": 0.0}
+        broken = BrokenDelete()
+        tiered = TieredStore(
+            [MemoryStore(), broken],
+            breaker_threshold=2,
+            breaker_cooldown_seconds=100.0,
+            clock=lambda: clock["t"],
+        )
+        tiered.put("k1", entry_of([1.0]))
+        tiered.put("k2", entry_of([2.0]))
+        tiered.put("k3", entry_of([3.0]))
+        assert tiered.delete("k1")  # memory tier deleted; broken counted
+        assert tiered.stats()["tier_errors"] >= 1
+        tiered.delete("k2")  # second consecutive failure trips it
+        assert tiered.stats()["tiers"][1]["breaker"]["state"] == "open"
+        # quarantined: further deletes skip the broken tier entirely
+        calls = {"n": 0}
+        original = broken._delete
+        broken._delete = lambda key: calls.__setitem__("n", calls["n"] + 1) or original(key)
+        tiered.delete("k3")
+        assert calls["n"] == 0
+
     def test_put_raises_only_when_no_tier_accepts(self):
         tiered = TieredStore([_BrokenStore()], breaker_threshold=5)
         with pytest.raises(OSError):

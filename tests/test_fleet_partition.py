@@ -1,0 +1,229 @@
+"""Partition/shuffle reduction: partition construction, the partial-YLT
+codec, digest-identical assembly, and the degraded fallback path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import AggregateRiskAnalysis
+from repro.engines.registry import create_engine
+from repro.fleet import (
+    JobQueue,
+    context_for_engine,
+    gather_sweep,
+    run_workers,
+    submit_sweep,
+)
+from repro.fleet.partition import (
+    build_partial,
+    build_partitions,
+    manifest_partitions,
+    partial_blocks,
+    partition_key,
+    reduce_jobs,
+)
+from repro.plan.plan import PlanTask
+from repro.store import MemoryStore, ylt_digest
+
+
+class FakeRecord:
+    """A SegmentRecord-shaped stand-in for unit tests."""
+
+    def __init__(self, key: str, layer_id: int, start: int, stop: int):
+        self.key = key
+        self.task = PlanTask(
+            task_id=start,
+            layer_id=layer_id,
+            slot=0,
+            seq=0,
+            trial_start=start,
+            trial_stop=stop,
+            occ_start=start * 10,
+            occ_stop=stop * 10,
+        )
+        self.stored = False
+
+
+def records_for(n: int, layer_id: int = 1, stride: int = 10):
+    return [
+        FakeRecord(f"{layer_id:02d}{i:062d}", layer_id, i * stride, (i + 1) * stride)
+        for i in range(n)
+    ]
+
+
+class TestBuildPartitions:
+    def test_every_segment_lands_in_exactly_one_partition(self):
+        records = records_for(10)
+        partitions = build_partitions(records, 3)
+        assert len(partitions) == 3
+        seen = [
+            seg["key"] for p in partitions for seg in p["segments"]
+        ]
+        assert seen == [r.key for r in records]  # order preserved
+        keys = [p["key"] for p in partitions]
+        assert len(set(keys)) == len(keys)
+
+    def test_partition_count_clamps_to_segment_count(self):
+        partitions = build_partitions(records_for(2), 8)
+        assert len(partitions) == 2
+        assert all(len(p["segments"]) == 1 for p in partitions)
+
+    def test_sorted_by_layer_then_trial(self):
+        a = records_for(3, layer_id=2)
+        b = records_for(3, layer_id=1)
+        partitions = build_partitions(a + b, 2)
+        flat = [
+            (s["layer_id"], s["trial_start"])
+            for p in partitions
+            for s in p["segments"]
+        ]
+        assert flat == sorted(flat)
+
+    def test_invalid_partition_count_rejected(self):
+        with pytest.raises(ValueError, match="n_partitions"):
+            build_partitions(records_for(2), 0)
+
+    def test_key_is_content_addressed(self):
+        records = records_for(4)
+        first = build_partitions(records, 2)
+        again = build_partitions(records, 2)
+        assert [p["key"] for p in first] == [p["key"] for p in again]
+        # changing one member's segment key moves its partition's key
+        records[0].key = "f" * 64
+        moved = build_partitions(records, 2)
+        assert moved[0]["key"] != first[0]["key"]
+        assert moved[1]["key"] == first[1]["key"]
+
+    def test_manifest_view_strips_task_payloads(self):
+        partitions = build_partitions(records_for(4), 2)
+        view = manifest_partitions(partitions)
+        assert all("tasks" not in p for p in view)
+        assert [p["key"] for p in view] == [p["key"] for p in partitions]
+
+    def test_reduce_jobs_carry_full_task_coordinates(self):
+        partitions = build_partitions(records_for(4), 2)
+        jobs = reduce_jobs("sweep-z", partitions)
+        assert [j.job_id for j in jobs] == ["sweep-z.p0000", "sweep-z.p0001"]
+        assert all(j.kind == "reduce" for j in jobs)
+        member = jobs[0].payload["segments"][0]
+        assert set(member["task"]) == {
+            "task_id", "layer_id", "slot", "seq",
+            "trial_start", "trial_stop", "occ_start", "occ_stop",
+        }
+
+
+class TestPartialCodec:
+    def members(self):
+        return [
+            (
+                {"layer_id": 1, "trial_start": 0, "trial_stop": 3},
+                np.array([1.0, 2.0, 3.0]),
+            ),
+            (
+                {"layer_id": 1, "trial_start": 3, "trial_stop": 5},
+                np.array([4.0, 5.0]),
+            ),
+        ]
+
+    def test_roundtrip(self):
+        entry = build_partial(self.members())
+        assert entry.meta["kind"] == "partial"
+        blocks = partial_blocks(entry)
+        assert [(b[0], b[1], b[2]) for b in blocks] == [(1, 0, 3), (1, 3, 5)]
+        assert np.array_equal(blocks[0][3], [1.0, 2.0, 3.0])
+        assert np.array_equal(blocks[1][3], [4.0, 5.0])
+
+    def test_member_shape_mismatch_rejected(self):
+        bad = [
+            (
+                {"layer_id": 1, "trial_start": 0, "trial_stop": 3},
+                np.array([1.0]),
+            )
+        ]
+        with pytest.raises(ValueError, match="losses for trials"):
+            build_partial(bad)
+
+    def test_empty_partial_rejected(self):
+        with pytest.raises(ValueError, match="at least one member"):
+            build_partial([])
+
+    def test_tampered_layout_rejected(self):
+        entry = build_partial(self.members())
+        entry.meta["blocks"][1]["offset"] = 7  # meta and bytes disagree
+        with pytest.raises(ValueError, match="inconsistent"):
+            partial_blocks(entry)
+
+    def test_non_partial_entry_rejected(self):
+        from repro.store.base import StoreEntry
+
+        with pytest.raises(ValueError, match="no blocks"):
+            partial_blocks(StoreEntry(arrays={"losses": np.zeros(2)}))
+
+
+class TestEndToEnd:
+    def test_partition_fleet_matches_monolithic_digest(self, tiny_workload):
+        ara = AggregateRiskAnalysis(
+            tiny_workload.portfolio, tiny_workload.catalog.n_events
+        )
+        mono = ara.run(tiny_workload.yet, engine="sequential")
+        fleet = ara.run_fleet(
+            tiny_workload.yet,
+            engine="sequential",
+            n_workers=2,
+            store=MemoryStore(max_entries=None),
+            segment_trials=15,
+            n_partitions=3,
+        )
+        assert ylt_digest(fleet.ylt) == ylt_digest(mono.ylt)
+
+    def test_warm_resubmit_reuses_stored_partials(self, tiny_workload, tmp_path):
+        engine = create_engine("sequential")
+        queue = JobQueue(tmp_path / "q", lease_seconds=10.0)
+        store = MemoryStore(max_entries=None)
+        wl = tiny_workload
+        submit = lambda: submit_sweep(  # noqa: E731 - two identical calls
+            queue,
+            store,
+            wl.yet,
+            wl.portfolio,
+            wl.catalog.n_events,
+            engine,
+            segment_trials=15,
+            n_partitions=4,
+        )
+        ticket = submit()
+        assert ticket.submitted == 4 and ticket.reused == 0
+        ctx = context_for_engine(wl.yet, wl.portfolio, wl.catalog.n_events, engine)
+        run_workers(
+            queue, store, contexts={ticket.sweep_id: ctx}, n_workers=2
+        )
+        warm = submit()
+        assert warm.submitted == 0
+        assert warm.reused == 4
+
+    def test_gather_falls_back_to_segments_when_a_partial_dies(
+        self, tiny_workload, tmp_path
+    ):
+        engine = create_engine("sequential")
+        queue = JobQueue(tmp_path / "q", lease_seconds=10.0)
+        store = MemoryStore(max_entries=None)
+        wl = tiny_workload
+        ticket = submit_sweep(
+            queue,
+            store,
+            wl.yet,
+            wl.portfolio,
+            wl.catalog.n_events,
+            engine,
+            segment_trials=15,
+            n_partitions=3,
+        )
+        ctx = context_for_engine(wl.yet, wl.portfolio, wl.catalog.n_events, engine)
+        run_workers(queue, store, contexts={ticket.sweep_id: ctx}, n_workers=2)
+        intact = gather_sweep(queue, store, ticket.sweep_id)
+        # Lose one partial: assembly degrades to the per-segment path
+        # (reduce workers stored every member segment individually).
+        store.delete(ticket.manifest["partitions"][0]["key"])
+        degraded = gather_sweep(queue, store, ticket.sweep_id)
+        assert ylt_digest(degraded) == ylt_digest(intact)

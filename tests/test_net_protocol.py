@@ -1,0 +1,131 @@
+"""The wire format: framing, CRC verification, entry codec, errors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.net.protocol import (
+    MAGIC,
+    MAX_FRAME_BYTES,
+    RemoteServerError,
+    WireProtocolError,
+    decode_entry,
+    encode_entry,
+    error_header,
+    pack_message,
+    raise_for_header,
+    read_frame_size,
+    unpack_payload,
+)
+from repro.store.base import StoreEntry
+
+
+def roundtrip(header, blobs=None):
+    frame = pack_message(header, blobs)
+    size = read_frame_size(frame[:8])
+    assert size == len(frame) - 8
+    return unpack_payload(frame[8:])
+
+
+class TestFraming:
+    def test_header_only_roundtrip(self):
+        header, blobs = roundtrip({"op": "stats"})
+        assert header == {"op": "stats"}
+        assert blobs == {}
+
+    def test_blob_roundtrip_preserves_bytes_dtype_shape(self):
+        arrays = {
+            "losses": np.arange(12, dtype=np.float64).reshape(3, 4),
+            "ids": np.array([7, 9], dtype=np.int32),
+        }
+        header, blobs = roundtrip({"op": "put", "key": "k"}, arrays)
+        assert header == {"op": "put", "key": "k"}
+        for name, original in arrays.items():
+            got = blobs[name]
+            assert got.dtype == original.dtype
+            assert got.shape == original.shape
+            assert np.array_equal(got, original)
+            # StoreEntry immutability contract: detached and read-only
+            assert not got.flags.writeable
+
+    def test_bad_magic_rejected(self):
+        frame = pack_message({"op": "get"})
+        with pytest.raises(WireProtocolError, match="magic"):
+            read_frame_size(b"HTTP" + frame[4:8])
+
+    def test_truncated_prefix_rejected(self):
+        with pytest.raises(WireProtocolError, match="truncated"):
+            read_frame_size(MAGIC)
+
+    def test_oversized_declared_frame_rejected(self):
+        import struct
+
+        prefix = MAGIC + struct.pack(">I", MAX_FRAME_BYTES + 1)
+        with pytest.raises(WireProtocolError, match="MAX_FRAME_BYTES"):
+            read_frame_size(prefix)
+
+    def test_flipped_payload_bit_fails_crc(self):
+        frame = pack_message(
+            {"op": "put"}, {"losses": np.arange(8, dtype=np.float64)}
+        )
+        damaged = bytearray(frame[8:])
+        damaged[-1] ^= 0x01  # last byte of the last blob
+        with pytest.raises(WireProtocolError, match="CRC32"):
+            unpack_payload(bytes(damaged))
+
+    def test_truncated_blob_detected(self):
+        frame = pack_message(
+            {"op": "put"}, {"losses": np.arange(8, dtype=np.float64)}
+        )
+        with pytest.raises(WireProtocolError, match="truncated"):
+            unpack_payload(frame[8:-4])
+
+    def test_trailing_bytes_detected(self):
+        frame = pack_message({"op": "get"})
+        with pytest.raises(WireProtocolError, match="trailing"):
+            unpack_payload(frame[8:] + b"\x00")
+
+    def test_garbled_header_detected(self):
+        import struct
+
+        body = struct.pack(">I", 4) + b"nope"
+        with pytest.raises(WireProtocolError, match="garbled"):
+            unpack_payload(body)
+
+
+class TestEntryCodec:
+    def test_entry_roundtrip(self):
+        entry = StoreEntry(
+            arrays={"losses": np.linspace(0, 1, 7)},
+            meta={"kind": "segment", "layer_id": 3},
+        )
+        header, blobs = encode_entry({"found": True}, entry)
+        decoded_header, decoded_blobs = roundtrip(header, blobs)
+        rebuilt = decode_entry(decoded_header, decoded_blobs)
+        assert np.array_equal(rebuilt.arrays["losses"], entry.arrays["losses"])
+        assert rebuilt.meta == {"kind": "segment", "layer_id": 3}
+
+    def test_missing_promised_blob_rejected(self):
+        entry = StoreEntry(arrays={"losses": np.zeros(2)})
+        header, _blobs = encode_entry({}, entry)
+        with pytest.raises(WireProtocolError, match="no such blob"):
+            decode_entry(header, {})
+
+    def test_entry_without_arrays_rejected(self):
+        with pytest.raises(WireProtocolError, match="no arrays"):
+            decode_entry({"arrays": []}, {})
+
+
+class TestErrorShapes:
+    def test_ok_header_passes(self):
+        raise_for_header({"ok": True, "found": False})
+
+    def test_server_error_is_oserror(self):
+        with pytest.raises(RemoteServerError) as excinfo:
+            raise_for_header(error_header("disk on fire"))
+        assert isinstance(excinfo.value, OSError)
+
+    def test_bad_request_is_valueerror_never_retried(self):
+        with pytest.raises(ValueError, match="rejected by server"):
+            raise_for_header(error_header("no such op", kind="bad_request"))

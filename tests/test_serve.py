@@ -492,6 +492,24 @@ class TestHedgedReads:
         assert hedge["enabled"] and hedge["issued"] == 1
         assert hedge["wins"] == 1 and hedge["losses"] == 0
 
+    def test_both_miss_counts_a_miss_not_a_loss(self):
+        # Regression: a hedged lookup where neither waterfall finds the
+        # key used to tick ``losses`` — inflating the "primary beat the
+        # hedge" signal with events where nobody won anything.
+        tiered = TieredStore(
+            [latency_faulty(MemoryStore()), MemoryStore()],
+            hedge=True,
+            hedge_min_delay=0.01,
+            hedge_max_delay=0.01,
+        )
+        assert tiered.hedged_get("absent") is None
+        hedge = tiered.stats()["hedge"]
+        assert hedge["issued"] == 1
+        assert hedge["misses"] == 1
+        assert hedge["losses"] == 0 and hedge["wins"] == 0
+        health = health_from_stats(tiered.stats())
+        assert health["hedge"]["misses"] == 1
+
     def test_fast_primary_never_hedges(self):
         tiered = TieredStore(
             [MemoryStore(), MemoryStore()],

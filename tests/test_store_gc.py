@@ -4,10 +4,13 @@
 from __future__ import annotations
 
 import os
+import threading
 import time
 
 import numpy as np
 import pytest
+
+from repro.io.atomic import lock_file
 
 from repro.store import (
     FileStore,
@@ -129,6 +132,55 @@ class TestCollectGarbage:
         assert lock.exists()
         collect_garbage(tmp_path, max_bytes=0)
         assert not lock.exists()
+
+    def test_held_lock_file_survives_gc(self, tmp_path):
+        # Regression: GC unlinked lock files unconditionally.  A writer
+        # holding the flock mid-``get_or_compute`` would keep the open
+        # (now nameless) file while a second writer locked a *fresh*
+        # file of the same name — two "exclusive" computations for one
+        # key.  GC must skip lock files whose flock is held.
+        store = SharedFileStore(tmp_path)
+        store.get_or_compute("locked", lambda: entry_of(64))
+        lock = tmp_path / "locks" / "locked.lock"
+        with lock_file(lock) as held:  # a slow writer, mid-compute
+            assert held
+            report = collect_garbage(tmp_path, max_bytes=0)
+            assert report.removed_entries == 1  # the entry still goes
+            assert lock.exists()  # but the held lock file stays
+        # writer done: the next pass sweeps the now-unheld lock file
+        store.put("locked", entry_of(64))
+        collect_garbage(tmp_path, max_bytes=0)
+        assert not lock.exists()
+
+    def test_gc_races_a_slow_writer_without_splitting_the_lock(self, tmp_path):
+        # End-to-end shape of the race: GC fires while a writer sits
+        # inside get_or_compute.  The writer's exclusivity (and its
+        # lock file) must survive the collection.
+        store = SharedFileStore(tmp_path)
+        store.get_or_compute("racy", lambda: entry_of(64))
+        lock = tmp_path / "locks" / "racy.lock"
+        entered = threading.Event()
+        release = threading.Event()
+
+        def slow_writer():
+            def produce():
+                entered.set()
+                release.wait(timeout=10.0)
+                return entry_of(128)
+
+            store.delete("racy")
+            store.get_or_compute("racy", produce)
+
+        writer = threading.Thread(target=slow_writer)
+        writer.start()
+        try:
+            assert entered.wait(timeout=10.0)
+            collect_garbage(tmp_path, max_bytes=0)  # mid-compute GC
+            assert lock.exists()  # the held lock was not unlinked
+        finally:
+            release.set()
+            writer.join(timeout=10.0)
+        assert store.contains("racy")  # the slow write still published
 
     def test_negative_budget_rejected(self, tmp_path):
         with pytest.raises(ValueError):
