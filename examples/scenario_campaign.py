@@ -1,0 +1,132 @@
+"""Scenario campaign example: declarative what-ifs, delta-planned.
+
+Demonstrates the scenario subsystem end to end:
+
+1. declare a stress set — a baseline plus three what-ifs (a crisis
+   frequency overlay confined to a 10% trial window, a peril-wide rate
+   adjustment, and a severity shock) as frozen, seeded specs;
+2. run the set as a campaign against one shared store: the baseline
+   sweep populates content-addressed segments, and the windowed overlay
+   recomputes *only* the segments whose trial bytes it perturbed —
+   everything else is served from the store;
+3. re-run the whole campaign: every scenario replays from its stored
+   result key without a single segment compute;
+4. run the set again under an early-stop policy: each scenario prices
+   nested stride-aligned trial prefixes and stops once its PML/TVaR
+   stabilise within tolerance.
+
+Run:  PYTHONPATH=src python examples/scenario_campaign.py
+"""
+
+import tempfile
+
+from repro.data.generator import generate_workload
+from repro.data.presets import SCENARIO_SMALL
+from repro.scenario import (
+    EarlyStopPolicy,
+    FrequencyOverlay,
+    RateAdjustment,
+    Scenario,
+    ScenarioCampaign,
+    ScenarioSet,
+    SeverityOverlay,
+)
+from repro.store import SharedFileStore
+
+SEGMENT_TRIALS = 100  # the delta-reuse quantum for this workload size
+
+STRESS_SET = ScenarioSet(
+    name="example-stress",
+    scenarios=(
+        Scenario.baseline(),
+        Scenario(
+            name="hurricane-surge",
+            transforms=(
+                FrequencyOverlay(
+                    families=("NA-hurricane",),
+                    factor=1.5,
+                    trial_start=0,
+                    trial_stop=200,  # 10% of the trials → ~10% recompute
+                ),
+            ),
+            seed=7,
+            description="hyperactive Atlantic decade, replayed in-window",
+        ),
+        Scenario(
+            name="warm-climate",
+            transforms=(
+                RateAdjustment(rates=(("NA-*", 1.2), ("EU-windstorm", 1.1))),
+            ),
+            seed=11,
+            description="peril-wide frequency uplift",
+        ),
+        Scenario(
+            name="severity-shock",
+            transforms=(SeverityOverlay(families=("JP-*",), factor=1.25),),
+            description="deterministic ground-up severity shock",
+        ),
+    ),
+)
+
+
+def show(result, title):
+    print(f"\n=== {title} ===")
+    for row in result.rows():
+        flags = []
+        if row["replayed"]:
+            flags.append("replayed")
+        if row["early_stopped"]:
+            flags.append(f"stopped@{row['trials_used']}")
+        print(
+            f"  {row['name']:<16} computed={row['n_computed']:>3} "
+            f"reused={row['n_reused']:>3} of {row['n_segments']:>3} "
+            f"pml={row['metrics']['pml']:.3e} "
+            f"{' '.join(flags)}"
+        )
+    summary = result.summary()
+    print(
+        f"  totals: computed={summary['segments_computed']} "
+        f"reused={summary['segments_reused']} "
+        f"replayed={summary['n_replayed']}/{summary['n_scenarios']}"
+    )
+
+
+def main():
+    workload = generate_workload(SCENARIO_SMALL)
+    print(
+        f"baseline: {workload.yet.n_trials} trials, "
+        f"{workload.catalog.n_events} events, "
+        f"{len(workload.portfolio.layers)} layers"
+    )
+
+    with tempfile.TemporaryDirectory(prefix="repro-scenario-") as cache:
+        store = SharedFileStore(cache)
+        campaign = ScenarioCampaign(
+            workload,
+            store,
+            segment_trials=SEGMENT_TRIALS,
+            n_workers=2,
+            workload_spec=SCENARIO_SMALL,
+        )
+
+        # Cold campaign: the baseline computes everything; the windowed
+        # overlay computes only its perturbed segments.
+        show(campaign.run(STRESS_SET), "cold campaign (delta reuse)")
+
+        # Same specs, same store: whole-scenario replay, zero computes.
+        show(campaign.run(STRESS_SET), "re-run (whole-scenario replay)")
+
+        # Fresh store, adaptive staging: stop when the tail stabilises.
+        adaptive = ScenarioCampaign(
+            workload,
+            SharedFileStore(f"{cache}/adaptive"),
+            segment_trials=SEGMENT_TRIALS,
+            n_workers=2,
+            workload_spec=SCENARIO_SMALL,
+            policy=EarlyStopPolicy(rel_tol=0.15, min_trials=200),
+        )
+        show(adaptive.run(STRESS_SET), "adaptive campaign (early stop)")
+
+
+if __name__ == "__main__":
+    main()

@@ -37,6 +37,7 @@ from repro.data import (
     BENCH_LARGE,
     BENCH_SMALL,
     PAPER,
+    SCENARIO_SMALL,
     ELTFinancialTerms,
     EventCatalog,
     EventLossTable,
@@ -109,6 +110,7 @@ __all__ = [
     "BENCH_LARGE",
     "BENCH_SMALL",
     "PAPER",
+    "SCENARIO_SMALL",
     "ELTFinancialTerms",
     "EventCatalog",
     "EventLossTable",

@@ -2303,6 +2303,197 @@ def net_ablation(
     return report
 
 
+# ----------------------------------------------------------------------
+# SCENARIO-ABLATE: what-if campaigns over the delta-planned fleet
+# ----------------------------------------------------------------------
+def scenario_bench_spec() -> WorkloadSpec:
+    """The scenario workload: the multi-family preset, unmodified.
+
+    Five named peril blocks (overlay targets), two layers over a shared
+    ELT pool, 2,000 trials segmented at a 100-trial stride by the
+    benchmark → 40 segments, of which a [0, 200) overlay window dirties
+    exactly 4.
+    """
+    from repro.data.presets import SCENARIO_SMALL
+
+    return SCENARIO_SMALL
+
+
+def scenario_ablation(
+    measured_spec: WorkloadSpec | None = None,
+    measure: bool = True,
+    n_workers: int = 2,
+    segment_trials: int = 100,
+    overlay_window: int = 200,
+    base_dir=None,
+) -> ExperimentReport:
+    """Scenario campaigns: determinism, delta reuse, early-stop soundness.
+
+    One seeded baseline workload, one two-scenario set (baseline + a
+    crisis overlay scaling hurricane frequency by 1.5x inside a 10%
+    trial window), three measurements:
+
+    * **determinism** — the campaign run twice against *fresh* stores,
+      and each scenario's compiled inputs priced monolithically by a
+      plain ``Engine.run``.  All three digests per scenario must be
+      bit-identical (same spec + seed → same YLT, locally or through
+      the fleet);
+    * **delta reuse** — with the baseline's segments stored, the
+      overlay re-sweep may compute at most ~2x its perturbed fraction
+      of segments (the content-addressed keys of untouched trials are
+      unchanged, so the store serves them);
+    * **early stopping** — the same set under an
+      :class:`~repro.scenario.adaptive.EarlyStopPolicy`; every stopped
+      scenario's PML/TVaR must sit within ``policy.tolerance`` of the
+      exact full-trial metrics.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.engines.registry import create_engine
+    from repro.scenario.adaptive import EarlyStopPolicy
+    from repro.scenario.campaign import ScenarioCampaign
+    from repro.scenario.compiler import compile_scenario
+    from repro.scenario.spec import FrequencyOverlay, Scenario, ScenarioSet
+    from repro.store import SharedFileStore
+    from repro.store.keys import ylt_digest
+
+    report = ExperimentReport(
+        exp_id="SCENARIO-ABLATE",
+        title="Scenario campaigns: determinism, delta reuse, early stop",
+    )
+    if measured_spec is None:
+        measured_spec = scenario_bench_spec()
+    if not measure:
+        report.note("measure=False: nothing to report (no model rows).")
+        return report
+
+    workload = get_workload(measured_spec)
+    n_trials = workload.yet.n_trials
+    overlay = Scenario(
+        name="hurricane-surge",
+        transforms=(
+            FrequencyOverlay(
+                families=("NA-hurricane",),
+                factor=1.5,
+                trial_start=0,
+                trial_stop=overlay_window,
+            ),
+        ),
+        seed=7,
+    )
+    scenario_set = ScenarioSet(
+        name="scenario-bench", scenarios=(Scenario.baseline(), overlay)
+    )
+
+    tmp = None
+    if base_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="scenario-ablate-")
+        base_dir = tmp.name
+    base_dir = Path(base_dir)
+
+    def run_campaign(label, policy=None):
+        campaign = ScenarioCampaign(
+            workload,
+            SharedFileStore(base_dir / f"{label}-cache"),
+            segment_trials=segment_trials,
+            policy=policy,
+            n_workers=n_workers,
+        )
+        t0 = time.perf_counter()
+        result = campaign.run(scenario_set)
+        return result, time.perf_counter() - t0
+
+    try:
+        # -- two independent campaign runs + monolithic references ------
+        run1, seconds1 = run_campaign("run1")
+        run2, seconds2 = run_campaign("run2")
+        engine_obj = create_engine("sequential")
+        policy_metrics = EarlyStopPolicy()  # default watched metrics
+        mono = {}
+        for scenario in scenario_set:
+            compiled = compile_scenario(scenario, workload)
+            result = engine_obj.run(
+                compiled.yet, compiled.portfolio, workload.catalog.n_events
+            )
+            mono[scenario.name] = {
+                "digest": ylt_digest(result.ylt),
+                "metrics": policy_metrics.tail_metrics(
+                    result.ylt.portfolio_losses()
+                ),
+            }
+        for outcome in run1.outcomes:
+            rerun = run2.outcome(outcome.name)
+            report.add(
+                mode=f"campaign-{outcome.name}",
+                measured_seconds=seconds1,
+                n_trials=outcome.n_trials,
+                segments=outcome.n_segments,
+                computed=outcome.n_computed,
+                reused=outcome.n_reused,
+                perturbed_fraction=compile_scenario(
+                    scenario_set.scenario(outcome.name), workload
+                ).perturbed_fraction,
+                executed_fraction=(
+                    outcome.n_computed / outcome.n_segments
+                ),
+                ylt_digest=outcome.digest,
+                rerun_digest_equal=outcome.digest == rerun.digest,
+                mono_digest_equal=(
+                    outcome.digest == mono[outcome.name]["digest"]
+                ),
+                pml=outcome.metrics["pml"],
+                tvar=outcome.metrics["tvar"],
+            )
+
+        # -- early stopping vs the exact full-trial metrics --------------
+        policy = EarlyStopPolicy(rel_tol=0.15, min_trials=200)
+        adaptive, _ = run_campaign("early-stop", policy=policy)
+        for outcome in adaptive.outcomes:
+            exact = mono[outcome.name]["metrics"]
+            report.add(
+                mode=f"early-stop-{outcome.name}",
+                trials_used=outcome.trials_used,
+                n_trials=outcome.n_trials,
+                early_stopped=outcome.early_stopped,
+                computed=outcome.n_computed,
+                tolerance=policy.tolerance,
+                pml_rel_diff=abs(outcome.metrics["pml"] - exact["pml"])
+                / max(abs(exact["pml"]), 1e-12),
+                tvar_rel_diff=abs(outcome.metrics["tvar"] - exact["tvar"])
+                / max(abs(exact["tvar"]), 1e-12),
+            )
+
+        overlay_row = next(
+            r for r in report.rows if r["mode"] == "campaign-hurricane-surge"
+        )
+        report.note(
+            f"delta reuse: the {overlay_window / n_trials:.0%}-window "
+            f"overlay computed {overlay_row['computed']} of "
+            f"{overlay_row['segments']} segments "
+            f"({overlay_row['executed_fraction']:.0%}); the rest were "
+            "served from the baseline's stored segments."
+        )
+        report.note(
+            f"determinism: campaign digests equal across independent "
+            f"runs and vs monolithic Engine.run on the compiled inputs "
+            f"({seconds1:.2f}s / {seconds2:.2f}s per campaign)."
+        )
+        stopped = [
+            r for r in report.rows
+            if r["mode"].startswith("early-stop-") and r["early_stopped"]
+        ]
+        report.note(
+            f"early stop: {len(stopped)} scenario(s) stopped before "
+            f"full trials, all within tolerance {policy.tolerance:.2f} "
+            "of their exact full-trial PML/TVaR."
+        )
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+    return report
+
+
 ALL_EXPERIMENTS = {
     "SEQ-SCALE": seq_scaling,
     "FIG-1a": fig1a,
@@ -2322,6 +2513,7 @@ ALL_EXPERIMENTS = {
     "CHAOS-ABLATE": chaos_ablation,
     "SERVE-ABLATE": serve_ablation,
     "NET-ABLATE": net_ablation,
+    "SCENARIO-ABLATE": scenario_ablation,
     "EXT-SECONDARY": ext_secondary,
 }
 """Experiment id → generator function (the per-experiment index)."""

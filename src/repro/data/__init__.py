@@ -40,6 +40,7 @@ from repro.data.presets import (
     BENCH_DEFAULT,
     BENCH_LARGE,
     PAPER,
+    SCENARIO_SMALL,
     scaled_paper_spec,
 )
 
@@ -64,5 +65,6 @@ __all__ = [
     "BENCH_DEFAULT",
     "BENCH_LARGE",
     "PAPER",
+    "SCENARIO_SMALL",
     "scaled_paper_spec",
 ]

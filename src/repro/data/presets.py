@@ -122,6 +122,25 @@ BENCH_DEFAULT = WorkloadSpec(
     n_layers=1,
 )
 
+# Scenario-campaign workhorse: a small *multi-family* catalog (five
+# named peril blocks — the event families overlays glob against), two
+# layers over a shared ELT pool, and a trial count that divides cleanly
+# into stride-100 segments so overlay windows and early-stop stages can
+# align with segment boundaries.
+SCENARIO_SMALL = WorkloadSpec(
+    name="scenario-small",
+    catalog_size=10_000,
+    n_trials=2_000,
+    events_per_trial=40,
+    n_elts=8,
+    elts_per_layer=4,
+    losses_per_elt=400,
+    n_layers=2,
+    n_perils=5,
+    fixed_event_count=False,
+    shared_elt_pool=True,
+)
+
 BENCH_LARGE = WorkloadSpec(
     name="bench-large",
     catalog_size=500_000,

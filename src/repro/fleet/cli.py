@@ -141,6 +141,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print each failed job's failure provenance "
         "(per-attempt worker, error and exception chain)",
     )
+    status.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the queue/store/worker stats as machine-readable "
+        "JSON (failed-job provenance always included)",
+    )
 
     gather = sub.add_parser("gather", help="assemble a sweep's YLT")
     add_common(gather)
@@ -266,10 +272,27 @@ def _backend_mix(store, manifest, sample: int = 32) -> str:
     return " ".join(f"{name}={n}" for name, n in sorted(counts.items()))
 
 
+def _failed_jobs(queue, sweep_id) -> List[dict]:
+    """Failure provenance of a sweep's exhausted jobs, JSON-able."""
+    return [
+        {
+            "job_id": job.job_id,
+            "kind": job.kind,
+            "attempts": job.attempts,
+            "error": job.error,
+            "history": list(job.history),
+        }
+        for job in queue.jobs("failed", sweep_id)
+    ]
+
+
 def _cmd_status(args) -> int:
+    import json
+
     queue = _queue_for(args)
     sweep_ids = [args.sweep] if args.sweep else queue.sweep_ids()
     store = None
+    health = None
     if getattr(args, "store", None):
         # Fold the store's degradation picture — breaker states,
         # corruption/retry counters, hedged-read wins — into the same
@@ -285,8 +308,29 @@ def _cmd_status(args) -> int:
                 health["entries"] = len(store)
             except TypeError:
                 pass
-        for line in format_health(health):
-            print(line)
+        if not args.json:
+            for line in format_health(health):
+                print(line)
+    if args.json:
+        sweeps = []
+        for sweep_id in sweep_ids:
+            manifest = queue.load_sweep(sweep_id) or {}
+            sweeps.append(
+                {
+                    "sweep_id": sweep_id,
+                    "counts": queue.counts(sweep_id),
+                    "reused": sum(
+                        1
+                        for seg in manifest.get("segments", ())
+                        if seg.get("stored")
+                    ),
+                    "engine": manifest.get("engine"),
+                    "n_trials": manifest.get("n_trials"),
+                    "failed_jobs": _failed_jobs(queue, sweep_id),
+                }
+            )
+        print(json.dumps({"store": health, "sweeps": sweeps}, indent=2))
+        return 0
     if not sweep_ids:
         print("no sweeps")
         return 0

@@ -138,6 +138,21 @@ def context_from_manifest(manifest: Dict[str, Any]) -> FleetContext:
     from repro.data.generator import generate_workload  # deferred import
 
     workload = generate_workload(WorkloadSpec(**spec_dict))
+    yet, portfolio = workload.yet, workload.portfolio
+    scenario_dict = workload_info.get("scenario")
+    if scenario_dict is not None:
+        # Compiled-scenario sweep: re-derive the perturbed inputs from
+        # the declarative spec (compilation is seeded + deterministic,
+        # so the rebuilt arrays — and all segment keys — match the
+        # submitter's bytes).
+        from repro.scenario.compiler import compile_scenario
+        from repro.scenario.spec import Scenario
+
+        compiled = compile_scenario(Scenario.from_dict(scenario_dict), workload)
+        yet, portfolio = compiled.yet, compiled.portfolio
+    stage_trials = workload_info.get("stage_trials")
+    if stage_trials is not None and int(stage_trials) < yet.n_trials:
+        yet = yet.slice_trials(0, int(stage_trials))
     config = manifest.get("config") or {}
     secondary_params = config.get("secondary")
     secondary = (
@@ -146,8 +161,8 @@ def context_from_manifest(manifest: Dict[str, Any]) -> FleetContext:
         else SecondaryUncertainty(*[float(v) for v in secondary_params])
     )
     return FleetContext(
-        yet=workload.yet,
-        portfolio=workload.portfolio,
+        yet=yet,
+        portfolio=portfolio,
         catalog_size=int(config.get("catalog_size", workload.catalog.n_events)),
         kernel=str(config.get("kernel", "ragged")),
         dtype=str(config.get("dtype", "<f8")),

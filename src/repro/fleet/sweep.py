@@ -74,6 +74,20 @@ def context_for_engine(
     )
 
 
+def _workload_block(
+    workload_spec, scenario, stage_trials: int | None
+) -> Dict[str, Any]:
+    """The manifest's ``workload`` block: spec + scenario + stage."""
+    block: Dict[str, Any] = {}
+    if workload_spec is not None:
+        block["spec"] = spec_dict(workload_spec)
+    if scenario is not None:
+        block["scenario"] = scenario.to_dict()
+    if stage_trials is not None:
+        block["stage_trials"] = int(stage_trials)
+    return block
+
+
 def submit_sweep(
     queue: JobQueue,
     store: ResultStore,
@@ -86,6 +100,8 @@ def submit_sweep(
     workload_spec=None,
     sweep_id: str | None = None,
     n_partitions: int | None = None,
+    scenario=None,
+    stage_trials: int | None = None,
 ) -> SweepTicket:
     """Delta-plan an analysis and enqueue its missing segments.
 
@@ -106,6 +122,13 @@ def submit_sweep(
     reads at assembly instead of S.  Partitions whose partial is
     already stored are skipped entirely (the delta principle, one
     level up).
+
+    ``scenario`` (a :class:`~repro.scenario.spec.Scenario`) records in
+    the manifest that ``yet``/``portfolio`` are the *compiled* outputs
+    of that spec applied to the workload-spec baseline; cross-process
+    workers re-compile it deterministically.  ``stage_trials`` marks a
+    staged trial-prefix sweep (adaptive campaigns), so workers slice
+    the compiled table the same way the submitter did.
     """
     delta = engine_obj.plan_missing(
         yet, portfolio, store, segment_trials=segment_trials, plan=plan
@@ -118,11 +141,7 @@ def submit_sweep(
         "kind": "analysis",
         "engine": engine_obj.name,
         "config": config_from_context(ctx),
-        "workload": (
-            {"spec": spec_dict(workload_spec)}
-            if workload_spec is not None
-            else {}
-        ),
+        "workload": _workload_block(workload_spec, scenario, stage_trials),
         "n_trials": yet.n_trials,
         "n_occurrences": yet.n_occurrences,
         "layer_ids": [int(i) for i in delta.plan.layer_ids],

@@ -97,7 +97,10 @@ def convergence_table(
     rows: List[Dict[str, float]] = []
     for fraction in fractions:
         check_in_range("fraction", fraction, 0.0, 1.0)
-        size = max(2, int(round(losses.size * fraction)))
+        # Floor at 2 (a 1-trial quantile is meaningless), but never past
+        # the series itself: on tiny YLTs the floor used to exceed the
+        # array, silently slicing fewer trials than the row reported.
+        size = min(losses.size, max(2, int(round(losses.size * fraction))))
         sample = permuted[:size]
         if size < return_period_years:
             # Quantile beyond the sample's resolution: report the max and

@@ -27,16 +27,44 @@ _TCP_SCHEME = "tcp://"
 
 
 def parse_tcp_url(url: str) -> Tuple[str, int]:
-    """``tcp://host:port`` → ``(host, port)``; raises on anything else."""
+    """``tcp://host:port`` → ``(host, port)``; raises on anything else.
+
+    A trailing slash (``tcp://host:port/``) is tolerated — URL-shaped
+    configs commonly carry one.  Everything else malformed (missing
+    host or port, a non-numeric or out-of-range port, an embedded path)
+    raises a ``ValueError`` naming the problem, so a typo'd fleet URL
+    fails at parse time instead of as a confusing downstream socket
+    error.
+    """
     if not url.startswith(_TCP_SCHEME):
         raise ValueError(f"not a tcp:// URL: {url!r}")
     rest = url[len(_TCP_SCHEME):].rstrip("/")
-    host, sep, port = rest.rpartition(":")
-    if not sep or not host or not port.isdigit():
+    if "/" in rest:
         raise ValueError(
-            f"tcp URL must be tcp://host:port, got {url!r}"
+            f"tcp URL must not carry a path, expected tcp://host:port, "
+            f"got {url!r}"
         )
-    return host, int(port)
+    host, sep, port = rest.rpartition(":")
+    if not sep or not port:
+        raise ValueError(
+            f"tcp URL is missing a port, expected tcp://host:port, "
+            f"got {url!r}"
+        )
+    if not host:
+        raise ValueError(
+            f"tcp URL is missing a host, expected tcp://host:port, "
+            f"got {url!r}"
+        )
+    if not (port.isascii() and port.isdigit()):
+        raise ValueError(
+            f"invalid tcp port {port!r} in {url!r} (expected an integer)"
+        )
+    number = int(port)
+    if not 1 <= number <= 65535:
+        raise ValueError(
+            f"tcp port {number} out of range 1-65535 in {url!r}"
+        )
+    return host, number
 
 
 def is_tcp_url(value: Optional[str]) -> bool:

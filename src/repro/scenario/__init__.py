@@ -1,0 +1,72 @@
+"""Scenario engine: declarative stress families and what-if campaigns.
+
+The subsystem has four layers:
+
+* :mod:`repro.scenario.spec` — frozen, seeded, fingerprintable scenario
+  specs (``Scenario`` / ``ScenarioSet`` + the transform registry);
+* :mod:`repro.scenario.compiler` — compiles a spec against a baseline
+  workload into concrete perturbed YET/portfolio inputs, engineered so
+  untouched trial ranges keep their exact bytes (and hence their
+  content-addressed segment keys);
+* :mod:`repro.scenario.adaptive` — staged early stopping on PML/TVaR
+  stability;
+* :mod:`repro.scenario.campaign` — the runner that sweeps a set through
+  the plan/store/fleet stack with whole-scenario replay, delta reuse
+  and provenance-rich result rows.
+
+``repro-scenario`` (:mod:`repro.scenario.cli`) is the command-line face.
+"""
+
+from repro.scenario.adaptive import EarlyStopPolicy
+from repro.scenario.campaign import (
+    CampaignResult,
+    ScenarioCampaign,
+    ScenarioOutcome,
+)
+from repro.scenario.compiler import (
+    CompiledScenario,
+    ScenarioInputs,
+    compile_scenario,
+    resample_occurrences,
+    scale_severities,
+    select_tail_trials,
+)
+from repro.scenario.spec import (
+    FrequencyOverlay,
+    RateAdjustment,
+    Scenario,
+    ScenarioSet,
+    SeverityOverlay,
+    TailSeek,
+    Transform,
+    TrialWindow,
+    match_families,
+    scenario_set_from_json,
+    scenario_set_to_json,
+    transform_from_config,
+)
+
+__all__ = [
+    "EarlyStopPolicy",
+    "CampaignResult",
+    "ScenarioCampaign",
+    "ScenarioOutcome",
+    "CompiledScenario",
+    "ScenarioInputs",
+    "compile_scenario",
+    "resample_occurrences",
+    "scale_severities",
+    "select_tail_trials",
+    "FrequencyOverlay",
+    "RateAdjustment",
+    "Scenario",
+    "ScenarioSet",
+    "SeverityOverlay",
+    "TailSeek",
+    "Transform",
+    "TrialWindow",
+    "match_families",
+    "scenario_set_from_json",
+    "scenario_set_to_json",
+    "transform_from_config",
+]

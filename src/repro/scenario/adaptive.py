@@ -1,0 +1,143 @@
+"""Adaptive early stopping for scenario campaigns.
+
+A campaign prices each scenario in staged trial prefixes (25% → 50% →
+100% by default).  After each stage it evaluates the tail metrics the
+paper names as YLT products — PML at a return period and TVaR at a
+confidence — and stops early once consecutive stages agree to within a
+relative tolerance.  Because stages are *nested prefixes* of the same
+seeded trial set aligned to the segment stride, every earlier stage's
+segments are reused verbatim from the store by the next stage: the cost
+of not stopping is only the new suffix.
+
+The declared guarantee (benchmark-gated): a scenario stopped by
+:class:`EarlyStopPolicy` reports PML/TVaR within ``policy.tolerance``
+relative error of its full-trial run.  Stability between consecutive
+stages bounds the drift per doubling at ``rel_tol``; ``tolerance`` is
+``2 * rel_tol`` to cover the remaining (geometrically shrinking)
+stage-to-full drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.metrics.convergence import pml_relative_error
+from repro.metrics.pml import pml
+from repro.metrics.tvar import tail_value_at_risk
+
+
+@dataclass(frozen=True)
+class EarlyStopPolicy:
+    """When may a scenario stop before its full trial budget?
+
+    Attributes
+    ----------
+    return_period_years / tvar_confidence:
+        The tail metrics watched for stability (and reported per
+        scenario).
+    rel_tol:
+        Maximum relative change of *both* PML and TVaR between two
+        consecutive stages for the later stage to count as stable.
+    stage_fractions:
+        Nested prefix fractions of the scenario's trial set; must be
+        increasing and end at 1.0 (the full run is always reachable).
+    min_trials:
+        Never stop below this many trials, and never below the return
+        period (an unresolvable quantile is not "stable").
+    """
+
+    return_period_years: float = 100.0
+    tvar_confidence: float = 0.99
+    rel_tol: float = 0.05
+    stage_fractions: Tuple[float, ...] = (0.25, 0.5, 1.0)
+    min_trials: int = 200
+
+    def __post_init__(self) -> None:
+        if self.return_period_years <= 1.0:
+            raise ValueError("return period must exceed 1 year")
+        if not 0.0 < self.tvar_confidence < 1.0:
+            raise ValueError("tvar confidence must be in (0, 1)")
+        if self.rel_tol <= 0.0:
+            raise ValueError(f"rel_tol must be > 0, got {self.rel_tol}")
+        fractions = tuple(float(f) for f in self.stage_fractions)
+        if not fractions or fractions[-1] != 1.0:
+            raise ValueError(
+                f"stage fractions must end at 1.0, got {fractions}"
+            )
+        for prev, cur in zip(fractions, fractions[1:]):
+            if not 0.0 < prev < cur <= 1.0:
+                raise ValueError(
+                    f"stage fractions must be increasing in (0, 1], got "
+                    f"{fractions}"
+                )
+        object.__setattr__(self, "stage_fractions", fractions)
+        if self.min_trials < 2:
+            raise ValueError("min_trials must be >= 2")
+
+    @property
+    def tolerance(self) -> float:
+        """Declared early-stop guarantee vs the full run (2 × rel_tol)."""
+        return 2.0 * self.rel_tol
+
+    def as_config(self) -> Dict[str, Any]:
+        """Canonical plain-value dict (campaign fingerprint input)."""
+        return {
+            "return_period_years": float(self.return_period_years),
+            "tvar_confidence": float(self.tvar_confidence),
+            "rel_tol": float(self.rel_tol),
+            "stage_fractions": tuple(self.stage_fractions),
+            "min_trials": int(self.min_trials),
+        }
+
+    def stage_counts(self, n_trials: int, stride: int) -> Tuple[int, ...]:
+        """Stage trial counts: fractions rounded *up* to stride multiples.
+
+        Aligning every stage boundary to the segment stride makes each
+        stage's plan a strict prefix of the next — stage N+1 finds all
+        of stage N's segments in the store and computes only the suffix.
+        """
+        counts = []
+        for fraction in self.stage_fractions:
+            raw = max(self.min_trials, int(np.ceil(fraction * n_trials)))
+            aligned = int(np.ceil(raw / stride)) * stride
+            counts.append(min(n_trials, aligned))
+        # Rounding can collapse neighbouring stages on small tables.
+        unique = sorted(set(counts))
+        return tuple(unique)
+
+    def tail_metrics(self, annual_losses: np.ndarray) -> Dict[str, float]:
+        """The watched metrics of one stage's portfolio loss series."""
+        losses = np.asarray(annual_losses, dtype=np.float64)
+        return {
+            "pml": pml(losses, self.return_period_years),
+            "tvar": tail_value_at_risk(losses, self.tvar_confidence),
+            "pml_rel_error": pml_relative_error(
+                losses, self.return_period_years
+            ),
+        }
+
+    def stable(
+        self, previous: Dict[str, float], current: Dict[str, float]
+    ) -> bool:
+        """Did PML and TVaR both move ≤ rel_tol between two stages?"""
+        for metric in ("pml", "tvar"):
+            prev, cur = previous[metric], current[metric]
+            scale = max(abs(prev), abs(cur))
+            if scale == 0.0:
+                continue  # both zero: perfectly stable
+            if abs(cur - prev) / scale > self.rel_tol:
+                return False
+        return True
+
+    def should_stop(
+        self, history: Sequence[Dict[str, float]], trials_used: int
+    ) -> bool:
+        """Stop after this stage?  Needs ≥2 stages, resolution, stability."""
+        if len(history) < 2:
+            return False
+        if trials_used < max(self.min_trials, self.return_period_years):
+            return False
+        return self.stable(history[-2], history[-1])

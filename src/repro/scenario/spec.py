@@ -1,0 +1,503 @@
+"""Declarative scenario specs: frozen, seeded, fingerprintable.
+
+A *scenario* is a named, seeded list of catalog transformations applied
+to a baseline workload — the declarative unit of what-if analysis.  A
+*scenario set* is an ordered family of scenarios evaluated against one
+portfolio (historical replays, crisis overlays, climate-conditioned
+rates, adversarial tail hunts).  Both are frozen dataclasses in the
+benchmark-definition idiom: every knob is data, construction validates,
+and identity is a canonical content fingerprint derived with the same
+type-tagged serialisation the store keys use
+(:func:`repro.store.keys.fingerprint_digest`) — so two specs fingerprint
+equal exactly when they describe the same perturbation.
+
+Names and descriptions are labels, deliberately *outside* the
+fingerprint: renaming a scenario never invalidates its cached results.
+
+Transform families (the paper's catalog is the substrate; peril blocks
+are the "event families" overlays match against):
+
+* :class:`TrialWindow` — historical-window replay: keep trials
+  ``[start, stop)`` of the baseline YET.
+* :class:`FrequencyOverlay` — crisis overlay: scale the occurrence
+  frequency of matched event families inside a trial window by
+  seeded replication/thinning of occurrences.
+* :class:`RateAdjustment` — climate-conditioned rates: per-family
+  frequency factors applied across the whole trial set.
+* :class:`SeverityOverlay` — scale the ELT losses of matched event
+  families (a portfolio-side perturbation: recomputes every layer the
+  events touch).
+* :class:`TailSeek` — adversarial scenario: keep only the trials a
+  cheap severity proxy ranks worst, concentrating compute on the tail.
+
+Specs serialise to/from plain JSON dicts (``to_dict``/``from_dict``,
+``scenario_set_to_json``/``scenario_set_from_json``) so scenario
+families live in version-controlled files and travel inside sweep
+manifests to remote fleet workers.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from typing import Any, Dict, Tuple
+
+from repro.utils.validation import check_positive
+
+#: bump when spec composition changes (old fingerprints become unreachable).
+SCENARIO_SPEC_SCHEMA = "repro-scenario-spec-v1"
+
+
+class Transform(abc.ABC):
+    """One catalog/YET/portfolio transformation inside a scenario.
+
+    Subclasses are frozen dataclasses; ``kind`` is the registry name
+    used by the JSON round-trip, ``as_config`` the canonical plain-dict
+    form (fingerprint input *and* wire format), and ``apply`` the
+    compile step (see :mod:`repro.scenario.compiler`).
+    """
+
+    kind: str = "abstract"
+
+    @abc.abstractmethod
+    def as_config(self) -> Dict[str, Any]:
+        """Canonical plain-value dict, including ``kind``."""
+
+    @abc.abstractmethod
+    def apply(self, state, rng) -> None:
+        """Mutate a compiler :class:`~repro.scenario.compiler.ScenarioInputs`."""
+
+    #: fraction of the resulting trial set whose segment content this
+    #: transform perturbs relative to the baseline sweep (1.0 = full
+    #: recompute, 0.0 = pure subset/reuse).  Overridden per subclass.
+    def perturbed_fraction(self, n_trials: int) -> float:
+        return 1.0
+
+
+def _check_families(families) -> Tuple[str, ...]:
+    families = tuple(str(f) for f in families)
+    if not families:
+        raise ValueError("at least one event-family pattern is required")
+    for pattern in families:
+        if not pattern:
+            raise ValueError("empty event-family pattern")
+    return families
+
+
+def match_families(catalog, families: Tuple[str, ...]):
+    """Peril blocks of ``catalog`` matched by the glob patterns.
+
+    Every pattern must match at least one peril — a pattern that
+    matches nothing is a spec bug (a typo'd family silently becoming a
+    no-op overlay would corrupt a whole campaign's conclusions).
+    """
+    available = [p.name for p in catalog.perils]
+    matched = []
+    for pattern in families:
+        hits = [p for p in catalog.perils if fnmatchcase(p.name, pattern)]
+        if not hits:
+            raise ValueError(
+                f"event-family pattern {pattern!r} matches no peril block; "
+                f"catalog has {available}"
+            )
+        matched.extend(h for h in hits if h not in matched)
+    return matched
+
+
+@dataclass(frozen=True)
+class TrialWindow(Transform):
+    """Historical-window replay: keep trials ``[start, stop)``.
+
+    A pure subset of the baseline trial database — with a window
+    aligned to the campaign's segment stride, every kept segment's
+    content-addressed key equals the baseline's and the replay is
+    all store reuse, zero compute.
+    """
+
+    start: int
+    stop: int
+    kind: str = field(default="trial-window", init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.stop <= self.start:
+            raise ValueError(
+                f"invalid trial window [{self.start}, {self.stop})"
+            )
+
+    def as_config(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "start": int(self.start),
+                "stop": int(self.stop)}
+
+    def apply(self, state, rng) -> None:
+        if self.stop > state.yet.n_trials:
+            raise ValueError(
+                f"trial window [{self.start}, {self.stop}) exceeds the "
+                f"{state.yet.n_trials}-trial table"
+            )
+        state.yet = state.yet.slice_trials(self.start, self.stop)
+
+    def perturbed_fraction(self, n_trials: int) -> float:
+        return 0.0  # a subset: segment content is unchanged
+
+
+@dataclass(frozen=True)
+class FrequencyOverlay(Transform):
+    """Crisis overlay: scale matched families' occurrence frequency.
+
+    Inside trials ``[trial_start, trial_stop)`` (the whole table when
+    ``trial_stop`` is None), every occurrence of an event belonging to
+    a matched peril family is replicated ``factor`` times in
+    expectation: the integer part deterministically, the fractional
+    part by a seeded Bernoulli draw per occurrence (``factor < 1``
+    thins).  Replicas sit adjacent to their original at the same
+    timestamp, so per-trial ordering stays valid.  Trials outside the
+    window keep their exact bytes — the delta a re-sweep recomputes is
+    the window, nothing else.
+    """
+
+    families: Tuple[str, ...]
+    factor: float
+    trial_start: int = 0
+    trial_stop: int | None = None
+    kind: str = field(default="frequency-overlay", init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "families", _check_families(self.families))
+        if self.factor < 0:
+            raise ValueError(f"frequency factor must be >= 0, got {self.factor}")
+        if self.trial_start < 0:
+            raise ValueError(f"trial_start must be >= 0, got {self.trial_start}")
+        if self.trial_stop is not None and self.trial_stop <= self.trial_start:
+            raise ValueError(
+                f"empty overlay window [{self.trial_start}, {self.trial_stop})"
+            )
+
+    def as_config(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "families": tuple(self.families),
+            "factor": float(self.factor),
+            "trial_start": int(self.trial_start),
+            "trial_stop": None if self.trial_stop is None else int(self.trial_stop),
+        }
+
+    def apply(self, state, rng) -> None:
+        from repro.scenario.compiler import resample_occurrences
+
+        stop = state.yet.n_trials if self.trial_stop is None else self.trial_stop
+        if stop > state.yet.n_trials:
+            raise ValueError(
+                f"overlay window [{self.trial_start}, {stop}) exceeds the "
+                f"{state.yet.n_trials}-trial table"
+            )
+        matched = match_families(state.catalog, self.families)
+        state.yet = resample_occurrences(
+            state.yet,
+            state.catalog,
+            {p.name: float(self.factor) for p in matched},
+            self.trial_start,
+            stop,
+            rng,
+        )
+        state.mark_touched(self.trial_start, stop)
+
+    def perturbed_fraction(self, n_trials: int) -> float:
+        stop = n_trials if self.trial_stop is None else min(self.trial_stop, n_trials)
+        if n_trials <= 0:
+            return 1.0
+        return max(0.0, stop - self.trial_start) / n_trials
+
+
+@dataclass(frozen=True)
+class RateAdjustment(Transform):
+    """Climate-conditioned rates: per-family frequency factors, all trials.
+
+    ``rates`` maps family glob patterns to frequency factors; a peril
+    matched by several patterns gets the *product* of their factors.
+    Implemented by the same seeded occurrence resampling as
+    :class:`FrequencyOverlay`, over the whole trial set.
+    """
+
+    rates: Tuple[Tuple[str, float], ...]
+    kind: str = field(default="rate-adjustment", init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        rates = tuple((str(k), float(v)) for k, v in self.rates)
+        if not rates:
+            raise ValueError("at least one (family, factor) rate is required")
+        for pattern, factor in rates:
+            if not pattern:
+                raise ValueError("empty event-family pattern in rates")
+            if factor < 0:
+                raise ValueError(
+                    f"rate factor for {pattern!r} must be >= 0, got {factor}"
+                )
+        object.__setattr__(self, "rates", rates)
+
+    def as_config(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "rates": tuple((str(k), float(v)) for k, v in self.rates),
+        }
+
+    def apply(self, state, rng) -> None:
+        from repro.scenario.compiler import resample_occurrences
+
+        factors: Dict[str, float] = {}
+        for pattern, factor in self.rates:
+            matched = match_families(state.catalog, (pattern,))
+            for peril in matched:
+                factors[peril.name] = factors.get(peril.name, 1.0) * factor
+        state.yet = resample_occurrences(
+            state.yet, state.catalog, factors, 0, state.yet.n_trials, rng
+        )
+        state.mark_touched(0, state.yet.n_trials)
+
+
+@dataclass(frozen=True)
+class SeverityOverlay(Transform):
+    """Scale the ELT losses of matched event families by ``factor``.
+
+    A portfolio-side perturbation: every layer covering an affected ELT
+    changes its content fingerprint, so all of its segments recompute —
+    the honest cost of re-pricing a book under a severity shock.  The
+    YET is untouched.
+    """
+
+    families: Tuple[str, ...]
+    factor: float
+    kind: str = field(default="severity-overlay", init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "families", _check_families(self.families))
+        check_positive("severity factor", self.factor)
+
+    def as_config(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "families": tuple(self.families),
+            "factor": float(self.factor),
+        }
+
+    def apply(self, state, rng) -> None:
+        from repro.scenario.compiler import scale_severities
+
+        matched = match_families(state.catalog, self.families)
+        state.portfolio = scale_severities(
+            state.portfolio, matched, float(self.factor)
+        )
+        state.mark_touched(0, state.yet.n_trials)
+
+
+@dataclass(frozen=True)
+class TailSeek(Transform):
+    """Adversarial tail scenario: keep the proxy-worst trial fraction.
+
+    Ranks every trial by a cheap deterministic severity proxy — the sum
+    over its occurrences of the expected lognormal ground-up severity
+    of each event's peril (restricted to matched families) — and keeps
+    the top ``fraction`` of trials in their original relative order.
+    No RNG: the same spec always selects the same trials.
+    """
+
+    fraction: float
+    families: Tuple[str, ...] = ("*",)
+    kind: str = field(default="tail-seek", init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError(
+                f"tail fraction must be in (0, 1], got {self.fraction}"
+            )
+        object.__setattr__(self, "families", _check_families(self.families))
+
+    def as_config(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "fraction": float(self.fraction),
+            "families": tuple(self.families),
+        }
+
+    def apply(self, state, rng) -> None:
+        from repro.scenario.compiler import select_tail_trials
+
+        matched = match_families(state.catalog, self.families)
+        state.yet = select_tail_trials(
+            state.yet, state.catalog, matched, float(self.fraction)
+        )
+        state.mark_touched(0, state.yet.n_trials)
+
+
+#: JSON ``kind`` → transform class (the declarative-spec registry).
+TRANSFORM_KINDS: Dict[str, type] = {
+    "trial-window": TrialWindow,
+    "frequency-overlay": FrequencyOverlay,
+    "rate-adjustment": RateAdjustment,
+    "severity-overlay": SeverityOverlay,
+    "tail-seek": TailSeek,
+}
+
+
+def transform_from_config(config: Dict[str, Any]) -> Transform:
+    """Rebuild a transform from its ``as_config`` dict."""
+    kind = config.get("kind")
+    cls = TRANSFORM_KINDS.get(kind)
+    if cls is None:
+        raise ValueError(
+            f"unknown transform kind {kind!r}; known: "
+            f"{sorted(TRANSFORM_KINDS)}"
+        )
+    kwargs = {k: v for k, v in config.items() if k != "kind"}
+    # JSON arrays come back as lists; tuple-typed fields expect tuples.
+    for key, value in kwargs.items():
+        if isinstance(value, list):
+            kwargs[key] = tuple(
+                tuple(v) if isinstance(v, list) else v for v in value
+            )
+    return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One declarative, seeded what-if: a named transform pipeline.
+
+    Attributes
+    ----------
+    name:
+        Label unique within a :class:`ScenarioSet` (outside the
+        fingerprint — renaming never invalidates cached results).
+    transforms:
+        Applied in order to the baseline workload.  Empty = the
+        baseline itself.
+    seed:
+        Seeds every stochastic transform's stream (each transform gets
+        an independent child stream keyed by its position, so inserting
+        a deterministic transform never shifts a later one's draws).
+    description:
+        Free-text note (also outside the fingerprint).
+    """
+
+    name: str
+    transforms: Tuple[Transform, ...] = ()
+    seed: int = 0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario name must be non-empty")
+        object.__setattr__(self, "transforms", tuple(self.transforms))
+        for t in self.transforms:
+            if not isinstance(t, Transform):
+                raise TypeError(
+                    f"scenario {self.name!r}: expected Transform, got "
+                    f"{type(t).__name__}"
+                )
+
+    @classmethod
+    def baseline(cls, name: str = "baseline") -> "Scenario":
+        """The identity scenario (prices the unperturbed catalog)."""
+        return cls(name=name, description="unperturbed baseline")
+
+    def fingerprint(self) -> str:
+        """Canonical content digest: transforms + seed, not labels."""
+        from repro.store.keys import fingerprint_digest  # deferred import
+
+        return fingerprint_digest(
+            SCENARIO_SPEC_SCHEMA,
+            tuple(t.as_config() for t in self.transforms),
+            int(self.seed),
+        )
+
+    def perturbed_fraction(self, n_trials: int) -> float:
+        """Upper-bound fraction of baseline segments this scenario dirties."""
+        if not self.transforms:
+            return 0.0
+        return max(t.perturbed_fraction(n_trials) for t in self.transforms)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "seed": int(self.seed),
+            "description": self.description,
+            "transforms": [t.as_config() for t in self.transforms],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Scenario":
+        return cls(
+            name=str(data["name"]),
+            transforms=tuple(
+                transform_from_config(c) for c in data.get("transforms", ())
+            ),
+            seed=int(data.get("seed", 0)),
+            description=str(data.get("description", "")),
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSet:
+    """An ordered family of scenarios evaluated against one portfolio."""
+
+    name: str
+    scenarios: Tuple[Scenario, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario set name must be non-empty")
+        object.__setattr__(self, "scenarios", tuple(self.scenarios))
+        if not self.scenarios:
+            raise ValueError(f"scenario set {self.name!r} is empty")
+        names = [s.name for s in self.scenarios]
+        if len(set(names)) != len(names):
+            raise ValueError(
+                f"scenario set {self.name!r} has duplicate scenario "
+                f"names: {names}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.scenarios)
+
+    def __iter__(self):
+        return iter(self.scenarios)
+
+    def scenario(self, name: str) -> Scenario:
+        for s in self.scenarios:
+            if s.name == name:
+                return s
+        raise KeyError(f"no scenario named {name!r} in set {self.name!r}")
+
+    def fingerprint(self) -> str:
+        """Digest of the member fingerprints, in order (labels excluded)."""
+        from repro.store.keys import fingerprint_digest  # deferred import
+
+        return fingerprint_digest(
+            SCENARIO_SPEC_SCHEMA,
+            tuple(s.fingerprint() for s in self.scenarios),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "scenarios": [s.to_dict() for s in self.scenarios],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ScenarioSet":
+        return cls(
+            name=str(data["name"]),
+            scenarios=tuple(
+                Scenario.from_dict(s) for s in data.get("scenarios", ())
+            ),
+        )
+
+
+def scenario_set_to_json(scenario_set: ScenarioSet, indent: int = 2) -> str:
+    """Serialise a scenario set to a JSON document (spec-file format)."""
+    return json.dumps(scenario_set.to_dict(), indent=indent) + "\n"
+
+
+def scenario_set_from_json(text: str) -> ScenarioSet:
+    """Parse a scenario set from its JSON document."""
+    return ScenarioSet.from_dict(json.loads(text))

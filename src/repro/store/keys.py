@@ -44,6 +44,9 @@ KEY_SCHEMA = "repro-analysis-v1"
 #: schema of per-segment keys (the fleet's unit of stored work).
 SEGMENT_SCHEMA = "repro-segment-v1"
 
+#: schema of per-scenario campaign result keys (whole-scenario replay).
+SCENARIO_SCHEMA = "repro-scenario-v1"
+
 
 def canonical_bytes(value: Any) -> bytes:
     """Deterministic, type-tagged serialisation of nested plain values.
@@ -242,6 +245,23 @@ def segment_key(
         str(np.dtype(dtype).str),
         str(lookup_kind),
         stream,
+    )
+
+
+def scenario_result_key(
+    campaign_fingerprint: str, scenario_fingerprint: str
+) -> str:
+    """The store key of one scenario's final campaign YLT.
+
+    A level above segment keys: the campaign fingerprint pins the
+    baseline inputs + numeric configuration + staging policy, the
+    scenario fingerprint pins the perturbation spec + seed.  Re-running
+    a campaign replays unchanged scenarios whole — zero plans, zero
+    segment probes — while any edit to either side changes the key and
+    falls through to the delta-planned sweep.
+    """
+    return fingerprint_digest(
+        SCENARIO_SCHEMA, str(campaign_fingerprint), str(scenario_fingerprint)
     )
 
 

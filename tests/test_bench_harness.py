@@ -89,7 +89,7 @@ class TestExperiments:
             "FIG-5", "FIG-6", "DS-TABLE", "OPT-ABLATE", "KERNEL-ABLATE",
             "KERNEL-ABLATE-SECONDARY", "PLAN-ABLATE", "REPLAY-ABLATE",
             "FLEET-ABLATE", "CHAOS-ABLATE", "SERVE-ABLATE", "NET-ABLATE",
-            "EXT-SECONDARY",
+            "SCENARIO-ABLATE", "EXT-SECONDARY",
         }
 
     @pytest.mark.parametrize("exp_id", sorted(ALL_EXPERIMENTS))
@@ -109,6 +109,7 @@ class TestExperiments:
             "CHAOS-ABLATE",
             "SERVE-ABLATE",
             "NET-ABLATE",
+            "SCENARIO-ABLATE",
         ):
             assert report.rows
 

@@ -1,0 +1,104 @@
+"""Tests for the repro-fleet CLI: machine-readable status output."""
+
+import json
+
+import pytest
+
+from repro.data.generator import generate_workload
+from repro.data.presets import SCENARIO_SMALL
+from repro.engines import SequentialEngine
+from repro.fleet.cli import main
+from repro.fleet.jobs import JobQueue
+from repro.fleet.sweep import (
+    context_for_engine,
+    gather_sweep,
+    run_workers,
+    submit_sweep,
+)
+from repro.store import SharedFileStore
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_workload(
+        SCENARIO_SMALL.with_(n_trials=200, catalog_size=1_000)
+    )
+
+
+@pytest.fixture()
+def fleet(tmp_path, workload):
+    queue = JobQueue(str(tmp_path / "queue"))
+    store = SharedFileStore(str(tmp_path / "store"))
+    ticket = submit_sweep(
+        queue,
+        store,
+        workload.yet,
+        workload.portfolio,
+        workload.catalog.n_events,
+        SequentialEngine(),
+        segment_trials=100,
+    )
+    return tmp_path, queue, store, ticket
+
+
+def _status_json(capsys, *argv):
+    rc = main(["status", "--json", *argv])
+    assert rc == 0
+    return json.loads(capsys.readouterr().out)
+
+
+class TestStatusJson:
+    def test_empty_queue_is_valid_json(self, tmp_path, capsys):
+        data = _status_json(capsys, "--queue", str(tmp_path / "queue"))
+        assert data == {"store": None, "sweeps": []}
+
+    def test_pending_sweep_counts(self, fleet, capsys):
+        tmp_path, queue, store, ticket = fleet
+        data = _status_json(capsys, "--queue", str(tmp_path / "queue"))
+        (sweep,) = data["sweeps"]
+        assert sweep["sweep_id"] == ticket.sweep_id
+        assert sweep["counts"]["pending"] == ticket.submitted
+        assert sweep["counts"]["done"] == 0
+        assert sweep["engine"] is not None
+        assert sweep["failed_jobs"] == []
+
+    def test_completed_sweep_counts_and_store_health(
+        self, fleet, workload, capsys
+    ):
+        tmp_path, queue, store, ticket = fleet
+        ctx = context_for_engine(
+            workload.yet,
+            workload.portfolio,
+            workload.catalog.n_events,
+            SequentialEngine(),
+        )
+        run_workers(
+            queue,
+            store,
+            contexts={ticket.sweep_id: ctx},
+            n_workers=2,
+            sweep_id=ticket.sweep_id,
+        )
+        gather_sweep(queue, store, ticket.sweep_id)
+        data = _status_json(
+            capsys,
+            "--queue",
+            str(tmp_path / "queue"),
+            "--store",
+            str(tmp_path / "store"),
+        )
+        (sweep,) = data["sweeps"]
+        assert sweep["counts"]["pending"] == 0
+        assert sweep["counts"]["done"] == ticket.submitted
+        # --store folds the health block into the same document
+        assert data["store"] is not None
+        assert data["store"]["entries"] >= ticket.submitted
+
+    def test_text_mode_still_prints_lines(self, fleet, capsys):
+        tmp_path, queue, store, ticket = fleet
+        rc = main(["status", "--queue", str(tmp_path / "queue")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert ticket.sweep_id in out
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(out)

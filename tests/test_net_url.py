@@ -1,0 +1,101 @@
+"""Unit-test matrix for tcp:// URL parsing and store/queue resolution."""
+
+import pytest
+
+from repro.net.url import (
+    QUEUE_URL_ENV,
+    STORE_URL_ENV,
+    is_tcp_url,
+    parse_tcp_url,
+    queue_from_url,
+    store_from_url,
+)
+
+
+class TestParseTcpUrl:
+    @pytest.mark.parametrize(
+        "url,expected",
+        [
+            ("tcp://localhost:9410", ("localhost", 9410)),
+            ("tcp://10.0.0.5:1", ("10.0.0.5", 1)),
+            ("tcp://host.example.com:65535", ("host.example.com", 65535)),
+            # trailing slashes are tolerated — URL-shaped configs carry them
+            ("tcp://localhost:9410/", ("localhost", 9410)),
+            ("tcp://localhost:9410//", ("localhost", 9410)),
+        ],
+    )
+    def test_valid_urls(self, url, expected):
+        assert parse_tcp_url(url) == expected
+
+    @pytest.mark.parametrize(
+        "url,message",
+        [
+            ("http://localhost:9410", "not a tcp"),
+            ("localhost:9410", "not a tcp"),
+            ("tcp://localhost", "missing a port"),
+            ("tcp://localhost:", "missing a port"),
+            ("tcp://:9410", "missing a host"),
+            ("tcp://", "missing a port"),
+            ("tcp://localhost:port", "invalid tcp port"),
+            ("tcp://localhost:94.10", "invalid tcp port"),
+            ("tcp://localhost:-1", "invalid tcp port"),
+            ("tcp://localhost:0", "out of range"),
+            ("tcp://localhost:65536", "out of range"),
+            ("tcp://localhost:9410/db", "must not carry a path"),
+            ("tcp://localhost:9410/db/", "must not carry a path"),
+        ],
+    )
+    def test_malformed_urls_raise_named_errors(self, url, message):
+        with pytest.raises(ValueError, match=message):
+            parse_tcp_url(url)
+
+    def test_error_message_carries_the_offending_url(self):
+        with pytest.raises(ValueError, match="tcp://oops"):
+            parse_tcp_url("tcp://oops")
+
+    def test_ipv6_style_host_keeps_last_colon_as_port(self):
+        # rpartition: everything before the final colon is the host.
+        host, port = parse_tcp_url("tcp://[::1]:9410")
+        assert (host, port) == ("[::1]", 9410)
+
+
+class TestIsTcpUrl:
+    def test_recognises_scheme(self):
+        assert is_tcp_url("tcp://h:1")
+        assert not is_tcp_url("/var/cache/repro")
+        assert not is_tcp_url(None)
+        assert not is_tcp_url(123)
+
+
+class TestResolution:
+    def test_directory_store(self, tmp_path):
+        from repro.store import SharedFileStore
+
+        store = store_from_url(str(tmp_path / "cache"))
+        assert isinstance(store, SharedFileStore)
+
+    def test_directory_queue(self, tmp_path):
+        from repro.fleet.jobs import JobQueue
+
+        queue = queue_from_url(str(tmp_path / "queue"))
+        assert isinstance(queue, JobQueue)
+
+    def test_queue_requires_a_target(self, monkeypatch):
+        monkeypatch.delenv(QUEUE_URL_ENV, raising=False)
+        with pytest.raises(ValueError, match=QUEUE_URL_ENV):
+            queue_from_url(None)
+
+    def test_env_fallback_resolves_directories(self, tmp_path, monkeypatch):
+        from repro.fleet.jobs import JobQueue
+        from repro.store import SharedFileStore
+
+        monkeypatch.setenv(STORE_URL_ENV, str(tmp_path / "store"))
+        monkeypatch.setenv(QUEUE_URL_ENV, str(tmp_path / "queue"))
+        assert isinstance(store_from_url(None), SharedFileStore)
+        assert isinstance(queue_from_url(None), JobQueue)
+
+    def test_bad_tcp_url_fails_at_resolution_time(self):
+        with pytest.raises(ValueError, match="missing a port"):
+            store_from_url("tcp://somehost")
+        with pytest.raises(ValueError, match="out of range"):
+            queue_from_url("tcp://somehost:99999")

@@ -1,0 +1,199 @@
+"""Tests for declarative scenario specs (frozen, seeded, fingerprintable)."""
+
+import dataclasses
+
+import pytest
+
+from repro.data.generator import generate_catalog
+from repro.scenario.spec import (
+    SCENARIO_SPEC_SCHEMA,
+    TRANSFORM_KINDS,
+    FrequencyOverlay,
+    RateAdjustment,
+    Scenario,
+    ScenarioSet,
+    SeverityOverlay,
+    TailSeek,
+    TrialWindow,
+    match_families,
+    scenario_set_from_json,
+    scenario_set_to_json,
+    transform_from_config,
+)
+
+
+@pytest.fixture()
+def catalog():
+    return generate_catalog(n_events=1_000, n_perils=5, seed=3)
+
+
+class TestTransformValidation:
+    def test_trial_window_rejects_empty_or_negative(self):
+        with pytest.raises(ValueError):
+            TrialWindow(start=-1, stop=10)
+        with pytest.raises(ValueError):
+            TrialWindow(start=5, stop=5)
+
+    def test_frequency_overlay_rejects_bad_factor_and_window(self):
+        with pytest.raises(ValueError):
+            FrequencyOverlay(families=("NA-*",), factor=-0.5)
+        with pytest.raises(ValueError):
+            FrequencyOverlay(
+                families=("NA-*",), factor=1.2, trial_start=10, trial_stop=10
+            )
+        with pytest.raises(ValueError):
+            FrequencyOverlay(families=(), factor=1.2)
+
+    def test_rate_adjustment_rejects_empty_and_negative(self):
+        with pytest.raises(ValueError):
+            RateAdjustment(rates=())
+        with pytest.raises(ValueError):
+            RateAdjustment(rates=(("NA-*", -1.0),))
+
+    def test_severity_overlay_requires_positive_factor(self):
+        with pytest.raises(ValueError):
+            SeverityOverlay(families=("NA-*",), factor=0.0)
+
+    def test_tail_seek_fraction_range(self):
+        with pytest.raises(ValueError):
+            TailSeek(fraction=0.0)
+        with pytest.raises(ValueError):
+            TailSeek(fraction=1.5)
+        TailSeek(fraction=1.0)  # inclusive upper bound
+
+    def test_transforms_are_frozen(self):
+        window = TrialWindow(start=0, stop=10)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            window.start = 5
+
+
+class TestFamilyMatching:
+    def test_glob_patterns_match_peril_blocks(self, catalog):
+        matched = match_families(catalog, ("NA-*",))
+        assert [p.name for p in matched] == ["NA-hurricane", "NA-earthquake"]
+
+    def test_exact_name_matches_one(self, catalog):
+        matched = match_families(catalog, ("JP-typhoon",))
+        assert len(matched) == 1
+
+    def test_unmatched_pattern_is_an_error_naming_families(self, catalog):
+        with pytest.raises(ValueError, match="NA-hurricane"):
+            match_families(catalog, ("Atlantis-flood",))
+
+    def test_duplicate_matches_are_deduplicated(self, catalog):
+        matched = match_families(catalog, ("NA-*", "NA-hurricane"))
+        assert len(matched) == 2
+
+
+class TestFingerprints:
+    def test_labels_are_outside_the_fingerprint(self):
+        a = Scenario(name="a", transforms=(TrialWindow(0, 100),), seed=3)
+        b = Scenario(
+            name="b",
+            transforms=(TrialWindow(0, 100),),
+            seed=3,
+            description="renamed",
+        )
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_transforms_and_seed_are_inside(self):
+        base = Scenario(name="s", transforms=(TrialWindow(0, 100),), seed=3)
+        other_window = Scenario(
+            name="s", transforms=(TrialWindow(0, 200),), seed=3
+        )
+        other_seed = Scenario(
+            name="s", transforms=(TrialWindow(0, 100),), seed=4
+        )
+        assert base.fingerprint() != other_window.fingerprint()
+        assert base.fingerprint() != other_seed.fingerprint()
+
+    def test_schema_constant_present(self):
+        assert SCENARIO_SPEC_SCHEMA.startswith("repro-scenario-spec")
+
+    def test_set_fingerprint_is_order_sensitive(self):
+        s1 = Scenario(name="a", transforms=(TrialWindow(0, 100),))
+        s2 = Scenario(name="b", transforms=(TailSeek(0.5),))
+        fwd = ScenarioSet("set", (s1, s2)).fingerprint()
+        rev = ScenarioSet("set", (s2, s1)).fingerprint()
+        assert fwd != rev
+
+    def test_baseline_perturbs_nothing(self):
+        assert Scenario.baseline().perturbed_fraction(1000) == 0.0
+
+    def test_windowed_overlay_perturbed_fraction(self):
+        s = Scenario(
+            name="s",
+            transforms=(
+                FrequencyOverlay(
+                    families=("*",), factor=2.0, trial_start=0, trial_stop=100
+                ),
+            ),
+        )
+        assert s.perturbed_fraction(1000) == pytest.approx(0.1)
+
+
+class TestSerialisation:
+    def _demo_set(self):
+        return ScenarioSet(
+            name="round-trip",
+            scenarios=(
+                Scenario.baseline(),
+                Scenario(
+                    name="mixed",
+                    transforms=(
+                        TrialWindow(0, 500),
+                        FrequencyOverlay(
+                            families=("NA-*", "EU-*"),
+                            factor=1.25,
+                            trial_start=0,
+                            trial_stop=200,
+                        ),
+                        RateAdjustment(rates=(("JP-*", 0.8), ("Global-*", 1.1))),
+                        SeverityOverlay(families=("NA-hurricane",), factor=1.5),
+                        TailSeek(fraction=0.5, families=("*",)),
+                    ),
+                    seed=99,
+                    description="one of each",
+                ),
+            ),
+        )
+
+    def test_json_round_trip_preserves_fingerprints(self):
+        original = self._demo_set()
+        restored = scenario_set_from_json(scenario_set_to_json(original))
+        assert restored == original
+        assert restored.fingerprint() == original.fingerprint()
+
+    def test_every_registered_kind_round_trips(self):
+        samples = {
+            "trial-window": TrialWindow(0, 10),
+            "frequency-overlay": FrequencyOverlay(families=("x*",), factor=2.0),
+            "rate-adjustment": RateAdjustment(rates=(("x*", 1.5),)),
+            "severity-overlay": SeverityOverlay(families=("x*",), factor=1.5),
+            "tail-seek": TailSeek(fraction=0.25),
+        }
+        assert set(samples) == set(TRANSFORM_KINDS)
+        for kind, transform in samples.items():
+            rebuilt = transform_from_config(transform.as_config())
+            assert rebuilt == transform, kind
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown transform kind"):
+            transform_from_config({"kind": "volcano-overlay"})
+
+
+class TestScenarioSetValidation:
+    def test_duplicate_names_rejected(self):
+        s = Scenario.baseline()
+        with pytest.raises(ValueError, match="duplicate"):
+            ScenarioSet("set", (s, s))
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioSet("set", ())
+
+    def test_lookup_by_name(self):
+        sset = ScenarioSet("set", (Scenario.baseline(),))
+        assert sset.scenario("baseline").name == "baseline"
+        with pytest.raises(KeyError):
+            sset.scenario("missing")
